@@ -1,0 +1,57 @@
+//! Criterion performance benches for the discrete-event simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sdnav_core::{ControllerSpec, Scenario, Topology};
+use sdnav_sim::{ConnectionModel, SimConfig, Simulation};
+
+/// A short, busy configuration so each iteration processes a comparable,
+/// non-trivial number of events.
+fn busy_config(scenario: Scenario) -> SimConfig {
+    let mut c = SimConfig::paper_defaults(scenario).accelerated(100.0);
+    c.horizon_hours = 5_000.0;
+    c.compute_hosts = 3;
+    c
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let spec = ControllerSpec::opencontrail_3x();
+    for topo in [Topology::small(&spec), Topology::large(&spec)] {
+        let sim = Simulation::new(&spec, &topo, busy_config(Scenario::SupervisorRequired));
+        let name = topo.name().to_lowercase();
+        // Report per-event cost: count events once, then let Criterion
+        // measure whole runs (event counts are seed-deterministic).
+        let events = sim.run(1).events;
+        let mut group = c.benchmark_group("simulator");
+        group.throughput(criterion::Throughput::Elements(events));
+        group.bench_function(format!("run_5000h/{name}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(sim.run(seed))
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_failover_model(c: &mut Criterion) {
+    let spec = ControllerSpec::opencontrail_3x();
+    let topo = Topology::small(&spec);
+    let mut cfg = busy_config(Scenario::SupervisorNotRequired);
+    cfg.connection = ConnectionModel::Failover {
+        rediscovery_hours: 1.0 / 60.0,
+    };
+    let sim = Simulation::new(&spec, &topo, cfg);
+    c.bench_function("simulator/failover_connection_model", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(sim.run(seed))
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_throughput, bench_failover_model);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! CLM-SW: the §VI.G quoted downtime numbers for the four options, plus the
+//! per-process-vs-uniform-α ablation (DESIGN.md ablation 2).
+
+use sdnav_bench::{compare, downtime_m_y, header, spec, sw_params};
+use sdnav_core::{Plane, Scenario, SwModel, SwParams, Topology};
+
+fn main() {
+    let spec = spec();
+    let params = sw_params();
+    let small = Topology::small(&spec);
+    let large = Topology::large(&spec);
+
+    header("CLM-SW", "§VI.G quoted CP and DP downtimes (minutes/year)");
+    let eval = |topo: &Topology, scenario| SwModel::new(&spec, topo, params, scenario);
+
+    let cp = |topo: &Topology, scenario| downtime_m_y(eval(topo, scenario).cp_availability());
+    let dp = |topo: &Topology, scenario| downtime_m_y(eval(topo, scenario).host_dp_availability());
+
+    println!("Control plane:");
+    println!(
+        "{}",
+        compare(
+            "  1S (Small, supervisor not required)",
+            "5.9",
+            &format!("{:.2}", cp(&small, Scenario::SupervisorNotRequired))
+        )
+    );
+    println!(
+        "{}",
+        compare(
+            "  2S (Small, supervisor required)",
+            "6.6",
+            &format!("{:.2}", cp(&small, Scenario::SupervisorRequired))
+        )
+    );
+    println!(
+        "{}",
+        compare(
+            "  1L (Large, supervisor not required)",
+            "0.7",
+            &format!("{:.2}", cp(&large, Scenario::SupervisorNotRequired))
+        )
+    );
+    println!(
+        "{}",
+        compare(
+            "  2L (Large, supervisor required)",
+            "1.4",
+            &format!("{:.2}", cp(&large, Scenario::SupervisorRequired))
+        )
+    );
+    println!();
+    println!("Data plane (per host):");
+    println!(
+        "{}",
+        compare(
+            "  1S",
+            "26",
+            &format!("{:.1}", dp(&small, Scenario::SupervisorNotRequired))
+        )
+    );
+    println!(
+        "{}",
+        compare(
+            "  2S",
+            "131",
+            &format!("{:.1}", dp(&small, Scenario::SupervisorRequired))
+        )
+    );
+    println!(
+        "{}",
+        compare(
+            "  1L",
+            "21",
+            &format!("{:.1}", dp(&large, Scenario::SupervisorNotRequired))
+        )
+    );
+    println!(
+        "{}",
+        compare(
+            "  2L",
+            "126",
+            &format!("{:.1}", dp(&large, Scenario::SupervisorRequired))
+        )
+    );
+
+    println!();
+    header(
+        "ABLATION 2",
+        "per-process availabilities (auto→A, manual→A_S) vs a literal \
+         uniform α = A reading of Eq. (11)",
+    );
+    let mut uniform = params;
+    uniform.process.manual = uniform.process.auto;
+    let per_process = sdnav_core::paper::sw_small(
+        &spec,
+        params,
+        Scenario::SupervisorNotRequired,
+        Plane::ControlPlane,
+    );
+    let uniform_a = sdnav_core::paper::sw_small(
+        &spec,
+        uniform,
+        Scenario::SupervisorNotRequired,
+        Plane::ControlPlane,
+    );
+    println!(
+        "  per-process 1S CP: {:.2} m/y (paper quotes 5.9)",
+        downtime_m_y(per_process)
+    );
+    println!(
+        "  uniform-α   1S CP: {:.2} m/y (misses the quoted value)",
+        downtime_m_y(uniform_a)
+    );
+
+    println!();
+    header(
+        "ABLATION: DPDK vs kernel-mode vRouter",
+        "§II: the kernel forwarding module is 'optionally replaced by the \
+         vRouter DPDK module running in user space' — one more critical \
+         process per host (K = 2 instead of 1)",
+    );
+    let kernel = sdnav_core::ControllerSpec::opencontrail_3x_kernel_mode();
+    let kernel_topo = Topology::large(&kernel);
+    for scenario in [
+        Scenario::SupervisorNotRequired,
+        Scenario::SupervisorRequired,
+    ] {
+        let dpdk_dp = SwModel::new(&spec, &large, params, scenario).host_dp_availability();
+        let kern_dp = SwModel::new(&kernel, &kernel_topo, params, scenario).host_dp_availability();
+        println!(
+            "  {scenario:?}: DPDK {:.1} m/y vs kernel-mode {:.1} m/y ({:+.1} m/y for DPDK's user-space process)",
+            downtime_m_y(dpdk_dp),
+            downtime_m_y(kern_dp),
+            downtime_m_y(dpdk_dp) - downtime_m_y(kern_dp),
+        );
+    }
+
+    println!();
+    header(
+        "SENSITIVITY",
+        "same defaults but Next-Day / Next-Business-Day host maintenance \
+         (§V.D: A_H = 0.9995 / 0.9990)",
+    );
+    for (label, a_h) in [
+        ("Same Day (0.9999)", 0.9999),
+        ("Next Day (0.9995)", 0.9995),
+        ("NBD (0.9990)", 0.9990),
+    ] {
+        let p = SwParams { a_h, ..params };
+        let m = SwModel::new(&spec, &small, p, Scenario::SupervisorRequired);
+        println!(
+            "  A_H = {label:<18} → 2S CP downtime {:.2} m/y",
+            downtime_m_y(m.cp_availability())
+        );
+    }
+}

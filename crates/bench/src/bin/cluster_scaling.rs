@@ -1,0 +1,53 @@
+//! SCALE: the paper's `N > 1` generalization — availability of 3-, 5- and
+//! 7-node clusters ("Generalization to N>1 is straightforward", §II/§IV).
+
+use sdnav_bench::{downtime_m_y, header, hw_params, spec, sw_params};
+use sdnav_core::{HwModel, Scenario, SwModel, Topology};
+use sdnav_report::Table;
+
+fn main() {
+    let base = spec();
+    header(
+        "SCALE",
+        "2N+1 cluster scaling: HW-centric and SW-centric availability for \
+         3/5/7-node clusters (majority quorums scale with the cluster)",
+    );
+
+    let mut table = Table::new(vec![
+        "nodes",
+        "topology",
+        "HW availability",
+        "CP (2 req)",
+        "CP m/y",
+        "DP m/y",
+    ]);
+    for nodes in [3u32, 5, 7] {
+        let spec = base.scaled_cluster(nodes);
+        for topo in [Topology::small(&spec), Topology::large(&spec)] {
+            let hw_a = HwModel::new(&spec, &topo, hw_params()).availability();
+            let sw = SwModel::new(&spec, &topo, sw_params(), Scenario::SupervisorRequired);
+            table.row(vec![
+                nodes.to_string(),
+                topo.name().to_owned(),
+                format!("{hw_a:.9}"),
+                format!("{:.9}", sw.cp_availability()),
+                format!("{:.2}", downtime_m_y(sw.cp_availability())),
+                format!("{:.1}", downtime_m_y(sw.host_dp_availability())),
+            ]);
+        }
+    }
+    print!("{table}");
+    println!();
+    println!(
+        "Observations:\n\
+         • Growing the cluster strengthens the software quorums (a 3-of-5\n\
+           Database tolerates two process losses), so the Large-topology CP\n\
+           improves with cluster size.\n\
+         • The Small topology barely moves: its downtime is the single\n\
+           rack, which no amount of node redundancy inside that rack fixes.\n\
+         • Host DP downtime is identical at every cluster size — the\n\
+           per-host vRouter single points of failure are untouched by\n\
+           controller scaling. Bigger clusters buy control-plane nines,\n\
+           not data-plane nines."
+    );
+}

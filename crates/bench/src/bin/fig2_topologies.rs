@@ -1,0 +1,23 @@
+//! FIG2: regenerate the reference HW deployment topologies of Fig. 2.
+
+use sdnav_bench::{header, spec};
+use sdnav_core::Topology;
+
+fn main() {
+    let spec = spec();
+    header("FIG2", "Reference hardware deployment topologies");
+    for topo in [
+        Topology::small(&spec),
+        Topology::medium(&spec),
+        Topology::large(&spec),
+    ] {
+        println!("{}", topo.describe());
+        println!(
+            "  → {} racks, {} hosts, {} VMs",
+            topo.rack_count(),
+            topo.host_count(),
+            topo.vm_count()
+        );
+        println!();
+    }
+}

@@ -1,0 +1,58 @@
+//! FIG3: HW-centric controller availability vs role availability `A_C`
+//! for the Small, Medium and Large topologies (§V.D).
+
+use sdnav_bench::{downtime_m_y, header, hw_params, spec};
+use sdnav_core::sweep::fig3;
+use sdnav_report::{Chart, Series, Table};
+
+fn main() {
+    let spec = spec();
+    let params = hw_params();
+    header(
+        "FIG3",
+        "OpenContrail cluster availability (HW-centric); \
+         A_V=0.99995 A_H=0.99999 A_R=0.99999, A_C swept 0.999..1.0",
+    );
+
+    let rows = fig3(&spec, params, 21);
+    let mut table = Table::new(vec!["A_C", "Small", "Medium", "Large", "S DT", "L DT"]);
+    for r in &rows {
+        table.row(vec![
+            format!("{:.5}", r.a_c),
+            format!("{:.9}", r.small),
+            format!("{:.9}", r.medium),
+            format!("{:.9}", r.large),
+            format!("{:.1} m/y", downtime_m_y(r.small)),
+            format!("{:.1} m/y", downtime_m_y(r.large)),
+        ]);
+    }
+    print!("{table}");
+    println!();
+
+    let chart = Chart::new(60, 16)
+        .series(Series::new(
+            "Small",
+            rows.iter().map(|r| (r.a_c, r.small)).collect(),
+        ))
+        .series(Series::new(
+            "Medium",
+            rows.iter().map(|r| (r.a_c, r.medium)).collect(),
+        ))
+        .series(Series::new(
+            "Large",
+            rows.iter().map(|r| (r.a_c, r.large)).collect(),
+        ))
+        .labels("role availability A_C", "controller availability");
+    print!("{chart}");
+
+    let center = rows
+        .iter()
+        .min_by(|a, b| (a.a_c - 0.9995).abs().total_cmp(&(b.a_c - 0.9995).abs()))
+        .unwrap();
+    println!();
+    println!("paper @ A_C=0.9995: Small/Medium 0.999989, Large 0.9999990");
+    println!(
+        "measured          : Small {:.6}, Medium {:.6}, Large {:.7}",
+        center.small, center.medium, center.large
+    );
+}

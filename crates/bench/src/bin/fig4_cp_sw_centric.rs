@@ -1,0 +1,63 @@
+//! FIG4: SDN control-plane availability `A_CP` (SW-centric) for the four
+//! options 1S/2S/1L/2L as process availability sweeps ±1 order of magnitude
+//! of downtime (§VI.G).
+
+use sdnav_bench::{downtime_m_y, header, spec, sw_params};
+use sdnav_core::sweep::fig4;
+use sdnav_report::{Chart, Series, Table};
+
+fn main() {
+    let spec = spec();
+    header(
+        "FIG4",
+        "OpenContrail SDN CP availability A_CP (SW-centric); x-axis in \
+         orders of magnitude of downtime removed (0 = A=0.99998, A_S=0.9998)",
+    );
+
+    let rows = fig4(&spec, sw_params(), 21);
+    let mut table = Table::new(vec!["x", "A", "1S", "2S", "1L", "2L"]);
+    for r in &rows {
+        table.row(vec![
+            format!("{:+.1}", r.x),
+            format!("{:.6}", r.a),
+            format!("{:.9}", r.small_no_sup),
+            format!("{:.9}", r.small_sup),
+            format!("{:.9}", r.large_no_sup),
+            format!("{:.9}", r.large_sup),
+        ]);
+    }
+    print!("{table}");
+    println!();
+
+    // The figure plots availability; downtime is easier to eyeball in text.
+    let chart = Chart::new(60, 16)
+        .series(Series::new(
+            "1S",
+            rows.iter().map(|r| (r.x, r.small_no_sup)).collect(),
+        ))
+        .series(Series::new(
+            "2S",
+            rows.iter().map(|r| (r.x, r.small_sup)).collect(),
+        ))
+        .series(Series::new(
+            "1L",
+            rows.iter().map(|r| (r.x, r.large_no_sup)).collect(),
+        ))
+        .series(Series::new(
+            "2L",
+            rows.iter().map(|r| (r.x, r.large_sup)).collect(),
+        ))
+        .labels("orders of magnitude of downtime removed", "A_CP");
+    print!("{chart}");
+
+    let center = &rows[rows.len() / 2];
+    println!();
+    println!("paper @ defaults: 1S 5.9 m/y, 2S 6.6 m/y, 1L 0.7 m/y, 2L 1.4 m/y");
+    println!(
+        "measured        : 1S {:.1} m/y, 2S {:.1} m/y, 1L {:.1} m/y, 2L {:.1} m/y",
+        downtime_m_y(center.small_no_sup),
+        downtime_m_y(center.small_sup),
+        downtime_m_y(center.large_no_sup),
+        downtime_m_y(center.large_sup),
+    );
+}

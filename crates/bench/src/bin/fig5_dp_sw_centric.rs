@@ -1,0 +1,61 @@
+//! FIG5: per-host data-plane availability `A_DP` (SW-centric) for the four
+//! options 1S/2S/1L/2L (§VI.G).
+
+use sdnav_bench::{downtime_m_y, header, spec, sw_params};
+use sdnav_core::sweep::fig5;
+use sdnav_report::{Chart, Series, Table};
+
+fn main() {
+    let spec = spec();
+    header(
+        "FIG5",
+        "OpenContrail host DP availability A_DP (SW-centric); \
+         A_DP = A_SDP · A^K (· A_S when the vRouter supervisor is required)",
+    );
+
+    let rows = fig5(&spec, sw_params(), 21);
+    let mut table = Table::new(vec!["x", "A", "1S", "2S", "1L", "2L"]);
+    for r in &rows {
+        table.row(vec![
+            format!("{:+.1}", r.x),
+            format!("{:.6}", r.a),
+            format!("{:.7}", r.small_no_sup),
+            format!("{:.7}", r.small_sup),
+            format!("{:.7}", r.large_no_sup),
+            format!("{:.7}", r.large_sup),
+        ]);
+    }
+    print!("{table}");
+    println!();
+
+    let chart = Chart::new(60, 16)
+        .series(Series::new(
+            "1S",
+            rows.iter().map(|r| (r.x, r.small_no_sup)).collect(),
+        ))
+        .series(Series::new(
+            "2S",
+            rows.iter().map(|r| (r.x, r.small_sup)).collect(),
+        ))
+        .series(Series::new(
+            "1L",
+            rows.iter().map(|r| (r.x, r.large_no_sup)).collect(),
+        ))
+        .series(Series::new(
+            "2L",
+            rows.iter().map(|r| (r.x, r.large_sup)).collect(),
+        ))
+        .labels("orders of magnitude of downtime removed", "A_DP");
+    print!("{chart}");
+
+    let center = &rows[rows.len() / 2];
+    println!();
+    println!("paper @ defaults: 1S 26 m/y, 2S 131 m/y, 1L 21 m/y, 2L 126 m/y");
+    println!(
+        "measured        : 1S {:.0} m/y, 2S {:.0} m/y, 1L {:.0} m/y, 2L {:.0} m/y",
+        downtime_m_y(center.small_no_sup),
+        downtime_m_y(center.small_sup),
+        downtime_m_y(center.large_no_sup),
+        downtime_m_y(center.large_sup),
+    );
+}

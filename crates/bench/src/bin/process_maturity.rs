@@ -1,0 +1,74 @@
+//! MATURITY: the paper's "K process types" extension (§VI.A: "if
+//! additional process types are needed to account for different F (e.g.,
+//! new vs mature code), these counts can be further broken down").
+//!
+//! Degrades each controller process to "new code" (10× the downtime) one
+//! at a time and measures the CP impact on the Large topology — a
+//! code-quality risk register: which process can least afford to be
+//! immature?
+
+use sdnav_bench::{downtime_m_y, header, spec, sw_params};
+use sdnav_core::{ControllerSpec, Scenario, SwModel, Topology};
+use sdnav_report::Table;
+
+fn cp_downtime(spec: &ControllerSpec) -> f64 {
+    let topo = Topology::large(spec);
+    let model = SwModel::new(spec, &topo, sw_params(), Scenario::SupervisorRequired);
+    downtime_m_y(model.cp_availability())
+}
+
+fn main() {
+    let base_spec = spec();
+    let base = cp_downtime(&base_spec);
+
+    header(
+        "MATURITY",
+        "CP downtime (Large, supervisor required) when one process is \
+         'new code' with 10× the baseline downtime",
+    );
+    println!("baseline: {base:.2} m/y\n");
+
+    let mut rows: Vec<(String, String, f64)> = Vec::new();
+    for role in base_spec
+        .roles
+        .iter()
+        .filter(|r| r.scope == sdnav_core::RoleScope::Controller)
+    {
+        for p in &role.processes {
+            let mut degraded = base_spec.clone();
+            let r = degraded
+                .roles
+                .iter_mut()
+                .find(|x| x.name == role.name)
+                .expect("role");
+            let q = r
+                .processes
+                .iter_mut()
+                .find(|x| x.name == p.name)
+                .expect("process");
+            q.downtime_factor = 10.0;
+            rows.push((role.name.clone(), p.name.clone(), cp_downtime(&degraded)));
+        }
+    }
+    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut table = Table::new(vec!["role", "process", "CP m/y", "penalty"]);
+    for (role, process, dt) in rows.iter().take(12) {
+        table.row(vec![
+            role.clone(),
+            process.clone(),
+            format!("{dt:.2}"),
+            format!("{:+.2} m/y", dt - base),
+        ]);
+    }
+    print!("{table}");
+    println!();
+    println!(
+        "The risk register is unambiguous: immaturity in any 2-of-3\n\
+         Database process (or the Database supervisor, in this scenario)\n\
+         costs two orders of magnitude more than immaturity in any 1-of-3\n\
+         process — quorum downtime is quadratic in process downtime. This\n\
+         is where the paper's 'focus areas for code improvements' should\n\
+         go first."
+    );
+}

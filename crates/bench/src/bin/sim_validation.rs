@@ -1,0 +1,148 @@
+//! SIM: the paper's future work — validate the analytic conclusions by
+//! discrete-event simulation of the topologies.
+//!
+//! Two validation regimes:
+//!
+//! 1. **Accelerated** (default): all failure rates ×100, so rare events are
+//!    frequent and the analytic-vs-simulated comparison is statistically
+//!    sharp in seconds. The comparison is against the analytic model
+//!    evaluated at the *accelerated* availabilities.
+//! 2. **Paper-scale** (`--full`): the paper's actual rates over a long
+//!    horizon with many replications (minutes of wall-clock; run with
+//!    `--release`).
+
+use sdnav_bench::{downtime_m_y, header, spec};
+use sdnav_core::{Scenario, SwModel, Topology};
+use sdnav_report::Table;
+use sdnav_sim::{replicate, ConnectionModel, RestartModel, SimConfig};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let spec = spec();
+
+    header(
+        "SIM",
+        if full {
+            "discrete-event validation at paper-scale rates (long run)"
+        } else {
+            "discrete-event validation, failure rates ×100 (pass --full for paper-scale)"
+        },
+    );
+
+    let mut table = Table::new(vec![
+        "option",
+        "plane",
+        "analytic",
+        "simulated (±95% CI)",
+        "consistent",
+    ]);
+
+    let cases = [
+        ("1S", Scenario::SupervisorNotRequired, "small"),
+        ("2S", Scenario::SupervisorRequired, "small"),
+        ("1L", Scenario::SupervisorNotRequired, "large"),
+        ("2L", Scenario::SupervisorRequired, "large"),
+    ];
+    for (label, scenario, topo_name) in cases {
+        let topo = if topo_name == "small" {
+            Topology::small(&spec)
+        } else {
+            Topology::large(&spec)
+        };
+        let mut config = SimConfig::paper_defaults(scenario);
+        let replications;
+        if full {
+            config.horizon_hours = 2_000_000.0;
+            replications = 8;
+        } else {
+            config = config.accelerated(100.0);
+            config.horizon_hours = 400_000.0;
+            replications = 4;
+        }
+        config.compute_hosts = 3;
+        // Validate against the closed forms under the independence
+        // assumption they make; the faithful §III restart coupling is
+        // quantified separately below. Rack cycles run 24× faster at the
+        // same availability so their (48 h!) outages don't dominate the
+        // estimator variance.
+        config.restart_model = RestartModel::AnalyticIndependence;
+        config.rack = config.rack.scaled_time(24.0);
+        let result = replicate(&spec, &topo, config, 1000, replications);
+        let params = config.analytic_params();
+        let model = SwModel::new(&spec, &topo, params, scenario);
+        for (plane, analytic, estimate) in [
+            ("CP", model.cp_availability(), result.cp),
+            ("DP", model.host_dp_availability(), result.dp),
+        ] {
+            let ok = estimate.is_consistent_with(analytic, 4.0);
+            table.row(vec![
+                label.to_owned(),
+                plane.to_owned(),
+                format!("{analytic:.7}"),
+                format!("{estimate}"),
+                if ok { "yes (4σ)".into() } else { "NO".into() },
+            ]);
+        }
+    }
+    print!("{table}");
+
+    println!();
+    header(
+        "SIM-RESTART",
+        "cost of §III's 'manual restart while unsupervised' coupling, which \
+         the analytic models approximate away (accelerated rates, 2L)",
+    );
+    {
+        let topo = Topology::large(&spec);
+        let mut faithful =
+            SimConfig::paper_defaults(Scenario::SupervisorRequired).accelerated(100.0);
+        faithful.horizon_hours = 400_000.0;
+        faithful.compute_hosts = 3;
+        faithful.restart_model = RestartModel::Faithful;
+        let mut independent = faithful;
+        independent.restart_model = RestartModel::AnalyticIndependence;
+        let f = replicate(&spec, &topo, faithful, 3000, 4);
+        let i = replicate(&spec, &topo, independent, 3000, 4);
+        println!("  DP, faithful restarts    : {}", f.dp);
+        println!("  DP, independence assumed : {}", i.dp);
+        println!(
+            "  coupling cost            : {:.2} m/y at ×100 rates \
+             (O((1−A_S)(R_S−R)/F): negligible at paper rates)",
+            (i.dp.mean - f.dp.mean) * 525_960.0
+        );
+    }
+
+    println!();
+    header(
+        "SIM-FAILOVER",
+        "§III vrouter-agent failover dynamics vs the analytic 1-of-3 \
+         simplification (accelerated rates)",
+    );
+    let topo = Topology::small(&spec);
+    let mut base = SimConfig::paper_defaults(Scenario::SupervisorNotRequired).accelerated(100.0);
+    base.horizon_hours = 400_000.0;
+    base.compute_hosts = 6;
+    let mut failover = base;
+    failover.connection = ConnectionModel::Failover {
+        rediscovery_hours: 1.0 / 60.0,
+    };
+    let analytic_run = replicate(&spec, &topo, base, 2000, 4);
+    let failover_run = replicate(&spec, &topo, failover, 2000, 4);
+    println!(
+        "  DP availability, analytic connection model : {}",
+        analytic_run.dp
+    );
+    println!(
+        "  DP availability, failover (1 min rediscover): {}",
+        failover_run.dp
+    );
+    println!(
+        "  extra downtime from rediscovery transients  : {:.2} m/y",
+        downtime_m_y(failover_run.dp.mean) - downtime_m_y(analytic_run.dp.mean)
+    );
+    println!(
+        "\npaper §III: 'we assume that the impact of simultaneous control\n\
+         process failures on host DP availability is negligible' — the gap\n\
+         above quantifies that assumption."
+    );
+}

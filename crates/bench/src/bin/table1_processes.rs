@@ -1,0 +1,36 @@
+//! FIG1 + TAB1: regenerate Fig. 1 (processes by role) and Table I (process
+//! failure modes), with the quorum columns *derived from behavior* via the
+//! FMEA engine rather than transcribed.
+
+use sdnav_bench::{header, spec};
+use sdnav_fmea::derive_table1;
+use sdnav_report::Table;
+
+fn main() {
+    let spec = spec();
+
+    header("FIG1", "OpenContrail 3.x processes by role");
+    for role in &spec.roles {
+        let names: Vec<&str> = role.processes.iter().map(|p| p.name.as_str()).collect();
+        println!("{:<10} ({:?}): {}", role.name, role.scope, names.join(", "));
+    }
+    println!();
+
+    header(
+        "TAB1",
+        "Node processes and failure modes (quorum classes derived by failing \
+         instances against the CP/DP structure functions)",
+    );
+    let mut table = Table::new(vec!["Role", "Process", "SDN CP", "Host DP"]);
+    for row in derive_table1(&spec) {
+        table.row(vec![row.role, row.process, row.cp, row.dp]);
+    }
+    print!("{table}");
+    println!();
+    println!(
+        "Note: supervisor/nodemgr rows show their §III '0 of n' behavior; the\n\
+         paper's Table I lists only the role-specific processes. The derived\n\
+         classes for those processes match the paper's Table I exactly\n\
+         (asserted by sdnav-fmea's `derived_table_matches_paper_table_1`)."
+    );
+}

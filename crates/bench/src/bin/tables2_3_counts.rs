@@ -1,0 +1,66 @@
+//! TAB2 + TAB3: regenerate Table II (process counts by restart mode) and
+//! Table III (quorum-type counts), both *derived* from the controller spec.
+
+use sdnav_bench::{header, spec};
+use sdnav_core::Plane;
+use sdnav_report::Table;
+
+fn main() {
+    let spec = spec();
+
+    header("TAB2", "Counts of processes by restart mode by role");
+    let counts = spec.restart_counts();
+    let mut t2 = Table::new(vec![
+        "Restart Mode",
+        "Config",
+        "Control",
+        "Analytics",
+        "Database",
+    ]);
+    let get = |role: &str| counts.iter().find(|c| c.role == role).unwrap();
+    t2.row(vec![
+        "Auto".into(),
+        get("Config").auto.to_string(),
+        get("Control").auto.to_string(),
+        get("Analytics").auto.to_string(),
+        get("Database").auto.to_string(),
+    ]);
+    t2.row(vec![
+        "Manual".into(),
+        get("Config").manual.to_string(),
+        get("Control").manual.to_string(),
+        get("Analytics").manual.to_string(),
+        get("Database").manual.to_string(),
+    ]);
+    print!("{t2}");
+    println!("(paper Table II: Auto 6/3/4/0, Manual 0/0/1/4)\n");
+
+    header("TAB3", "Counts of processes by quorum type by role");
+    let mut t3 = Table::new(vec!["Role", "CP M", "CP N", "DP M", "DP N"]);
+    let cp = spec.quorum_counts(Plane::ControlPlane);
+    let dp = spec.quorum_counts(Plane::DataPlane);
+    let (mut sm, mut sn, mut dm, mut dn) = (0, 0, 0, 0);
+    for (c, d) in cp.iter().zip(&dp) {
+        t3.row(vec![
+            c.role.clone(),
+            c.m.to_string(),
+            c.n.to_string(),
+            d.m.to_string(),
+            d.n.to_string(),
+        ]);
+        sm += c.m;
+        sn += c.n;
+        dm += d.m;
+        dn += d.n;
+    }
+    t3.row(vec![
+        "Sums".into(),
+        sm.to_string(),
+        sn.to_string(),
+        dm.to_string(),
+        dn.to_string(),
+    ]);
+    print!("{t3}");
+    println!("(paper Table III sums: CP M=4 N=12, DP M=0 N=2)");
+    println!("({{control+dns+named}} is a single '1 of 3' DP block per the paper's footnote)");
+}

@@ -1,0 +1,407 @@
+//! Validated steady-state availability values.
+
+use std::error::Error;
+use std::fmt;
+use std::ops::Mul;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Downtime;
+
+/// Minutes in the mean (Gregorian) year used by the paper's
+/// "minutes/year of downtime" figures: `365.25 * 24 * 60 = 525 960`.
+pub(crate) const MINUTES_PER_YEAR: f64 = 525_960.0;
+
+/// A steady-state availability: the long-run fraction of time a component or
+/// system is up. Guaranteed to lie in `[0, 1]`.
+///
+/// `Availability` is an ordered, copyable value type. Multiplication composes
+/// availabilities in *series* (both must be up), which is exact when the
+/// components fail independently:
+///
+/// ```
+/// use sdnav_blocks::Availability;
+///
+/// let role = Availability::new(0.9995).unwrap();
+/// let vm = Availability::new(0.99995).unwrap();
+/// let combined = role * vm; // {role + VM} series block
+/// assert!((combined.value() - 0.9995 * 0.99995).abs() < 1e-15);
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Availability(f64);
+
+impl Availability {
+    /// A component that is always up.
+    pub const ONE: Availability = Availability(1.0);
+
+    /// A component that is always down.
+    pub const ZERO: Availability = Availability(0.0);
+
+    /// Creates an availability, validating that `value` lies in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AvailabilityError`] if `value` is NaN or outside `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, AvailabilityError> {
+        if value.is_nan() || !(0.0..=1.0).contains(&value) {
+            Err(AvailabilityError { value })
+        } else {
+            Ok(Availability(value))
+        }
+    }
+
+    /// Creates an availability, clamping `value` into `[0, 1]`.
+    ///
+    /// NaN clamps to `0.0` (pessimistic). Useful at the end of floating-point
+    /// computations that may overshoot by a few ulps.
+    #[must_use]
+    pub fn new_clamped(value: f64) -> Self {
+        if value.is_nan() {
+            Availability(0.0)
+        } else {
+            Availability(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// Availability from an unavailability `u` (the complement `1 - u`).
+    ///
+    /// For tiny unavailabilities this preserves precision better than
+    /// computing `1 - u` at the call site and round-tripping.
+    pub fn from_unavailability(u: f64) -> Result<Self, AvailabilityError> {
+        if u.is_nan() || !(0.0..=1.0).contains(&u) {
+            return Err(AvailabilityError { value: u });
+        }
+        Ok(Availability(1.0 - u))
+    }
+
+    /// Steady-state availability of a repairable component from its mean time
+    /// between failures and mean time to restore: `MTBF / (MTBF + MTTR)`.
+    ///
+    /// Units cancel, so any consistent time unit works.
+    ///
+    /// ```
+    /// use sdnav_blocks::Availability;
+    /// // Paper §VI.A: F = 5000 h, R = 0.1 h gives A = 0.99998.
+    /// let a = Availability::from_mtbf_mttr(5000.0, 0.1).unwrap();
+    /// assert!((a.value() - 0.99998).abs() < 1e-7);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AvailabilityError`] if either argument is negative, NaN, or
+    /// both are zero.
+    pub fn from_mtbf_mttr(mtbf: f64, mttr: f64) -> Result<Self, AvailabilityError> {
+        if !mtbf.is_finite() || !mttr.is_finite() || mtbf < 0.0 || mttr < 0.0 {
+            return Err(AvailabilityError { value: f64::NAN });
+        }
+        let total = mtbf + mttr;
+        if total == 0.0 {
+            return Err(AvailabilityError { value: f64::NAN });
+        }
+        Ok(Availability(mtbf / total))
+    }
+
+    /// The raw availability value in `[0, 1]`.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The unavailability `1 - A`.
+    #[must_use]
+    pub fn unavailability(self) -> f64 {
+        1.0 - self.0
+    }
+
+    /// Expected downtime accumulated per year at this availability.
+    ///
+    /// ```
+    /// use sdnav_blocks::Availability;
+    /// let a = Availability::new(0.99999).unwrap();
+    /// // Five nines is the classic "about five minutes per year".
+    /// assert!((a.downtime_per_year().minutes() - 5.2596).abs() < 1e-3);
+    /// ```
+    #[must_use]
+    pub fn downtime_per_year(self) -> Downtime {
+        Downtime::from_minutes(self.unavailability() * MINUTES_PER_YEAR)
+    }
+
+    /// The availability corresponding to a target downtime per year.
+    #[must_use]
+    pub fn from_downtime_per_year(downtime: Downtime) -> Self {
+        Availability::new_clamped(1.0 - downtime.minutes() / MINUTES_PER_YEAR)
+    }
+
+    /// The number of "nines": `-log10(1 - A)`, as a real number.
+    ///
+    /// Returns `f64::INFINITY` for a perfect availability of 1.
+    #[must_use]
+    pub fn nines(self) -> f64 {
+        let u = self.unavailability();
+        if u <= 0.0 {
+            f64::INFINITY
+        } else {
+            -u.log10()
+        }
+    }
+
+    /// The number of complete leading nines in the decimal expansion
+    /// (e.g. `0.99995` has 4 whole nines).
+    #[must_use]
+    pub fn whole_nines(self) -> u32 {
+        let n = self.nines();
+        if n.is_infinite() {
+            u32::MAX
+        } else {
+            n.floor().max(0.0) as u32
+        }
+    }
+
+    /// Series composition of an iterator of availabilities (product).
+    ///
+    /// Empty input yields [`Availability::ONE`] (an empty series is
+    /// vacuously up).
+    #[must_use]
+    pub fn series<I: IntoIterator<Item = Availability>>(parts: I) -> Self {
+        Availability(parts.into_iter().map(|a| a.0).product())
+    }
+
+    /// Parallel (1-of-n) composition of an iterator of availabilities.
+    ///
+    /// Empty input yields [`Availability::ZERO`] (an empty parallel group
+    /// has nothing to be up).
+    #[must_use]
+    pub fn parallel<I: IntoIterator<Item = Availability>>(parts: I) -> Self {
+        let mut any = false;
+        let down: f64 = parts
+            .into_iter()
+            .map(|a| {
+                any = true;
+                1.0 - a.0
+            })
+            .product();
+        if any {
+            Availability(1.0 - down)
+        } else {
+            Availability::ZERO
+        }
+    }
+
+    /// This availability raised to the `n`-th power (series of `n` identical
+    /// independent components).
+    #[must_use]
+    pub fn powi(self, n: i32) -> Self {
+        Availability::new_clamped(self.0.powi(n))
+    }
+}
+
+impl Default for Availability {
+    /// The default is [`Availability::ONE`]: a component that never fails.
+    fn default() -> Self {
+        Availability::ONE
+    }
+}
+
+impl Mul for Availability {
+    type Output = Availability;
+
+    fn mul(self, rhs: Availability) -> Availability {
+        Availability(self.0 * rhs.0)
+    }
+}
+
+impl Mul<f64> for Availability {
+    type Output = Availability;
+
+    fn mul(self, rhs: f64) -> Availability {
+        Availability::new_clamped(self.0 * rhs)
+    }
+}
+
+impl TryFrom<f64> for Availability {
+    type Error = AvailabilityError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Availability::new(value)
+    }
+}
+
+impl From<Availability> for f64 {
+    fn from(a: Availability) -> f64 {
+        a.0
+    }
+}
+
+impl fmt::Debug for Availability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Availability({})", self.0)
+    }
+}
+
+impl fmt::Display for Availability {
+    /// Displays with enough precision to distinguish high availabilities
+    /// (9 significant decimals), e.g. `0.999989000`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*}", prec, self.0)
+        } else {
+            write!(f, "{:.9}", self.0)
+        }
+    }
+}
+
+/// Error returned when a value cannot be interpreted as an availability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityError {
+    value: f64,
+}
+
+impl AvailabilityError {
+    /// The offending value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl fmt::Display for AvailabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "availability must lie in [0, 1], got {value}",
+            value = self.value
+        )
+    }
+}
+
+impl Error for AvailabilityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_bounds() {
+        assert_eq!(Availability::new(0.0).unwrap(), Availability::ZERO);
+        assert_eq!(Availability::new(1.0).unwrap(), Availability::ONE);
+        assert!(Availability::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(Availability::new(-0.1).is_err());
+        assert!(Availability::new(1.1).is_err());
+        assert!(Availability::new(f64::NAN).is_err());
+        assert!(Availability::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn error_reports_value() {
+        let err = Availability::new(1.5).unwrap_err();
+        assert_eq!(err.value(), 1.5);
+        assert!(err.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn clamped_saturates() {
+        assert_eq!(Availability::new_clamped(1.0 + 1e-12).value(), 1.0);
+        assert_eq!(Availability::new_clamped(-1e-12).value(), 0.0);
+        assert_eq!(Availability::new_clamped(f64::NAN).value(), 0.0);
+    }
+
+    #[test]
+    fn mtbf_mttr_matches_paper_section_6a() {
+        // A = F/(F+R) with F = 5000 h, R = 0.1 h → 0.99998.
+        let a = Availability::from_mtbf_mttr(5000.0, 0.1).unwrap();
+        assert!((a.value() - 0.99998).abs() < 1e-6);
+        // A_S with R_S = 1 h → 0.9998.
+        let a_s = Availability::from_mtbf_mttr(5000.0, 1.0).unwrap();
+        assert!((a_s.value() - 0.9998).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mtbf_mttr_rejects_bad_input() {
+        assert!(Availability::from_mtbf_mttr(-1.0, 1.0).is_err());
+        assert!(Availability::from_mtbf_mttr(1.0, -1.0).is_err());
+        assert!(Availability::from_mtbf_mttr(0.0, 0.0).is_err());
+        assert!(Availability::from_mtbf_mttr(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn downtime_round_trip() {
+        let a = Availability::new(0.9995).unwrap();
+        let dt = a.downtime_per_year();
+        let back = Availability::from_downtime_per_year(dt);
+        assert!((a.value() - back.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_nines_is_about_five_minutes() {
+        let a = Availability::new(0.99999).unwrap();
+        let m = a.downtime_per_year().minutes();
+        assert!((m - 5.2596).abs() < 1e-3, "got {m}");
+    }
+
+    #[test]
+    fn nines_counting() {
+        assert_eq!(Availability::new(0.9995).unwrap().whole_nines(), 3);
+        assert_eq!(Availability::new(0.99995).unwrap().whole_nines(), 4);
+        assert_eq!(Availability::ONE.whole_nines(), u32::MAX);
+        assert!(Availability::ONE.nines().is_infinite());
+        assert_eq!(Availability::ZERO.nines(), 0.0);
+    }
+
+    #[test]
+    fn series_and_parallel() {
+        let a = Availability::new(0.9).unwrap();
+        let b = Availability::new(0.8).unwrap();
+        assert!((Availability::series([a, b]).value() - 0.72).abs() < 1e-12);
+        assert!((Availability::parallel([a, b]).value() - 0.98).abs() < 1e-12);
+        assert_eq!(Availability::series(std::iter::empty()), Availability::ONE);
+        assert_eq!(
+            Availability::parallel(std::iter::empty()),
+            Availability::ZERO
+        );
+    }
+
+    #[test]
+    fn multiply_is_series() {
+        let a = Availability::new(0.9).unwrap();
+        let b = Availability::new(0.8).unwrap();
+        assert!(((a * b).value() - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powi_matches_repeated_series() {
+        let a = Availability::new(0.99).unwrap();
+        let three = Availability::series([a, a, a]);
+        assert!((a.powi(3).value() - three.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering() {
+        let lo = Availability::new(0.9).unwrap();
+        let hi = Availability::new(0.99).unwrap();
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = Availability::new(0.999989).unwrap();
+        assert_eq!(a.to_string(), "0.999989000");
+        assert_eq!(format!("{a:.4}"), "1.0000"); // rounds up at 4 digits
+        let b = Availability::new(0.99991).unwrap();
+        assert_eq!(format!("{b:.4}"), "0.9999");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = Availability::new(0.9995).unwrap();
+        let json = serde_json::to_string(&a).unwrap();
+        assert_eq!(json, "0.9995");
+        let back: Availability = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+        assert!(serde_json::from_str::<Availability>("1.5").is_err());
+    }
+}

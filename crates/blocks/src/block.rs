@@ -1,0 +1,529 @@
+//! Composable reliability block diagrams.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::kofn::k_of_n_heterogeneous;
+
+/// A node in a reliability block diagram.
+///
+/// A block is *up* according to its structure:
+///
+/// * [`Block::Unit`] — a leaf component, up with its own availability;
+/// * [`Block::Series`] — up iff *every* child is up;
+/// * [`Block::Parallel`] — up iff *at least one* child is up;
+/// * [`Block::KOfN`] — up iff at least `k` children are up.
+///
+/// Evaluation assumes children fail independently, the same assumption the
+/// paper's algebra makes. Shared-infrastructure correlation (a rack hosting
+/// several nodes) is handled one level up by conditional decomposition (see
+/// `sdnav-core`), not inside the diagram.
+///
+/// ```
+/// use sdnav_blocks::Block;
+///
+/// // The paper's Database quorum: 2-of-3 nodes, in series with a rack.
+/// let db = Block::k_of_n(2, Block::unit("db", 0.9995).replicate(3));
+/// let system = Block::series(vec![db, Block::unit("rack", 0.99999)]);
+/// assert!(system.availability() > 0.99998);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum Block {
+    /// A leaf component with a fixed availability.
+    Unit {
+        /// Human-readable component name (used in cut sets and importance).
+        name: String,
+        /// Steady-state availability in `[0, 1]`.
+        availability: f64,
+    },
+    /// All children required.
+    Series {
+        /// The child blocks, all of which must be up.
+        children: Vec<Block>,
+    },
+    /// At least one child required.
+    Parallel {
+        /// The child blocks, at least one of which must be up.
+        children: Vec<Block>,
+    },
+    /// At least `k` children required.
+    KOfN {
+        /// Minimum number of children that must be up.
+        k: u32,
+        /// The child blocks.
+        children: Vec<Block>,
+    },
+}
+
+impl Block {
+    /// Creates a leaf component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `availability` is outside `[0, 1]`.
+    #[must_use]
+    pub fn unit(name: impl Into<String>, availability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&availability),
+            "availability must lie in [0, 1], got {availability}"
+        );
+        Block::Unit {
+            name: name.into(),
+            availability,
+        }
+    }
+
+    /// Creates a series group (all children required).
+    #[must_use]
+    pub fn series(children: Vec<Block>) -> Self {
+        Block::Series { children }
+    }
+
+    /// Creates a parallel group (any one child suffices).
+    #[must_use]
+    pub fn parallel(children: Vec<Block>) -> Self {
+        Block::Parallel { children }
+    }
+
+    /// Creates a `k`-of-`n` group over `children` (`n = children.len()`).
+    #[must_use]
+    pub fn k_of_n(k: u32, children: Vec<Block>) -> Self {
+        Block::KOfN { k, children }
+    }
+
+    /// Clones this block `n` times, appending `-1`, `-2`, … to unit names so
+    /// replicas stay distinguishable in cut sets.
+    ///
+    /// ```
+    /// use sdnav_blocks::Block;
+    /// let nodes = Block::unit("node", 0.99).replicate(3);
+    /// assert_eq!(nodes.len(), 3);
+    /// assert_eq!(nodes[0].unit_names(), vec!["node-1"]);
+    /// ```
+    #[must_use]
+    pub fn replicate(&self, n: usize) -> Vec<Block> {
+        (1..=n)
+            .map(|i| {
+                let mut copy = self.clone();
+                copy.suffix_names(&format!("-{i}"));
+                copy
+            })
+            .collect()
+    }
+
+    fn suffix_names(&mut self, suffix: &str) {
+        match self {
+            Block::Unit { name, .. } => name.push_str(suffix),
+            Block::Series { children }
+            | Block::Parallel { children }
+            | Block::KOfN { children, .. } => {
+                for child in children {
+                    child.suffix_names(suffix);
+                }
+            }
+        }
+    }
+
+    /// Exact availability of this block under component independence.
+    ///
+    /// Empty groups follow the k-of-n convention: an empty series (or
+    /// `0`-of-`0`) is up; an empty parallel is down.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        match self {
+            Block::Unit { availability, .. } => *availability,
+            Block::Series { children } => children.iter().map(Block::availability).product(),
+            Block::Parallel { children } => {
+                if children.is_empty() {
+                    0.0
+                } else {
+                    1.0 - children
+                        .iter()
+                        .map(|c| 1.0 - c.availability())
+                        .product::<f64>()
+                }
+            }
+            Block::KOfN { k, children } => {
+                let avails: Vec<f64> = children.iter().map(Block::availability).collect();
+                k_of_n_heterogeneous(*k as usize, &avails)
+            }
+        }
+    }
+
+    /// Unavailability of this block (`1 - availability`).
+    #[must_use]
+    pub fn unavailability(&self) -> f64 {
+        1.0 - self.availability()
+    }
+
+    /// Names of every leaf unit, in depth-first order.
+    #[must_use]
+    pub fn unit_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        self.collect_unit_names(&mut names);
+        names
+    }
+
+    fn collect_unit_names(&self, out: &mut Vec<String>) {
+        match self {
+            Block::Unit { name, .. } => out.push(name.clone()),
+            Block::Series { children }
+            | Block::Parallel { children }
+            | Block::KOfN { children, .. } => {
+                for child in children {
+                    child.collect_unit_names(out);
+                }
+            }
+        }
+    }
+
+    /// Number of leaf units in the diagram.
+    #[must_use]
+    pub fn unit_count(&self) -> usize {
+        match self {
+            Block::Unit { .. } => 1,
+            Block::Series { children }
+            | Block::Parallel { children }
+            | Block::KOfN { children, .. } => children.iter().map(Block::unit_count).sum(),
+        }
+    }
+
+    /// Evaluates the boolean structure function: is the block up given the
+    /// per-unit up/down states returned by `state`?
+    ///
+    /// `state` is called with each unit's name; `true` means up. Units the
+    /// caller does not recognize should default to `true` (healthy).
+    pub fn is_up<F: FnMut(&str) -> bool>(&self, state: &mut F) -> bool {
+        match self {
+            Block::Unit { name, .. } => state(name),
+            Block::Series { children } => children.iter().all(|c| c.is_up(state)),
+            Block::Parallel { children } => {
+                !children.is_empty() && children.iter().any(|c| c.is_up(state))
+            }
+            Block::KOfN { k, children } => {
+                let up = children.iter().filter(|c| c.is_up(state)).count();
+                up >= *k as usize
+            }
+        }
+    }
+
+    /// Availability with some units pinned up or down.
+    ///
+    /// `pin` maps a unit name to `Some(true)` (force up), `Some(false)`
+    /// (force down), or `None` (use the unit's own availability). This is
+    /// the primitive behind Birnbaum importance and what-if analysis.
+    pub fn availability_pinned<F: FnMut(&str) -> Option<bool>>(&self, pin: &mut F) -> f64 {
+        match self {
+            Block::Unit { name, availability } => match pin(name) {
+                Some(true) => 1.0,
+                Some(false) => 0.0,
+                None => *availability,
+            },
+            Block::Series { children } => children
+                .iter()
+                .map(|c| c.availability_pinned(pin))
+                .product(),
+            Block::Parallel { children } => {
+                if children.is_empty() {
+                    0.0
+                } else {
+                    1.0 - children
+                        .iter()
+                        .map(|c| 1.0 - c.availability_pinned(pin))
+                        .product::<f64>()
+                }
+            }
+            Block::KOfN { k, children } => {
+                let avails: Vec<f64> = children
+                    .iter()
+                    .map(|c| c.availability_pinned(pin))
+                    .collect();
+                k_of_n_heterogeneous(*k as usize, &avails)
+            }
+        }
+    }
+
+    /// Structurally simplifies the diagram without changing its
+    /// availability or its set of leaf units:
+    ///
+    /// * nested series within series (and parallel within parallel) are
+    ///   flattened;
+    /// * single-child groups are unwrapped;
+    /// * `n`-of-`n` groups become series, `1`-of-`n` groups become
+    ///   parallel, and `0`-of-`n` groups (always up) become a parallel
+    ///   including a vacuously-up empty series (children are kept so unit
+    ///   identities survive).
+    ///
+    /// ```
+    /// use sdnav_blocks::Block;
+    ///
+    /// let messy = Block::series(vec![
+    ///     Block::series(vec![Block::unit("a", 0.9), Block::unit("b", 0.9)]),
+    ///     Block::k_of_n(2, vec![Block::unit("c", 0.9), Block::unit("d", 0.9)]),
+    /// ]);
+    /// let clean = messy.simplify();
+    /// assert_eq!(clean.unit_names(), vec!["a", "b", "c", "d"]);
+    /// assert!((clean.availability() - messy.availability()).abs() < 1e-15);
+    /// assert!(matches!(clean, Block::Series { ref children } if children.len() == 4));
+    /// ```
+    #[must_use]
+    pub fn simplify(&self) -> Block {
+        match self {
+            Block::Unit { .. } => self.clone(),
+            Block::Series { children } => {
+                let mut flat = Vec::new();
+                for child in children {
+                    match child.simplify() {
+                        Block::Series { children } => flat.extend(children),
+                        other => flat.push(other),
+                    }
+                }
+                if flat.len() == 1 {
+                    flat.pop().expect("one element")
+                } else {
+                    Block::Series { children: flat }
+                }
+            }
+            Block::Parallel { children } => {
+                let mut flat = Vec::new();
+                for child in children {
+                    match child.simplify() {
+                        Block::Parallel { children } => flat.extend(children),
+                        other => flat.push(other),
+                    }
+                }
+                if flat.len() == 1 {
+                    flat.pop().expect("one element")
+                } else {
+                    Block::Parallel { children: flat }
+                }
+            }
+            Block::KOfN { k, children } => {
+                let simplified: Vec<Block> = children.iter().map(Block::simplify).collect();
+                let n = simplified.len();
+                if *k == 0 {
+                    // A 0-of-n block is always up; keep the children (to
+                    // preserve unit identities) in parallel with an empty
+                    // series, which is vacuously up.
+                    let mut children = simplified;
+                    children.push(Block::series(vec![]));
+                    return Block::Parallel { children }.simplify();
+                }
+                if *k as usize == n {
+                    Block::Series {
+                        children: simplified,
+                    }
+                    .simplify()
+                } else if *k == 1 {
+                    Block::Parallel {
+                        children: simplified,
+                    }
+                    .simplify()
+                } else {
+                    Block::KOfN {
+                        k: *k,
+                        children: simplified,
+                    }
+                }
+            }
+        }
+    }
+
+    fn render(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            Block::Unit { name, availability } => {
+                writeln!(f, "{pad}[{name} A={availability}]")
+            }
+            Block::Series { children } => {
+                writeln!(f, "{pad}series")?;
+                children.iter().try_for_each(|c| c.render(f, indent + 1))
+            }
+            Block::Parallel { children } => {
+                writeln!(f, "{pad}parallel")?;
+                children.iter().try_for_each(|c| c.render(f, indent + 1))
+            }
+            Block::KOfN { k, children } => {
+                writeln!(f, "{pad}{k}-of-{n}", n = children.len())?;
+                children.iter().try_for_each(|c| c.render(f, indent + 1))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Block {
+    /// Renders the diagram as an indented ASCII tree.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.render(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn unit_availability_is_identity() {
+        assert_eq!(Block::unit("x", 0.75).availability(), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "availability must lie in [0, 1]")]
+    fn unit_rejects_bad_availability() {
+        let _ = Block::unit("x", 1.5);
+    }
+
+    #[test]
+    fn series_multiplies() {
+        let b = Block::series(vec![Block::unit("a", 0.9), Block::unit("b", 0.8)]);
+        assert!((b.availability() - 0.72).abs() < EPS);
+    }
+
+    #[test]
+    fn parallel_complements() {
+        let b = Block::parallel(vec![Block::unit("a", 0.9), Block::unit("b", 0.8)]);
+        assert!((b.availability() - 0.98).abs() < EPS);
+    }
+
+    #[test]
+    fn empty_groups() {
+        assert_eq!(Block::series(vec![]).availability(), 1.0);
+        assert_eq!(Block::parallel(vec![]).availability(), 0.0);
+        assert_eq!(Block::k_of_n(0, vec![]).availability(), 1.0);
+        assert_eq!(Block::k_of_n(1, vec![]).availability(), 0.0);
+    }
+
+    #[test]
+    fn kofn_matches_quorum_formula() {
+        let b = Block::k_of_n(2, Block::unit("db", 0.9995).replicate(3));
+        let a: f64 = 0.9995;
+        let expected = a * a * (3.0 - 2.0 * a);
+        assert!((b.availability() - expected).abs() < EPS);
+    }
+
+    #[test]
+    fn nested_structure() {
+        // (1-of-2 of (a,b)) in series with c.
+        let b = Block::series(vec![
+            Block::parallel(vec![Block::unit("a", 0.9), Block::unit("b", 0.9)]),
+            Block::unit("c", 0.99),
+        ]);
+        assert!((b.availability() - 0.99 * (1.0 - 0.01)).abs() < EPS);
+    }
+
+    #[test]
+    fn replicate_renames_units() {
+        let reps = Block::unit("node", 0.9).replicate(3);
+        let names: Vec<_> = reps.iter().flat_map(Block::unit_names).collect();
+        assert_eq!(names, vec!["node-1", "node-2", "node-3"]);
+    }
+
+    #[test]
+    fn replicate_renames_nested_units() {
+        let inner = Block::series(vec![Block::unit("a", 0.9), Block::unit("b", 0.9)]);
+        let reps = inner.replicate(2);
+        assert_eq!(reps[1].unit_names(), vec!["a-2", "b-2"]);
+    }
+
+    #[test]
+    fn unit_count_and_names() {
+        let b = Block::series(vec![
+            Block::unit("x", 1.0),
+            Block::parallel(vec![Block::unit("y", 1.0), Block::unit("z", 1.0)]),
+        ]);
+        assert_eq!(b.unit_count(), 3);
+        assert_eq!(b.unit_names(), vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn is_up_structure_function() {
+        let b = Block::k_of_n(2, Block::unit("n", 1.0).replicate(3));
+        let all_up = b.is_up(&mut |_| true);
+        assert!(all_up);
+        let one_down = b.is_up(&mut |name| name != "n-2");
+        assert!(one_down);
+        let two_down = b.is_up(&mut |name| name == "n-1");
+        assert!(!two_down);
+    }
+
+    #[test]
+    fn pinned_availability() {
+        let b = Block::series(vec![Block::unit("a", 0.9), Block::unit("b", 0.8)]);
+        let up = b.availability_pinned(&mut |n| (n == "a").then_some(true));
+        assert!((up - 0.8).abs() < EPS);
+        let down = b.availability_pinned(&mut |n| (n == "a").then_some(false));
+        assert_eq!(down, 0.0);
+        let neutral = b.availability_pinned(&mut |_| None);
+        assert!((neutral - b.availability()).abs() < EPS);
+    }
+
+    #[test]
+    fn simplify_flattens_nested_series() {
+        let messy = Block::series(vec![
+            Block::series(vec![Block::unit("a", 0.9)]),
+            Block::series(vec![Block::unit("b", 0.8), Block::unit("c", 0.7)]),
+        ]);
+        let clean = messy.simplify();
+        assert!(matches!(clean, Block::Series { ref children } if children.len() == 3));
+        assert!((clean.availability() - messy.availability()).abs() < EPS);
+    }
+
+    #[test]
+    fn simplify_unwraps_singletons() {
+        let wrapped = Block::parallel(vec![Block::series(vec![Block::unit("x", 0.5)])]);
+        assert_eq!(wrapped.simplify(), Block::unit("x", 0.5));
+    }
+
+    #[test]
+    fn simplify_converts_degenerate_kofn() {
+        let series_like = Block::k_of_n(2, vec![Block::unit("a", 0.9), Block::unit("b", 0.9)]);
+        assert!(matches!(series_like.simplify(), Block::Series { .. }));
+        let parallel_like = Block::k_of_n(1, vec![Block::unit("a", 0.9), Block::unit("b", 0.9)]);
+        assert!(matches!(parallel_like.simplify(), Block::Parallel { .. }));
+        // A real quorum is untouched.
+        let quorum = Block::k_of_n(2, Block::unit("n", 0.9).replicate(3));
+        assert!(matches!(quorum.simplify(), Block::KOfN { k: 2, .. }));
+    }
+
+    #[test]
+    fn simplify_preserves_availability_and_units() {
+        let block = Block::series(vec![
+            Block::k_of_n(3, Block::unit("s", 0.99).replicate(3)),
+            Block::parallel(vec![
+                Block::parallel(vec![Block::unit("p", 0.9), Block::unit("q", 0.9)]),
+                Block::unit("r", 0.5),
+            ]),
+            Block::k_of_n(0, vec![Block::unit("opt", 0.1)]),
+        ]);
+        let clean = block.simplify();
+        assert!((clean.availability() - block.availability()).abs() < EPS);
+        let mut before = block.unit_names();
+        let mut after = clean.unit_names();
+        before.sort();
+        after.sort();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn display_tree() {
+        let b = Block::k_of_n(2, Block::unit("db", 0.9995).replicate(3));
+        let s = b.to_string();
+        assert!(s.contains("2-of-3"));
+        assert!(s.contains("db-1"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let b = Block::series(vec![
+            Block::unit("a", 0.9),
+            Block::k_of_n(2, Block::unit("n", 0.99).replicate(3)),
+        ]);
+        let json = serde_json::to_string(&b).unwrap();
+        let back: Block = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

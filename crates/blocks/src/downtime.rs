@@ -1,0 +1,137 @@
+//! Downtime quantities and human-readable formatting.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// An amount of downtime, stored internally in minutes.
+///
+/// The paper reports results as "minutes/year" (m/y); this type makes those
+/// conversions explicit and keeps units out of raw `f64`s.
+///
+/// ```
+/// use sdnav_blocks::{Availability, Downtime};
+///
+/// let dt = Availability::new(0.99998).unwrap().downtime_per_year();
+/// assert!((dt.minutes() - 10.52).abs() < 0.01);
+/// assert_eq!(format!("{dt:.1}"), "10.5 m/y");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Downtime {
+    minutes: f64,
+}
+
+impl Downtime {
+    /// No downtime at all.
+    pub const ZERO: Downtime = Downtime { minutes: 0.0 };
+
+    /// Downtime from a number of minutes.
+    #[must_use]
+    pub fn from_minutes(minutes: f64) -> Self {
+        Downtime {
+            minutes: minutes.max(0.0),
+        }
+    }
+
+    /// Downtime from a number of seconds.
+    #[must_use]
+    pub fn from_seconds(seconds: f64) -> Self {
+        Downtime::from_minutes(seconds / 60.0)
+    }
+
+    /// Downtime from a number of hours.
+    #[must_use]
+    pub fn from_hours(hours: f64) -> Self {
+        Downtime::from_minutes(hours * 60.0)
+    }
+
+    /// The downtime in minutes.
+    #[must_use]
+    pub fn minutes(self) -> f64 {
+        self.minutes
+    }
+
+    /// The downtime in seconds.
+    #[must_use]
+    pub fn seconds(self) -> f64 {
+        self.minutes * 60.0
+    }
+
+    /// The downtime in hours.
+    #[must_use]
+    pub fn hours(self) -> f64 {
+        self.minutes / 60.0
+    }
+
+    /// The downtime in days.
+    #[must_use]
+    pub fn days(self) -> f64 {
+        self.minutes / (24.0 * 60.0)
+    }
+}
+
+impl Add for Downtime {
+    type Output = Downtime;
+
+    fn add(self, rhs: Downtime) -> Downtime {
+        Downtime::from_minutes(self.minutes + rhs.minutes)
+    }
+}
+
+impl Sub for Downtime {
+    type Output = Downtime;
+
+    /// Saturating subtraction: downtime never goes negative.
+    fn sub(self, rhs: Downtime) -> Downtime {
+        Downtime::from_minutes(self.minutes - rhs.minutes)
+    }
+}
+
+impl fmt::Display for Downtime {
+    /// Formats as minutes per year, the paper's unit, e.g. `5.9 m/y`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prec = f.precision().unwrap_or(2);
+        write!(f, "{:.*} m/y", prec, self.minutes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        let dt = Downtime::from_hours(2.0);
+        assert_eq!(dt.minutes(), 120.0);
+        assert_eq!(dt.seconds(), 7200.0);
+        assert_eq!(dt.hours(), 2.0);
+        assert!((Downtime::from_minutes(1440.0).days() - 1.0).abs() < 1e-12);
+        assert_eq!(Downtime::from_seconds(90.0).minutes(), 1.5);
+    }
+
+    #[test]
+    fn negative_input_clamps_to_zero() {
+        assert_eq!(Downtime::from_minutes(-5.0), Downtime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Downtime::from_minutes(10.0);
+        let b = Downtime::from_minutes(4.0);
+        assert_eq!((a + b).minutes(), 14.0);
+        assert_eq!((a - b).minutes(), 6.0);
+        // Saturating: never negative.
+        assert_eq!((b - a).minutes(), 0.0);
+    }
+
+    #[test]
+    fn display_matches_paper_unit() {
+        let dt = Downtime::from_minutes(5.93);
+        assert_eq!(format!("{dt:.1}"), "5.9 m/y");
+        assert_eq!(format!("{dt}"), "5.93 m/y");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Downtime::from_minutes(1.0) < Downtime::from_minutes(2.0));
+    }
+}

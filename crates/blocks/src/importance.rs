@@ -1,0 +1,213 @@
+//! Component importance measures.
+//!
+//! Importance measures rank components by how much they matter to system
+//! availability — the quantitative version of the paper's "dominant failure
+//! mode" discussion (§VI.G). All measures are computed exactly from the
+//! block diagram by pinning one component up or down and re-evaluating.
+
+use crate::{Block, System};
+
+/// Importance measures for one component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentImportance {
+    /// Component (leaf unit) name.
+    pub name: String,
+    /// The component's own availability.
+    pub availability: f64,
+    /// Birnbaum importance: `A(system | i up) − A(system | i down)` — the
+    /// probability the component is critical.
+    pub birnbaum: f64,
+    /// Criticality importance: Birnbaum scaled by the component's
+    /// unavailability relative to system unavailability,
+    /// `I_B · u_i / U_sys`. The fraction of system downtime attributable to
+    /// the component being the critical failure.
+    pub criticality: f64,
+    /// Risk achievement worth: `U(system | i down) / U(system)` — how much
+    /// worse things get if the component is certain to be down.
+    pub risk_achievement_worth: f64,
+    /// Risk reduction worth: `U(system) / U(system | i up)` — how much
+    /// better things get if the component never fails.
+    pub risk_reduction_worth: f64,
+}
+
+/// Computes importance measures for every component in the system, sorted by
+/// descending criticality.
+///
+/// ```
+/// use sdnav_blocks::{Block, System, importance};
+///
+/// // A weak single point of failure dominates a strong redundant pair.
+/// let sys = System::new(Block::series(vec![
+///     Block::unit("spof", 0.999),
+///     Block::parallel(vec![Block::unit("a", 0.99), Block::unit("b", 0.99)]),
+/// ]));
+/// let ranked = importance::rank(&sys);
+/// assert_eq!(ranked[0].name, "spof");
+/// assert!(ranked[0].criticality > 0.9);
+/// ```
+#[must_use]
+pub fn rank(system: &System) -> Vec<ComponentImportance> {
+    let base_availability = system.availability();
+    let base_unavailability = 1.0 - base_availability;
+    let mut out: Vec<ComponentImportance> = system
+        .components()
+        .iter()
+        .map(|name| component(system.block(), name, base_unavailability))
+        .collect();
+    out.sort_by(|x, y| {
+        y.criticality
+            .partial_cmp(&x.criticality)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.name.cmp(&y.name))
+    });
+    out
+}
+
+fn component(block: &Block, name: &str, base_unavailability: f64) -> ComponentImportance {
+    let a_up = block.availability_pinned(&mut |n| (n == name).then_some(true));
+    let a_down = block.availability_pinned(&mut |n| (n == name).then_some(false));
+    let own = own_availability(block, name);
+    let birnbaum = (a_up - a_down).max(0.0);
+    let u_sys = base_unavailability;
+    let criticality = if u_sys > 0.0 {
+        birnbaum * (1.0 - own) / u_sys
+    } else {
+        0.0
+    };
+    let raw = if u_sys > 0.0 {
+        (1.0 - a_down) / u_sys
+    } else {
+        f64::INFINITY
+    };
+    let u_given_up = 1.0 - a_up;
+    let rrw = if u_given_up > 0.0 {
+        u_sys / u_given_up
+    } else {
+        f64::INFINITY
+    };
+    ComponentImportance {
+        name: name.to_owned(),
+        availability: own,
+        birnbaum,
+        criticality,
+        risk_achievement_worth: raw,
+        risk_reduction_worth: rrw,
+    }
+}
+
+fn own_availability(block: &Block, target: &str) -> f64 {
+    match block {
+        Block::Unit { name, availability } => {
+            if name == target {
+                *availability
+            } else {
+                f64::NAN
+            }
+        }
+        Block::Series { children }
+        | Block::Parallel { children }
+        | Block::KOfN { children, .. } => children
+            .iter()
+            .map(|c| own_availability(c, target))
+            .find(|v| !v.is_nan())
+            .unwrap_or(f64::NAN),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn series_birnbaum_is_product_of_others() {
+        let sys = System::new(Block::series(vec![
+            Block::unit("a", 0.9),
+            Block::unit("b", 0.8),
+        ]));
+        let ranked = rank(&sys);
+        let a = ranked.iter().find(|c| c.name == "a").unwrap();
+        // I_B(a) = A(b) = 0.8.
+        assert!((a.birnbaum - 0.8).abs() < EPS);
+    }
+
+    #[test]
+    fn parallel_birnbaum_is_partner_unavailability() {
+        let sys = System::new(Block::parallel(vec![
+            Block::unit("a", 0.9),
+            Block::unit("b", 0.8),
+        ]));
+        let ranked = rank(&sys);
+        let a = ranked.iter().find(|c| c.name == "a").unwrap();
+        // I_B(a) = 1 − A(b) = 0.2.
+        assert!((a.birnbaum - 0.2).abs() < EPS);
+    }
+
+    #[test]
+    fn criticalities_sum_to_one_for_series() {
+        // For a pure series system the criticality importances partition
+        // downtime, summing to slightly above 1 only via joint failures.
+        let sys = System::new(Block::series(vec![
+            Block::unit("a", 0.999),
+            Block::unit("b", 0.9995),
+            Block::unit("c", 0.9999),
+        ]));
+        let total: f64 = rank(&sys).iter().map(|c| c.criticality).sum();
+        assert!((total - 1.0).abs() < 2e-3, "total={total}");
+    }
+
+    #[test]
+    fn spof_dominates() {
+        let sys = System::new(Block::series(vec![
+            Block::unit("spof", 0.999),
+            Block::k_of_n(2, Block::unit("n", 0.999).replicate(3)),
+        ]));
+        let ranked = rank(&sys);
+        assert_eq!(ranked[0].name, "spof");
+        assert!(ranked[0].risk_achievement_worth > ranked[1].risk_achievement_worth);
+    }
+
+    #[test]
+    fn raw_of_irrelevant_component_is_one() {
+        // A component in a 1-of-3 group with perfect partners has RAW ≈ 1.
+        let sys = System::new(Block::series(vec![
+            Block::k_of_n(1, Block::unit("n", 1.0).replicate(3)),
+            Block::unit("z", 0.99),
+        ]));
+        let ranked = rank(&sys);
+        let n1 = ranked.iter().find(|c| c.name == "n-1").unwrap();
+        assert!((n1.risk_achievement_worth - 1.0).abs() < EPS);
+        assert_eq!(n1.birnbaum, 0.0);
+    }
+
+    #[test]
+    fn rrw_infinite_for_sole_spof() {
+        let sys = System::new(Block::unit("only", 0.99));
+        let ranked = rank(&sys);
+        assert!(ranked[0].risk_reduction_worth.is_infinite());
+        assert!((ranked[0].birnbaum - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn perfect_system_has_zero_criticality() {
+        let sys = System::new(Block::series(vec![
+            Block::unit("a", 1.0),
+            Block::unit("b", 1.0),
+        ]));
+        for c in rank(&sys) {
+            assert_eq!(c.criticality, 0.0);
+        }
+    }
+
+    #[test]
+    fn reports_own_availability() {
+        let sys = System::new(Block::series(vec![
+            Block::unit("a", 0.97),
+            Block::unit("b", 0.9),
+        ]));
+        let ranked = rank(&sys);
+        let a = ranked.iter().find(|c| c.name == "a").unwrap();
+        assert_eq!(a.availability, 0.97);
+    }
+}

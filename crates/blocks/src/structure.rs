@@ -1,0 +1,443 @@
+//! Named-component system view: state queries and minimal cut sets.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::Block;
+
+/// A set of component names whose simultaneous failure brings the system
+/// down. A *minimal* cut set has no proper subset with that property.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CutSet {
+    components: BTreeSet<String>,
+}
+
+impl CutSet {
+    /// The component names in this cut set, sorted.
+    pub fn components(&self) -> impl Iterator<Item = &str> {
+        self.components.iter().map(String::as_str)
+    }
+
+    /// Number of components in the cut set (its *order*).
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether this cut set is a subset of `other`.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &CutSet) -> bool {
+        self.components.is_subset(&other.components)
+    }
+}
+
+impl fmt::Display for CutSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A reliability block diagram together with its component identity list,
+/// supporting what-if evaluation and minimal cut set enumeration.
+///
+/// ```
+/// use sdnav_blocks::{Block, System};
+///
+/// let diagram = Block::series(vec![
+///     Block::k_of_n(2, Block::unit("db", 0.999).replicate(3)),
+///     Block::unit("rack", 0.99999),
+/// ]);
+/// let system = System::new(diagram);
+///
+/// // The rack is a single point of failure:
+/// let cuts = system.minimal_cut_sets(1);
+/// assert_eq!(cuts.len(), 1);
+/// assert_eq!(cuts[0].to_string(), "{rack}");
+///
+/// // Any two DB nodes form an order-2 cut:
+/// let cuts = system.minimal_cut_sets(2);
+/// assert_eq!(cuts.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct System {
+    block: Block,
+    components: Vec<String>,
+}
+
+impl System {
+    /// Wraps a block diagram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two leaf units share a name; cut sets and importance
+    /// measures need distinct identities. Use [`Block::replicate`] to stamp
+    /// out distinguishable copies.
+    #[must_use]
+    pub fn new(block: Block) -> Self {
+        let components = block.unit_names();
+        let mut seen = BTreeSet::new();
+        for name in &components {
+            assert!(
+                seen.insert(name.clone()),
+                "duplicate component name {name:?} in block diagram"
+            );
+        }
+        System { block, components }
+    }
+
+    /// The underlying block diagram.
+    #[must_use]
+    pub fn block(&self) -> &Block {
+        &self.block
+    }
+
+    /// All component names, in depth-first order.
+    #[must_use]
+    pub fn components(&self) -> &[String] {
+        &self.components
+    }
+
+    /// System availability under independence.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        self.block.availability()
+    }
+
+    /// Is the system up when exactly the named components have failed?
+    ///
+    /// Unknown names are ignored (treated as healthy).
+    #[must_use]
+    pub fn is_up_with_failures(&self, failed: &[&str]) -> bool {
+        let failed: BTreeSet<&str> = failed.iter().copied().collect();
+        self.block.is_up(&mut |name| !failed.contains(name))
+    }
+
+    /// Enumerates all minimal cut sets up to `max_order` components.
+    ///
+    /// Exhaustive subset search pruned by minimality: a candidate containing
+    /// an already-found cut set is skipped. Complexity is
+    /// O(C(n, max_order) · cost(eval)); intended for the paper-scale systems
+    /// (tens of components, orders ≤ 3).
+    ///
+    /// If the system is down even with every component healthy (e.g. an
+    /// unsatisfiable `2`-of-`1` quorum), cut sets are ill-defined and an
+    /// empty list is returned.
+    #[must_use]
+    pub fn minimal_cut_sets(&self, max_order: usize) -> Vec<CutSet> {
+        if !self.is_up_with_failures(&[]) {
+            return Vec::new();
+        }
+        let n = self.components.len();
+        let mut found: Vec<CutSet> = Vec::new();
+        let mut indices: Vec<usize> = Vec::new();
+        for order in 1..=max_order.min(n) {
+            indices.clear();
+            indices.extend(0..order);
+            loop {
+                let candidate: BTreeSet<String> = indices
+                    .iter()
+                    .map(|&i| self.components[i].clone())
+                    .collect();
+                let superset_of_known = found.iter().any(|cs| cs.components.is_subset(&candidate));
+                if !superset_of_known {
+                    let failed: Vec<&str> = candidate.iter().map(String::as_str).collect();
+                    if !self.is_up_with_failures(&failed) {
+                        found.push(CutSet {
+                            components: candidate,
+                        });
+                    }
+                }
+                // Advance the combination (lexicographic).
+                let mut i = order;
+                loop {
+                    if i == 0 {
+                        break;
+                    }
+                    i -= 1;
+                    if indices[i] != i + n - order {
+                        indices[i] += 1;
+                        for j in (i + 1)..order {
+                            indices[j] = indices[j - 1] + 1;
+                        }
+                        break;
+                    }
+                    if i == 0 {
+                        indices.clear();
+                        break;
+                    }
+                }
+                if indices.is_empty() {
+                    break;
+                }
+            }
+        }
+        found.sort();
+        found
+    }
+
+    /// Is the system up when *only* the named components are working (all
+    /// others failed)?
+    ///
+    /// Unknown names are ignored.
+    #[must_use]
+    pub fn is_up_with_only(&self, working: &[&str]) -> bool {
+        let working: BTreeSet<&str> = working.iter().copied().collect();
+        self.block.is_up(&mut |name| working.contains(name))
+    }
+
+    /// Enumerates all minimal *path sets* up to `max_order` components: a
+    /// path set is a set of components whose functioning alone keeps the
+    /// system up; a minimal one has no functioning proper subset.
+    ///
+    /// Path sets are the logical dual of cut sets: every minimal path
+    /// intersects every minimal cut. For the paper's structures they spell
+    /// out "what must survive" — e.g. a 2-of-3 Database quorum in series
+    /// with a rack has paths `{rack, db-i, db-j}`.
+    ///
+    /// Returns an empty list when even the full component set cannot keep
+    /// the system up. If the system is up with *no* components working (a
+    /// vacuous structure such as a `0`-of-`n` group), the single minimal
+    /// path is the empty set.
+    #[must_use]
+    pub fn minimal_path_sets(&self, max_order: usize) -> Vec<CutSet> {
+        if self.is_up_with_only(&[]) {
+            return vec![CutSet {
+                components: BTreeSet::new(),
+            }];
+        }
+        let all: Vec<&str> = self.components.iter().map(String::as_str).collect();
+        if !self.is_up_with_only(&all) {
+            return Vec::new();
+        }
+        let n = self.components.len();
+        let mut found: Vec<CutSet> = Vec::new();
+        for order in 1..=max_order.min(n) {
+            let mut indices: Vec<usize> = (0..order).collect();
+            loop {
+                let candidate: BTreeSet<String> = indices
+                    .iter()
+                    .map(|&i| self.components[i].clone())
+                    .collect();
+                let superset_of_known = found.iter().any(|ps| ps.components.is_subset(&candidate));
+                if !superset_of_known {
+                    let working: Vec<&str> = candidate.iter().map(String::as_str).collect();
+                    if self.is_up_with_only(&working) {
+                        found.push(CutSet {
+                            components: candidate,
+                        });
+                    }
+                }
+                // Advance combination (lexicographic), same walk as cut sets.
+                let mut i = order;
+                let mut advanced = false;
+                while i > 0 {
+                    i -= 1;
+                    if indices[i] != i + n - order {
+                        indices[i] += 1;
+                        for j in (i + 1)..order {
+                            indices[j] = indices[j - 1] + 1;
+                        }
+                        advanced = true;
+                        break;
+                    }
+                }
+                if !advanced {
+                    break;
+                }
+            }
+        }
+        found.sort();
+        found
+    }
+
+    /// Rare-event approximation of system unavailability from minimal cut
+    /// sets: `U ≈ Σ_cuts Π_i u_i`, using each component's own unavailability.
+    ///
+    /// A first-order inclusion–exclusion bound, accurate when component
+    /// unavailabilities are small — the regime of all the paper's studies.
+    #[must_use]
+    pub fn cut_set_unavailability(&self, cuts: &[CutSet]) -> f64 {
+        cuts.iter()
+            .map(|cs| {
+                cs.components
+                    .iter()
+                    .map(|name| 1.0 - self.component_availability(name))
+                    .product::<f64>()
+            })
+            .sum()
+    }
+
+    fn component_availability(&self, target: &str) -> f64 {
+        fn find(block: &Block, target: &str) -> Option<f64> {
+            match block {
+                Block::Unit { name, availability } => (name == target).then_some(*availability),
+                Block::Series { children }
+                | Block::Parallel { children }
+                | Block::KOfN { children, .. } => children.iter().find_map(|c| find(c, target)),
+            }
+        }
+        find(&self.block, target).unwrap_or(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quorum_system() -> System {
+        System::new(Block::series(vec![
+            Block::k_of_n(2, Block::unit("db", 0.999).replicate(3)),
+            Block::unit("rack", 0.99999),
+        ]))
+    }
+
+    #[test]
+    fn single_points_of_failure() {
+        let cuts = quorum_system().minimal_cut_sets(1);
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(cuts[0].order(), 1);
+        assert_eq!(cuts[0].components().collect::<Vec<_>>(), vec!["rack"]);
+    }
+
+    #[test]
+    fn order_two_cuts_are_db_pairs() {
+        let cuts = quorum_system().minimal_cut_sets(2);
+        assert_eq!(cuts.len(), 4); // {rack} + 3 DB pairs
+        let pairs: Vec<_> = cuts.iter().filter(|c| c.order() == 2).collect();
+        assert_eq!(pairs.len(), 3);
+        for p in pairs {
+            let comps: Vec<_> = p.components().collect();
+            assert!(comps.iter().all(|c| c.starts_with("db-")), "{comps:?}");
+        }
+    }
+
+    #[test]
+    fn minimality_pruning() {
+        // {rack, db-1} contains {rack} so it must not appear.
+        let cuts = quorum_system().minimal_cut_sets(3);
+        for c in &cuts {
+            if c.order() > 1 {
+                assert!(!c.components().any(|x| x == "rack"), "{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn is_up_with_failures() {
+        let sys = quorum_system();
+        assert!(sys.is_up_with_failures(&[]));
+        assert!(sys.is_up_with_failures(&["db-1"]));
+        assert!(!sys.is_up_with_failures(&["db-1", "db-2"]));
+        assert!(!sys.is_up_with_failures(&["rack"]));
+        // Unknown names are healthy no-ops.
+        assert!(sys.is_up_with_failures(&["nonexistent"]));
+    }
+
+    #[test]
+    fn cut_set_approximation_close_to_exact() {
+        let sys = quorum_system();
+        let cuts = sys.minimal_cut_sets(2);
+        let approx = sys.cut_set_unavailability(&cuts);
+        let exact = 1.0 - sys.availability();
+        let rel = (approx - exact).abs() / exact;
+        assert!(rel < 1e-2, "approx={approx} exact={exact}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate component name")]
+    fn rejects_duplicate_names() {
+        let _ = System::new(Block::series(vec![
+            Block::unit("x", 0.9),
+            Block::unit("x", 0.9),
+        ]));
+    }
+
+    #[test]
+    fn series_only_system_has_all_singletons() {
+        let sys = System::new(Block::series(vec![
+            Block::unit("a", 0.9),
+            Block::unit("b", 0.9),
+            Block::unit("c", 0.9),
+        ]));
+        let cuts = sys.minimal_cut_sets(2);
+        assert_eq!(cuts.len(), 3);
+        assert!(cuts.iter().all(|c| c.order() == 1));
+    }
+
+    #[test]
+    fn parallel_system_has_one_full_cut() {
+        let sys = System::new(Block::parallel(vec![
+            Block::unit("a", 0.9),
+            Block::unit("b", 0.9),
+        ]));
+        assert!(sys.minimal_cut_sets(1).is_empty());
+        let cuts = sys.minimal_cut_sets(2);
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(cuts[0].order(), 2);
+    }
+
+    #[test]
+    fn path_sets_of_quorum_system() {
+        // 2-of-3 DB + rack: minimal paths are {rack, db-i, db-j}.
+        let paths = quorum_system().minimal_path_sets(3);
+        assert_eq!(paths.len(), 3);
+        for p in &paths {
+            assert_eq!(p.order(), 3);
+            assert!(p.components().any(|c| c == "rack"));
+            assert_eq!(p.components().filter(|c| c.starts_with("db-")).count(), 2);
+        }
+    }
+
+    #[test]
+    fn every_path_intersects_every_cut() {
+        // The classic duality, on a nontrivial structure.
+        let sys = System::new(Block::series(vec![
+            Block::k_of_n(2, Block::unit("q", 0.9).replicate(3)),
+            Block::parallel(vec![Block::unit("a", 0.9), Block::unit("b", 0.9)]),
+        ]));
+        let cuts = sys.minimal_cut_sets(5);
+        let paths = sys.minimal_path_sets(5);
+        assert!(!cuts.is_empty() && !paths.is_empty());
+        for p in &paths {
+            for c in &cuts {
+                let p_set: Vec<&str> = p.components().collect();
+                assert!(
+                    c.components().any(|x| p_set.contains(&x)),
+                    "path {p} misses cut {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_sets_of_dead_system_are_empty() {
+        let sys = System::new(Block::k_of_n(2, vec![Block::unit("only", 0.9)]));
+        assert!(sys.minimal_path_sets(3).is_empty());
+    }
+
+    #[test]
+    fn is_up_with_only() {
+        let sys = quorum_system();
+        assert!(sys.is_up_with_only(&["rack", "db-1", "db-2"]));
+        assert!(!sys.is_up_with_only(&["rack", "db-1"]));
+        assert!(!sys.is_up_with_only(&["db-1", "db-2", "db-3"])); // rack missing
+    }
+
+    #[test]
+    fn cut_set_display_and_subset() {
+        let sys = quorum_system();
+        let cuts = sys.minimal_cut_sets(2);
+        let rack = cuts.iter().find(|c| c.order() == 1).unwrap();
+        assert_eq!(rack.to_string(), "{rack}");
+        let pair = cuts.iter().find(|c| c.order() == 2).unwrap();
+        assert!(!pair.is_subset_of(rack));
+        assert!(rack.is_subset_of(rack));
+    }
+}

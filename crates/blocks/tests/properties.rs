@@ -1,0 +1,235 @@
+//! Property-based tests for the RBD substrate.
+
+use proptest::prelude::*;
+
+use sdnav_blocks::kofn::{
+    binomial, k_of_n, k_of_n_heterogeneous, k_of_n_unavailability, up_count_distribution,
+};
+use sdnav_blocks::{Availability, Block, System};
+
+fn availability_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        0.0..=1.0,
+        // Heavily weight the high-availability regime the paper studies.
+        0.999..=1.0,
+    ]
+}
+
+/// Availability of the named leaf unit, found by tree walk.
+fn leaf_availability(block: &Block, target: &str) -> f64 {
+    match block {
+        Block::Unit { name, availability } => {
+            if name == target {
+                *availability
+            } else {
+                f64::NAN
+            }
+        }
+        Block::Series { children }
+        | Block::Parallel { children }
+        | Block::KOfN { children, .. } => children
+            .iter()
+            .map(|c| leaf_availability(c, target))
+            .find(|v| !v.is_nan())
+            .unwrap_or(f64::NAN),
+    }
+}
+
+/// Random small block diagrams with unique unit names.
+fn arb_block() -> impl Strategy<Value = Block> {
+    let leaf_counter = std::sync::atomic::AtomicUsize::new(0);
+    let leaf_counter = std::sync::Arc::new(leaf_counter);
+    let counter = leaf_counter.clone();
+    let leaf = availability_value().prop_map(move |a| {
+        let id = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Block::unit(format!("u{id}"), a)
+    });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Block::series),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Block::parallel),
+            (prop::collection::vec(inner, 1..4), 0u32..4)
+                .prop_map(|(children, k)| Block::k_of_n(k, children)),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn k_of_n_in_unit_interval(m in 0u32..8, n in 0u32..8, a in availability_value()) {
+        let v = k_of_n(m, n, a);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn k_of_n_monotone_in_alpha(m in 1u32..6, n in 1u32..6, a in 0.0f64..1.0, d in 0.0f64..0.5) {
+        prop_assume!(m <= n);
+        let b = (a + d).min(1.0);
+        prop_assert!(k_of_n(m, n, a) <= k_of_n(m, n, b) + 1e-12);
+    }
+
+    #[test]
+    fn k_of_n_monotone_decreasing_in_m(m in 0u32..6, n in 1u32..6, a in availability_value()) {
+        prop_assume!(m < n);
+        prop_assert!(k_of_n(m + 1, n, a) <= k_of_n(m, n, a) + 1e-12);
+    }
+
+    #[test]
+    fn availability_plus_unavailability_is_one(m in 0u32..6, n in 0u32..6, a in availability_value()) {
+        let sum = k_of_n(m, n, a) + k_of_n_unavailability(m, n, a);
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adding_a_replica_never_hurts(m in 1u32..5, n in 1u32..6, a in availability_value()) {
+        prop_assume!(m <= n);
+        prop_assert!(k_of_n(m, n + 1, a) >= k_of_n(m, n, a) - 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_matches_identical(k in 0usize..6, n in 0usize..6, a in availability_value()) {
+        let het = k_of_n_heterogeneous(k, &vec![a; n]);
+        let hom = k_of_n(k as u32, n as u32, a);
+        prop_assert!((het - hom).abs() < 1e-10);
+    }
+
+    #[test]
+    fn up_count_distribution_is_probability(
+        alphas in prop::collection::vec(availability_value(), 0..8)
+    ) {
+        let d = up_count_distribution(&alphas);
+        prop_assert_eq!(d.len(), alphas.len() + 1);
+        prop_assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(d.iter().all(|&p| (-1e-12..=1.0 + 1e-12).contains(&p)));
+    }
+
+    #[test]
+    fn block_availability_in_unit_interval(block in arb_block()) {
+        let a = block.availability();
+        prop_assert!((0.0..=1.0).contains(&a), "a={}", a);
+    }
+
+    #[test]
+    fn block_availability_matches_state_enumeration(block in arb_block()) {
+        // Exact check: sum of P(state) over all up states equals availability.
+        let names = block.unit_names();
+        prop_assume!(names.len() <= 10);
+        let avails: Vec<f64> = names.iter().map(|n| leaf_availability(&block, n)).collect();
+        let mut total = 0.0;
+        for mask in 0u32..(1 << names.len()) {
+            let mut p = 1.0;
+            for (i, a) in avails.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    p *= a;
+                } else {
+                    p *= 1.0 - a;
+                }
+            }
+            if p == 0.0 {
+                continue;
+            }
+            let up = block.is_up(&mut |name| {
+                let idx = names.iter().position(|n| n == name).unwrap();
+                mask & (1 << idx) != 0
+            });
+            if up {
+                total += p;
+            }
+        }
+        prop_assert!((total - block.availability()).abs() < 1e-9,
+            "enumerated={} direct={}", total, block.availability());
+    }
+
+    #[test]
+    fn pinning_up_never_decreases_availability(block in arb_block()) {
+        let base = block.availability();
+        for name in block.unit_names() {
+            let up = block.availability_pinned(&mut |n| (n == name).then_some(true));
+            let down = block.availability_pinned(&mut |n| (n == name).then_some(false));
+            prop_assert!(up >= base - 1e-12);
+            prop_assert!(down <= base + 1e-12);
+        }
+    }
+
+    #[test]
+    fn cut_sets_are_minimal_and_fatal(block in arb_block()) {
+        let names = block.unit_names();
+        prop_assume!(names.len() <= 8);
+        let sys = System::new(block);
+        for cut in sys.minimal_cut_sets(3) {
+            let comps: Vec<&str> = cut.components().collect();
+            // Fatal: failing the whole cut downs the system.
+            prop_assert!(!sys.is_up_with_failures(&comps));
+            // Minimal: removing any one component restores the system.
+            for skip in &comps {
+                let partial: Vec<&str> =
+                    comps.iter().copied().filter(|c| c != skip).collect();
+                prop_assert!(sys.is_up_with_failures(&partial), "cut {:?} not minimal", comps);
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_preserves_semantics(block in arb_block()) {
+        let clean = block.simplify();
+        prop_assert!((clean.availability() - block.availability()).abs() < 1e-12,
+            "availability changed: {} vs {}", clean.availability(), block.availability());
+        let mut before = block.unit_names();
+        let mut after = clean.unit_names();
+        before.sort();
+        after.sort();
+        prop_assert_eq!(before, after, "unit set changed");
+        // Idempotent.
+        prop_assert_eq!(clean.simplify(), clean);
+    }
+
+    #[test]
+    fn paths_and_cuts_are_dual(block in arb_block()) {
+        let names = block.unit_names();
+        prop_assume!(names.len() <= 7);
+        let sys = System::new(block);
+        let cuts = sys.minimal_cut_sets(7);
+        let paths = sys.minimal_path_sets(7);
+        // Every minimal path must intersect every minimal cut.
+        for p in &paths {
+            let p_set: Vec<&str> = p.components().collect();
+            for c in &cuts {
+                prop_assert!(c.components().any(|x| p_set.contains(&x)),
+                    "path {} misses cut {}", p, c);
+            }
+        }
+        // Paths are themselves minimal and sufficient.
+        for p in &paths {
+            let working: Vec<&str> = p.components().collect();
+            prop_assert!(sys.is_up_with_only(&working));
+            for skip in &working {
+                let fewer: Vec<&str> =
+                    working.iter().copied().filter(|c| c != skip).collect();
+                prop_assert!(!sys.is_up_with_only(&fewer), "path {} not minimal", p);
+            }
+        }
+    }
+
+    #[test]
+    fn availability_series_parallel_bounds(a in availability_value(), b in availability_value()) {
+        let x = Availability::new(a).unwrap();
+        let y = Availability::new(b).unwrap();
+        let s = Availability::series([x, y]);
+        let p = Availability::parallel([x, y]);
+        prop_assert!(s <= x && s <= y);
+        prop_assert!(p >= x && p >= y);
+    }
+
+    #[test]
+    fn downtime_round_trips(a in 0.5f64..1.0) {
+        let av = Availability::new(a).unwrap();
+        let back = Availability::from_downtime_per_year(av.downtime_per_year());
+        prop_assert!((av.value() - back.value()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn binomial_row_sums_to_power_of_two(n in 0u32..30) {
+        let sum: f64 = (0..=n).map(|k| binomial(n, k)).sum();
+        prop_assert_eq!(sum, 2f64.powi(n as i32));
+    }
+}

@@ -1,0 +1,122 @@
+//! Minimal command-line argument parsing (no external dependency).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    subcommand: Option<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses an argument list (excluding the program name).
+    ///
+    /// The first non-`--` token is the subcommand. A `--key` followed by a
+    /// non-`--` token is an option; a `--key` followed by another `--key`
+    /// (or nothing) is a boolean flag.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("empty option name '--'".to_owned());
+                }
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        out.options.insert(key.to_owned(), value);
+                    }
+                    _ => out.flags.push(key.to_owned()),
+                }
+            } else if out.subcommand.is_none() {
+                out.subcommand = Some(arg);
+            } else {
+                return Err(format!("unexpected positional argument {arg:?}"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The subcommand, if any.
+    pub fn subcommand(&self) -> Option<&str> {
+        self.subcommand.as_deref()
+    }
+
+    /// String option value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Parsed numeric option with a default.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
+
+    /// Parsed integer option with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+        }
+    }
+
+    /// Boolean flag presence.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse(args.iter().map(|s| (*s).to_owned())).unwrap()
+    }
+
+    #[test]
+    fn parses_subcommand_options_and_flags() {
+        let a = parse(&["fig3", "--points", "11", "--csv"]);
+        assert_eq!(a.subcommand(), Some("fig3"));
+        assert_eq!(a.get("points"), Some("11"));
+        assert!(a.has_flag("csv"));
+        assert!(!a.has_flag("json"));
+    }
+
+    #[test]
+    fn numeric_accessors() {
+        let a = parse(&["x", "--horizon", "2.5"]);
+        assert_eq!(a.get_f64("horizon", 1.0).unwrap(), 2.5);
+        assert_eq!(a.get_f64("missing", 7.0).unwrap(), 7.0);
+        assert_eq!(a.get_usize("missing", 3).unwrap(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_number() {
+        let a = parse(&["x", "--n", "abc"]);
+        assert!(a.get_f64("n", 0.0).is_err());
+        assert!(a.get_usize("n", 0).is_err());
+    }
+
+    #[test]
+    fn rejects_extra_positional() {
+        let r = Args::parse(["a".to_owned(), "b".to_owned()]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn no_subcommand_is_ok() {
+        let a = parse(&[]);
+        assert_eq!(a.subcommand(), None);
+    }
+}

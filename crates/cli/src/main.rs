@@ -1,0 +1,523 @@
+//! `sdnav` — command-line interface for distributed SDN controller
+//! failure-mode and availability analysis (ISPASS 2019 reproduction).
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::Args;
+use sdnav_core::{ControllerSpec, HwModel, HwParams, Plane, Scenario, SwModel, SwParams, Topology};
+use sdnav_fmea::{derive_table1, dominant_modes, enumerate_filtered, Deployment, ElementKind};
+use sdnav_report::{minutes_per_year, Chart, Series, Table};
+use sdnav_sim::{replicate, SimConfig};
+
+const USAGE: &str = "\
+sdnav — distributed SDN controller availability analysis
+
+USAGE: sdnav <command> [options]
+
+COMMANDS:
+  tables                      print Tables I-III (derived from the spec)
+  topology [--layout L]       print deployment layouts (small|medium|large|all)
+  hw [--a-c X]                HW-centric availability for all topologies
+  sw [--scenario S]           SW-centric CP/DP availability (required|not-required)
+  fig3 [--points N] [--csv]   regenerate Fig. 3
+  fig4 [--points N] [--csv]   regenerate Fig. 4
+  fig5 [--points N] [--csv]   regenerate Fig. 5
+  fmea [--order N] [--scenario S] [--layout L] [--sw-only]
+                              enumerate minimal failure modes
+  importance [--scenario S] [--layout L]
+                              rank elements by share of failure-mode probability
+  sensitivity [--layout L] [--scenario S]
+                              rank parameters by share of downtime
+  plan [--target M]           Pareto cost:resiliency analysis; optional
+                              CP downtime target in minutes/year
+  harden --target M [--layout L] [--scenario S]
+                              process availability needed for a CP target
+  simulate [--layout L] [--scenario S] [--horizon H] [--replications R]
+           [--accelerate F] [--seed S]
+                              Monte-Carlo validation run
+  spec [--out FILE]           dump the OpenContrail 3.x spec as JSON
+  help                        show this help
+
+COMMON OPTIONS:
+  --spec FILE                 analyze a custom controller spec (JSON)
+  --nodes N                   scale the cluster to 2N+1 = N nodes (odd)
+  --layout small|medium|large (default: small)
+  --scenario required|not-required (default: not-required)
+";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let spec = load_spec(args)?;
+    match args.subcommand().unwrap_or("help") {
+        "tables" => tables(&spec),
+        "topology" => topology_cmd(&spec, args),
+        "hw" => hw(&spec, args),
+        "sw" => sw(&spec, args),
+        "fig3" => fig3(&spec, args),
+        "fig4" => sw_figure(&spec, args, true),
+        "fig5" => sw_figure(&spec, args, false),
+        "fmea" => fmea(&spec, args),
+        "importance" => importance(&spec, args),
+        "sensitivity" => sensitivity(&spec, args),
+        "plan" => plan(&spec, args),
+        "harden" => harden(&spec, args),
+        "simulate" => simulate(&spec, args),
+        "spec" => dump_spec(&spec, args),
+        "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `sdnav help`")),
+    }
+}
+
+fn load_spec(args: &Args) -> Result<ControllerSpec, String> {
+    let mut spec = match args.get("spec") {
+        None => ControllerSpec::opencontrail_3x(),
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?
+        }
+    };
+    spec.validate().map_err(|e| e.to_string())?;
+    if let Some(nodes) = args.get("nodes") {
+        let nodes: u32 = nodes
+            .parse()
+            .map_err(|_| format!("--nodes expects an integer, got {nodes:?}"))?;
+        if nodes == 0 || nodes % 2 == 0 {
+            return Err(format!("--nodes must be odd (2N+1), got {nodes}"));
+        }
+        spec = spec.scaled_cluster(nodes);
+    }
+    Ok(spec)
+}
+
+fn scenario(args: &Args) -> Result<Scenario, String> {
+    match args.get("scenario").unwrap_or("not-required") {
+        "required" => Ok(Scenario::SupervisorRequired),
+        "not-required" => Ok(Scenario::SupervisorNotRequired),
+        other => Err(format!(
+            "--scenario must be `required` or `not-required`, got {other:?}"
+        )),
+    }
+}
+
+fn layout(spec: &ControllerSpec, args: &Args) -> Result<Topology, String> {
+    match args.get("layout").unwrap_or("small") {
+        "small" => Ok(Topology::small(spec)),
+        "medium" => Ok(Topology::medium(spec)),
+        "large" => Ok(Topology::large(spec)),
+        other => Err(format!(
+            "--layout must be small, medium or large, got {other:?}"
+        )),
+    }
+}
+
+fn tables(spec: &ControllerSpec) -> Result<(), String> {
+    println!("Table I — process failure modes (derived behaviorally):\n");
+    let mut t1 = Table::new(vec!["Role", "Process", "SDN CP", "Host DP"]);
+    for row in derive_table1(spec) {
+        t1.row(vec![row.role, row.process, row.cp, row.dp]);
+    }
+    print!("{t1}");
+
+    println!("\nTable II — required processes by restart mode:\n");
+    let mut t2 = Table::new(vec!["Role", "Auto", "Manual"]);
+    for c in spec.restart_counts() {
+        t2.row(vec![c.role, c.auto.to_string(), c.manual.to_string()]);
+    }
+    print!("{t2}");
+
+    println!("\nTable III — quorum requirement counts:\n");
+    let mut t3 = Table::new(vec!["Role", "CP M", "CP N", "DP M", "DP N"]);
+    let cp = spec.quorum_counts(Plane::ControlPlane);
+    let dp = spec.quorum_counts(Plane::DataPlane);
+    for (c, d) in cp.iter().zip(&dp) {
+        t3.row(vec![
+            c.role.clone(),
+            c.m.to_string(),
+            c.n.to_string(),
+            d.m.to_string(),
+            d.n.to_string(),
+        ]);
+    }
+    print!("{t3}");
+    Ok(())
+}
+
+fn topology_cmd(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
+    match args.get("layout").unwrap_or("all") {
+        "all" => {
+            for t in [
+                Topology::small(spec),
+                Topology::medium(spec),
+                Topology::large(spec),
+            ] {
+                println!("{}", t.describe());
+            }
+        }
+        _ => println!("{}", layout(spec, args)?.describe()),
+    }
+    Ok(())
+}
+
+fn hw(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
+    let a_c = args.get_f64("a-c", 0.9995)?;
+    if !(0.0..=1.0).contains(&a_c) {
+        return Err(format!(
+            "--a-c must be an availability in [0, 1], got {a_c}"
+        ));
+    }
+    let params = HwParams::paper_defaults().with_a_c(a_c);
+    let mut table = Table::new(vec!["topology", "availability", "downtime"]);
+    for topo in [
+        Topology::small(spec),
+        Topology::medium(spec),
+        Topology::large(spec),
+    ] {
+        let a = HwModel::new(spec, &topo, params).availability();
+        table.row(vec![
+            topo.name().to_owned(),
+            format!("{a:.9}"),
+            minutes_per_year(a),
+        ]);
+    }
+    print!("{table}");
+    Ok(())
+}
+
+fn sw(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
+    let scenario = scenario(args)?;
+    let params = SwParams::paper_defaults();
+    let mut table = Table::new(vec!["topology", "A_CP", "A_SDP", "A_DP", "CP DT", "DP DT"]);
+    for topo in [
+        Topology::small(spec),
+        Topology::medium(spec),
+        Topology::large(spec),
+    ] {
+        let m = SwModel::new(spec, &topo, params, scenario);
+        table.row(vec![
+            topo.name().to_owned(),
+            format!("{:.9}", m.cp_availability()),
+            format!("{:.9}", m.shared_dp_availability()),
+            format!("{:.9}", m.host_dp_availability()),
+            minutes_per_year(m.cp_availability()),
+            minutes_per_year(m.host_dp_availability()),
+        ]);
+    }
+    println!("scenario: {scenario:?}");
+    print!("{table}");
+    Ok(())
+}
+
+fn fig3(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
+    let points = args.get_usize("points", 21)?;
+    let rows = sdnav_core::sweep::fig3(spec, HwParams::paper_defaults(), points);
+    let mut table = Table::new(vec!["A_C", "Small", "Medium", "Large"]);
+    for r in &rows {
+        table.row(vec![
+            format!("{:.5}", r.a_c),
+            format!("{:.9}", r.small),
+            format!("{:.9}", r.medium),
+            format!("{:.9}", r.large),
+        ]);
+    }
+    if args.has_flag("csv") {
+        print!("{}", table.to_csv());
+        return Ok(());
+    }
+    print!("{table}");
+    let chart = Chart::new(60, 14)
+        .series(Series::new(
+            "Small",
+            rows.iter().map(|r| (r.a_c, r.small)).collect(),
+        ))
+        .series(Series::new(
+            "Medium",
+            rows.iter().map(|r| (r.a_c, r.medium)).collect(),
+        ))
+        .series(Series::new(
+            "Large",
+            rows.iter().map(|r| (r.a_c, r.large)).collect(),
+        ))
+        .labels("A_C", "availability");
+    print!("{chart}");
+    Ok(())
+}
+
+fn sw_figure(spec: &ControllerSpec, args: &Args, cp: bool) -> Result<(), String> {
+    let points = args.get_usize("points", 21)?;
+    let params = SwParams::paper_defaults();
+    let rows = if cp {
+        sdnav_core::sweep::fig4(spec, params, points)
+    } else {
+        sdnav_core::sweep::fig5(spec, params, points)
+    };
+    let mut table = Table::new(vec!["x", "A", "1S", "2S", "1L", "2L"]);
+    for r in &rows {
+        table.row(vec![
+            format!("{:+.2}", r.x),
+            format!("{:.6}", r.a),
+            format!("{:.9}", r.small_no_sup),
+            format!("{:.9}", r.small_sup),
+            format!("{:.9}", r.large_no_sup),
+            format!("{:.9}", r.large_sup),
+        ]);
+    }
+    if args.has_flag("csv") {
+        print!("{}", table.to_csv());
+        return Ok(());
+    }
+    print!("{table}");
+    let chart = Chart::new(60, 14)
+        .series(Series::new(
+            "1S",
+            rows.iter().map(|r| (r.x, r.small_no_sup)).collect(),
+        ))
+        .series(Series::new(
+            "2S",
+            rows.iter().map(|r| (r.x, r.small_sup)).collect(),
+        ))
+        .series(Series::new(
+            "1L",
+            rows.iter().map(|r| (r.x, r.large_no_sup)).collect(),
+        ))
+        .series(Series::new(
+            "2L",
+            rows.iter().map(|r| (r.x, r.large_sup)).collect(),
+        ))
+        .labels(
+            "orders of magnitude of downtime removed",
+            if cp { "A_CP" } else { "A_DP" },
+        );
+    print!("{chart}");
+    Ok(())
+}
+
+fn fmea(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
+    let order = args.get_usize("order", 2)?;
+    let scenario = scenario(args)?;
+    let topo = layout(spec, args)?;
+    let sw_only = args.has_flag("sw-only");
+    let dep = Deployment::new(spec, &topo, SwParams::paper_defaults(), scenario);
+    let modes = enumerate_filtered(&dep, order, |e| {
+        !sw_only || matches!(e.kind(), ElementKind::Process | ElementKind::Supervisor)
+    });
+    println!(
+        "{} minimal failure modes up to order {order} ({}, {:?}):",
+        modes.len(),
+        topo.name(),
+        scenario
+    );
+    println!("\nmost probable CP-impacting modes:");
+    for m in dominant_modes(&modes, true, 8) {
+        println!("  {m}");
+    }
+    println!("\nmost probable DP-impacting modes:");
+    for m in dominant_modes(&modes, false, 8) {
+        println!("  {m}");
+    }
+    Ok(())
+}
+
+fn importance(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
+    let scenario = scenario(args)?;
+    let topo = layout(spec, args)?;
+    let order = args.get_usize("order", 2)?;
+    let dep = Deployment::new(spec, &topo, SwParams::paper_defaults(), scenario);
+    let modes = enumerate_filtered(&dep, order, |e| {
+        matches!(e.kind(), ElementKind::Process | ElementKind::Supervisor)
+    });
+    let ranking = sdnav_fmea::rank_elements(&modes);
+    println!(
+        "software element criticality ({}, {:?}, order ≤ {order}):\n",
+        topo.name(),
+        scenario
+    );
+    let mut table = Table::new(vec!["element", "CP share", "DP share"]);
+    for c in ranking.iter().take(15) {
+        table.row(vec![
+            c.element.to_string(),
+            format!("{:5.1}%", c.cp_share * 100.0),
+            format!("{:5.1}%", c.dp_share * 100.0),
+        ]);
+    }
+    print!("{table}");
+    Ok(())
+}
+
+fn sensitivity(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
+    let scenario = scenario(args)?;
+    let topo = layout(spec, args)?;
+    use sdnav_core::sensitivity::{hw as hw_sens, sw as sw_sens, SwMetric};
+    println!("HW-centric parameter sensitivity ({}):\n", topo.name());
+    let mut table = Table::new(vec!["parameter", "value", "dA/dA_p", "downtime share"]);
+    for s in hw_sens(spec, &topo, HwParams::paper_defaults()) {
+        table.row(vec![
+            s.parameter,
+            format!("{:.5}", s.value),
+            format!("{:.4}", s.derivative),
+            format!("{:5.1}%", s.downtime_share * 100.0),
+        ]);
+    }
+    print!("{table}");
+    for (label, metric) in [
+        ("control plane", SwMetric::ControlPlane),
+        ("host data plane", SwMetric::HostDataPlane),
+    ] {
+        println!("\nSW-centric sensitivity, {label} ({:?}):\n", scenario);
+        let mut table = Table::new(vec!["parameter", "value", "dA/dA_p", "downtime share"]);
+        for s in sw_sens(spec, &topo, SwParams::paper_defaults(), scenario, metric) {
+            table.row(vec![
+                s.parameter,
+                format!("{:.5}", s.value),
+                format!("{:.4}", s.derivative),
+                format!("{:5.1}%", s.downtime_share * 100.0),
+            ]);
+        }
+        print!("{table}");
+    }
+    Ok(())
+}
+
+fn plan(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
+    use sdnav_core::planner::{cheapest_meeting, evaluate_candidates, pareto_frontier, CostModel};
+    let points = evaluate_candidates(spec, SwParams::paper_defaults(), &CostModel::ballpark());
+    println!("Pareto frontier (cost vs CP downtime):\n");
+    let mut table = Table::new(vec![
+        "cost",
+        "CP m/y",
+        "topology",
+        "scenario",
+        "maintenance",
+    ]);
+    for p in pareto_frontier(&points) {
+        table.row(vec![
+            format!("{:.0}", p.cost),
+            format!("{:.2}", p.cp_downtime_m_y),
+            p.topology.clone(),
+            format!("{:?}", p.scenario),
+            p.tier.name().to_owned(),
+        ]);
+    }
+    print!("{table}");
+    if let Some(target) = args.get("target") {
+        let target: f64 = target
+            .parse()
+            .map_err(|_| format!("--target expects minutes/year, got {target:?}"))?;
+        match cheapest_meeting(&points, target) {
+            Some(p) => println!(
+                "\ncheapest meeting ≤ {target} m/y: cost {:.0} — {} / {:?} / {}",
+                p.cost,
+                p.topology,
+                p.scenario,
+                p.tier.name()
+            ),
+            None => println!("\nno candidate meets ≤ {target} m/y"),
+        }
+    }
+    Ok(())
+}
+
+fn harden(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
+    let scenario = scenario(args)?;
+    let topo = layout(spec, args)?;
+    let target = args
+        .get("target")
+        .ok_or("harden requires --target <minutes/year>")?
+        .parse::<f64>()
+        .map_err(|_| "--target expects minutes/year".to_owned())?;
+    let base = SwParams::paper_defaults();
+    match sdnav_core::sweep::required_process_availability(spec, &topo, base, scenario, target) {
+        Some(a) => {
+            let dt_scale = (1.0 - a) / (1.0 - base.process.auto);
+            println!(
+                "to reach ≤ {target} m/y of CP downtime on {} ({scenario:?}):",
+                topo.name()
+            );
+            println!("  required auto-restart process availability A ≥ {a:.7}");
+            println!(
+                "  i.e. process downtime must change by ×{dt_scale:.2} from the default A = {:.5}",
+                base.process.auto
+            );
+        }
+        None => println!(
+            "target {target} m/y is out of reach on {} by process hardening alone \
+             (hardware floor, or already met at 10x worse processes)",
+            topo.name()
+        ),
+    }
+    Ok(())
+}
+
+fn simulate(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
+    let scenario = scenario(args)?;
+    let topo = layout(spec, args)?;
+    let mut config = SimConfig::paper_defaults(scenario);
+    let accel = args.get_f64("accelerate", 100.0)?;
+    if accel != 1.0 {
+        config = config.accelerated(accel);
+    }
+    config.horizon_hours = args.get_f64("horizon", 200_000.0)?;
+    let replications = args.get_usize("replications", 4)?;
+    let seed = args.get_usize("seed", 1)? as u64;
+    config.compute_hosts = args.get_usize("compute-hosts", 3)?;
+
+    let result = replicate(spec, &topo, config, seed, replications);
+    let params = config.analytic_params();
+    let model = SwModel::new(spec, &topo, params, scenario);
+    println!(
+        "simulated {} replications × {:.0} h on {} ({:?}, rates ×{accel})",
+        replications,
+        config.horizon_hours,
+        topo.name(),
+        scenario
+    );
+    println!("  events processed : {}", result.total_events);
+    println!("  CP  simulated    : {}", result.cp);
+    println!("  CP  analytic     : {:.9}", model.cp_availability());
+    println!("  DP  simulated    : {}", result.dp);
+    println!("  DP  analytic     : {:.9}", model.host_dp_availability());
+    if result.cp_outages > 0 {
+        println!(
+            "  CP outages       : {} (mean duration {:.2} h, one per {:.0} h)",
+            result.cp_outages,
+            result.cp_outage_mean_hours,
+            result.total_hours / result.cp_outages as f64
+        );
+    } else {
+        println!("  CP outages       : none observed");
+    }
+    Ok(())
+}
+
+fn dump_spec(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(spec).map_err(|e| e.to_string())?;
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,223 @@
+//! End-to-end tests of the `sdnav` binary.
+
+use std::process::Command;
+
+fn sdnav(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_sdnav"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let (ok, stdout, _) = sdnav(&["help"]);
+    assert!(ok);
+    for cmd in ["tables", "fig3", "fmea", "simulate", "sensitivity"] {
+        assert!(stdout.contains(cmd), "help is missing {cmd}");
+    }
+}
+
+#[test]
+fn no_subcommand_shows_help() {
+    let (ok, stdout, _) = sdnav(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let (ok, _, stderr) = sdnav(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn tables_render_paper_tables() {
+    let (ok, stdout, _) = sdnav(&["tables"]);
+    assert!(ok);
+    assert!(stdout.contains("Table I"));
+    assert!(stdout.contains("zookeeper"));
+    assert!(stdout.contains("2 of 3"));
+    assert!(stdout.contains("Table III"));
+}
+
+#[test]
+fn hw_reports_three_topologies() {
+    let (ok, stdout, _) = sdnav(&["hw"]);
+    assert!(ok);
+    for name in ["Small", "Medium", "Large"] {
+        assert!(stdout.contains(name));
+    }
+    // The Fig. 3 headline value.
+    assert!(stdout.contains("0.999989"));
+}
+
+#[test]
+fn hw_rejects_bad_a_c() {
+    let (ok, _, stderr) = sdnav(&["hw", "--a-c", "1.5"]);
+    assert!(!ok || stderr.contains("a_c"), "should reject a_c=1.5");
+}
+
+#[test]
+fn sw_scenario_flag() {
+    let (ok, stdout, _) = sdnav(&["sw", "--scenario", "required"]);
+    assert!(ok);
+    assert!(stdout.contains("SupervisorRequired"));
+    let (ok, _, stderr) = sdnav(&["sw", "--scenario", "sometimes"]);
+    assert!(!ok);
+    assert!(stderr.contains("scenario"));
+}
+
+#[test]
+fn fig3_csv_is_parseable() {
+    let (ok, stdout, _) = sdnav(&["fig3", "--points", "5", "--csv"]);
+    assert!(ok);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 6); // header + 5 rows
+    assert!(lines[0].starts_with("A_C,"));
+    for line in &lines[1..] {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), 4);
+        for f in fields {
+            let _: f64 = f.parse().expect("numeric CSV cell");
+        }
+    }
+}
+
+#[test]
+fn fmea_sw_only_filters_hardware() {
+    let (ok, stdout, _) = sdnav(&[
+        "fmea",
+        "--layout",
+        "large",
+        "--sw-only",
+        "--scenario",
+        "required",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Database"));
+    assert!(!stdout.contains("rack-"), "hardware leaked into --sw-only");
+}
+
+#[test]
+fn importance_ranks_vrouter_supervisor() {
+    let (ok, stdout, _) = sdnav(&["importance", "--layout", "large", "--scenario", "required"]);
+    assert!(ok);
+    assert!(stdout.contains("compute-host/supervisor"));
+}
+
+#[test]
+fn nodes_flag_scales_cluster() {
+    let (ok, stdout, _) = sdnav(&[
+        "sw",
+        "--layout",
+        "large",
+        "--nodes",
+        "5",
+        "--scenario",
+        "required",
+    ]);
+    assert!(ok);
+    // 5-node Large CP downtime is far below the 3-node 1.4 m/y.
+    assert!(stdout.contains("Large"));
+    let (ok, _, stderr) = sdnav(&["sw", "--nodes", "4"]);
+    assert!(!ok);
+    assert!(stderr.contains("odd"));
+}
+
+#[test]
+fn spec_round_trips_through_file() {
+    let dir = std::env::temp_dir().join("sdnav-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("spec.json");
+    let path_str = path.to_str().unwrap();
+
+    let (ok, _, _) = sdnav(&["spec", "--out", path_str]);
+    assert!(ok);
+    let (ok, stdout, _) = sdnav(&["hw", "--spec", path_str]);
+    assert!(ok);
+    assert!(stdout.contains("0.999989"));
+
+    // A corrupt spec is rejected cleanly.
+    std::fs::write(&path, "{not json").unwrap();
+    let (ok, _, stderr) = sdnav(&["hw", "--spec", path_str]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot parse"));
+}
+
+#[test]
+fn plan_frontier_and_target() {
+    let (ok, stdout, _) = sdnav(&["plan", "--target", "2.0"]);
+    assert!(ok);
+    assert!(stdout.contains("Pareto frontier"));
+    // The rack-separated Small dominates both Medium AND the paper's Large.
+    assert!(stdout.contains("Small-3R"));
+    assert!(
+        !stdout.contains("Medium"),
+        "Medium must not be Pareto optimal"
+    );
+    assert!(!stdout.contains("Large"), "Large is dominated by Small-3R");
+    assert!(stdout.contains("cheapest meeting"));
+}
+
+#[test]
+fn harden_answers_and_refuses() {
+    let (ok, stdout, _) = sdnav(&[
+        "harden",
+        "--target",
+        "1.0",
+        "--layout",
+        "large",
+        "--scenario",
+        "required",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("required auto-restart process availability"));
+    // The Small rack floor makes 1 m/y unreachable.
+    let (ok, stdout, _) = sdnav(&["harden", "--target", "1.0", "--layout", "small"]);
+    assert!(ok);
+    assert!(stdout.contains("out of reach"));
+    // Missing target is an error.
+    let (ok, _, stderr) = sdnav(&["harden"]);
+    assert!(!ok);
+    assert!(stderr.contains("--target"));
+}
+
+#[test]
+fn bundled_onos_spec_loads() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/specs/onos-like.json"
+    );
+    let (ok, stdout, stderr) = sdnav(&["sw", "--spec", path, "--scenario", "required"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("Small"));
+    let (ok, stdout, _) = sdnav(&["tables", "--spec", path]);
+    assert!(ok);
+    assert!(stdout.contains("atomix"));
+    assert!(stdout.contains("2 of 3"));
+}
+
+#[test]
+fn simulate_smoke() {
+    let (ok, stdout, _) = sdnav(&[
+        "simulate",
+        "--horizon",
+        "5000",
+        "--replications",
+        "2",
+        "--accelerate",
+        "100",
+        "--compute-hosts",
+        "2",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("CP  simulated"));
+    assert!(stdout.contains("analytic"));
+}

@@ -1,0 +1,114 @@
+//! The paper's conclusions-section closed-form approximations.
+//!
+//! §VII distills the HW-centric analysis into two rules of thumb. For a
+//! one- or two-rack deployment with a 2-of-3 quorum,
+//!
+//! ```text
+//! A ≈ α²(3 − 2α) · A_R,   α = A_C · A_V · A_H
+//! ```
+//!
+//! and for a three-rack deployment,
+//!
+//! ```text
+//! A ≈ α²(3 − 2α),         α = A_C · A_V · A_H · A_R.
+//! ```
+//!
+//! The intuition: availability is dominated by the Database quorum, whose
+//! three members are effectively single series chains of
+//! `{role + VM + host (+ rack)}`; the 1-of-3 roles only contribute at
+//! second order.
+
+use crate::HwParams;
+
+/// The 2-of-3 quorum polynomial `α²(3 − 2α)` (Eq. 1 specialized).
+///
+/// ```
+/// use sdnav_core::approx::two_of_three;
+/// assert_eq!(two_of_three(1.0), 1.0);
+/// assert_eq!(two_of_three(0.0), 0.0);
+/// assert!((two_of_three(0.999) - (3.0 * 0.999f64.powi(2) - 2.0 * 0.999f64.powi(3))).abs() < 1e-15);
+/// ```
+#[must_use]
+pub fn two_of_three(alpha: f64) -> f64 {
+    alpha * alpha * (3.0 - 2.0 * alpha)
+}
+
+/// §VII approximation for the Small topology: `A_{2/3}(A_C·A_V·A_H) · A_R`.
+#[must_use]
+pub fn hw_small(p: HwParams) -> f64 {
+    two_of_three(p.a_c * p.a_v * p.a_h) * p.a_r
+}
+
+/// §VII approximation for the Medium topology (the paper shows
+/// `A_M ≈ A_S`): identical to [`hw_small`].
+#[must_use]
+pub fn hw_medium(p: HwParams) -> f64 {
+    hw_small(p)
+}
+
+/// §VII approximation for the Large topology:
+/// `A_{2/3}(A_C·A_V·A_H·A_R)`.
+#[must_use]
+pub fn hw_large(p: HwParams) -> f64 {
+    two_of_three(p.a_c * p.a_v * p.a_h * p.a_r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ControllerSpec, HwModel, Topology};
+
+    /// The approximations must track the exact model to well under the
+    /// quantities the paper reasons about (fractions of a minute per year).
+    #[test]
+    fn approximations_track_exact_models() {
+        let spec = ControllerSpec::opencontrail_3x();
+        let minutes = 525_960.0;
+        for a_c in [0.999, 0.9995, 0.9999] {
+            let p = HwParams::paper_defaults().with_a_c(a_c);
+            let small_exact = HwModel::new(&spec, &Topology::small(&spec), p).availability();
+            let medium_exact = HwModel::new(&spec, &Topology::medium(&spec), p).availability();
+            let large_exact = HwModel::new(&spec, &Topology::large(&spec), p).availability();
+            assert!(
+                (hw_small(p) - small_exact).abs() * minutes < 0.2,
+                "small a_c={a_c}: {} vs {}",
+                hw_small(p),
+                small_exact
+            );
+            assert!(
+                (hw_medium(p) - medium_exact).abs() * minutes < 0.2,
+                "medium a_c={a_c}"
+            );
+            assert!(
+                (hw_large(p) - large_exact).abs() * minutes < 0.2,
+                "large a_c={a_c}"
+            );
+        }
+    }
+
+    #[test]
+    fn approximation_ordering_matches_exact() {
+        // Large ≥ Small under the approximations too.
+        let p = HwParams::paper_defaults();
+        assert!(hw_large(p) > hw_small(p));
+        assert_eq!(hw_small(p), hw_medium(p));
+    }
+
+    #[test]
+    fn two_of_three_bounds() {
+        for a in [0.0, 0.3, 0.7, 0.9995, 1.0] {
+            let v = two_of_three(a);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn two_of_three_is_monotone() {
+        let mut last = 0.0;
+        for i in 0..=100 {
+            let v = two_of_three(f64::from(i) / 100.0);
+            assert!(v >= last - 1e-15);
+            last = v;
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Exact availability evaluation by conditional enumeration over shared
+//! hardware elements.
+//!
+//! The paper's Eqs. (2), (4)–(5), (7), (9) and (12)–(15) are all instances
+//! of one pattern: *condition on the up/down state of hardware shared by
+//! several `(role, node)` blocks, then multiply conditionally independent
+//! block availabilities*. This module implements that pattern once, for any
+//! topology:
+//!
+//! 1. Every `(role, node)` block has a hosting chain `{VM, host, rack}`.
+//! 2. Chain elements used by **more than one** block correlate blocks and
+//!    are enumerated explicitly (for the paper's topologies that is at most
+//!    7 elements, i.e. 128 states).
+//! 3. Chain elements used by a single block are *folded* into the block's
+//!    Bernoulli survival probability.
+//! 4. Conditional on the shared state, blocks are independent and the
+//!    caller computes system availability from the per-block probabilities.
+
+use crate::{ControllerSpec, Topology};
+
+/// Per-block hosting chain after shared/unshared split.
+#[derive(Debug, Clone)]
+struct BlockChain {
+    /// Indices into the shared-element table; the block is down if any of
+    /// these is down.
+    shared: Vec<usize>,
+    /// Product of the availabilities of the block's unshared chain
+    /// elements.
+    folded: f64,
+}
+
+/// Exact enumerator over the shared hardware of a `(spec, topology)` pair.
+#[derive(Debug, Clone)]
+pub(crate) struct Enumerator {
+    /// Availabilities of the shared elements.
+    shared: Vec<f64>,
+    /// Blocks in `role-major` order: `blocks[r * nodes + node]`.
+    blocks: Vec<BlockChain>,
+    /// Spec role indices covered, in block-row order.
+    role_indices: Vec<usize>,
+    /// Cluster size.
+    nodes: usize,
+}
+
+/// Upper bound on enumerable shared elements (2^20 states ≈ 1M, still fast).
+const MAX_SHARED: usize = 20;
+
+impl Enumerator {
+    /// Builds the enumerator for the controller-scoped roles of `spec` laid
+    /// out on `topology`, with platform availabilities `a_v`, `a_h`, `a_r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology fails validation against the spec (callers
+    /// validate first and surface proper errors) or if the topology has more
+    /// than [`MAX_SHARED`] shared elements.
+    pub(crate) fn new(
+        spec: &ControllerSpec,
+        topology: &Topology,
+        a_v: f64,
+        a_h: f64,
+        a_r: f64,
+    ) -> Self {
+        topology
+            .validate(spec)
+            .expect("topology must be valid for the spec");
+        let nodes = spec.nodes as usize;
+
+        // Element universe: rack ids, then host ids, then VM ids.
+        let rack_base = 0usize;
+        let host_base = rack_base + topology.rack_count();
+        let vm_base = host_base + topology.host_count();
+        let element_count = vm_base + topology.vm_count();
+        let avail_of = |elem: usize| -> f64 {
+            if elem >= vm_base {
+                a_v
+            } else if elem >= host_base {
+                a_h
+            } else {
+                a_r
+            }
+        };
+
+        // Chains per block, in role-major order.
+        let mut role_indices = Vec::new();
+        let mut chains: Vec<Vec<usize>> = Vec::new();
+        let mut usage = vec![0usize; element_count];
+        for (role_index, role) in spec.controller_roles() {
+            role_indices.push(role_index);
+            for node in 0..spec.nodes {
+                let vm = topology
+                    .vm_of(&role.name, node)
+                    .expect("validated topology has all assignments");
+                let host = topology.host_of(vm);
+                let rack = topology.rack_of(host);
+                let chain = vec![rack_base + rack.0, host_base + host.0, vm_base + vm.0];
+                for &e in &chain {
+                    usage[e] += 1;
+                }
+                chains.push(chain);
+            }
+        }
+
+        // Split shared vs folded.
+        let mut shared_index = vec![usize::MAX; element_count];
+        let mut shared = Vec::new();
+        for (e, &uses) in usage.iter().enumerate() {
+            if uses >= 2 {
+                shared_index[e] = shared.len();
+                shared.push(avail_of(e));
+            }
+        }
+        assert!(
+            shared.len() <= MAX_SHARED,
+            "topology has {} shared elements; exact enumeration supports at most {MAX_SHARED}",
+            shared.len()
+        );
+
+        let blocks = chains
+            .into_iter()
+            .map(|chain| {
+                let mut folded = 1.0;
+                let mut shared_refs = Vec::new();
+                for e in chain {
+                    if shared_index[e] != usize::MAX {
+                        shared_refs.push(shared_index[e]);
+                    } else {
+                        folded *= avail_of(e);
+                    }
+                }
+                BlockChain {
+                    shared: shared_refs,
+                    folded,
+                }
+            })
+            .collect();
+
+        Enumerator {
+            shared,
+            blocks,
+            role_indices,
+            nodes,
+        }
+    }
+
+    /// Spec role indices covered, in block-row order.
+    pub(crate) fn role_indices(&self) -> &[usize] {
+        &self.role_indices
+    }
+
+    /// Cluster size.
+    pub(crate) fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of shared elements being enumerated.
+    #[cfg(test)]
+    pub(crate) fn shared_count(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Sums `P(shared state) · cond(per-block survival probabilities)` over
+    /// all shared states. `cond` receives a slice of length
+    /// `role_indices.len() * nodes` in role-major order; entry `b` is the
+    /// probability the block's full chain is up, conditional on the shared
+    /// state (zero if a shared chain element is down).
+    pub(crate) fn evaluate<F: FnMut(&[f64]) -> f64>(&self, mut cond: F) -> f64 {
+        let s = self.shared.len();
+        let mut q = vec![0.0; self.blocks.len()];
+        let mut total = 0.0;
+        for mask in 0u64..(1u64 << s) {
+            let mut weight = 1.0;
+            for (i, &a) in self.shared.iter().enumerate() {
+                weight *= if mask & (1 << i) != 0 { a } else { 1.0 - a };
+                if weight == 0.0 {
+                    break;
+                }
+            }
+            if weight == 0.0 {
+                continue;
+            }
+            for (b, chain) in self.blocks.iter().enumerate() {
+                let up = chain.shared.iter().all(|&i| mask & (1 << i) != 0);
+                q[b] = if up { chain.folded } else { 0.0 };
+            }
+            total += weight * cond(&q);
+        }
+        total
+    }
+}
+
+/// Availability of one role given its per-node survival probabilities.
+///
+/// `node_probs[i]` is the probability node `i`'s block (chain, and
+/// supervisor where required) is up; `reqs` lists the role's quorum
+/// requirements as `(m, instance availability)` pairs. Computes
+/// `Σ_{S ⊆ nodes} P(exactly S up) · Π_reqs A_{m/|S|}(a)` — the paper's
+/// Eq. (12)–(13) pattern.
+pub(crate) fn role_availability(node_probs: &[f64], reqs: &[(u32, f64)]) -> f64 {
+    if reqs.is_empty() {
+        return 1.0;
+    }
+    let n = node_probs.len();
+    let mut total = 0.0;
+    for mask in 0u32..(1u32 << n) {
+        let mut weight = 1.0;
+        let mut up = 0u32;
+        for (i, &p) in node_probs.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                weight *= p;
+                up += 1;
+            } else {
+                weight *= 1.0 - p;
+            }
+            if weight == 0.0 {
+                break;
+            }
+        }
+        if weight == 0.0 {
+            continue;
+        }
+        let mut avail = 1.0;
+        for &(m, a) in reqs {
+            avail *= sdnav_blocks::kofn::k_of_n(m, up, a);
+            if avail == 0.0 {
+                break;
+            }
+        }
+        total += weight * avail;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ControllerSpec, Topology};
+
+    const EPS: f64 = 1e-12;
+
+    fn spec() -> ControllerSpec {
+        ControllerSpec::opencontrail_3x()
+    }
+
+    #[test]
+    fn small_topology_shares_seven_elements() {
+        // 1 rack + 3 hosts + 3 VMs, all shared across role blocks.
+        let s = spec();
+        let e = Enumerator::new(&s, &Topology::small(&s), 0.99995, 0.9999, 0.99999);
+        assert_eq!(e.shared_count(), 7);
+        assert_eq!(e.role_indices().len(), 4);
+        assert_eq!(e.nodes(), 3);
+    }
+
+    #[test]
+    fn medium_topology_shares_five_elements() {
+        // 2 racks + 3 hosts shared; the 12 VMs are per-block (folded).
+        let s = spec();
+        let e = Enumerator::new(&s, &Topology::medium(&s), 0.99995, 0.9999, 0.99999);
+        assert_eq!(e.shared_count(), 5);
+    }
+
+    #[test]
+    fn large_topology_shares_three_elements() {
+        // 3 racks shared; hosts and VMs are per-block.
+        let s = spec();
+        let e = Enumerator::new(&s, &Topology::large(&s), 0.99995, 0.9999, 0.99999);
+        assert_eq!(e.shared_count(), 3);
+    }
+
+    #[test]
+    fn evaluate_total_probability_is_one() {
+        let s = spec();
+        for topo in [
+            Topology::small(&s),
+            Topology::medium(&s),
+            Topology::large(&s),
+        ] {
+            let e = Enumerator::new(&s, &topo, 0.9, 0.8, 0.7);
+            let total = e.evaluate(|_| 1.0);
+            assert!((total - 1.0).abs() < EPS, "{}: {total}", topo.name());
+        }
+    }
+
+    #[test]
+    fn evaluate_marginal_block_probability() {
+        // E[q_b] must equal A_V · A_H · A_R for every block.
+        let s = spec();
+        let (a_v, a_h, a_r) = (0.95, 0.9, 0.85);
+        for topo in [
+            Topology::small(&s),
+            Topology::medium(&s),
+            Topology::large(&s),
+        ] {
+            let e = Enumerator::new(&s, &topo, a_v, a_h, a_r);
+            for b in 0..12 {
+                let marginal = e.evaluate(|q| q[b]);
+                assert!(
+                    (marginal - a_v * a_h * a_r).abs() < EPS,
+                    "{} block {b}: {marginal}",
+                    topo.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_block_correlation_differs_by_topology() {
+        // Joint survival of two blocks of the same node: in Small they share
+        // the whole chain (joint = marginal); in Large only the rack.
+        let s = spec();
+        let (a_v, a_h, a_r) = (0.95, 0.9, 0.85);
+        let chain = a_v * a_h * a_r;
+
+        let small = Enumerator::new(&s, &Topology::small(&s), a_v, a_h, a_r);
+        // Blocks 0 and 3 are (role 0, node 0) and (role 1, node 0).
+        let joint_small = small.evaluate(|q| q[0] * q[3]);
+        assert!((joint_small - chain).abs() < EPS, "{joint_small}");
+
+        let large = Enumerator::new(&s, &Topology::large(&s), a_v, a_h, a_r);
+        let joint_large = large.evaluate(|q| q[0] * q[3]);
+        let expected = a_r * (a_v * a_h) * (a_v * a_h);
+        assert!((joint_large - expected).abs() < EPS, "{joint_large}");
+    }
+
+    #[test]
+    fn role_availability_reduces_to_k_of_n() {
+        // With perfect chains, role availability is the quorum formula.
+        let a = 0.997;
+        let got = role_availability(&[1.0, 1.0, 1.0], &[(2, a)]);
+        let expected = sdnav_blocks::kofn::k_of_n(2, 3, a);
+        assert!((got - expected).abs() < EPS);
+    }
+
+    #[test]
+    fn role_availability_with_dead_nodes() {
+        // Two nodes certain up, one certain down: 2-of-2 quorum.
+        let a: f64 = 0.99;
+        let got = role_availability(&[1.0, 0.0, 1.0], &[(2, a)]);
+        assert!((got - a * a).abs() < EPS);
+        // 1-of-2:
+        let got = role_availability(&[1.0, 0.0, 1.0], &[(1, a)]);
+        assert!((got - (1.0 - (1.0 - a) * (1.0 - a))).abs() < EPS);
+    }
+
+    #[test]
+    fn role_availability_no_requirements_is_one() {
+        assert_eq!(role_availability(&[0.0, 0.0, 0.0], &[]), 1.0);
+    }
+
+    #[test]
+    fn role_availability_requirements_multiply_given_chains() {
+        // With deterministic chains, requirements are independent.
+        let (a1, a2) = (0.9, 0.8);
+        let got = role_availability(&[1.0, 1.0, 1.0], &[(1, a1), (2, a2)]);
+        let expected = sdnav_blocks::kofn::k_of_n(1, 3, a1) * sdnav_blocks::kofn::k_of_n(2, 3, a2);
+        assert!((got - expected).abs() < EPS);
+    }
+
+    #[test]
+    fn role_availability_brute_force_cross_check() {
+        // Random-ish chains and two requirements, checked against a direct
+        // 2^(3+3·2) enumeration of chains and process instances.
+        let probs = [0.9, 0.7, 0.95];
+        let reqs = [(1u32, 0.85), (2u32, 0.9)];
+        let got = role_availability(&probs, &reqs);
+
+        let mut expected = 0.0;
+        // chains: 3 bits; per requirement: one instance per node → 2 × 3 bits.
+        for mask in 0u32..(1 << 9) {
+            let chain = |i: usize| mask & (1 << i) != 0;
+            let inst = |r: usize, i: usize| mask & (1 << (3 + r * 3 + i)) != 0;
+            let mut p = 1.0;
+            for (i, &cp) in probs.iter().enumerate() {
+                p *= if chain(i) { cp } else { 1.0 - cp };
+            }
+            for (r, &(_, a)) in reqs.iter().enumerate() {
+                for i in 0..3 {
+                    p *= if inst(r, i) { a } else { 1.0 - a };
+                }
+            }
+            let ok = reqs.iter().enumerate().all(|(r, &(m, _))| {
+                let up = (0..3).filter(|&i| chain(i) && inst(r, i)).count();
+                up >= m as usize
+            });
+            if ok {
+                expected += p;
+            }
+        }
+        assert!(
+            (got - expected).abs() < 1e-10,
+            "got {got} expected {expected}"
+        );
+    }
+
+    #[test]
+    fn params_are_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<crate::SwParams>();
+        check::<crate::HwParams>();
+    }
+}

@@ -1,0 +1,370 @@
+//! Direct transcriptions of the paper's closed-form equations.
+//!
+//! These are *independent implementations* of Eqs. (3), (6), (8)
+//! (HW-centric, §V) and Eqs. (9)–(15) (SW-centric, §VI), written exactly as
+//! the paper states them, with the four-role OpenContrail structure. They
+//! exist to cross-validate the general conditional-enumeration evaluator
+//! behind [`crate::HwModel`] and [`crate::SwModel`]:
+//!
+//! * Small and Large formulas are exact, so the general evaluator must
+//!   agree to machine precision;
+//! * the Medium Eq. (6) embeds a first-order simplification, so the
+//!   evaluator agrees only to ~1e-9 (quantified in the `approx_validation`
+//!   experiment).
+//!
+//! Per the paper's §VI.A text (and DESIGN.md), process availabilities are
+//! per-process: auto-restarted processes use `A`, manually restarted ones
+//! use `A_S`. The `m`-of-`n` helper `A_{m/n}(α)` is Eq. (1), provided by
+//! [`sdnav_blocks::kofn::k_of_n`].
+
+use sdnav_blocks::kofn::{binomial, k_of_n};
+
+use crate::{ControllerSpec, HwParams, Plane, Scenario, SwParams};
+
+/// Eq. (3): Small-topology HW-centric controller availability, `α = A_C`.
+#[must_use]
+pub fn hw_small_eq3(p: HwParams) -> f64 {
+    let a = p.a_c;
+    let a13 = k_of_n(1, 3, a);
+    let a23 = k_of_n(2, 3, a);
+    let a12 = k_of_n(1, 2, a);
+    let a22 = k_of_n(2, 2, a);
+    let vh = p.a_v * p.a_h;
+    (a13.powi(3) * a23 * vh + 3.0 * a12.powi(3) * a22 * (1.0 - vh))
+        * p.a_v.powi(2)
+        * p.a_h.powi(2)
+        * p.a_r
+}
+
+/// Eq. (6) *as printed*: Medium-topology HW-centric controller
+/// availability, `α = A_C · A_V`.
+///
+/// **The printed equation contains a typo**: its first bracket term
+/// `A_{1/3}³·A_{2/3}·A_H` is missing a factor `A_R` (the exact derivation
+/// from the paper's own Eqs. 4–5 yields `A_{1/3}³·A_{2/3}·A_H·A_R` — both
+/// bracket terms carry one power of `A_R` beyond the trailing `A_H²·A_R`).
+/// As printed, the formula evaluates to ≈ 0.9999990 at the defaults, while
+/// the paper's own Fig. 3 reports 0.999989 for Medium. See
+/// [`hw_medium_eq6_corrected`] and the `approx_validation` experiment.
+#[must_use]
+pub fn hw_medium_eq6_printed(p: HwParams) -> f64 {
+    let a = p.a_c * p.a_v;
+    let a13 = k_of_n(1, 3, a);
+    let a23 = k_of_n(2, 3, a);
+    let a12 = k_of_n(1, 2, a);
+    let a22 = k_of_n(2, 2, a);
+    (a13.powi(3) * a23 * p.a_h + a12.powi(3) * a22 * (4.0 - 3.0 * p.a_h - p.a_r))
+        * p.a_h.powi(2)
+        * p.a_r
+}
+
+/// Eq. (6) with the missing `A_R` restored (see
+/// [`hw_medium_eq6_printed`]): first-order-accurate in `(1−A_R)`, matching
+/// the exact Medium expression to ~1e-9 at the paper's parameters.
+#[must_use]
+pub fn hw_medium_eq6_corrected(p: HwParams) -> f64 {
+    let a = p.a_c * p.a_v;
+    let a13 = k_of_n(1, 3, a);
+    let a23 = k_of_n(2, 3, a);
+    let a12 = k_of_n(1, 2, a);
+    let a22 = k_of_n(2, 2, a);
+    (a13.powi(3) * a23 * p.a_h * p.a_r + a12.powi(3) * a22 * (4.0 - 3.0 * p.a_h - p.a_r))
+        * p.a_h.powi(2)
+        * p.a_r
+}
+
+/// The exact Medium-topology expression the paper derives *before*
+/// simplifying to Eq. (6) (its Eqs. 4–5 combined without dropping
+/// higher-order rack terms). Used to quantify Eq. (6)'s simplification gap.
+#[must_use]
+pub fn hw_medium_exact(p: HwParams) -> f64 {
+    let a = p.a_c * p.a_v;
+    let x = k_of_n(1, 3, a).powi(3) * k_of_n(2, 3, a);
+    let y = k_of_n(1, 2, a).powi(3) * k_of_n(2, 2, a);
+    let ah = p.a_h;
+    let ar = p.a_r;
+    // A = A_R²·[X·A_H³ + 3Y·A_H²(1−A_H)] + A_R(1−A_R)·Y·A_H².
+    ar * ar * (x * ah.powi(3) + 3.0 * y * ah.powi(2) * (1.0 - ah))
+        + ar * (1.0 - ar) * y * ah.powi(2)
+}
+
+/// Eq. (8): Large-topology HW-centric controller availability,
+/// `α = A_C · A_V · A_H`.
+#[must_use]
+pub fn hw_large_eq8(p: HwParams) -> f64 {
+    let a = p.a_c * p.a_v * p.a_h;
+    let a13 = k_of_n(1, 3, a);
+    let a23 = k_of_n(2, 3, a);
+    let a12 = k_of_n(1, 2, a);
+    let a22 = k_of_n(2, 2, a);
+    (a13.powi(3) * a23 * p.a_r + a12.powi(3) * a22 * 3.0 * (1.0 - p.a_r)) * p.a_r.powi(2)
+}
+
+/// One role's quorum requirements for a plane: `(m, instance availability)`
+/// pairs (Table III rows resolved against Table II restart modes).
+fn role_requirements(
+    spec: &ControllerSpec,
+    plane: Plane,
+    params: &SwParams,
+) -> Vec<Vec<(u32, f64)>> {
+    let reqs = spec.requirements(plane);
+    spec.controller_roles()
+        .map(|(ri, _)| {
+            reqs.iter()
+                .filter(|r| r.role_index == ri)
+                .map(|r| (r.required, r.instance_availability(&params.process)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Functional availability of one role given `x` candidate node slots and
+/// an optional per-node conditioning probability `rho` (Eqs. 12–14): the
+/// sum over `g` of `C(x,g)·ρ^g(1−ρ)^{x−g} · Π_reqs A_{m/g}`.
+/// With `rho = None` the node slots are certain (Eq. 10 / 13 without the
+/// ρ-weighting).
+fn role_term(x: u32, rho: Option<f64>, reqs: &[(u32, f64)]) -> f64 {
+    if reqs.is_empty() {
+        return 1.0;
+    }
+    match rho {
+        None => reqs.iter().map(|&(m, a)| k_of_n(m, x, a)).product(),
+        Some(rho) => (0..=x)
+            .map(|g| {
+                let weight = binomial(x, g) * rho.powi(g as i32) * (1.0 - rho).powi((x - g) as i32);
+                let avail: f64 = reqs.iter().map(|&(m, a)| k_of_n(m, g, a)).product();
+                weight * avail
+            })
+            .sum(),
+    }
+}
+
+/// Conditional functional availability with `x` blocks up: the product over
+/// roles of [`role_term`] (Eq. 10 for scenario 1, Eqs. 12–14 for the
+/// ρ-conditioned cases).
+fn functional(x: u32, rho: Option<f64>, role_reqs: &[Vec<(u32, f64)>]) -> f64 {
+    role_reqs
+        .iter()
+        .map(|reqs| role_term(x, rho, reqs))
+        .product()
+}
+
+/// Eqs. (9)–(14): Small-topology SW-centric plane availability.
+///
+/// Scenario 1 is Eq. (11); scenario 2 adds the supervisor conditioning of
+/// Eqs. (12)–(14) with `ρ = A_S`.
+///
+/// The paper writes only the "3 blocks up" and "2 blocks up" terms because
+/// the remaining terms vanish for the control plane (the Database role's
+/// 2-of-`g` quorum zeroes them). For the data plane the "1 block up" term
+/// is tiny but nonzero, so this transcription sums the full conditioning
+/// (the extra terms are exactly zero in the CP case, keeping the CP result
+/// identical to the paper's two-term form).
+#[must_use]
+pub fn sw_small(spec: &ControllerSpec, params: SwParams, scenario: Scenario, plane: Plane) -> f64 {
+    let role_reqs = role_requirements(spec, plane, &params);
+    let rho = match scenario {
+        Scenario::SupervisorNotRequired => None,
+        Scenario::SupervisorRequired => Some(params.process.manual),
+    };
+    let n = spec.nodes;
+    let vh = params.a_v * params.a_h;
+    let total: f64 = (0..=n)
+        .map(|x| {
+            let weight = binomial(n, x) * vh.powi(x as i32) * (1.0 - vh).powi((n - x) as i32);
+            weight * functional(x, rho, &role_reqs)
+        })
+        .sum();
+    total * params.a_r
+}
+
+/// Eq. (15) with Eqs. (12)–(14): Large-topology SW-centric plane
+/// availability. Scenario 1 uses `ρ = A_V·A_H`; scenario 2 uses
+/// `ρ = A_S·A_V·A_H`. As in [`sw_small`], the full rack conditioning is
+/// summed; the terms the paper omits are zero for the control plane.
+#[must_use]
+pub fn sw_large(spec: &ControllerSpec, params: SwParams, scenario: Scenario, plane: Plane) -> f64 {
+    let role_reqs = role_requirements(spec, plane, &params);
+    let rho = match scenario {
+        Scenario::SupervisorNotRequired => params.a_v * params.a_h,
+        Scenario::SupervisorRequired => params.process.manual * params.a_v * params.a_h,
+    };
+    let n = spec.nodes;
+    (0..=n)
+        .map(|x| {
+            let weight = binomial(n, x)
+                * params.a_r.powi(x as i32)
+                * (1.0 - params.a_r).powi((n - x) as i32);
+            weight * functional(x, Some(rho), &role_reqs)
+        })
+        .sum()
+}
+
+/// The local (per-host vRouter) data-plane contribution:
+/// `A_LDP = A^K` (scenario 1) or `A^K · A_S` (scenario 2).
+#[must_use]
+pub fn sw_local_dp(spec: &ControllerSpec, params: SwParams, scenario: Scenario) -> f64 {
+    let mut a: f64 = spec
+        .local_dp_processes()
+        .iter()
+        .map(|p| params.process.for_spec(p))
+        .product();
+    if scenario == Scenario::SupervisorRequired && spec.per_host_has_supervisor() {
+        a *= params.process.manual;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HwModel, SwModel, Topology};
+
+    fn spec() -> ControllerSpec {
+        ControllerSpec::opencontrail_3x()
+    }
+
+    #[test]
+    fn eq3_matches_general_evaluator() {
+        let s = spec();
+        let topo = Topology::small(&s);
+        for a_c in [0.999, 0.9995, 0.99999] {
+            let p = HwParams::paper_defaults().with_a_c(a_c);
+            let general = HwModel::new(&s, &topo, p).availability();
+            assert!((hw_small_eq3(p) - general).abs() < 1e-13, "a_c={a_c}");
+        }
+    }
+
+    #[test]
+    fn eq8_matches_general_evaluator() {
+        let s = spec();
+        let topo = Topology::large(&s);
+        for a_c in [0.999, 0.9995, 0.99999] {
+            let p = HwParams::paper_defaults().with_a_c(a_c);
+            let general = HwModel::new(&s, &topo, p).availability();
+            assert!((hw_large_eq8(p) - general).abs() < 1e-13, "a_c={a_c}");
+        }
+    }
+
+    #[test]
+    fn medium_exact_matches_general_evaluator() {
+        let s = spec();
+        let topo = Topology::medium(&s);
+        let p = HwParams::paper_defaults();
+        let general = HwModel::new(&s, &topo, p).availability();
+        assert!((hw_medium_exact(p) - general).abs() < 1e-13);
+    }
+
+    #[test]
+    fn eq6_corrected_is_close_to_exact() {
+        let p = HwParams::paper_defaults();
+        let gap = (hw_medium_eq6_corrected(p) - hw_medium_exact(p)).abs();
+        assert!(gap < 1e-8, "gap={gap:e}");
+    }
+
+    #[test]
+    fn eq6_printed_typo_is_exactly_a_missing_rack_factor() {
+        // printed − corrected = X·A_H·(1 − A_R)·A_H²·A_R ≈ 1e-5 at defaults.
+        let p = HwParams::paper_defaults();
+        let printed = hw_medium_eq6_printed(p);
+        let corrected = hw_medium_eq6_corrected(p);
+        let a = p.a_c * p.a_v;
+        let x = k_of_n(1, 3, a).powi(3) * k_of_n(2, 3, a);
+        let expected_gap = x * p.a_h * (1.0 - p.a_r) * p.a_h.powi(2) * p.a_r;
+        assert!((printed - corrected - expected_gap).abs() < 1e-15);
+        // The typo is material: it shifts Medium onto the Large curve.
+        assert!(printed - corrected > 9e-6);
+    }
+
+    #[test]
+    fn sw_small_matches_general_evaluator() {
+        let s = spec();
+        let topo = Topology::small(&s);
+        let params = SwParams::paper_defaults();
+        for scenario in [
+            Scenario::SupervisorNotRequired,
+            Scenario::SupervisorRequired,
+        ] {
+            let model = SwModel::new(&s, &topo, params, scenario);
+            for plane in [Plane::ControlPlane, Plane::DataPlane] {
+                let closed = sw_small(&s, params, scenario, plane);
+                let general = match plane {
+                    Plane::ControlPlane => model.cp_availability(),
+                    Plane::DataPlane => model.shared_dp_availability(),
+                };
+                assert!(
+                    (closed - general).abs() < 1e-12,
+                    "{scenario:?} {plane:?}: closed={closed:.12} general={general:.12}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sw_large_matches_general_evaluator() {
+        let s = spec();
+        let topo = Topology::large(&s);
+        let params = SwParams::paper_defaults();
+        for scenario in [
+            Scenario::SupervisorNotRequired,
+            Scenario::SupervisorRequired,
+        ] {
+            let model = SwModel::new(&s, &topo, params, scenario);
+            for plane in [Plane::ControlPlane, Plane::DataPlane] {
+                let closed = sw_large(&s, params, scenario, plane);
+                let general = match plane {
+                    Plane::ControlPlane => model.cp_availability(),
+                    Plane::DataPlane => model.shared_dp_availability(),
+                };
+                assert!(
+                    (closed - general).abs() < 1e-12,
+                    "{scenario:?} {plane:?}: closed={closed:.12} general={general:.12}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sw_local_dp_matches_general_evaluator() {
+        let s = spec();
+        let topo = Topology::small(&s);
+        let params = SwParams::paper_defaults();
+        for scenario in [
+            Scenario::SupervisorNotRequired,
+            Scenario::SupervisorRequired,
+        ] {
+            let model = SwModel::new(&s, &topo, params, scenario);
+            assert!(
+                (sw_local_dp(&s, params, scenario) - model.local_dp_availability()).abs() < 1e-15
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_alpha_misses_paper_numbers() {
+        // DESIGN.md ablation 2: reading Eq. (11) literally with a single
+        // α = A for every process does NOT reproduce the paper's quoted
+        // 5.9 m/y — demonstrating the per-process interpretation is the
+        // intended one.
+        let s = spec();
+        let mut params = SwParams::paper_defaults();
+        params.process.manual = params.process.auto; // uniform α = A
+        let a = sw_small(
+            &s,
+            params,
+            Scenario::SupervisorNotRequired,
+            Plane::ControlPlane,
+        );
+        let dt = (1.0 - a) * 525_960.0;
+        // Uniform α under-predicts: ~5.3 m/y (rack-dominated) instead of 5.9.
+        assert!(dt < 5.6, "uniform-α downtime {dt:.2} should be < 5.6 m/y");
+    }
+
+    #[test]
+    fn role_term_degenerate_cases() {
+        assert_eq!(role_term(3, None, &[]), 1.0);
+        assert_eq!(role_term(0, None, &[(1, 0.9)]), 0.0);
+        // ρ-conditioned with zero requirement slots.
+        assert_eq!(role_term(0, Some(0.5), &[(1, 0.9)]), 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Model parameter sets and the paper's default values.
+
+use serde::{Deserialize, Serialize};
+
+fn check_unit(value: f64, name: &str) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&value),
+        "{name} must lie in [0, 1], got {value}"
+    );
+    value
+}
+
+/// Parameters of the HW-centric analysis (§V): per-element availabilities
+/// with every controller role treated as an atomic element.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HwParams {
+    /// Availability of one instance of any controller role, `A_C`.
+    pub a_c: f64,
+    /// Availability of a VM including its guest OS, `A_V`.
+    pub a_v: f64,
+    /// Availability of a host including host OS and hypervisor, `A_H`.
+    pub a_h: f64,
+    /// Availability of a rack (power, ToR switching, …), `A_R`.
+    pub a_r: f64,
+}
+
+impl HwParams {
+    /// The paper's §V.D rule-of-thumb values:
+    /// `A_C = 0.9995`, `A_V = 0.99995`, `A_H = 0.99999`, `A_R = 0.99999`.
+    ///
+    /// (The Fig. 3 caption prints `A_H = 0.99990`, but only `0.99999`
+    /// reproduces the quoted availabilities; see DESIGN.md.)
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        HwParams {
+            a_c: 0.9995,
+            a_v: 0.99995,
+            a_h: 0.99999,
+            a_r: 0.99999,
+        }
+    }
+
+    /// Returns a copy with a different role availability `A_C` (the Fig. 3
+    /// sweep variable).
+    #[must_use]
+    pub fn with_a_c(self, a_c: f64) -> Self {
+        HwParams {
+            a_c: check_unit(a_c, "a_c"),
+            ..self
+        }
+    }
+
+    /// Validates all fields lie in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any availability is out of range.
+    pub fn validate(&self) {
+        check_unit(self.a_c, "a_c");
+        check_unit(self.a_v, "a_v");
+        check_unit(self.a_h, "a_h");
+        check_unit(self.a_r, "a_r");
+    }
+}
+
+/// Per-process availability parameters for the SW-centric analysis (§VI.A).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessParams {
+    /// Availability `A` of a process auto-restarted by its supervisor
+    /// (`F/(F+R)`; the paper's default `0.99998` from `F = 5000 h`,
+    /// `R = 0.1 h`).
+    pub auto: f64,
+    /// Availability `A_S` of an unsupervised, manually restarted process —
+    /// including the supervisor itself (`F/(F+R_S)`; the paper's default
+    /// `0.99980` from `R_S = 1 h`).
+    pub manual: f64,
+}
+
+impl ProcessParams {
+    /// The paper's §VI.A defaults: `A = 0.99998`, `A_S = 0.99980`.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        ProcessParams {
+            auto: 0.99998,
+            manual: 0.99980,
+        }
+    }
+
+    /// Availability of a process with the given restart mode.
+    #[must_use]
+    pub fn for_mode(&self, mode: crate::RestartMode) -> f64 {
+        match mode {
+            crate::RestartMode::Auto => self.auto,
+            crate::RestartMode::Manual => self.manual,
+        }
+    }
+
+    /// Availability of a specific process: the restart-mode baseline
+    /// adjusted by the process's [`crate::ProcessSpec::downtime_factor`]
+    /// (`u' = u · factor`, clamped into `[0, 1]`).
+    #[must_use]
+    pub fn for_spec(&self, process: &crate::ProcessSpec) -> f64 {
+        let u = (1.0 - self.for_mode(process.restart)) * process.downtime_factor;
+        (1.0 - u).clamp(0.0, 1.0)
+    }
+
+    /// The paper's Figs. 4–5 x-axis: scale both process *downtimes* by
+    /// `10^delta`, in lock-step. `delta = 0` is the default point;
+    /// `delta = −1` means 10× less downtime (more reliable);
+    /// `delta = +1` means 10× more downtime.
+    ///
+    /// Note the paper's axis is labeled the other way around in the text
+    /// (−1 = "1 order of magnitude less reliable"); [`crate::sweep`]
+    /// handles the figure orientation — this function is the primitive.
+    #[must_use]
+    pub fn scale_downtime(&self, delta: f64) -> Self {
+        let factor = 10f64.powf(delta);
+        ProcessParams {
+            auto: (1.0 - (1.0 - self.auto) * factor).clamp(0.0, 1.0),
+            manual: (1.0 - (1.0 - self.manual) * factor).clamp(0.0, 1.0),
+        }
+    }
+
+    /// Validates all fields lie in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any availability is out of range.
+    pub fn validate(&self) {
+        check_unit(self.auto, "auto");
+        check_unit(self.manual, "manual");
+    }
+}
+
+/// Full parameter set for the SW-centric analysis: process availabilities
+/// plus the platform availabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwParams {
+    /// Process availabilities (`A`, `A_S`).
+    pub process: ProcessParams,
+    /// VM availability `A_V`.
+    pub a_v: f64,
+    /// Host availability `A_H`.
+    pub a_h: f64,
+    /// Rack availability `A_R`.
+    pub a_r: f64,
+}
+
+impl SwParams {
+    /// The paper's §VI defaults: `A = 0.99998`, `A_S = 0.99980`,
+    /// `A_V = 0.99995`, `A_H = 0.99990`, `A_R = 0.99999`.
+    ///
+    /// `A_H` here is `0.99990` (not the HW-centric `0.99999`): only that
+    /// value reproduces the quoted Fig. 4/5 downtime numbers; see DESIGN.md.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        SwParams {
+            process: ProcessParams::paper_defaults(),
+            a_v: 0.99995,
+            a_h: 0.99990,
+            a_r: 0.99999,
+        }
+    }
+
+    /// Returns a copy with process downtimes scaled by `10^delta`
+    /// (the Figs. 4–5 sweep).
+    #[must_use]
+    pub fn scale_process_downtime(self, delta: f64) -> Self {
+        SwParams {
+            process: self.process.scale_downtime(delta),
+            ..self
+        }
+    }
+
+    /// Validates all fields lie in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any availability is out of range.
+    pub fn validate(&self) {
+        self.process.validate();
+        check_unit(self.a_v, "a_v");
+        check_unit(self.a_h, "a_h");
+        check_unit(self.a_r, "a_r");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_5d_and_6a() {
+        let hw = HwParams::paper_defaults();
+        assert_eq!(hw.a_c, 0.9995);
+        assert_eq!(hw.a_v, 0.99995);
+        assert_eq!(hw.a_h, 0.99999);
+        assert_eq!(hw.a_r, 0.99999);
+
+        let sw = SwParams::paper_defaults();
+        assert_eq!(sw.process.auto, 0.99998);
+        assert_eq!(sw.process.manual, 0.99980);
+        assert_eq!(sw.a_h, 0.99990);
+    }
+
+    #[test]
+    fn defaults_derive_from_paper_mtbf_mttr() {
+        // A = F/(F+R), F = 5000 h, R = 0.1 h; A_S with R_S = 1 h.
+        let p = ProcessParams::paper_defaults();
+        assert!((p.auto - 5000.0 / 5000.1).abs() < 2e-8);
+        assert!((p.manual - 5000.0 / 5001.0).abs() < 2e-7);
+    }
+
+    #[test]
+    fn downtime_scaling_is_exact_in_unavailability() {
+        let p = ProcessParams::paper_defaults();
+        let worse = p.scale_downtime(1.0);
+        assert!((1.0 - worse.auto - 10.0 * (1.0 - p.auto)).abs() < 1e-12);
+        assert!((1.0 - worse.manual - 10.0 * (1.0 - p.manual)).abs() < 1e-12);
+        let better = p.scale_downtime(-1.0);
+        assert!((1.0 - better.auto - 0.1 * (1.0 - p.auto)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downtime_scaling_zero_is_identity() {
+        let p = ProcessParams::paper_defaults();
+        let same = p.scale_downtime(0.0);
+        assert!((same.auto - p.auto).abs() < 1e-15);
+        assert!((same.manual - p.manual).abs() < 1e-15);
+    }
+
+    #[test]
+    fn downtime_scaling_clamps_at_extremes() {
+        let p = ProcessParams {
+            auto: 0.5,
+            manual: 0.5,
+        };
+        let worse = p.scale_downtime(2.0);
+        assert_eq!(worse.auto, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "a_c must lie in [0, 1]")]
+    fn with_a_c_validates() {
+        let _ = HwParams::paper_defaults().with_a_c(1.2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let hw = HwParams::paper_defaults();
+        let json = serde_json::to_string(&hw).unwrap();
+        let back: HwParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(hw, back);
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests for the availability models.
+
+use proptest::prelude::*;
+
+use sdnav_core::{ControllerSpec, HwModel, HwParams, Plane, Scenario, SwModel, SwParams, Topology};
+
+fn high_availability() -> impl Strategy<Value = f64> {
+    0.99f64..=1.0
+}
+
+fn arb_hw_params() -> impl Strategy<Value = HwParams> {
+    (
+        high_availability(),
+        high_availability(),
+        high_availability(),
+        high_availability(),
+    )
+        .prop_map(|(a_c, a_v, a_h, a_r)| HwParams { a_c, a_v, a_h, a_r })
+}
+
+fn arb_sw_params() -> impl Strategy<Value = SwParams> {
+    (
+        high_availability(),
+        0.0f64..=0.01,
+        high_availability(),
+        high_availability(),
+        high_availability(),
+    )
+        .prop_map(|(auto, manual_penalty, a_v, a_h, a_r)| SwParams {
+            process: sdnav_core::ProcessParams {
+                auto,
+                // Manual restart is never better than auto restart.
+                manual: (auto - manual_penalty).max(0.0),
+            },
+            a_v,
+            a_h,
+            a_r,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hw_availability_in_unit_interval(p in arb_hw_params()) {
+        let spec = ControllerSpec::opencontrail_3x();
+        for topo in [Topology::small(&spec), Topology::medium(&spec), Topology::large(&spec)] {
+            let a = HwModel::new(&spec, &topo, p).availability();
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&a), "{}: {}", topo.name(), a);
+        }
+    }
+
+    #[test]
+    fn hw_large_beats_small_when_racks_dominate(
+        a_c in 0.99f64..=1.0,
+        a_v in 0.99995f64..=1.0,
+        a_h in 0.99995f64..=1.0,
+        a_r in 0.99f64..=0.9999,
+    ) {
+        // In the paper's regime — rack risk well above VM/host risk — the
+        // third rack's quorum protection outweighs the (second-order)
+        // correlation penalty of separating roles onto more hardware.
+        // (This is NOT a theorem for arbitrary parameters: with
+        // near-perfect racks and weak VMs/hosts, Small's correlated
+        // failures beat Large; see `vm_host_separation_never_helps`.)
+        let p = HwParams { a_c, a_v, a_h, a_r };
+        let spec = ControllerSpec::opencontrail_3x();
+        let small = HwModel::new(&spec, &Topology::small(&spec), p).availability();
+        let medium = HwModel::new(&spec, &Topology::medium(&spec), p).availability();
+        let large = HwModel::new(&spec, &Topology::large(&spec), p).availability();
+        prop_assert!(large >= small - 1e-12);
+        prop_assert!(large >= medium - 1e-12);
+    }
+
+    #[test]
+    fn vm_host_separation_never_helps(p in arb_hw_params()) {
+        // §V.D / §VII: "separation of roles onto separate VMs does not
+        // improve availability" — with racks removed from the picture
+        // (A_R = 1), the fully separated Large layout is never *better*
+        // than the fully shared Small layout: per-node correlation
+        // concentrates failures onto nodes the quorum already tolerates.
+        let p = HwParams { a_r: 1.0, ..p };
+        let spec = ControllerSpec::opencontrail_3x();
+        let small = HwModel::new(&spec, &Topology::small(&spec), p).availability();
+        let large = HwModel::new(&spec, &Topology::large(&spec), p).availability();
+        prop_assert!(large <= small + 1e-12, "small={} large={}", small, large);
+    }
+
+    #[test]
+    fn hw_one_rack_or_three_not_two(p in arb_hw_params()) {
+        // The paper's headline conclusion holds across the parameter space:
+        // Medium (two racks) never beats Small (one rack).
+        let spec = ControllerSpec::opencontrail_3x();
+        let small = HwModel::new(&spec, &Topology::small(&spec), p).availability();
+        let medium = HwModel::new(&spec, &Topology::medium(&spec), p).availability();
+        prop_assert!(medium <= small + 1e-12, "small={} medium={}", small, medium);
+    }
+
+    #[test]
+    fn hw_monotone_in_each_parameter(p in arb_hw_params(), bump in 0.0f64..0.005) {
+        let spec = ControllerSpec::opencontrail_3x();
+        let topo = Topology::medium(&spec);
+        let base = HwModel::new(&spec, &topo, p).availability();
+        for which in 0..4 {
+            let mut q = p;
+            match which {
+                0 => q.a_c = (q.a_c + bump).min(1.0),
+                1 => q.a_v = (q.a_v + bump).min(1.0),
+                2 => q.a_h = (q.a_h + bump).min(1.0),
+                _ => q.a_r = (q.a_r + bump).min(1.0),
+            }
+            let better = HwModel::new(&spec, &topo, q).availability();
+            prop_assert!(better >= base - 1e-12, "param {} not monotone", which);
+        }
+    }
+
+    #[test]
+    fn sw_availability_in_unit_interval(p in arb_sw_params()) {
+        let spec = ControllerSpec::opencontrail_3x();
+        for topo in [Topology::small(&spec), Topology::medium(&spec), Topology::large(&spec)] {
+            for scenario in [Scenario::SupervisorNotRequired, Scenario::SupervisorRequired] {
+                let m = SwModel::new(&spec, &topo, p, scenario);
+                for a in [m.cp_availability(), m.shared_dp_availability(), m.host_dp_availability()] {
+                    prop_assert!((0.0..=1.0 + 1e-12).contains(&a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sw_supervisor_required_never_better(p in arb_sw_params()) {
+        let spec = ControllerSpec::opencontrail_3x();
+        for topo in [Topology::small(&spec), Topology::large(&spec)] {
+            let with = SwModel::new(&spec, &topo, p, Scenario::SupervisorRequired);
+            let without = SwModel::new(&spec, &topo, p, Scenario::SupervisorNotRequired);
+            prop_assert!(with.cp_availability() <= without.cp_availability() + 1e-12);
+            prop_assert!(with.host_dp_availability() <= without.host_dp_availability() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn sw_closed_forms_match_general_evaluator(p in arb_sw_params()) {
+        // The paper's Small/Large transcriptions and the conditional
+        // enumerator are independent implementations; they must agree.
+        let spec = ControllerSpec::opencontrail_3x();
+        for scenario in [Scenario::SupervisorNotRequired, Scenario::SupervisorRequired] {
+            for plane in [Plane::ControlPlane, Plane::DataPlane] {
+                let small_model = SwModel::new(&spec, &Topology::small(&spec), p, scenario);
+                let small_general = match plane {
+                    Plane::ControlPlane => small_model.cp_availability(),
+                    Plane::DataPlane => small_model.shared_dp_availability(),
+                };
+                let small_closed = sdnav_core::paper::sw_small(&spec, p, scenario, plane);
+                prop_assert!((small_general - small_closed).abs() < 1e-10,
+                    "small {:?} {:?}: {} vs {}", scenario, plane, small_general, small_closed);
+
+                let large_model = SwModel::new(&spec, &Topology::large(&spec), p, scenario);
+                let large_general = match plane {
+                    Plane::ControlPlane => large_model.cp_availability(),
+                    Plane::DataPlane => large_model.shared_dp_availability(),
+                };
+                let large_closed = sdnav_core::paper::sw_large(&spec, p, scenario, plane);
+                prop_assert!((large_general - large_closed).abs() < 1e-10,
+                    "large {:?} {:?}: {} vs {}", scenario, plane, large_general, large_closed);
+            }
+        }
+    }
+
+    #[test]
+    fn hw_closed_forms_match_general_evaluator(p in arb_hw_params()) {
+        let spec = ControllerSpec::opencontrail_3x();
+        let small = HwModel::new(&spec, &Topology::small(&spec), p).availability();
+        prop_assert!((small - sdnav_core::paper::hw_small_eq3(p)).abs() < 1e-12);
+        let medium = HwModel::new(&spec, &Topology::medium(&spec), p).availability();
+        prop_assert!((medium - sdnav_core::paper::hw_medium_exact(p)).abs() < 1e-12);
+        let large = HwModel::new(&spec, &Topology::large(&spec), p).availability();
+        prop_assert!((large - sdnav_core::paper::hw_large_eq8(p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cp_availability_bounded_by_weakest_quorum(p in arb_sw_params()) {
+        // CP availability can never exceed the bare Database quorum of the
+        // best case (all hardware perfect).
+        let spec = ControllerSpec::opencontrail_3x();
+        let m = SwModel::new(&spec, &Topology::large(&spec), p, Scenario::SupervisorNotRequired);
+        let db_quorum = sdnav_blocks::kofn::k_of_n(2, 3, p.process.manual).powi(4);
+        prop_assert!(m.cp_availability() <= db_quorum + 1e-12);
+    }
+
+    #[test]
+    fn scaled_downtime_round_trips(p in arb_sw_params(), delta in -1.0f64..1.0) {
+        prop_assume!(p.process.auto < 1.0 && p.process.manual < 1.0);
+        let scaled = p.scale_process_downtime(delta);
+        let back = scaled.scale_process_downtime(-delta);
+        prop_assert!((back.process.auto - p.process.auto).abs() < 1e-12);
+        prop_assert!((back.process.manual - p.process.manual).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,206 @@
+//! Behavioral regeneration of the paper's Table I.
+
+use std::fmt;
+
+use sdnav_core::{ControllerSpec, RoleScope, Scenario, SwParams, Topology};
+
+use crate::{Deployment, Element};
+
+/// One row of the regenerated Table I: a process and its derived quorum
+/// class for each plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Role name.
+    pub role: String,
+    /// Process name.
+    pub process: String,
+    /// Control-plane quorum class, e.g. "1 of 3" ("0 of 3" = not required).
+    pub cp: String,
+    /// Data-plane quorum class.
+    pub dp: String,
+    /// Derived CP requirement `m`.
+    pub cp_required: u32,
+    /// Derived DP requirement `m`.
+    pub dp_required: u32,
+}
+
+impl fmt::Display for Table1Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} {:<24} {:>6}  {:>6}",
+            self.role, self.process, self.cp, self.dp
+        )
+    }
+}
+
+/// Builds the failed element for instance `node` of a named process.
+type ElementCtor = Box<dyn Fn(u32, &str) -> Element>;
+
+/// Derives Table I from *behavior*: for each process, instances are failed
+/// one node at a time (everything else healthy) until the plane goes down;
+/// the quorum class "m of n" follows from the number of failures tolerated.
+///
+/// Uses the supervisor-not-required scenario so supervisors report their
+/// §III "0 of 3" class. The topology is irrelevant (only process elements
+/// are failed); the Large layout is used.
+///
+/// ```
+/// use sdnav_core::ControllerSpec;
+/// use sdnav_fmea::derive_table1;
+///
+/// let spec = ControllerSpec::opencontrail_3x();
+/// let table = derive_table1(&spec);
+/// let zk = table.iter().find(|r| r.process == "zookeeper").unwrap();
+/// assert_eq!(zk.cp, "2 of 3");
+/// assert_eq!(zk.dp, "0 of 3");
+/// ```
+#[must_use]
+pub fn derive_table1(spec: &ControllerSpec) -> Vec<Table1Row> {
+    let topology = Topology::large(spec);
+    let deployment = Deployment::new(
+        spec,
+        &topology,
+        SwParams::paper_defaults(),
+        Scenario::SupervisorNotRequired,
+    );
+    let mut rows = Vec::new();
+    for role in &spec.roles {
+        let (instances, make_element): (u32, ElementCtor) = match role.scope {
+            RoleScope::Controller => (
+                spec.nodes,
+                Box::new({
+                    let role_name = role.name.clone();
+                    move |node, process| Element::process(&role_name, node, process)
+                }),
+            ),
+            RoleScope::PerHost => (1, Box::new(|_, process| Element::host_process(process))),
+        };
+        for p in &role.processes {
+            let cp_required = derive_requirement(
+                &deployment,
+                instances,
+                |failed| deployment.cp_up(failed),
+                &make_element,
+                &p.name,
+            );
+            let dp_required = derive_requirement(
+                &deployment,
+                instances,
+                |failed| deployment.host_dp_up(failed),
+                &make_element,
+                &p.name,
+            );
+            rows.push(Table1Row {
+                role: role.name.clone(),
+                process: p.name.clone(),
+                cp: format!("{cp_required} of {instances}"),
+                dp: format!("{dp_required} of {instances}"),
+                cp_required,
+                dp_required,
+            });
+        }
+    }
+    rows
+}
+
+/// Fails 1, 2, … instances of one process; the first count that downs the
+/// plane determines `m` (`m = instances − failures + 1`); surviving all
+/// failures means `m = 0`.
+fn derive_requirement(
+    _deployment: &Deployment<'_>,
+    instances: u32,
+    plane_up: impl Fn(&[Element]) -> bool,
+    make_element: &dyn Fn(u32, &str) -> Element,
+    process: &str,
+) -> u32 {
+    for failures in 1..=instances {
+        let failed: Vec<Element> = (0..failures)
+            .map(|node| make_element(node, process))
+            .collect();
+        if !plane_up(&failed) {
+            return instances - failures + 1;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table I, transcribed for comparison:
+    /// (role, process, CP m, DP m).
+    const PAPER_TABLE_1: &[(&str, &str, u32, u32)] = &[
+        ("Config", "config-api", 1, 0),
+        ("Config", "discovery", 1, 1),
+        ("Config", "schema", 1, 0),
+        ("Config", "svc-monitor", 1, 0),
+        ("Config", "ifmap", 1, 0),
+        ("Config", "device-manager", 1, 0),
+        ("Control", "control", 1, 1),
+        ("Control", "dns", 0, 1),
+        ("Control", "named", 0, 1),
+        ("Analytics", "analytics-api", 1, 0),
+        ("Analytics", "alarm-gen", 1, 0),
+        ("Analytics", "collector", 1, 0),
+        ("Analytics", "query-engine", 1, 0),
+        ("Analytics", "redis", 1, 0),
+        ("Database", "cassandra-db-config", 2, 0),
+        ("Database", "cassandra-db-analytics", 2, 0),
+        ("Database", "kafka", 2, 0),
+        ("Database", "zookeeper", 2, 0),
+        ("vRouter", "vrouter-agent", 0, 1),
+        ("vRouter", "vrouter-dpdk", 0, 1),
+    ];
+
+    #[test]
+    fn derived_table_matches_paper_table_1() {
+        let spec = ControllerSpec::opencontrail_3x();
+        let table = derive_table1(&spec);
+        for &(role, process, cp, dp) in PAPER_TABLE_1 {
+            let row = table
+                .iter()
+                .find(|r| r.role == role && r.process == process)
+                .unwrap_or_else(|| panic!("{role}/{process} missing"));
+            assert_eq!(row.cp_required, cp, "{role}/{process} CP");
+            assert_eq!(row.dp_required, dp, "{role}/{process} DP");
+        }
+    }
+
+    #[test]
+    fn supervisors_and_nodemgrs_are_zero_of_n() {
+        // §III: "the supervisor is a '0 of 3' process" and "the nodemgr is
+        // also a '0 of 3' process" (in the not-required scenario).
+        let spec = ControllerSpec::opencontrail_3x();
+        let table = derive_table1(&spec);
+        for row in table
+            .iter()
+            .filter(|r| r.process == "supervisor" || r.process == "nodemgr")
+        {
+            assert_eq!(row.cp_required, 0, "{}/{} CP", row.role, row.process);
+            if row.role == "vRouter" && row.process == "supervisor" {
+                // Scenario 1: even the vRouter supervisor is not required.
+                assert_eq!(row.dp_required, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn quorum_class_strings_are_well_formed() {
+        let spec = ControllerSpec::opencontrail_3x();
+        let table = derive_table1(&spec);
+        let agent = table.iter().find(|r| r.process == "vrouter-agent").unwrap();
+        assert_eq!(agent.dp, "1 of 1");
+        assert_eq!(agent.cp, "0 of 1");
+        let control = table.iter().find(|r| r.process == "control").unwrap();
+        assert_eq!(control.cp, "1 of 3");
+        assert!(control.to_string().contains("Control"));
+    }
+
+    #[test]
+    fn row_count_covers_every_process() {
+        let spec = ControllerSpec::opencontrail_3x();
+        assert_eq!(derive_table1(&spec).len(), spec.process_count());
+    }
+}

@@ -1,0 +1,233 @@
+//! The paper's §VI.A supervisor/process interaction model.
+//!
+//! Each OpenContrail node-role runs a *supervisor* that auto-restarts its
+//! processes. §VI.A derives the *effective* availability `A*` of a process
+//! under two scenarios:
+//!
+//! 1. **Supervisor not required** — the node-role keeps running when its
+//!    supervisor dies; the only penalty is that processes failing during a
+//!    supervisor outage need a (slow) manual restart. With a maintenance
+//!    window `W` after the supervisor failure,
+//!    `R* = e^{−W/F}·R + (1 − e^{−W/F})·R_S` and `A* = F/(F + R*)`.
+//! 2. **Supervisor required** — a supervisor failure kills the node-role, so
+//!    either failure restarts the process: `F* = F/2`,
+//!    `R* = (R_S + R)/2`, `A* = F*/(F* + R*)`.
+//!
+//! [`scenario1`] and [`scenario2`] implement that arithmetic verbatim;
+//! [`scenario2_ctmc`] rebuilds scenario 2 as an explicit CTMC to show the
+//! renewal shortcut is sound.
+
+use crate::{Ctmc, CtmcError};
+
+/// Parameters of the supervisor/process pair, in hours (any unit works as
+/// long as it is consistent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorParams {
+    /// Process (and supervisor) mean time between failures, `F`.
+    pub mtbf: f64,
+    /// Mean time to auto-restart a supervised process, `R`.
+    pub auto_restart: f64,
+    /// Mean time to manually restart an unsupervised process (or the
+    /// supervisor itself), `R_S`.
+    pub manual_restart: f64,
+}
+
+impl SupervisorParams {
+    /// The paper's defaults: `F = 5000 h`, `R = 0.1 h`, `R_S = 1 h`.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        SupervisorParams {
+            mtbf: 5000.0,
+            auto_restart: 0.1,
+            manual_restart: 1.0,
+        }
+    }
+
+    /// Availability of a supervised (auto-restarted) process,
+    /// `A = F/(F + R)`.
+    #[must_use]
+    pub fn auto_availability(&self) -> f64 {
+        self.mtbf / (self.mtbf + self.auto_restart)
+    }
+
+    /// Availability of an unsupervised (manually restarted) process,
+    /// `A_S = F/(F + R_S)`.
+    #[must_use]
+    pub fn manual_availability(&self) -> f64 {
+        self.mtbf / (self.mtbf + self.manual_restart)
+    }
+}
+
+/// Result of the effective-availability analysis for one scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EffectiveAvailability {
+    /// Effective mean time between process-impacting failures, `F*`.
+    pub effective_mtbf: f64,
+    /// Effective mean restart time, `R*`.
+    pub effective_restart: f64,
+    /// Effective process availability, `A* = F*/(F* + R*)`.
+    pub availability: f64,
+}
+
+/// Scenario 1 (§VI.A): the supervisor is *not* required for continued
+/// operation; it is restarted at the next maintenance window, assumed to be
+/// `window` hours after its failure.
+///
+/// A process failing during that window needs a manual restart, so
+/// `R* = e^{−W/F}·R + (1 − e^{−W/F})·R_S`. The paper's conclusion: with
+/// `W = 10 h`, `R* = 0.102 h` and `A*` is indistinguishable from `A`.
+///
+/// ```
+/// use sdnav_markov::supervisor::{scenario1, SupervisorParams};
+///
+/// let eff = scenario1(SupervisorParams::paper_defaults(), 10.0);
+/// assert!((eff.effective_restart - 0.102).abs() < 5e-4);
+/// assert!((eff.availability - 0.99998).abs() < 1e-6);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `window` is negative or parameters are non-positive.
+#[must_use]
+pub fn scenario1(params: SupervisorParams, window: f64) -> EffectiveAvailability {
+    assert!(window >= 0.0, "maintenance window must be non-negative");
+    assert!(params.mtbf > 0.0, "MTBF must be positive");
+    let p_fail_during_outage = 1.0 - (-window / params.mtbf).exp();
+    let effective_restart = (1.0 - p_fail_during_outage) * params.auto_restart
+        + p_fail_during_outage * params.manual_restart;
+    let availability = params.mtbf / (params.mtbf + effective_restart);
+    EffectiveAvailability {
+        effective_mtbf: params.mtbf,
+        effective_restart,
+        availability,
+    }
+}
+
+/// Scenario 2 (§VI.A): the supervisor *is* required, so either the process
+/// failure or the supervisor failure takes the process down:
+/// `F* = F/2`, `R* = (R_S + R)/2`, `A* = F*/(F* + R*)`.
+///
+/// The paper's conclusion: every process effectively inherits the
+/// supervisor availability `A_S ≈ 0.9998`.
+///
+/// ```
+/// use sdnav_markov::supervisor::{scenario2, SupervisorParams};
+///
+/// let eff = scenario2(SupervisorParams::paper_defaults());
+/// assert_eq!(eff.effective_mtbf, 2500.0);
+/// assert_eq!(eff.effective_restart, 0.55);
+/// assert!((eff.availability - 0.9998).abs() < 3e-5);
+/// ```
+#[must_use]
+pub fn scenario2(params: SupervisorParams) -> EffectiveAvailability {
+    let effective_mtbf = params.mtbf / 2.0;
+    let effective_restart = (params.manual_restart + params.auto_restart) / 2.0;
+    let availability = effective_mtbf / (effective_mtbf + effective_restart);
+    EffectiveAvailability {
+        effective_mtbf,
+        effective_restart,
+        availability,
+    }
+}
+
+/// Scenario 2 rebuilt as an explicit CTMC.
+///
+/// States: 0 = process up (supervisor up); 1 = process down, auto restart in
+/// progress (rate `1/R`); 2 = supervisor failed, node-role being killed and
+/// manually restarted (rate `1/R_S`). Both failure modes occur at rate
+/// `1/F`. The process is up only in state 0.
+///
+/// Returns the steady-state probability of state 0, which matches
+/// [`scenario2`]'s renewal arithmetic to first order.
+///
+/// # Errors
+///
+/// Propagates [`CtmcError`] (cannot occur for positive parameters).
+pub fn scenario2_ctmc(params: SupervisorParams) -> Result<f64, CtmcError> {
+    let fail = 1.0 / params.mtbf;
+    let mut c = Ctmc::new(3);
+    c.add_transition(0, 1, fail); // process failure
+    c.add_transition(0, 2, fail); // supervisor failure
+    c.add_transition(1, 0, 1.0 / params.auto_restart);
+    c.add_transition(2, 0, 1.0 / params.manual_restart);
+    Ok(c.steady_state()?[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_base_availabilities() {
+        let p = SupervisorParams::paper_defaults();
+        assert!((p.auto_availability() - 0.99998).abs() < 1e-6);
+        assert!((p.manual_availability() - 0.9998).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scenario1_matches_paper_numbers() {
+        // Paper: Pr{failure during 10 h outage} = 1 − e^{−10/5000} ≈ 0.002,
+        // R* = 0.102 h, A* ≈ 0.99998.
+        let eff = scenario1(SupervisorParams::paper_defaults(), 10.0);
+        let p = 1.0 - (-10.0f64 / 5000.0).exp();
+        assert!((p - 0.002).abs() < 2e-6);
+        // R* = 0.998·0.1 + 0.002·1.0 = 0.1018, which the paper rounds to 0.102.
+        assert!((eff.effective_restart - 0.102).abs() < 5e-4);
+        assert!((eff.availability - 0.99998).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scenario1_zero_window_is_pure_auto() {
+        let p = SupervisorParams::paper_defaults();
+        let eff = scenario1(p, 0.0);
+        assert_eq!(eff.effective_restart, p.auto_restart);
+        assert!((eff.availability - p.auto_availability()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scenario1_huge_window_degrades_to_manual() {
+        let p = SupervisorParams::paper_defaults();
+        let eff = scenario1(p, 1e9);
+        assert!((eff.effective_restart - p.manual_restart).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scenario2_matches_paper_numbers() {
+        let eff = scenario2(SupervisorParams::paper_defaults());
+        assert_eq!(eff.effective_mtbf, 2500.0);
+        assert_eq!(eff.effective_restart, 0.55);
+        // Paper: A* ≈ 0.9998.
+        assert!((eff.availability - 0.9998).abs() < 3e-5);
+    }
+
+    #[test]
+    fn scenario2_ctmc_agrees_with_renewal_arithmetic() {
+        let p = SupervisorParams::paper_defaults();
+        let ctmc = scenario2_ctmc(p).unwrap();
+        let renewal = scenario2(p).availability;
+        assert!(
+            (ctmc - renewal).abs() < 1e-6,
+            "ctmc={ctmc} renewal={renewal}"
+        );
+    }
+
+    #[test]
+    fn scenario2_is_worse_than_scenario1() {
+        let p = SupervisorParams::paper_defaults();
+        assert!(scenario2(p).availability < scenario1(p, 10.0).availability);
+    }
+
+    #[test]
+    fn scenario_ordering_holds_across_parameter_range() {
+        for mtbf in [500.0, 5000.0, 50_000.0] {
+            for manual in [0.5, 1.0, 4.0] {
+                let p = SupervisorParams {
+                    mtbf,
+                    auto_restart: 0.1,
+                    manual_restart: manual,
+                };
+                assert!(scenario2(p).availability <= scenario1(p, 10.0).availability);
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Terminal line charts for regenerating the paper's figures in text form.
+
+use std::fmt;
+
+/// One named data series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    #[must_use]
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// A fixed-size character-grid line chart.
+///
+/// Each series is plotted with its own glyph; overlapping points show the
+/// later series' glyph. Designed for quick visual verification of figure
+/// *shapes* (who is above whom, where curves flatten) in a terminal or a
+/// text log.
+///
+/// ```
+/// use sdnav_report::{Chart, Series};
+///
+/// let up = Series::new("up", (0..10).map(|i| (i as f64, i as f64)).collect());
+/// let chart = Chart::new(40, 10).series(up);
+/// let text = chart.render();
+/// assert!(text.contains("up"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chart {
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+    y_label: String,
+    x_label: String,
+}
+
+const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@'];
+
+impl Chart {
+    /// Creates an empty chart with a plotting grid of `width` × `height`
+    /// characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is smaller than 2.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "chart must be at least 2x2");
+        Chart {
+            width,
+            height,
+            series: Vec::new(),
+            y_label: String::new(),
+            x_label: String::new(),
+        }
+    }
+
+    /// Adds a series (builder style).
+    #[must_use]
+    pub fn series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Sets the axis labels (builder style).
+    #[must_use]
+    pub fn labels(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Renders the chart to a string.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let points: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if points.is_empty() {
+            return "(no data)\n".to_owned();
+        }
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (x, y) in &points {
+            x_min = x_min.min(*x);
+            x_max = x_max.max(*x);
+            y_min = y_min.min(*y);
+            y_max = y_max.max(*y);
+        }
+        if x_max == x_min {
+            x_max = x_min + 1.0;
+        }
+        if y_max == y_min {
+            y_max = y_min + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in &s.points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+                let cy =
+                    ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
+                grid[self.height - 1 - cy][cx] = glyph;
+            }
+        }
+
+        if !self.y_label.is_empty() {
+            out.push_str(&format!(
+                "{} ({:.7} .. {:.7})\n",
+                self.y_label, y_min, y_max
+            ));
+        }
+        for (i, row) in grid.iter().enumerate() {
+            let edge = if i == 0 {
+                format!("{y_max:>12.7}")
+            } else if i == self.height - 1 {
+                format!("{y_min:>12.7}")
+            } else {
+                " ".repeat(12)
+            };
+            out.push_str(&edge);
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(13));
+        out.extend(std::iter::repeat_n('-', self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "{}{:<.4}{}{:>.4}\n",
+            " ".repeat(13),
+            x_min,
+            " ".repeat(self.width.saturating_sub(12)),
+            x_max
+        ));
+        if !self.x_label.is_empty() {
+            out.push_str(&format!("{}({})\n", " ".repeat(13), self.x_label));
+        }
+        for (si, s) in self.series.iter().enumerate() {
+            out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Chart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_legend_and_glyphs() {
+        let chart = Chart::new(20, 6)
+            .series(Series::new("a", vec![(0.0, 0.0), (1.0, 1.0)]))
+            .series(Series::new("b", vec![(0.0, 1.0), (1.0, 0.0)]))
+            .labels("x", "y");
+        let text = chart.render();
+        assert!(text.contains("* a"));
+        assert!(text.contains("o b"));
+        assert!(text.contains('*'));
+        assert!(text.contains('o'));
+        assert!(text.contains("(x)"));
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        let chart = Chart::new(10, 4);
+        assert_eq!(chart.render(), "(no data)\n");
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let chart = Chart::new(10, 4).series(Series::new("flat", vec![(0.0, 5.0), (1.0, 5.0)]));
+        let text = chart.render();
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let chart = Chart::new(10, 4).series(Series::new(
+            "nan",
+            vec![(0.0, f64::NAN), (1.0, 1.0), (2.0, 2.0)],
+        ));
+        let text = chart.render();
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    fn monotone_series_descends_across_rows() {
+        // Higher y values must appear on earlier (upper) lines.
+        let chart = Chart::new(30, 8).series(Series::new(
+            "line",
+            (0..30).map(|i| (f64::from(i), f64::from(i))).collect(),
+        ));
+        let text = chart.render();
+        let rows: Vec<&str> = text.lines().filter(|l| l.contains('|')).collect();
+        let first_star = rows.iter().position(|r| r.contains('*')).unwrap();
+        let last_star = rows.iter().rposition(|r| r.contains('*')).unwrap();
+        let first_col = rows[first_star].find('*').unwrap();
+        let last_col = rows[last_star].find('*').unwrap();
+        // Top row's star is to the right of the bottom row's star.
+        assert!(first_col > last_col);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn rejects_degenerate_grid() {
+        let _ = Chart::new(1, 5);
+    }
+}

@@ -1,0 +1,160 @@
+//! ASCII histograms, for outage-duration profiles and similar
+//! distributions.
+
+use std::fmt;
+
+/// Bin spacing for a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Binning {
+    /// Equal-width bins over the data range.
+    Linear,
+    /// Equal-ratio bins over the data range — appropriate when values span
+    /// orders of magnitude (e.g. 6-minute process restarts next to 48-hour
+    /// rack repairs). Requires strictly positive data.
+    Logarithmic,
+}
+
+/// A fixed-bin histogram with an ASCII bar rendering.
+///
+/// ```
+/// use sdnav_report::{Binning, Histogram};
+///
+/// let values = [0.1, 0.12, 0.09, 0.5, 2.0, 48.0];
+/// let hist = Histogram::new(&values, 4, Binning::Logarithmic).unwrap();
+/// let text = hist.render(30);
+/// assert!(text.contains('#'));
+/// assert_eq!(hist.total(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Bins `values` into `bins` buckets.
+    ///
+    /// Returns `None` when the histogram is undefined: empty input,
+    /// non-finite values, zero bins, or non-positive data under
+    /// [`Binning::Logarithmic`].
+    #[must_use]
+    pub fn new(values: &[f64], bins: usize, binning: Binning) -> Option<Self> {
+        if values.is_empty() || bins == 0 || values.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if binning == Binning::Logarithmic && min <= 0.0 {
+            return None;
+        }
+        // Degenerate single-value data: one bin holds everything.
+        let edges: Vec<f64> = if min == max {
+            vec![min, max]
+        } else {
+            match binning {
+                Binning::Linear => (0..=bins)
+                    .map(|i| min + (max - min) * i as f64 / bins as f64)
+                    .collect(),
+                Binning::Logarithmic => {
+                    let (lmin, lmax) = (min.ln(), max.ln());
+                    (0..=bins)
+                        .map(|i| (lmin + (lmax - lmin) * i as f64 / bins as f64).exp())
+                        .collect()
+                }
+            }
+        };
+        let bin_count = edges.len() - 1;
+        let mut counts = vec![0usize; bin_count];
+        for &v in values {
+            // Find the bin; the last bin is inclusive of the max.
+            let idx = edges[1..]
+                .iter()
+                .position(|&hi| v <= hi)
+                .unwrap_or(bin_count - 1);
+            counts[idx] += 1;
+        }
+        Some(Histogram { edges, counts })
+    }
+
+    /// Total number of binned values.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// The bins as `(lo, hi, count)` triples.
+    pub fn bins(&self) -> impl Iterator<Item = (f64, f64, usize)> + '_ {
+        self.edges
+            .windows(2)
+            .zip(&self.counts)
+            .map(|(edge, &count)| (edge[0], edge[1], count))
+    }
+
+    /// Renders bars scaled so the fullest bin spans `width` characters.
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (lo, hi, count) in self.bins() {
+            let bar =
+                "#".repeat((count * width).div_ceil(peak).min(width) * usize::from(count > 0));
+            let _ = writeln!(out, "{lo:>10.3} – {hi:>10.3} | {bar} {count}");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(40))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning_counts_everything() {
+        let values = [0.0, 1.0, 2.0, 3.0, 4.0, 4.0];
+        let h = Histogram::new(&values, 4, Binning::Linear).unwrap();
+        assert_eq!(h.total(), values.len());
+        let bins: Vec<_> = h.bins().collect();
+        assert_eq!(bins.len(), 4);
+        // The last bin includes the max twice.
+        assert_eq!(bins[3].2, 2);
+    }
+
+    #[test]
+    fn log_binning_spreads_magnitudes() {
+        let values = [0.01, 0.1, 1.0, 10.0];
+        let h = Histogram::new(&values, 4, Binning::Logarithmic).unwrap();
+        // One value per decade bin (edges are exact decade boundaries, and
+        // upper edges are inclusive, so each value lands alone).
+        let counts: Vec<usize> = h.bins().map(|(_, _, c)| c).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 4);
+        assert!(counts.iter().all(|&c| c >= 1), "{counts:?}");
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(Histogram::new(&[], 4, Binning::Linear).is_none());
+        assert!(Histogram::new(&[1.0], 0, Binning::Linear).is_none());
+        assert!(Histogram::new(&[f64::NAN], 2, Binning::Linear).is_none());
+        assert!(Histogram::new(&[-1.0, 1.0], 2, Binning::Logarithmic).is_none());
+        // Single distinct value: one bin with everything.
+        let h = Histogram::new(&[2.0, 2.0, 2.0], 5, Binning::Linear).unwrap();
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.bins().count(), 1);
+    }
+
+    #[test]
+    fn render_marks_nonempty_bins() {
+        let h = Histogram::new(&[1.0, 1.1, 9.0], 2, Binning::Linear).unwrap();
+        let text = h.render(20);
+        assert!(text.contains('#'));
+        assert!(text.lines().count() == 2);
+        assert_eq!(h.to_string(), h.render(40));
+    }
+}

@@ -1,0 +1,70 @@
+//! Presentation helpers for availability studies: aligned text tables,
+//! terminal line charts, and CSV export.
+//!
+//! Every table and figure of the reproduced paper is ultimately rendered
+//! through this crate (see the `sdnav-bench` experiment binaries and the
+//! `sdnav` CLI).
+//!
+//! ```
+//! use sdnav_report::Table;
+//!
+//! let mut table = Table::new(vec!["topology", "availability"]);
+//! table.row(vec!["Small".into(), "0.999989".into()]);
+//! table.row(vec!["Large".into(), "0.9999990".into()]);
+//! let text = table.to_text();
+//! assert!(text.contains("Small"));
+//! assert!(text.lines().count() >= 4); // header + rule + 2 rows
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chart;
+mod histogram;
+mod table;
+
+pub use chart::{Chart, Series};
+pub use histogram::{Binning, Histogram};
+pub use table::Table;
+
+/// Minutes in the mean year (`365.25 · 24 · 60`), for downtime conversion.
+pub const MINUTES_PER_YEAR: f64 = 525_960.0;
+
+/// Formats an availability as downtime in minutes/year, the paper's unit.
+///
+/// ```
+/// assert_eq!(sdnav_report::minutes_per_year(0.99999), "5.3 m/y");
+/// ```
+#[must_use]
+pub fn minutes_per_year(availability: f64) -> String {
+    format!("{:.1} m/y", (1.0 - availability) * MINUTES_PER_YEAR)
+}
+
+/// Formats an availability with nine significant decimals (enough to
+/// distinguish "five nines" values).
+///
+/// ```
+/// assert_eq!(sdnav_report::availability(0.99998), "0.999980000");
+/// ```
+#[must_use]
+pub fn availability(value: f64) -> String {
+    format!("{value:.9}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn downtime_formatting() {
+        assert_eq!(super::minutes_per_year(1.0), "0.0 m/y");
+        assert_eq!(super::minutes_per_year(0.99999), "5.3 m/y");
+        // The paper's 1S Small CP number.
+        let s = super::minutes_per_year(1.0 - 5.9 / super::MINUTES_PER_YEAR);
+        assert_eq!(s, "5.9 m/y");
+    }
+
+    #[test]
+    fn availability_formatting() {
+        assert_eq!(super::availability(0.999989), "0.999989000");
+    }
+}

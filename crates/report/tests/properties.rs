@@ -1,0 +1,119 @@
+//! Property-based tests for table and chart rendering.
+
+use proptest::prelude::*;
+
+use sdnav_report::{Chart, Series, Table};
+
+fn arb_cell() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-zA-Z0-9 _.-]{0,12}",
+        // Cells needing CSV escaping.
+        "[a-z,\"]{1,6}",
+    ]
+}
+
+proptest! {
+    #[test]
+    fn text_rows_align(
+        headers in prop::collection::vec("[a-z]{1,8}", 1..5),
+        rows in prop::collection::vec(prop::collection::vec("[a-z0-9]{0,10}", 0..1), 0..6),
+    ) {
+        let width = headers.len();
+        let mut table = Table::new(headers);
+        for _ in &rows {
+            table.row(vec!["x".to_owned(); width]);
+        }
+        let text = table.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        // header + rule + one line per row.
+        prop_assert_eq!(lines.len(), 2 + rows.len());
+        // The rule is as wide as the widest line.
+        let rule_len = lines[1].len();
+        for l in &lines {
+            prop_assert!(l.len() <= rule_len, "line wider than rule: {:?}", l);
+        }
+    }
+
+    #[test]
+    fn csv_round_trips_structurally(
+        headers in prop::collection::vec("[a-z]{1,6}", 1..4),
+        cells in prop::collection::vec(arb_cell(), 1..4),
+    ) {
+        // Build a 1-row table with awkward cells and verify a minimal CSV
+        // parse recovers the cell count and content.
+        let width = headers.len();
+        let mut row = cells;
+        row.resize(width, String::new());
+        let mut table = Table::new(headers);
+        table.row(row.clone());
+        let csv = table.to_csv();
+        let data_line = csv.lines().nth(1).expect("data row");
+        let parsed = parse_csv_line(data_line);
+        prop_assert_eq!(parsed.len(), width);
+        for (got, want) in parsed.iter().zip(&row) {
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn markdown_has_constant_pipe_count(
+        headers in prop::collection::vec("[a-z]{1,6}", 1..5),
+        n_rows in 0usize..5,
+    ) {
+        let width = headers.len();
+        let mut table = Table::new(headers);
+        for i in 0..n_rows {
+            table.row(vec![format!("v{i}"); width]);
+        }
+        let md = table.to_markdown();
+        for line in md.lines() {
+            prop_assert_eq!(line.matches('|').count(), width + 1, "{}", line);
+        }
+    }
+
+    #[test]
+    fn chart_never_panics_and_keeps_dimensions(
+        points in prop::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 0..40),
+        w in 2usize..80,
+        h in 2usize..30,
+    ) {
+        let chart = Chart::new(w, h).series(Series::new("s", points.clone()));
+        let text = chart.render();
+        if points.is_empty() {
+            prop_assert_eq!(text, "(no data)\n");
+        } else {
+            let plot_lines = text.lines().filter(|l| l.contains('|')).count();
+            prop_assert_eq!(plot_lines, h);
+        }
+    }
+}
+
+/// Minimal RFC-4180 parser for one line (tests only).
+fn parse_csv_line(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else if c == '"' {
+            in_quotes = true;
+        } else if c == ',' {
+            out.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    out.push(cur);
+    out
+}

@@ -1,0 +1,303 @@
+//! Simulation configuration.
+
+use sdnav_core::Scenario;
+
+/// MTBF/MTTR pair for a hardware element class, in hours.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElementRates {
+    /// Mean time between failures.
+    pub mtbf: f64,
+    /// Mean time to restore.
+    pub mttr: f64,
+}
+
+impl ElementRates {
+    /// Steady-state availability `MTBF/(MTBF+MTTR)`.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        self.mtbf / (self.mtbf + self.mttr)
+    }
+
+    /// Rates with a given availability at a fixed MTBF
+    /// (`MTTR = MTBF·(1−A)/A`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `availability` is not in `(0, 1]` or `mtbf` is not
+    /// positive.
+    #[must_use]
+    pub fn from_availability(mtbf: f64, availability: f64) -> Self {
+        assert!(mtbf > 0.0, "MTBF must be positive");
+        assert!(
+            availability > 0.0 && availability <= 1.0,
+            "availability must be in (0, 1]"
+        );
+        ElementRates {
+            mtbf,
+            mttr: mtbf * (1.0 - availability) / availability,
+        }
+    }
+
+    /// Shrinks both MTBF and MTTR by `factor`: the steady-state
+    /// availability is unchanged but failure/repair cycles run `factor`×
+    /// faster. Useful for statistically efficient validation runs when the
+    /// element's outages are long and rare (e.g. multi-day rack events),
+    /// whose raw lumpy statistics would dominate the estimator variance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    #[must_use]
+    pub fn scaled_time(self, factor: f64) -> Self {
+        assert!(factor > 0.0, "factor must be positive");
+        ElementRates {
+            mtbf: self.mtbf / factor,
+            mttr: self.mttr / factor,
+        }
+    }
+}
+
+/// The shape of repair/restart time distributions.
+///
+/// Steady-state availability of an alternating-renewal component depends
+/// only on the *mean* up and down times, not the distribution shapes (the
+/// classic insensitivity property) — which is why the paper can work with
+/// `A = F/(F+R)` without distributional assumptions. The simulator makes
+/// that property checkable: switch the shape and watch the long-run
+/// availabilities stay put while transient metrics (outage-duration
+/// percentiles) move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepairShape {
+    /// Exponential with the configured mean (memoryless).
+    #[default]
+    Exponential,
+    /// Deterministic: exactly the configured mean.
+    Deterministic,
+    /// Uniform on `[0.5·mean, 1.5·mean]`.
+    Uniform,
+}
+
+/// How a failed auto-restart process's restart time is chosen when its
+/// supervisor happens to be down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartModel {
+    /// §III's letter: "any process failures within that node-role require
+    /// manual restart" while the supervisor is down — restart takes `R_S`
+    /// instead of `R`. This couples process repair times to supervisor
+    /// state; the effect is `O((1−A_S)·(R_S−R)/F)`, invisible at the
+    /// paper's rates but measurable under acceleration.
+    Faithful,
+    /// The independence assumption the analytic models make: auto
+    /// processes always restart in `R`. Use this when validating the
+    /// closed forms at accelerated rates.
+    AnalyticIndependence,
+}
+
+/// How vrouter-agent ↔ Control-node connectivity is modeled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConnectionModel {
+    /// The analytic simplification: a host's shared DP is up whenever *any*
+    /// Control node has its full `{control+dns+named}` block up
+    /// (rediscovery is instantaneous). Matches [`sdnav_core::SwModel`].
+    Analytic,
+    /// The §III dynamics: each agent holds connections to two Control
+    /// nodes; when both connected nodes lose their block, the host drops
+    /// packets until rediscovery completes.
+    Failover {
+        /// Mean rediscovery delay in hours (the paper: "typically within a
+        /// minute" ≈ 1/60 h).
+        rediscovery_hours: f64,
+    },
+}
+
+/// Full simulation configuration. All times in hours.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Supervisor mode of operation.
+    pub scenario: Scenario,
+    /// Process mean time between failures, `F`.
+    pub process_mtbf: f64,
+    /// Auto-restart time, `R`.
+    pub auto_restart: f64,
+    /// Manual restart time, `R_S`.
+    pub manual_restart: f64,
+    /// Scenario-1 supervisor maintenance window `W`: a dead supervisor is
+    /// restarted (hitlessly) this long after failing.
+    pub supervisor_window: f64,
+    /// Rack failure/repair rates.
+    pub rack: ElementRates,
+    /// Host failure/repair rates.
+    pub host: ElementRates,
+    /// VM failure/repair rates.
+    pub vm: ElementRates,
+    /// Number of simulated compute hosts carrying vRouters.
+    pub compute_hosts: usize,
+    /// Connection model for the vRouter data plane.
+    pub connection: ConnectionModel,
+    /// Restart-time semantics for unsupervised auto processes.
+    pub restart_model: RestartModel,
+    /// Distribution shape of every repair/restart time (failure times stay
+    /// exponential).
+    pub repair_shape: RepairShape,
+    /// Record individual CP outage durations into the result (off by
+    /// default; long runs can accumulate many).
+    pub record_outages: bool,
+    /// Simulated horizon in hours.
+    pub horizon_hours: f64,
+    /// Initial fraction of the horizon discarded as warm-up.
+    pub warmup_fraction: f64,
+    /// Number of batches for batch-means confidence intervals.
+    pub batches: usize,
+}
+
+impl SimConfig {
+    /// The paper's §VI.A defaults: `F = 5000 h`, `R = 0.1 h`, `R_S = 1 h`,
+    /// `W = 10 h`; hardware rates chosen so the steady-state availabilities
+    /// equal the paper's (`A_V = 0.99995`, `A_H = 0.99990`,
+    /// `A_R = 0.99999`) at field-realistic MTBFs (host ≈ 5 years, rack
+    /// failure lasting two days, VM ≈ 2 months).
+    #[must_use]
+    pub fn paper_defaults(scenario: Scenario) -> Self {
+        SimConfig {
+            scenario,
+            process_mtbf: 5000.0,
+            auto_restart: 0.1,
+            manual_restart: 1.0,
+            supervisor_window: 10.0,
+            // Rack: 48 h to deliver and re-rack; MTBF follows from A_R.
+            rack: ElementRates {
+                mtbf: 48.0 * 0.99999 / (1.0 - 0.99999),
+                mttr: 48.0,
+            },
+            // Host: 5-year MTBF (§V.D, [16]); MTTR follows from A_H.
+            host: ElementRates::from_availability(5.0 * 8766.0, 0.99990),
+            // VM: 1440 h (~2 months) MTBF; MTTR follows from A_V.
+            vm: ElementRates::from_availability(1440.0, 0.99995),
+            compute_hosts: 6,
+            connection: ConnectionModel::Analytic,
+            restart_model: RestartModel::Faithful,
+            repair_shape: RepairShape::Exponential,
+            record_outages: false,
+            horizon_hours: 1_000_000.0,
+            warmup_fraction: 0.05,
+            batches: 20,
+        }
+    }
+
+    /// A configuration with all failure rates inflated by `factor` (repair
+    /// times unchanged), useful for statistically efficient validation runs:
+    /// unavailability scales ≈ linearly with `factor` while event counts
+    /// grow, so analytic-vs-simulated comparisons converge quickly.
+    ///
+    /// The scenario-1 supervisor maintenance window is scaled *down* by the
+    /// same factor: the paper's analysis rests on `W ≪ F` ("process
+    /// availability A is not measurably impacted"), and keeping `W` fixed
+    /// while shrinking `F` would leave supervisors down a macroscopic
+    /// fraction of the time — a different regime than the one being
+    /// validated. (The simulator *can* explore that regime: set
+    /// `supervisor_window` explicitly after accelerating.)
+    #[must_use]
+    pub fn accelerated(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "factor must be positive");
+        self.process_mtbf /= factor;
+        self.rack.mtbf /= factor;
+        self.host.mtbf /= factor;
+        self.vm.mtbf /= factor;
+        self.supervisor_window /= factor;
+        self
+    }
+
+    /// The equivalent analytic parameter set (steady-state availabilities
+    /// implied by these rates), for sim-vs-model comparisons.
+    #[must_use]
+    pub fn analytic_params(&self) -> sdnav_core::SwParams {
+        sdnav_core::SwParams {
+            process: sdnav_core::ProcessParams {
+                auto: self.process_mtbf / (self.process_mtbf + self.auto_restart),
+                manual: self.process_mtbf / (self.process_mtbf + self.manual_restart),
+            },
+            a_v: self.vm.availability(),
+            a_h: self.host.availability(),
+            a_r: self.rack.availability(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical values (non-positive times, zero batches,
+    /// warm-up ≥ 1, no compute hosts).
+    pub fn validate(&self) {
+        assert!(self.process_mtbf > 0.0, "process MTBF must be positive");
+        assert!(self.auto_restart > 0.0, "auto restart must be positive");
+        assert!(self.manual_restart > 0.0, "manual restart must be positive");
+        assert!(self.supervisor_window > 0.0, "window must be positive");
+        assert!(self.horizon_hours > 0.0, "horizon must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.warmup_fraction),
+            "warmup fraction must be in [0, 1)"
+        );
+        assert!(self.batches >= 2, "need at least two batches");
+        assert!(self.compute_hosts > 0, "need at least one compute host");
+        if let ConnectionModel::Failover { rediscovery_hours } = self.connection {
+            assert!(rediscovery_hours > 0.0, "rediscovery must be positive");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_recover_paper_availabilities() {
+        let c = SimConfig::paper_defaults(Scenario::SupervisorNotRequired);
+        let p = c.analytic_params();
+        assert!((p.process.auto - 0.99998).abs() < 1e-7);
+        assert!((p.process.manual - 0.9998).abs() < 1e-6);
+        assert!((p.a_v - 0.99995).abs() < 1e-10);
+        assert!((p.a_h - 0.99990).abs() < 1e-10);
+        assert!((p.a_r - 0.99999).abs() < 1e-10);
+    }
+
+    #[test]
+    fn from_availability_round_trips() {
+        let r = ElementRates::from_availability(1000.0, 0.999);
+        assert!((r.availability() - 0.999).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_time_preserves_availability() {
+        let r = ElementRates {
+            mtbf: 4800.0,
+            mttr: 48.0,
+        };
+        let fast = r.scaled_time(24.0);
+        assert!((fast.availability() - r.availability()).abs() < 1e-15);
+        assert_eq!(fast.mttr, 2.0);
+    }
+
+    #[test]
+    fn accelerated_scales_unavailability_roughly_linearly() {
+        let c = SimConfig::paper_defaults(Scenario::SupervisorNotRequired);
+        let fast = c.accelerated(10.0);
+        let u0 = 1.0 - c.analytic_params().process.auto;
+        let u1 = 1.0 - fast.analytic_params().process.auto;
+        assert!((u1 / u0 - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two batches")]
+    fn validate_rejects_single_batch() {
+        let mut c = SimConfig::paper_defaults(Scenario::SupervisorNotRequired);
+        c.batches = 1;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "availability must be in (0, 1]")]
+    fn from_availability_rejects_zero() {
+        let _ = ElementRates::from_availability(1000.0, 0.0);
+    }
+}

@@ -1,0 +1,1011 @@
+//! The discrete-event simulation engine.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use sdnav_core::{ControllerSpec, Plane, RestartMode, Scenario, Topology};
+
+use crate::{ConnectionModel, Estimate, SimConfig};
+
+/// Result of a single simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Time-averaged control-plane availability over the measured window.
+    pub cp_availability: f64,
+    /// Batch-means estimate of the CP availability.
+    pub cp_estimate: Estimate,
+    /// Time- and host-averaged data-plane availability.
+    pub dp_availability: f64,
+    /// Batch-means estimate of the DP availability.
+    pub dp_estimate: Estimate,
+    /// Number of distinct control-plane outages that *started* inside the
+    /// measured window.
+    pub cp_outage_count: u64,
+    /// Mean duration of those CP outages, in hours (NaN if none).
+    pub cp_outage_mean_hours: f64,
+    /// Mean time between CP outages: measured hours / outage count
+    /// (infinite if none occurred). This is the quantity behind the
+    /// paper's fleet argument — "no rack downtime for many years followed
+    /// by a highly-publicized extended outage".
+    pub cp_mtbf_hours: f64,
+    /// Individual CP outage durations (hours), recorded only when
+    /// [`SimConfig::record_outages`] is set; sorted ascending.
+    pub cp_outage_durations: Vec<f64>,
+    /// Number of events processed.
+    pub events: u64,
+    /// Hours of simulated time (the configured horizon).
+    pub simulated_hours: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    RackFail(usize),
+    RackRepair(usize),
+    HostFail(usize),
+    HostRepair(usize),
+    VmFail(usize),
+    VmRepair(usize),
+    ProcFail(usize),
+    ProcRepair(usize),
+    VProcFail(usize, usize),
+    VProcRepair(usize, usize),
+    Rediscover(usize),
+}
+
+#[derive(Debug)]
+struct TimedEvent {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for TimedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for TimedEvent {}
+impl PartialOrd for TimedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimedEvent {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// One controller process instance.
+#[derive(Debug, Clone)]
+struct ProcInfo {
+    /// Row in role-major block order.
+    role_row: usize,
+    node: usize,
+    manual: bool,
+    is_supervisor: bool,
+    /// Downtime multiplier (spec `downtime_factor`), applied to the
+    /// failure rate.
+    fail_factor: f64,
+}
+
+/// One resolved quorum requirement: per node, the pids of its members.
+#[derive(Debug, Clone)]
+struct ReqInfo {
+    required: usize,
+    /// `members[node]` = pids that must all be up on that node.
+    members: Vec<Vec<usize>>,
+    /// Whether this is a grouped block subject to connection dynamics.
+    grouped: bool,
+}
+
+/// A vRouter process on a compute host.
+#[derive(Debug, Clone)]
+struct VProcInfo {
+    manual: bool,
+    is_supervisor: bool,
+    dp_required: bool,
+    fail_factor: f64,
+}
+
+/// A runnable simulation of a controller spec on a topology.
+#[derive(Debug)]
+pub struct Simulation<'a> {
+    config: SimConfig,
+    nodes: usize,
+    // Static hardware structure.
+    rack_count: usize,
+    host_rack: Vec<usize>,
+    vm_host: Vec<usize>,
+    /// `(role_row, node)` → (rack, host, vm).
+    chains: Vec<(usize, usize, usize)>,
+    // Static process structure.
+    procs: Vec<ProcInfo>,
+    /// `(role_row, node)` → supervisor pid (usize::MAX if none).
+    supervisors: Vec<usize>,
+    cp_reqs: Vec<ReqInfo>,
+    dp_reqs: Vec<ReqInfo>,
+    vprocs: Vec<VProcInfo>,
+    _spec: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> Simulation<'a> {
+    /// Prepares a simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid or `topology` does not fit `spec`.
+    #[must_use]
+    pub fn new(spec: &'a ControllerSpec, topology: &'a Topology, config: SimConfig) -> Self {
+        config.validate();
+        topology
+            .validate(spec)
+            .expect("topology must be valid for the spec");
+        let nodes = spec.nodes as usize;
+
+        let host_rack: Vec<usize> = (0..topology.host_count())
+            .map(|h| topology.rack_of(sdnav_core::HostId(h)).0)
+            .collect();
+        let vm_host: Vec<usize> = (0..topology.vm_count())
+            .map(|v| topology.host_of(sdnav_core::VmId(v)).0)
+            .collect();
+
+        // Controller processes, role-major.
+        let mut procs = Vec::new();
+        let mut chains = Vec::new();
+        let mut supervisors = Vec::new();
+        // pid lookup: (role_row, node, process name) → pid.
+        let mut pid_of: std::collections::HashMap<(usize, usize, &str), usize> =
+            std::collections::HashMap::new();
+        for (role_row, (_, role)) in spec.controller_roles().enumerate() {
+            for node in 0..nodes {
+                let vm = topology
+                    .vm_of(&role.name, node as u32)
+                    .expect("validated topology");
+                let host = topology.host_of(vm).0;
+                let rack = topology.rack_of(sdnav_core::HostId(host)).0;
+                chains.push((rack, host, vm.0));
+                let mut sup_pid = usize::MAX;
+                for p in &role.processes {
+                    let pid = procs.len();
+                    pid_of.insert((role_row, node, p.name.as_str()), pid);
+                    if p.is_supervisor {
+                        sup_pid = pid;
+                    }
+                    procs.push(ProcInfo {
+                        role_row,
+                        node,
+                        manual: p.restart == RestartMode::Manual,
+                        is_supervisor: p.is_supervisor,
+                        fail_factor: p.downtime_factor,
+                    });
+                }
+                supervisors.push(sup_pid);
+            }
+        }
+
+        let resolve = |plane: Plane| -> Vec<ReqInfo> {
+            spec.requirements(plane)
+                .iter()
+                .map(|req| {
+                    // Map the spec role index back to the role-major row.
+                    let role_row = spec
+                        .controller_roles()
+                        .position(|(ri, _)| ri == req.role_index)
+                        .expect("controller role");
+                    let members = (0..nodes)
+                        .map(|node| {
+                            req.members
+                                .iter()
+                                .map(|m| pid_of[&(role_row, node, m.as_str())])
+                                .collect()
+                        })
+                        .collect();
+                    ReqInfo {
+                        required: req.required as usize,
+                        members,
+                        grouped: req.members.len() > 1,
+                    }
+                })
+                .collect()
+        };
+        let cp_reqs = resolve(Plane::ControlPlane);
+        let dp_reqs = resolve(Plane::DataPlane);
+
+        let vprocs: Vec<VProcInfo> = spec
+            .per_host_roles()
+            .flat_map(|r| r.processes.iter())
+            .map(|p| VProcInfo {
+                manual: p.restart == RestartMode::Manual,
+                is_supervisor: p.is_supervisor,
+                dp_required: p.dp_required > 0,
+                fail_factor: p.downtime_factor,
+            })
+            .collect();
+
+        Simulation {
+            config,
+            nodes,
+            rack_count: topology.rack_count(),
+            host_rack,
+            vm_host,
+            chains,
+            procs,
+            supervisors,
+            cp_reqs,
+            dp_reqs,
+            vprocs,
+            _spec: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs the simulation with the given RNG seed.
+    #[must_use]
+    pub fn run(&self, seed: u64) -> SimResult {
+        let mut state = RunState::new(self, seed);
+        state.execute(self)
+    }
+}
+
+/// Mutable per-run state.
+struct RunState {
+    rng: SmallRng,
+    queue: BinaryHeap<TimedEvent>,
+    seq: u64,
+    rack_up: Vec<bool>,
+    host_up: Vec<bool>,
+    vm_up: Vec<bool>,
+    proc_up: Vec<bool>,
+    vproc_up: Vec<Vec<bool>>,
+    /// Connected control-role node indices per compute host.
+    connections: Vec<[usize; 2]>,
+    rediscovery_pending: Vec<bool>,
+    events: u64,
+}
+
+impl RunState {
+    fn new(sim: &Simulation<'_>, seed: u64) -> Self {
+        let cfg = &sim.config;
+        let mut state = RunState {
+            rng: SmallRng::seed_from_u64(seed),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            rack_up: vec![true; sim.rack_count],
+            host_up: vec![true; sim.host_rack.len()],
+            vm_up: vec![true; sim.vm_host.len()],
+            proc_up: vec![true; sim.procs.len()],
+            vproc_up: vec![vec![true; sim.vprocs.len()]; cfg.compute_hosts],
+            connections: (0..cfg.compute_hosts)
+                .map(|i| [i % sim.nodes, (i + 1) % sim.nodes])
+                .collect(),
+            rediscovery_pending: vec![false; cfg.compute_hosts],
+            events: 0,
+        };
+        // Seed initial failure events.
+        for i in 0..sim.rack_count {
+            let t = state.exp(cfg.rack.mtbf);
+            state.push(t, EventKind::RackFail(i));
+        }
+        for i in 0..sim.host_rack.len() {
+            let t = state.exp(cfg.host.mtbf);
+            state.push(t, EventKind::HostFail(i));
+        }
+        for i in 0..sim.vm_host.len() {
+            let t = state.exp(cfg.vm.mtbf);
+            state.push(t, EventKind::VmFail(i));
+        }
+        for pid in 0..sim.procs.len() {
+            let t = state.exp(cfg.process_mtbf / sim.procs[pid].fail_factor.max(1e-12));
+            state.push(t, EventKind::ProcFail(pid));
+        }
+        for host in 0..cfg.compute_hosts {
+            for idx in 0..sim.vprocs.len() {
+                let t = state.exp(cfg.process_mtbf / sim.vprocs[idx].fail_factor.max(1e-12));
+                state.push(t, EventKind::VProcFail(host, idx));
+            }
+        }
+        state
+    }
+
+    fn exp(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.rng.random();
+        -mean * (1.0 - u).ln()
+    }
+
+    /// Samples a repair/restart duration with the configured shape.
+    fn repair(&mut self, shape: crate::RepairShape, mean: f64) -> f64 {
+        match shape {
+            crate::RepairShape::Exponential => self.exp(mean),
+            crate::RepairShape::Deterministic => mean,
+            crate::RepairShape::Uniform => {
+                let u: f64 = self.rng.random();
+                mean * (0.5 + u)
+            }
+        }
+    }
+
+    fn push(&mut self, time: f64, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(TimedEvent {
+            time,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    /// Restart time for a controller process at the moment of its failure.
+    fn proc_restart_time(&mut self, sim: &Simulation<'_>, pid: usize) -> f64 {
+        let cfg = &sim.config;
+        let info = &sim.procs[pid];
+        if info.is_supervisor {
+            return match cfg.scenario {
+                // Restarted at the next maintenance window.
+                Scenario::SupervisorNotRequired => {
+                    self.repair(cfg.repair_shape, cfg.supervisor_window)
+                }
+                // Restarted (manually) right away.
+                Scenario::SupervisorRequired => self.repair(cfg.repair_shape, cfg.manual_restart),
+            };
+        }
+        if info.manual {
+            return self.repair(cfg.repair_shape, cfg.manual_restart);
+        }
+        // Auto-restarted — if the supervisor is currently up (under the
+        // faithful §III semantics; the analytic-independence model always
+        // auto-restarts).
+        let supervised = match cfg.restart_model {
+            crate::RestartModel::AnalyticIndependence => true,
+            crate::RestartModel::Faithful => {
+                let sup = sim.supervisors[info.role_row * sim.nodes + info.node];
+                sup == usize::MAX || self.proc_up[sup]
+            }
+        };
+        if supervised {
+            self.repair(cfg.repair_shape, cfg.auto_restart)
+        } else {
+            self.repair(cfg.repair_shape, cfg.manual_restart)
+        }
+    }
+
+    fn vproc_restart_time(&mut self, sim: &Simulation<'_>, host: usize, idx: usize) -> f64 {
+        let cfg = &sim.config;
+        let info = &sim.vprocs[idx];
+        if info.is_supervisor {
+            return match cfg.scenario {
+                Scenario::SupervisorNotRequired => {
+                    self.repair(cfg.repair_shape, cfg.supervisor_window)
+                }
+                Scenario::SupervisorRequired => self.repair(cfg.repair_shape, cfg.manual_restart),
+            };
+        }
+        if info.manual {
+            return self.repair(cfg.repair_shape, cfg.manual_restart);
+        }
+        let supervised = match cfg.restart_model {
+            crate::RestartModel::AnalyticIndependence => true,
+            crate::RestartModel::Faithful => sim
+                .vprocs
+                .iter()
+                .position(|p| p.is_supervisor)
+                .is_none_or(|sup| self.vproc_up[host][sup]),
+        };
+        if supervised {
+            self.repair(cfg.repair_shape, cfg.auto_restart)
+        } else {
+            self.repair(cfg.repair_shape, cfg.manual_restart)
+        }
+    }
+
+    /// Is the hardware chain of block `(role_row, node)` up?
+    fn chain_up(&self, sim: &Simulation<'_>, row: usize) -> bool {
+        let (rack, host, vm) = sim.chains[row];
+        self.rack_up[rack] && self.host_up[host] && self.vm_up[vm]
+    }
+
+    /// Effective up-state of a controller process instance.
+    fn effective_up(&self, sim: &Simulation<'_>, pid: usize) -> bool {
+        let info = &sim.procs[pid];
+        let row = info.role_row * sim.nodes + info.node;
+        if !self.proc_up[pid] || !self.chain_up(sim, row) {
+            return false;
+        }
+        if sim.config.scenario == Scenario::SupervisorRequired && !info.is_supervisor {
+            let sup = sim.supervisors[row];
+            if sup != usize::MAX && !self.proc_up[sup] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Is the full member block of `req` up on `node`?
+    fn block_up(&self, sim: &Simulation<'_>, req: &ReqInfo, node: usize) -> bool {
+        req.members[node]
+            .iter()
+            .all(|&pid| self.effective_up(sim, pid))
+    }
+
+    fn req_satisfied(&self, sim: &Simulation<'_>, req: &ReqInfo) -> bool {
+        let up = (0..sim.nodes)
+            .filter(|&n| self.block_up(sim, req, n))
+            .count();
+        up >= req.required
+    }
+
+    fn cp_up(&self, sim: &Simulation<'_>) -> bool {
+        sim.cp_reqs.iter().all(|r| self.req_satisfied(sim, r))
+    }
+
+    /// Shared + local DP state for one compute host.
+    fn host_dp_up(&self, sim: &Simulation<'_>, host: usize) -> bool {
+        for req in &sim.dp_reqs {
+            let satisfied = if req.grouped {
+                match sim.config.connection {
+                    ConnectionModel::Analytic => self.req_satisfied(sim, req),
+                    ConnectionModel::Failover { .. } => self.connections[host]
+                        .iter()
+                        .any(|&n| self.block_up(sim, req, n)),
+                }
+            } else {
+                self.req_satisfied(sim, req)
+            };
+            if !satisfied {
+                return false;
+            }
+        }
+        // Local vRouter processes.
+        let sup_idx = sim.vprocs.iter().position(|p| p.is_supervisor);
+        for (idx, p) in sim.vprocs.iter().enumerate() {
+            if p.dp_required && !self.vproc_up[host][idx] {
+                return false;
+            }
+        }
+        if sim.config.scenario == Scenario::SupervisorRequired {
+            if let Some(sup) = sup_idx {
+                if !self.vproc_up[host][sup] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Checks connection health and schedules rediscovery when an agent has
+    /// a dead connection that could be replaced by a live node.
+    fn maybe_schedule_rediscovery(&mut self, sim: &Simulation<'_>, now: f64) {
+        let ConnectionModel::Failover { rediscovery_hours } = sim.config.connection else {
+            return;
+        };
+        let Some(grouped) = sim.dp_reqs.iter().find(|r| r.grouped) else {
+            return;
+        };
+        let node_up: Vec<bool> = (0..sim.nodes)
+            .map(|n| self.block_up(sim, grouped, n))
+            .collect();
+        for host in 0..sim.config.compute_hosts {
+            if self.rediscovery_pending[host] {
+                continue;
+            }
+            let dead_connection = self.connections[host].iter().any(|&n| !node_up[n]);
+            let replacement_exists =
+                (0..sim.nodes).any(|n| node_up[n] && !self.connections[host].contains(&n));
+            if dead_connection && replacement_exists {
+                self.rediscovery_pending[host] = true;
+                self.push(now + rediscovery_hours, EventKind::Rediscover(host));
+            }
+        }
+    }
+
+    fn rediscover(&mut self, sim: &Simulation<'_>, host: usize) {
+        let Some(grouped) = sim.dp_reqs.iter().find(|r| r.grouped) else {
+            return;
+        };
+        let node_up: Vec<usize> = (0..sim.nodes)
+            .filter(|&n| self.block_up(sim, grouped, n))
+            .collect();
+        if node_up.is_empty() {
+            return; // nothing to connect to; retry on the next state change
+        }
+        // Keep live current connections, fill the rest from live nodes.
+        let current = self.connections[host];
+        let mut new_conn = Vec::with_capacity(2);
+        for &c in &current {
+            if node_up.contains(&c) && !new_conn.contains(&c) {
+                new_conn.push(c);
+            }
+        }
+        for &n in &node_up {
+            if new_conn.len() >= 2 {
+                break;
+            }
+            if !new_conn.contains(&n) {
+                new_conn.push(n);
+            }
+        }
+        while new_conn.len() < 2 {
+            new_conn.push(new_conn[0]); // degenerate single-node cluster state
+        }
+        self.connections[host] = [new_conn[0], new_conn[1]];
+    }
+
+    fn apply(&mut self, sim: &Simulation<'_>, kind: EventKind, now: f64) {
+        let cfg = &sim.config;
+        match kind {
+            EventKind::RackFail(i) => {
+                self.rack_up[i] = false;
+                let t = self.repair(cfg.repair_shape, cfg.rack.mttr);
+                self.push(now + t, EventKind::RackRepair(i));
+            }
+            EventKind::RackRepair(i) => {
+                self.rack_up[i] = true;
+                let t = self.exp(cfg.rack.mtbf);
+                self.push(now + t, EventKind::RackFail(i));
+            }
+            EventKind::HostFail(i) => {
+                self.host_up[i] = false;
+                let t = self.repair(cfg.repair_shape, cfg.host.mttr);
+                self.push(now + t, EventKind::HostRepair(i));
+            }
+            EventKind::HostRepair(i) => {
+                self.host_up[i] = true;
+                let t = self.exp(cfg.host.mtbf);
+                self.push(now + t, EventKind::HostFail(i));
+            }
+            EventKind::VmFail(i) => {
+                self.vm_up[i] = false;
+                let t = self.repair(cfg.repair_shape, cfg.vm.mttr);
+                self.push(now + t, EventKind::VmRepair(i));
+            }
+            EventKind::VmRepair(i) => {
+                self.vm_up[i] = true;
+                let t = self.exp(cfg.vm.mtbf);
+                self.push(now + t, EventKind::VmFail(i));
+            }
+            EventKind::ProcFail(pid) => {
+                self.proc_up[pid] = false;
+                let t = self.proc_restart_time(sim, pid);
+                self.push(now + t, EventKind::ProcRepair(pid));
+            }
+            EventKind::ProcRepair(pid) => {
+                self.proc_up[pid] = true;
+                let t = self.exp(cfg.process_mtbf / sim.procs[pid].fail_factor.max(1e-12));
+                self.push(now + t, EventKind::ProcFail(pid));
+            }
+            EventKind::VProcFail(host, idx) => {
+                self.vproc_up[host][idx] = false;
+                let t = self.vproc_restart_time(sim, host, idx);
+                self.push(now + t, EventKind::VProcRepair(host, idx));
+            }
+            EventKind::VProcRepair(host, idx) => {
+                self.vproc_up[host][idx] = true;
+                let t = self.exp(cfg.process_mtbf / sim.vprocs[idx].fail_factor.max(1e-12));
+                self.push(now + t, EventKind::VProcFail(host, idx));
+            }
+            EventKind::Rediscover(host) => {
+                self.rediscovery_pending[host] = false;
+                self.rediscover(sim, host);
+            }
+        }
+        self.maybe_schedule_rediscovery(sim, now);
+    }
+
+    fn execute(&mut self, sim: &Simulation<'_>) -> SimResult {
+        let cfg = &sim.config;
+        let horizon = cfg.horizon_hours;
+        let warmup = horizon * cfg.warmup_fraction;
+        let measured = horizon - warmup;
+        let batch_len = measured / cfg.batches as f64;
+        let mut cp_batch = vec![0.0_f64; cfg.batches];
+        let mut dp_batch = vec![0.0_f64; cfg.batches];
+
+        let mut now = 0.0_f64;
+        let mut cp_state = self.cp_up(sim);
+        let mut dp_state: Vec<bool> = (0..cfg.compute_hosts)
+            .map(|h| self.host_dp_up(sim, h))
+            .collect();
+        // CP outage bookkeeping (outages starting inside the window).
+        let mut cp_outage_count = 0u64;
+        let mut cp_outage_hours = 0.0_f64;
+        let mut cp_down_since: Option<f64> = None;
+        let mut cp_outage_durations: Vec<f64> = Vec::new();
+
+        // Accumulates up-time between `from` and `to` into the batches.
+        let hosts = cfg.compute_hosts as f64;
+        let accumulate = |cp_batch: &mut [f64],
+                          dp_batch: &mut [f64],
+                          from: f64,
+                          to: f64,
+                          cp: bool,
+                          dp_up_count: f64| {
+            let lo = from.max(warmup);
+            let hi = to.min(horizon);
+            if hi <= lo {
+                return;
+            }
+            // Split across batch boundaries.
+            let mut t = lo;
+            while t < hi {
+                let b = (((t - warmup) / batch_len) as usize).min(cp_batch.len() - 1);
+                let batch_end = warmup + (b + 1) as f64 * batch_len;
+                let seg = hi.min(batch_end) - t;
+                if cp {
+                    cp_batch[b] += seg;
+                }
+                dp_batch[b] += seg * dp_up_count / hosts;
+                t += seg;
+            }
+        };
+
+        while let Some(event) = self.queue.pop() {
+            if event.time >= horizon {
+                break;
+            }
+            let dp_up_count = dp_state.iter().filter(|&&u| u).count() as f64;
+            accumulate(
+                &mut cp_batch,
+                &mut dp_batch,
+                now,
+                event.time,
+                cp_state,
+                dp_up_count,
+            );
+            now = event.time;
+            self.events += 1;
+            self.apply(sim, event.kind, now);
+            let cp_now = self.cp_up(sim);
+            if cp_state && !cp_now && now >= warmup {
+                cp_down_since = Some(now);
+            } else if !cp_state && cp_now {
+                if let Some(start) = cp_down_since.take() {
+                    cp_outage_count += 1;
+                    cp_outage_hours += now - start;
+                    if cfg.record_outages {
+                        cp_outage_durations.push(now - start);
+                    }
+                }
+            }
+            cp_state = cp_now;
+            for (h, state) in dp_state.iter_mut().enumerate() {
+                *state = self.host_dp_up(sim, h);
+            }
+        }
+        // Tail to the horizon.
+        let dp_up_count = dp_state.iter().filter(|&&u| u).count() as f64;
+        accumulate(
+            &mut cp_batch,
+            &mut dp_batch,
+            now,
+            horizon,
+            cp_state,
+            dp_up_count,
+        );
+
+        // An outage still open at the horizon counts, truncated.
+        if let Some(start) = cp_down_since.take() {
+            cp_outage_count += 1;
+            cp_outage_hours += horizon - start;
+            if cfg.record_outages {
+                cp_outage_durations.push(horizon - start);
+            }
+        }
+        cp_outage_durations.sort_by(f64::total_cmp);
+
+        let cp_fracs: Vec<f64> = cp_batch.iter().map(|&t| t / batch_len).collect();
+        let dp_fracs: Vec<f64> = dp_batch.iter().map(|&t| t / batch_len).collect();
+        let cp_estimate = Estimate::from_samples(&cp_fracs);
+        let dp_estimate = Estimate::from_samples(&dp_fracs);
+        SimResult {
+            cp_availability: cp_estimate.mean,
+            cp_estimate,
+            dp_availability: dp_estimate.mean,
+            dp_estimate,
+            cp_outage_count,
+            cp_outage_mean_hours: if cp_outage_count > 0 {
+                cp_outage_hours / cp_outage_count as f64
+            } else {
+                f64::NAN
+            },
+            cp_mtbf_hours: if cp_outage_count > 0 {
+                measured / cp_outage_count as f64
+            } else {
+                f64::INFINITY
+            },
+            cp_outage_durations,
+            events: self.events,
+            simulated_hours: horizon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnav_core::SwModel;
+
+    fn spec() -> ControllerSpec {
+        ControllerSpec::opencontrail_3x()
+    }
+
+    /// An accelerated configuration: unavailabilities ~100× the paper's, so
+    /// failures are frequent and estimates converge in seconds. Uses the
+    /// analytic-independence restart model so the closed forms are the
+    /// exact steady state being sampled.
+    fn fast_config(scenario: Scenario) -> SimConfig {
+        let mut c = SimConfig::paper_defaults(scenario).accelerated(100.0);
+        c.horizon_hours = 300_000.0;
+        c.compute_hosts = 3;
+        c.restart_model = crate::RestartModel::AnalyticIndependence;
+        // Rack outages are 48 h long and rare; run their clock 24× faster
+        // (same availability) so their downtime estimate is not lumpy.
+        c.rack = c.rack.scaled_time(24.0);
+        c
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = spec();
+        let topo = Topology::small(&s);
+        let mut cfg = fast_config(Scenario::SupervisorNotRequired);
+        cfg.horizon_hours = 20_000.0;
+        let sim = Simulation::new(&s, &topo, cfg);
+        let a = sim.run(7);
+        let b = sim.run(7);
+        // Field-wise comparison (the struct holds NaN-able fields, so
+        // `==` would be false for identical outage-free runs).
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.cp_availability, b.cp_availability);
+        assert_eq!(a.dp_availability, b.dp_availability);
+        assert_eq!(a.cp_outage_count, b.cp_outage_count);
+        let c = sim.run(8);
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn outage_statistics_are_consistent() {
+        let s = spec();
+        let topo = Topology::small(&s);
+        // Paper-scale process rates but terrible racks, so CP outages are
+        // rack events: frequent enough to count, rack-MTTR long.
+        let mut cfg = SimConfig::paper_defaults(Scenario::SupervisorNotRequired);
+        cfg.rack = crate::ElementRates {
+            mtbf: 2_000.0,
+            mttr: 20.0,
+        };
+        cfg.compute_hosts = 2;
+        cfg.horizon_hours = 200_000.0;
+        let r = Simulation::new(&s, &topo, cfg).run(5);
+        assert!(r.cp_outage_count > 20, "{}", r.cp_outage_count);
+        // Outage time ≈ unavailability × measured window.
+        let measured = cfg.horizon_hours * (1.0 - cfg.warmup_fraction);
+        let outage_fraction = r.cp_outage_mean_hours * r.cp_outage_count as f64 / measured;
+        let u = 1.0 - r.cp_availability;
+        assert!(
+            (outage_fraction - u).abs() / u < 0.15,
+            "fraction={outage_fraction:e} u={u:e}"
+        );
+        // MTBF × count ≈ measured window by construction.
+        assert!((r.cp_mtbf_hours * r.cp_outage_count as f64 - measured).abs() < 1.0);
+        // Outages are rack-repair-dominated: mean duration within a factor
+        // of a few of the 20 h rack MTTR.
+        assert!(
+            r.cp_outage_mean_hours > 5.0 && r.cp_outage_mean_hours < 60.0,
+            "{}",
+            r.cp_outage_mean_hours
+        );
+    }
+
+    #[test]
+    fn no_outages_yields_infinite_mtbf() {
+        let s = spec();
+        let topo = Topology::large(&s);
+        // Paper-scale rates over a tiny horizon: almost surely no CP outage.
+        let mut cfg = SimConfig::paper_defaults(Scenario::SupervisorNotRequired);
+        cfg.horizon_hours = 100.0;
+        cfg.compute_hosts = 1;
+        let r = Simulation::new(&s, &topo, cfg).run(9);
+        if r.cp_outage_count == 0 {
+            assert!(r.cp_mtbf_hours.is_infinite());
+            assert!(r.cp_outage_mean_hours.is_nan());
+        }
+    }
+
+    #[test]
+    fn availabilities_are_probabilities() {
+        let s = spec();
+        let topo = Topology::small(&s);
+        let mut cfg = fast_config(Scenario::SupervisorRequired);
+        cfg.horizon_hours = 20_000.0;
+        let r = Simulation::new(&s, &topo, cfg).run(1);
+        assert!((0.0..=1.0).contains(&r.cp_availability));
+        assert!((0.0..=1.0).contains(&r.dp_availability));
+        assert!(r.events > 100);
+    }
+
+    #[test]
+    fn simulation_matches_analytic_cp_small_scenario_1() {
+        let s = spec();
+        let topo = Topology::small(&s);
+        let cfg = fast_config(Scenario::SupervisorNotRequired);
+        let result = Simulation::new(&s, &topo, cfg).run(11);
+        let analytic = SwModel::new(
+            &s,
+            &topo,
+            cfg.analytic_params(),
+            Scenario::SupervisorNotRequired,
+        )
+        .cp_availability();
+        assert!(
+            result.cp_estimate.is_consistent_with(analytic, 4.0),
+            "sim={} analytic={analytic:.6}",
+            result.cp_estimate
+        );
+    }
+
+    #[test]
+    fn simulation_matches_analytic_cp_large_scenario_2() {
+        let s = spec();
+        let topo = Topology::large(&s);
+        let cfg = fast_config(Scenario::SupervisorRequired);
+        let result = Simulation::new(&s, &topo, cfg).run(13);
+        let analytic = SwModel::new(
+            &s,
+            &topo,
+            cfg.analytic_params(),
+            Scenario::SupervisorRequired,
+        )
+        .cp_availability();
+        assert!(
+            result.cp_estimate.is_consistent_with(analytic, 4.0),
+            "sim={} analytic={analytic:.6}",
+            result.cp_estimate
+        );
+    }
+
+    #[test]
+    fn simulation_matches_analytic_dp() {
+        let s = spec();
+        let topo = Topology::small(&s);
+        let cfg = fast_config(Scenario::SupervisorRequired);
+        let result = Simulation::new(&s, &topo, cfg).run(17);
+        let analytic = SwModel::new(
+            &s,
+            &topo,
+            cfg.analytic_params(),
+            Scenario::SupervisorRequired,
+        )
+        .host_dp_availability();
+        assert!(
+            result.dp_estimate.is_consistent_with(analytic, 4.0),
+            "sim={} analytic={analytic:.6}",
+            result.dp_estimate
+        );
+    }
+
+    #[test]
+    fn supervisor_required_is_worse_in_simulation_too() {
+        let s = spec();
+        let topo = Topology::small(&s);
+        let with = Simulation::new(&s, &topo, fast_config(Scenario::SupervisorRequired)).run(3);
+        let without =
+            Simulation::new(&s, &topo, fast_config(Scenario::SupervisorNotRequired)).run(3);
+        assert!(with.dp_availability < without.dp_availability);
+    }
+
+    #[test]
+    fn failover_model_close_to_analytic_with_fast_rediscovery() {
+        // With a short rediscovery delay the §III connection dynamics cost
+        // only a little extra DP downtime versus the analytic 1-of-3 block.
+        let s = spec();
+        let topo = Topology::small(&s);
+        let mut analytic_cfg = fast_config(Scenario::SupervisorNotRequired);
+        analytic_cfg.connection = ConnectionModel::Analytic;
+        let mut failover_cfg = analytic_cfg;
+        failover_cfg.connection = ConnectionModel::Failover {
+            rediscovery_hours: 1.0 / 60.0,
+        };
+        let base = Simulation::new(&s, &topo, analytic_cfg).run(19);
+        let failover = Simulation::new(&s, &topo, failover_cfg).run(19);
+        // Failover can only be worse, and not by much.
+        assert!(
+            failover.dp_availability <= base.dp_availability + 3.0 * base.dp_estimate.std_error
+        );
+        assert!(base.dp_availability - failover.dp_availability < 0.002);
+    }
+
+    #[test]
+    fn faithful_restarts_cost_more_than_independence() {
+        // §III: processes need manual restart while their supervisor is
+        // down. At accelerated rates that coupling visibly lowers DP
+        // availability versus the analytic-independence assumption — the
+        // gap the `sim_validation` experiment reports.
+        let s = spec();
+        let topo = Topology::large(&s);
+        let mut faithful = fast_config(Scenario::SupervisorRequired);
+        faithful.restart_model = crate::RestartModel::Faithful;
+        let mut independent = faithful;
+        independent.restart_model = crate::RestartModel::AnalyticIndependence;
+        let f = Simulation::new(&s, &topo, faithful).run(77);
+        let i = Simulation::new(&s, &topo, independent).run(77);
+        assert!(
+            f.dp_availability < i.dp_availability,
+            "faithful={} independent={}",
+            f.dp_availability,
+            i.dp_availability
+        );
+        // Scale check: per auto vRouter process the penalty is about
+        // (1−A_S)·(R_S−R)/F, partially hidden by supervisor-outage overlap.
+        let gap = i.dp_availability - f.dp_availability;
+        assert!(gap > 2e-5 && gap < 1e-3, "gap={gap:e}");
+    }
+
+    #[test]
+    fn availability_is_insensitive_to_repair_shape() {
+        // Alternating-renewal insensitivity: long-run availability depends
+        // on repair-time means only, so all three shapes agree within CI.
+        let s = spec();
+        let topo = Topology::small(&s);
+        let mut results = Vec::new();
+        for shape in [
+            crate::RepairShape::Exponential,
+            crate::RepairShape::Deterministic,
+            crate::RepairShape::Uniform,
+        ] {
+            let mut cfg = fast_config(Scenario::SupervisorRequired);
+            cfg.repair_shape = shape;
+            results.push(Simulation::new(&s, &topo, cfg).run(41));
+        }
+        for pair in results.windows(2) {
+            let diff = (pair[0].dp_availability - pair[1].dp_availability).abs();
+            let tol = 4.0
+                * (pair[0].dp_estimate.std_error.powi(2) + pair[1].dp_estimate.std_error.powi(2))
+                    .sqrt();
+            assert!(diff <= tol, "diff={diff:e} tol={tol:e}");
+        }
+    }
+
+    #[test]
+    fn outage_durations_recorded_when_asked() {
+        let s = spec();
+        let topo = Topology::small(&s);
+        let mut cfg = fast_config(Scenario::SupervisorRequired);
+        cfg.horizon_hours = 50_000.0;
+        cfg.record_outages = true;
+        let r = Simulation::new(&s, &topo, cfg).run(2);
+        assert_eq!(r.cp_outage_durations.len() as u64, r.cp_outage_count);
+        assert!(r.cp_outage_durations.windows(2).all(|w| w[0] <= w[1]));
+        let total: f64 = r.cp_outage_durations.iter().sum();
+        assert!((total / r.cp_outage_count as f64 - r.cp_outage_mean_hours).abs() < 1e-9);
+        // Off by default: nothing recorded.
+        let mut quiet = cfg;
+        quiet.record_outages = false;
+        let r = Simulation::new(&s, &topo, quiet).run(2);
+        assert!(r.cp_outage_durations.is_empty());
+        assert!(r.cp_outage_count > 0);
+    }
+
+    #[test]
+    fn rack_outage_shows_up_in_small_topology() {
+        // Make racks terrible: CP availability must crater in Small.
+        let s = spec();
+        let topo = Topology::small(&s);
+        let mut cfg = fast_config(Scenario::SupervisorNotRequired);
+        cfg.rack = crate::ElementRates {
+            mtbf: 100.0,
+            mttr: 10.0,
+        };
+        cfg.horizon_hours = 100_000.0;
+        let r = Simulation::new(&s, &topo, cfg).run(23);
+        assert!(r.cp_availability < 0.95);
+        // Large tolerates a single rack: much better.
+        let large = Topology::large(&s);
+        let r_large = Simulation::new(&s, &large, cfg).run(23);
+        assert!(r_large.cp_availability > r.cp_availability + 0.02);
+    }
+}

@@ -1,0 +1,135 @@
+//! Statistical estimators for simulation output.
+
+use std::fmt;
+
+/// A point estimate with a standard error (batch-means or
+/// across-replications).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The point estimate.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Number of batches / replications behind the estimate.
+    pub samples: usize,
+}
+
+impl Estimate {
+    /// Builds an estimate from raw sample values (e.g. per-batch
+    /// availabilities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn from_samples(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "need at least one sample");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let std_error = if values.len() < 2 {
+            f64::NAN
+        } else {
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            (var / n).sqrt()
+        };
+        Estimate {
+            mean,
+            std_error,
+            samples: values.len(),
+        }
+    }
+
+    /// Half-width of the ~95% confidence interval (`1.96 · SE`).
+    #[must_use]
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.std_error
+    }
+
+    /// Whether `value` lies within `sigmas` standard errors of the mean.
+    /// Degenerate estimates (zero/NaN standard error) compare by a small
+    /// absolute tolerance instead.
+    #[must_use]
+    pub fn is_consistent_with(&self, value: f64, sigmas: f64) -> bool {
+        if self.std_error.is_nan() || self.std_error == 0.0 {
+            return (self.mean - value).abs() < 1e-9;
+        }
+        (self.mean - value).abs() <= sigmas * self.std_error
+    }
+}
+
+/// Linear-interpolated percentile of pre-sorted ascending `values`
+/// (`q` in `[0, 1]`).
+///
+/// ```
+/// use sdnav_sim::percentile;
+/// let v = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&v, 0.0), 1.0);
+/// assert_eq!(percentile(&v, 1.0), 4.0);
+/// assert_eq!(percentile(&v, 0.5), 2.5);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "need at least one value");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+    debug_assert!(
+        values.windows(2).all(|w| w[0] <= w[1]),
+        "values must be sorted ascending"
+    );
+    let pos = q * (values.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    values[lo] * (1.0 - frac) + values[hi] * frac
+}
+
+impl fmt::Display for Estimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.9} ± {:.2e}", self.mean, self.ci95())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_se_of_known_samples() {
+        let e = Estimate::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((e.mean - 2.5).abs() < 1e-12);
+        // Sample variance = 5/3; SE = sqrt(5/3/4).
+        assert!((e.std_error - (5.0 / 3.0 / 4.0_f64).sqrt()).abs() < 1e-12);
+        assert_eq!(e.samples, 4);
+    }
+
+    #[test]
+    fn single_sample_has_nan_se() {
+        let e = Estimate::from_samples(&[0.5]);
+        assert!(e.std_error.is_nan());
+        assert!(e.is_consistent_with(0.5, 3.0));
+        assert!(!e.is_consistent_with(0.6, 3.0));
+    }
+
+    #[test]
+    fn consistency_check() {
+        let e = Estimate::from_samples(&[1.0, 1.1, 0.9, 1.0]);
+        assert!(e.is_consistent_with(1.0, 3.0));
+        assert!(!e.is_consistent_with(5.0, 3.0));
+    }
+
+    #[test]
+    fn display_format() {
+        let e = Estimate::from_samples(&[0.9999, 0.9998]);
+        let s = e.to_string();
+        assert!(s.contains('±'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_panic() {
+        let _ = Estimate::from_samples(&[]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the discrete-event simulator.
+
+use proptest::prelude::*;
+
+use sdnav_core::{ControllerSpec, Scenario, Topology};
+use sdnav_sim::{ConnectionModel, RestartModel, SimConfig, Simulation};
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (
+        prop_oneof![
+            Just(Scenario::SupervisorNotRequired),
+            Just(Scenario::SupervisorRequired)
+        ],
+        10f64..2000.0, // process MTBF
+        0.01f64..0.5,  // auto restart
+        0.5f64..4.0,   // extra manual restart
+        1usize..4,     // compute hosts
+        prop_oneof![
+            Just(ConnectionModel::Analytic),
+            Just(ConnectionModel::Failover {
+                rediscovery_hours: 0.02
+            })
+        ],
+        prop_oneof![
+            Just(RestartModel::Faithful),
+            Just(RestartModel::AnalyticIndependence)
+        ],
+    )
+        .prop_map(
+            |(scenario, mtbf, auto, manual_extra, hosts, connection, restart_model)| {
+                let mut c = SimConfig::paper_defaults(scenario);
+                c.process_mtbf = mtbf;
+                c.auto_restart = auto;
+                c.manual_restart = auto + manual_extra;
+                c.compute_hosts = hosts;
+                c.connection = connection;
+                c.restart_model = restart_model;
+                c.horizon_hours = 5_000.0;
+                c.batches = 5;
+                // Busy hardware so every element type sees events.
+                c.rack = sdnav_sim::ElementRates {
+                    mtbf: 800.0,
+                    mttr: 4.0,
+                };
+                c.host = sdnav_sim::ElementRates {
+                    mtbf: 400.0,
+                    mttr: 2.0,
+                };
+                c.vm = sdnav_sim::ElementRates {
+                    mtbf: 200.0,
+                    mttr: 1.0,
+                };
+                c
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn results_are_well_formed(config in arb_config(), seed in 0u64..1000) {
+        let spec = ControllerSpec::opencontrail_3x();
+        let topo = Topology::medium(&spec);
+        let r = Simulation::new(&spec, &topo, config).run(seed);
+        prop_assert!((0.0..=1.0).contains(&r.cp_availability));
+        prop_assert!((0.0..=1.0).contains(&r.dp_availability));
+        prop_assert!(r.events > 0);
+        prop_assert_eq!(r.simulated_hours, config.horizon_hours);
+        prop_assert_eq!(r.cp_estimate.samples, config.batches);
+        if r.cp_outage_count > 0 {
+            prop_assert!(r.cp_outage_mean_hours > 0.0);
+            prop_assert!(r.cp_mtbf_hours.is_finite());
+        } else {
+            prop_assert!(r.cp_mtbf_hours.is_infinite());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_result(config in arb_config(), seed in 0u64..1000) {
+        let spec = ControllerSpec::opencontrail_3x();
+        let topo = Topology::small(&spec);
+        let sim = Simulation::new(&spec, &topo, config);
+        let a = sim.run(seed);
+        let b = sim.run(seed);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.cp_availability, b.cp_availability);
+        prop_assert_eq!(a.dp_availability, b.dp_availability);
+        prop_assert_eq!(a.cp_outage_count, b.cp_outage_count);
+    }
+
+    #[test]
+    fn outage_time_bounded_by_unavailability_identity(
+        config in arb_config(),
+        seed in 0u64..1000,
+    ) {
+        // Total CP outage time implied by the outage stats can never
+        // exceed the measured window, and roughly matches (1−A)·window
+        // (boundary truncation makes it approximate).
+        let spec = ControllerSpec::opencontrail_3x();
+        let topo = Topology::small(&spec);
+        let r = Simulation::new(&spec, &topo, config).run(seed);
+        if r.cp_outage_count > 0 {
+            let measured = config.horizon_hours * (1.0 - config.warmup_fraction);
+            let outage_time = r.cp_outage_mean_hours * r.cp_outage_count as f64;
+            prop_assert!(outage_time <= measured + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Cost vs resiliency: deciding how much hardware to buy.
+//!
+//! §V.D of the paper: host availability depends on the maintenance
+//! contract — Same Day (A_H ≈ 0.9999), Next Day (0.9995), Next Business
+//! Day (0.9990) — and the rack count is a capital decision ("one rack or
+//! three, but not two"). This example produces the decision matrix an
+//! operator would actually look at: CP downtime for every combination of
+//! maintenance tier and topology, plus the fleet-level view for a provider
+//! with many edge sites.
+//!
+//! Run with `cargo run --example capacity_planning`.
+
+use sdn_availability::report::Table;
+use sdn_availability::{ControllerSpec, Scenario, SwModel, SwParams, Topology};
+
+const MINUTES_PER_YEAR: f64 = 525_960.0;
+
+fn main() {
+    let spec = ControllerSpec::opencontrail_3x();
+    let tiers = [
+        ("Same Day (4h MTTR)", 0.9999),
+        ("Next Day (24h MTTR)", 0.9995),
+        ("Next Bus. Day (48h)", 0.9990),
+    ];
+    let topologies = [
+        Topology::small(&spec),
+        Topology::medium(&spec),
+        Topology::large(&spec),
+        // Not in the paper's grid: Small's 3 consolidated VMs, one rack
+        // each — quorum protection at Small-scale hardware.
+        Topology::small_three_racks(&spec),
+    ];
+
+    println!("SDN control-plane downtime (minutes/year), supervisor required:\n");
+    let mut table = Table::new(vec![
+        "maintenance tier",
+        "Small",
+        "Medium",
+        "Large",
+        "Small-3R",
+    ]);
+    for (label, a_h) in tiers {
+        let params = SwParams {
+            a_h,
+            ..SwParams::paper_defaults()
+        };
+        let mut cells = vec![label.to_owned()];
+        for topo in &topologies {
+            let model = SwModel::new(&spec, topo, params, Scenario::SupervisorRequired);
+            cells.push(format!(
+                "{:.1}",
+                (1.0 - model.cp_availability()) * MINUTES_PER_YEAR
+            ));
+        }
+        table.row(cells);
+    }
+    print!("{table}");
+
+    // The paper's fleet argument: availability is an average; a 500-site
+    // provider sees the single-rack tail as routine headline outages.
+    println!("\nFleet view (500 edge sites, Same-Day maintenance):");
+    let params = SwParams::paper_defaults();
+    for topo in &topologies {
+        let model = SwModel::new(&spec, topo, params, Scenario::SupervisorRequired);
+        let u = 1.0 - model.cp_availability();
+        // Expected number of sites in a CP outage at any instant, and
+        // site-outages per year assuming ~2-day rack events dominate Small.
+        let concurrent = u * 500.0;
+        println!(
+            "  {:<7} unavailability {:.2e} → on average {:.3} of 500 sites down at any moment",
+            topo.name(),
+            u,
+            concurrent
+        );
+    }
+
+    println!(
+        "\nDecision guidance (matches §V.D/§VII):\n\
+         • Upgrading the maintenance tier helps every topology, but cannot\n\
+           remove the Small/Medium rack single point of failure.\n\
+         • The second rack is strictly worse than one rack: same quorum\n\
+           exposure, more rack hardware to fail.\n\
+         • Only the third rack changes the structure: the 2-of-3 Database\n\
+           quorum survives any single rack loss.\n\
+         • And you don't need Large's 12 hosts for that: Small-3R — the\n\
+           consolidated GCAD VMs spread over three racks — matches Large\n\
+           at a quarter of the servers (see `sdnav plan`)."
+    );
+}

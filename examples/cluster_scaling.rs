@@ -1,0 +1,54 @@
+//! Scaling the controller cluster beyond 2N+1 = 3.
+//!
+//! The paper analyzes the minimum 3-node cluster and notes "generalization
+//! to N > 1 is straightforward". This example does it: 3-, 5- and 7-node
+//! clusters, showing that extra nodes buy control-plane nines (stronger
+//! majority quorums) but do nothing for the rack-limited Small layout or
+//! for the per-host data plane.
+//!
+//! Run with `cargo run --example cluster_scaling`.
+
+use sdn_availability::{ControllerSpec, Scenario, SwModel, SwParams, Topology};
+
+const MINUTES_PER_YEAR: f64 = 525_960.0;
+
+fn main() {
+    let base = ControllerSpec::opencontrail_3x();
+    let params = SwParams::paper_defaults();
+
+    println!("CP and per-host DP downtime (m/y), supervisor required:\n");
+    println!(
+        "{:<6} {:>14} {:>14} {:>14} {:>14}",
+        "nodes", "Small CP", "Large CP", "Small DP", "Large DP"
+    );
+    for nodes in [3u32, 5, 7] {
+        let spec = base.scaled_cluster(nodes);
+        let small = Topology::small(&spec);
+        let large = Topology::large(&spec);
+        let dt = |topo: &Topology| {
+            let m = SwModel::new(&spec, topo, params, Scenario::SupervisorRequired);
+            (
+                (1.0 - m.cp_availability()) * MINUTES_PER_YEAR,
+                (1.0 - m.host_dp_availability()) * MINUTES_PER_YEAR,
+            )
+        };
+        let (s_cp, s_dp) = dt(&small);
+        let (l_cp, l_dp) = dt(&large);
+        println!("{nodes:<6} {s_cp:>14.2} {l_cp:>14.3} {s_dp:>14.1} {l_dp:>14.1}");
+    }
+
+    println!(
+        "\nTakeaways:\n\
+         • 3 → 5 nodes cuts Large-topology CP downtime by an order of\n\
+           magnitude: the Database majority quorum (3-of-5) now survives\n\
+           two simultaneous losses.\n\
+         • The Small topology is pinned at its single rack's ~5 m/y floor\n\
+           regardless of cluster size.\n\
+         • The data plane does not move at all: its downtime lives in the\n\
+           per-host vRouter processes, outside the controller cluster.\n\
+         • Quorum scaling is therefore an argument for *rack-separated*\n\
+           deployments only — more nodes in one rack is spend without\n\
+           return, the cluster-size analogue of the paper's 'one rack or\n\
+           three, but not two'."
+    );
+}

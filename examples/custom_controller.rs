@@ -1,0 +1,94 @@
+//! Modeling a different SDN controller with the same framework.
+//!
+//! The paper: "Other Controller implementations can be accommodated simply
+//! by modifying the rows, columns, and values in these tables." This
+//! example builds a spec for a fictional ONOS-style controller — a single
+//! fused node type running a Raft consensus store (2-of-3), an app runtime
+//! (1-of-3), and an OpenFlow southbound (1-of-3 for the data plane) — and
+//! compares it against OpenContrail 3.x on the same hardware.
+//!
+//! Run with `cargo run --example custom_controller`.
+
+use sdn_availability::{
+    ControllerSpec, Plane, ProcessSpec, RestartMode, RoleScope, RoleSpec, Scenario, SwModel,
+    SwParams, Topology,
+};
+
+fn onos_like() -> ControllerSpec {
+    use RestartMode::{Auto, Manual};
+    let controller = RoleSpec::new(
+        "Controller",
+        RoleScope::Controller,
+        vec![
+            // Raft/Atomix consensus: quorum required for the CP.
+            ProcessSpec::new("atomix", Manual).cp(2),
+            // Core + app runtime: any instance can serve.
+            ProcessSpec::new("onos-core", Auto).cp(1),
+            ProcessSpec::new("app-runtime", Auto).cp(1),
+            // Southbound sessions: the data plane needs at least one live
+            // OpenFlow master path.
+            ProcessSpec::new("openflow-south", Auto).cp(1).dp(1),
+            ProcessSpec::new("supervisor", Manual).supervisor(),
+            ProcessSpec::new("nodemgr", Auto),
+        ],
+    );
+    let forwarder = RoleSpec::new(
+        "Switch",
+        RoleScope::PerHost,
+        vec![
+            ProcessSpec::new("ovs-vswitchd", Auto).dp(1),
+            ProcessSpec::new("ovsdb-server", Auto).dp(1),
+            ProcessSpec::new("supervisor", Manual).supervisor(),
+        ],
+    );
+    let spec = ControllerSpec {
+        name: "ONOS-like (fictional)".to_owned(),
+        nodes: 3,
+        roles: vec![controller, forwarder],
+    };
+    spec.validate().expect("spec is consistent");
+    spec
+}
+
+fn report(spec: &ControllerSpec) {
+    let params = SwParams::paper_defaults();
+    println!("— {} —", spec.name);
+    // The two encapsulating tables, derived from the spec.
+    for counts in spec.restart_counts() {
+        println!(
+            "  {}: {} auto-restarted, {} manual processes",
+            counts.role, counts.auto, counts.manual
+        );
+    }
+    for plane in [Plane::ControlPlane, Plane::DataPlane] {
+        let reqs = spec.requirements(plane);
+        let m: usize = reqs.iter().filter(|r| r.required == 2).count();
+        let n: usize = reqs.iter().filter(|r| r.required == 1).count();
+        println!("  {plane:?}: M = {m} quorum + N = {n} any-instance requirements");
+    }
+    for topo in [Topology::small(spec), Topology::large(spec)] {
+        let model = SwModel::new(spec, &topo, params, Scenario::SupervisorRequired);
+        println!(
+            "  {:<7} CP {:.9} ({:5.1} m/y)   host DP {:.9} ({:5.1} m/y)",
+            topo.name(),
+            model.cp_availability(),
+            (1.0 - model.cp_availability()) * 525_960.0,
+            model.host_dp_availability(),
+            (1.0 - model.host_dp_availability()) * 525_960.0,
+        );
+    }
+    println!();
+}
+
+fn main() {
+    report(&ControllerSpec::opencontrail_3x());
+    report(&onos_like());
+
+    println!(
+        "The ONOS-like controller has fewer critical-path processes, so its\n\
+         control plane fares slightly better at equal per-process quality —\n\
+         but its data plane shows the same structural weakness: per-host\n\
+         forwarding processes are single points of failure that no amount\n\
+         of controller redundancy removes."
+    );
+}

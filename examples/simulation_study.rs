@@ -1,0 +1,66 @@
+//! Validating the analytic models by simulation — the paper's future work.
+//!
+//! Runs the discrete-event simulator against the Small topology in both
+//! supervisor scenarios and compares with the closed-form models, then
+//! turns on the §III vrouter-agent failover dynamics that the analytic
+//! model deliberately ignores, to quantify the cost of that simplification.
+//!
+//! Uses accelerated failure rates (×100) so the study finishes in seconds;
+//! run `cargo run -p sdnav-bench --bin sim_validation --release -- --full`
+//! for the paper-scale version.
+//!
+//! Run with `cargo run --release --example simulation_study`.
+
+use sdn_availability::sim::ConnectionModel;
+use sdn_availability::{replicate, ControllerSpec, Scenario, SimConfig, SwModel, Topology};
+
+fn main() {
+    let spec = ControllerSpec::opencontrail_3x();
+    let topo = Topology::small(&spec);
+
+    println!("analytic vs simulated (failure rates ×100, 4 replications):\n");
+    for scenario in [
+        Scenario::SupervisorNotRequired,
+        Scenario::SupervisorRequired,
+    ] {
+        let mut config = SimConfig::paper_defaults(scenario).accelerated(100.0);
+        config.horizon_hours = 250_000.0;
+        config.compute_hosts = 3;
+        // Compare under the independence assumption the closed forms make;
+        // rack cycles run faster at equal availability for tight statistics.
+        config.restart_model = sdn_availability::sim::RestartModel::AnalyticIndependence;
+        config.rack = config.rack.scaled_time(24.0);
+        let result = replicate(&spec, &topo, config, 7, 4);
+        let analytic = SwModel::new(&spec, &topo, config.analytic_params(), scenario);
+        println!("{scenario:?}:");
+        println!(
+            "  CP analytic {:.7}   simulated {}",
+            analytic.cp_availability(),
+            result.cp
+        );
+        println!(
+            "  DP analytic {:.7}   simulated {}",
+            analytic.host_dp_availability(),
+            result.dp
+        );
+        println!("  ({} events)\n", result.total_events);
+    }
+
+    println!("cost of the 'rediscovery is instantaneous' simplification:");
+    let mut base = SimConfig::paper_defaults(Scenario::SupervisorNotRequired).accelerated(100.0);
+    base.horizon_hours = 250_000.0;
+    base.compute_hosts = 6;
+    let mut with_failover = base;
+    with_failover.connection = ConnectionModel::Failover {
+        rediscovery_hours: 1.0 / 60.0, // "typically within a minute"
+    };
+    let analytic_model = replicate(&spec, &topo, base, 99, 4);
+    let failover = replicate(&spec, &topo, with_failover, 99, 4);
+    println!("  DP, analytic connection model : {}", analytic_model.dp);
+    println!("  DP, with failover transients  : {}", failover.dp);
+    println!(
+        "  difference ≈ {:.2} minutes/year at these (accelerated) rates — \n\
+         consistent with the paper treating it as negligible at real rates.",
+        (analytic_model.dp.mean - failover.dp.mean) * 525_960.0
+    );
+}

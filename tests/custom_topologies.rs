@@ -1,0 +1,144 @@
+//! Integration tests of the exact evaluator on topologies outside the
+//! paper's Small/Medium/Large grid, checked against hand-derived closed
+//! forms.
+
+use sdn_availability::{ControllerSpec, HwModel, HwParams, Scenario, SwModel, SwParams, Topology};
+
+/// Hyper-converged layout: one rack, ONE host, three GCAD VMs.
+fn hyperconverged(spec: &ControllerSpec) -> Topology {
+    let mut t = Topology::new("hyperconverged");
+    let rack = t.add_rack();
+    let host = t.add_host(rack);
+    for node in 0..spec.nodes {
+        let vm = t.add_vm(host);
+        for (_, role) in spec.controller_roles() {
+            t.assign(vm, &role.name, node);
+        }
+    }
+    t
+}
+
+#[test]
+fn hyperconverged_equals_small_with_shared_host_factored_out() {
+    // With a single shared host (and rack), conditioning factors exactly:
+    //   A(hyper; A_C, A_V, A_H, A_R) = A_H · A_R · A(small; A_C, A_V, 1, 1).
+    let spec = ControllerSpec::opencontrail_3x();
+    let p = HwParams::paper_defaults();
+    let hyper = hyperconverged(&spec);
+    assert!(hyper.validate(&spec).is_ok());
+    let got = HwModel::new(&spec, &hyper, p).availability();
+
+    let inner = HwParams {
+        a_h: 1.0,
+        a_r: 1.0,
+        ..p
+    };
+    let expected = p.a_h * p.a_r * sdn_availability::core::paper::hw_small_eq3(inner);
+    assert!(
+        (got - expected).abs() < 1e-13,
+        "got {got:.12}, expected {expected:.12}"
+    );
+}
+
+#[test]
+fn hyperconverged_is_worse_than_small() {
+    // Sharing one host across all nodes adds a host-level single point of
+    // failure: strictly worse than Small's per-node hosts.
+    let spec = ControllerSpec::opencontrail_3x();
+    let p = HwParams::paper_defaults();
+    let hyper = HwModel::new(&spec, &hyperconverged(&spec), p).availability();
+    let small = HwModel::new(&spec, &Topology::small(&spec), p).availability();
+    assert!(hyper < small);
+    // By roughly 2·(1−A_H) (the host goes from a 2-of-3-protected element
+    // to a series element).
+    let gap = small - hyper;
+    assert!(
+        gap > 0.5 * (1.0 - p.a_h) && gap < 3.0 * (1.0 - p.a_h),
+        "gap={gap:e}"
+    );
+}
+
+#[test]
+fn sw_model_handles_custom_topologies_too() {
+    let spec = ControllerSpec::opencontrail_3x();
+    let hyper = hyperconverged(&spec);
+    let model = SwModel::new(
+        &spec,
+        &hyper,
+        SwParams::paper_defaults(),
+        Scenario::SupervisorRequired,
+    );
+    let a = model.cp_availability();
+    assert!((0.0..=1.0).contains(&a));
+    // Must be dominated by the shared host+rack series term.
+    let p = SwParams::paper_defaults();
+    let ceiling = p.a_h * p.a_r;
+    assert!(a <= ceiling + 1e-12);
+    assert!(a > ceiling - 3e-4, "a={a:.7} ceiling={ceiling:.7}");
+}
+
+#[test]
+fn unbalanced_rack_split_is_still_two_rack_shaped() {
+    // A Medium-like split with the DB-critical node alone in rack 2 is
+    // still "two racks": losing rack 1 (two nodes) kills the quorum, so
+    // availability stays at Small/Medium level, not Large level.
+    let spec = ControllerSpec::opencontrail_3x();
+    let mut t = Topology::new("unbalanced");
+    let r1 = t.add_rack();
+    let r2 = t.add_rack();
+    for node in 0..spec.nodes {
+        let rack = if node == 2 { r2 } else { r1 };
+        let host = t.add_host(rack);
+        let vm = t.add_vm(host);
+        for (_, role) in spec.controller_roles() {
+            t.assign(vm, &role.name, node);
+        }
+    }
+    let p = HwParams::paper_defaults();
+    let unbalanced = HwModel::new(&spec, &t, p).availability();
+    let small = HwModel::new(&spec, &Topology::small(&spec), p).availability();
+    let large = HwModel::new(&spec, &Topology::large(&spec), p).availability();
+    assert!(unbalanced < small, "two racks never beat one");
+    assert!(large - unbalanced > 5e-6, "far from Large's protection");
+}
+
+#[test]
+fn five_node_cluster_runs_through_every_layer() {
+    // End-to-end 2N+1 = 5: spec scaling, topologies, HW and SW models.
+    let spec = ControllerSpec::opencontrail_3x().scaled_cluster(5);
+    for topo in [
+        Topology::small(&spec),
+        Topology::small_three_racks(&spec),
+        Topology::medium(&spec),
+        Topology::large(&spec),
+    ] {
+        assert!(topo.validate(&spec).is_ok(), "{}", topo.name());
+        let hw = HwModel::new(&spec, &topo, HwParams::paper_defaults()).availability();
+        assert!((0.0..=1.0).contains(&hw));
+        let sw = SwModel::new(
+            &spec,
+            &topo,
+            SwParams::paper_defaults(),
+            Scenario::SupervisorRequired,
+        );
+        assert!(sw.cp_availability() <= 1.0);
+        assert!(sw.cp_availability() > 0.999, "{}", topo.name());
+    }
+    // A 5-rack large cluster beats the 3-rack one.
+    let three = ControllerSpec::opencontrail_3x();
+    let a3 = SwModel::new(
+        &three,
+        &Topology::large(&three),
+        SwParams::paper_defaults(),
+        Scenario::SupervisorRequired,
+    )
+    .cp_availability();
+    let a5 = SwModel::new(
+        &spec,
+        &Topology::large(&spec),
+        SwParams::paper_defaults(),
+        Scenario::SupervisorRequired,
+    )
+    .cp_availability();
+    assert!(a5 > a3);
+}
