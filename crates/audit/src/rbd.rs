@@ -1,0 +1,317 @@
+//! Checks over reliability block diagrams, plus the derivation of the
+//! paper's CP/DP diagrams from a [`ControllerSpec`].
+
+use std::collections::BTreeSet;
+
+use sdnav_blocks::Block;
+use sdnav_core::{ControllerSpec, Plane, ProcessParams};
+
+use crate::{AuditReport, Diagnostic};
+
+/// Lints a reliability block diagram rooted at `origin`:
+///
+/// * SA006 — structural k-of-n errors: `k > n` (never up), an empty
+///   parallel group (never up), `k = 0` or an empty series group
+///   (trivially up), `k = n` (equivalent to a series, info);
+/// * SA007 — dead units: leaves whose structural Birnbaum importance is
+///   zero, i.e. that cannot influence the system state at all;
+/// * SA008 — unit availabilities outside `[0, 1]` or NaN.
+#[must_use]
+pub fn audit_block(block: &Block, origin: &str) -> AuditReport {
+    let mut r = AuditReport::new();
+    walk(block, origin, &mut r);
+
+    // Structural relevance: evaluate a copy with every availability at 0.5
+    // (so no leaf is masked by a 0/1 probability) and measure each unit's
+    // Birnbaum importance ∂A/∂a_unit = A(unit up) − A(unit down).
+    let neutral = neutralize(block);
+    let mut seen = BTreeSet::new();
+    for name in block.unit_names() {
+        if !seen.insert(name.clone()) {
+            continue;
+        }
+        let up = neutral.availability_pinned(&mut |n| (n == name).then_some(true));
+        let down = neutral.availability_pinned(&mut |n| (n == name).then_some(false));
+        if up - down == 0.0 {
+            r.push(Diagnostic::warn(
+                "SA007",
+                format!("{origin}/{name}"),
+                format!("unit {name:?} has zero structural Birnbaum importance"),
+                "the unit can never change the system state; remove it or fix \
+                 the surrounding group's k",
+            ));
+        }
+    }
+    r
+}
+
+fn walk(block: &Block, path: &str, r: &mut AuditReport) {
+    match block {
+        Block::Unit { name, availability } => {
+            if availability.is_nan() || !(0.0..=1.0).contains(availability) {
+                r.push(Diagnostic::error(
+                    "SA008",
+                    path.to_owned(),
+                    format!("unit {name:?} has availability {availability}"),
+                    "availabilities are probabilities in [0, 1]",
+                ));
+            }
+        }
+        Block::Series { children } => {
+            if children.is_empty() {
+                r.push(Diagnostic::warn(
+                    "SA006",
+                    path.to_owned(),
+                    "empty series group is trivially up",
+                    "remove the group or add its intended children",
+                ));
+            }
+            recurse(children, path, r);
+        }
+        Block::Parallel { children } => {
+            if children.is_empty() {
+                r.push(Diagnostic::error(
+                    "SA006",
+                    path.to_owned(),
+                    "empty parallel group can never be up",
+                    "a parallel group needs at least one child",
+                ));
+            }
+            recurse(children, path, r);
+        }
+        Block::KOfN { k, children } => {
+            let n = children.len();
+            if *k as usize > n {
+                r.push(Diagnostic::error(
+                    "SA006",
+                    path.to_owned(),
+                    format!("{k}-of-{n} group can never be satisfied"),
+                    "lower k or add children (the paper's Eq. 1 gives 0 for m > n)",
+                ));
+            } else if *k == 0 {
+                r.push(Diagnostic::warn(
+                    "SA006",
+                    path.to_owned(),
+                    format!("0-of-{n} group is trivially satisfied"),
+                    "a k = 0 quorum requires nothing; its children never matter",
+                ));
+            } else if *k as usize == n && n > 0 {
+                r.push(Diagnostic::info(
+                    "SA006",
+                    path.to_owned(),
+                    format!("{k}-of-{n} group is equivalent to a series"),
+                    "consider a series group for clarity",
+                ));
+            }
+            recurse(children, path, r);
+        }
+    }
+}
+
+fn recurse(children: &[Block], path: &str, r: &mut AuditReport) {
+    for (i, child) in children.iter().enumerate() {
+        let label = match child {
+            Block::Unit { name, .. } => name.clone(),
+            Block::Series { .. } => format!("series#{i}"),
+            Block::Parallel { .. } => format!("parallel#{i}"),
+            Block::KOfN { k, children } => format!("{k}of{}#{i}", children.len()),
+        };
+        walk(child, &format!("{path}/{label}"), r);
+    }
+}
+
+/// A copy of the diagram with every unit availability set to 0.5, so the
+/// Birnbaum importance reflects pure structure.
+fn neutralize(block: &Block) -> Block {
+    match block {
+        Block::Unit { name, .. } => Block::Unit {
+            name: name.clone(),
+            availability: 0.5,
+        },
+        Block::Series { children } => Block::series(children.iter().map(neutralize).collect()),
+        Block::Parallel { children } => Block::parallel(children.iter().map(neutralize).collect()),
+        Block::KOfN { k, children } => Block::k_of_n(*k, children.iter().map(neutralize).collect()),
+    }
+}
+
+/// The control-plane RBD derived from a spec at the paper's default process
+/// availabilities: one `m`-of-`n` group per Table III requirement, all in
+/// series (the structure behind Eq. 9).
+#[must_use]
+pub fn cp_rbd(spec: &ControllerSpec) -> Block {
+    plane_rbd(spec, Plane::ControlPlane)
+}
+
+/// The shared data-plane RBD derived from a spec: the Table III DP quorums
+/// in series with each per-host process the local DP needs (Eq. 13's
+/// structure for one host, hardware factored out).
+#[must_use]
+pub fn dp_rbd(spec: &ControllerSpec) -> Block {
+    let params = ProcessParams::paper_defaults();
+    let mut blocks = vec![plane_rbd(spec, Plane::DataPlane)];
+    for p in spec.local_dp_processes() {
+        blocks.push(Block::unit(format!("{}@host", p.name), params.for_spec(p)));
+    }
+    Block::series(blocks)
+}
+
+fn plane_rbd(spec: &ControllerSpec, plane: Plane) -> Block {
+    let params = ProcessParams::paper_defaults();
+    let blocks = spec
+        .requirements(plane)
+        .iter()
+        .map(|req| {
+            let a = req.instance_availability(&params);
+            let units = (0..spec.nodes)
+                .map(|node| Block::unit(format!("{}@node{node}", req.label), a))
+                .collect();
+            Block::k_of_n(req.required, units)
+        })
+        .collect();
+    Block::series(blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    fn unit(name: &str) -> Block {
+        Block::unit(name, 0.99)
+    }
+
+    #[test]
+    fn sa006_k_exceeds_n_is_error() {
+        let b = Block::k_of_n(3, vec![unit("a"), unit("b")]);
+        let r = audit_block(&b, "rbd");
+        let d = r
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "SA006")
+            .expect("SA006 reported");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("3-of-2"));
+    }
+
+    #[test]
+    fn sa006_zero_k_is_warning_and_kills_children() {
+        let b = Block::k_of_n(0, vec![unit("a"), unit("b")]);
+        let r = audit_block(&b, "rbd");
+        assert!(r
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "SA006" && d.severity == Severity::Warn));
+        // Children of a 0-of-n group are structurally dead (SA007).
+        assert_eq!(
+            r.diagnostics().iter().filter(|d| d.code == "SA007").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn sa006_empty_groups() {
+        let b = Block::series(vec![
+            Block::parallel(vec![]),
+            Block::series(vec![]),
+            Block::k_of_n(1, vec![]),
+            unit("keep"),
+        ]);
+        let r = audit_block(&b, "rbd");
+        let sa006: Vec<_> = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == "SA006")
+            .collect();
+        assert_eq!(sa006.len(), 3);
+        assert!(sa006
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.message.contains("parallel")));
+        assert!(sa006
+            .iter()
+            .any(|d| d.severity == Severity::Warn && d.message.contains("series")));
+        assert!(sa006
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.message.contains("1-of-0")));
+    }
+
+    #[test]
+    fn sa006_k_equals_n_is_info() {
+        let b = Block::k_of_n(2, vec![unit("a"), unit("b")]);
+        let r = audit_block(&b, "rbd");
+        assert!(r
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "SA006" && d.severity == Severity::Info));
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn sa007_dead_unit_under_oversized_quorum() {
+        // 3-of-2 is never up no matter what the units do: both are dead.
+        let b = Block::k_of_n(3, vec![unit("a"), unit("b")]);
+        let r = audit_block(&b, "rbd");
+        assert_eq!(
+            r.diagnostics().iter().filter(|d| d.code == "SA007").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn sa007_live_units_not_flagged() {
+        let b = Block::series(vec![
+            Block::k_of_n(2, unit("db").replicate(3)),
+            Block::parallel(vec![unit("x"), unit("y")]),
+        ]);
+        assert!(audit_block(&b, "rbd").is_clean());
+    }
+
+    #[test]
+    fn sa008_bad_unit_availability() {
+        // Construct directly: Block::unit would panic on these.
+        let b = Block::Series {
+            children: vec![
+                Block::Unit {
+                    name: "nan".into(),
+                    availability: f64::NAN,
+                },
+                Block::Unit {
+                    name: "big".into(),
+                    availability: 1.5,
+                },
+                unit("ok"),
+            ],
+        };
+        let r = audit_block(&b, "rbd");
+        assert_eq!(
+            r.diagnostics().iter().filter(|d| d.code == "SA008").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn derived_paper_rbds_are_clean_and_sized() {
+        let spec = ControllerSpec::opencontrail_3x();
+        let cp = cp_rbd(&spec);
+        // 16 CP requirements × 3 nodes.
+        assert_eq!(cp.unit_count(), 48);
+        assert!(audit_block(&cp, "rbd/cp").is_clean());
+
+        let dp = dp_rbd(&spec);
+        // 2 DP requirements × 3 nodes + 2 local processes.
+        assert_eq!(dp.unit_count(), 8);
+        assert!(audit_block(&dp, "rbd/dp").is_clean());
+        // The derived CP availability is a real number in (0, 1).
+        let a = cp.availability();
+        assert!(a > 0.99 && a < 1.0);
+    }
+
+    #[test]
+    fn broken_spec_yields_broken_derived_rbd() {
+        // A zero-node cluster derives k-of-0 quorum groups.
+        let mut spec = ControllerSpec::opencontrail_3x();
+        spec.nodes = 0;
+        let r = audit_block(&cp_rbd(&spec), "rbd/cp");
+        assert!(r.has_code("SA006"));
+        assert!(r.has_errors());
+    }
+}

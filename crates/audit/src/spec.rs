@@ -1,0 +1,474 @@
+//! Checks over [`ControllerSpec`] (Tables I–III) and [`Topology`].
+
+use std::collections::BTreeMap;
+
+use sdnav_core::{ControllerSpec, Plane, RestartMode, RoleScope, Topology};
+
+use crate::{AuditReport, Diagnostic};
+
+/// Lints a controller spec: structure (SA001), duplicate names (SA002),
+/// quorum bounds (SA003), group consistency (SA004), supervisor/restart
+/// configuration per Table II (SA005), and downtime-factor ranges (SA008).
+///
+/// Unlike [`ControllerSpec::validate`], which stops at the first problem,
+/// this pass reports every finding.
+#[must_use]
+pub fn audit_spec(spec: &ControllerSpec) -> AuditReport {
+    let mut r = AuditReport::new();
+    if spec.nodes == 0 {
+        r.push(Diagnostic::error(
+            "SA001",
+            "spec/nodes",
+            "cluster has zero nodes",
+            "set nodes to an odd 2N+1 cluster size (the paper uses 3)",
+        ));
+    }
+    if spec.roles.is_empty() {
+        r.push(Diagnostic::error(
+            "SA001",
+            "spec/roles",
+            "controller spec has no roles",
+            "add at least one role (Config, Control, Analytics, Database, vRouter, …)",
+        ));
+    }
+    let mut role_names: BTreeMap<&str, usize> = BTreeMap::new();
+    for role in &spec.roles {
+        *role_names.entry(role.name.as_str()).or_insert(0) += 1;
+    }
+    for (name, count) in role_names {
+        if count > 1 {
+            r.push(Diagnostic::error(
+                "SA002",
+                format!("spec/roles/{name}"),
+                format!("role {name:?} is declared {count} times"),
+                "rename or remove the duplicate role",
+            ));
+        }
+    }
+    for role in &spec.roles {
+        let role_path = format!("spec/roles/{}", role.name);
+        let mut proc_names: BTreeMap<&str, usize> = BTreeMap::new();
+        for p in &role.processes {
+            *proc_names.entry(p.name.as_str()).or_insert(0) += 1;
+        }
+        for (name, count) in proc_names {
+            if count > 1 {
+                r.push(Diagnostic::error(
+                    "SA002",
+                    format!("{role_path}/processes/{name}"),
+                    format!(
+                        "process {name:?} appears {count} times in role {:?}",
+                        role.name
+                    ),
+                    "rename or remove the duplicate process",
+                ));
+            }
+        }
+
+        let supervisors: Vec<_> = role.processes.iter().filter(|p| p.is_supervisor).collect();
+        if supervisors.len() > 1 {
+            r.push(Diagnostic::error(
+                "SA005",
+                role_path.clone(),
+                format!(
+                    "role {:?} has {} supervisor processes",
+                    role.name,
+                    supervisors.len()
+                ),
+                "mark exactly one process per role as the supervisor",
+            ));
+        }
+        for sup in &supervisors {
+            if sup.restart == RestartMode::Auto {
+                r.push(Diagnostic::warn(
+                    "SA005",
+                    format!("{role_path}/processes/{}", sup.name),
+                    "supervisor is marked auto-restart",
+                    "the paper's Table II models supervisors as manual-restart \
+                     (nothing supervises the supervisor); use restart = manual",
+                ));
+            }
+        }
+        let has_auto = role
+            .processes
+            .iter()
+            .any(|p| p.restart == RestartMode::Auto && !p.is_supervisor);
+        if has_auto && supervisors.is_empty() {
+            r.push(Diagnostic::warn(
+                "SA005",
+                role_path.clone(),
+                format!(
+                    "role {:?} has auto-restart processes but no supervisor",
+                    role.name
+                ),
+                "auto restart in §III is performed by the role's supervisor; \
+                 add a supervisor process or mark the processes manual-restart",
+            ));
+        }
+
+        let node_bound = match role.scope {
+            RoleScope::Controller => spec.nodes,
+            RoleScope::PerHost => 1,
+        };
+        for p in &role.processes {
+            let proc_path = format!("{role_path}/processes/{}", p.name);
+            for (plane, required) in [
+                ("cp_required", p.cp_required),
+                ("dp_required", p.dp_required),
+            ] {
+                if required > node_bound {
+                    r.push(Diagnostic::error(
+                        "SA003",
+                        proc_path.clone(),
+                        format!(
+                            "{plane} = {required} but at most {node_bound} instance(s) exist \
+                             ({:?} scope)",
+                            role.scope
+                        ),
+                        "lower the quorum requirement or grow the cluster",
+                    ));
+                }
+            }
+            if !p.downtime_factor.is_finite() || p.downtime_factor < 0.0 {
+                r.push(Diagnostic::error(
+                    "SA008",
+                    proc_path.clone(),
+                    format!(
+                        "downtime factor {} is negative or non-finite",
+                        p.downtime_factor
+                    ),
+                    "use a finite factor ≥ 0 (1.0 = baseline, 10.0 = 10x the downtime)",
+                ));
+            }
+        }
+
+        for (plane, label) in [(Plane::ControlPlane, "cp"), (Plane::DataPlane, "dp")] {
+            let mut group_req: BTreeMap<&str, u32> = BTreeMap::new();
+            for p in &role.processes {
+                let (group, required) = match plane {
+                    Plane::ControlPlane => (p.cp_group.as_deref(), p.cp_required),
+                    Plane::DataPlane => (p.dp_group.as_deref(), p.dp_required),
+                };
+                let Some(g) = group else { continue };
+                match group_req.get(g) {
+                    Some(&prev) if prev != required => {
+                        r.push(Diagnostic::error(
+                            "SA004",
+                            format!("{role_path}/processes/{}", p.name),
+                            format!(
+                                "{label} group {g:?} members disagree on the quorum \
+                                 ({prev} vs {required})"
+                            ),
+                            "give every member of a grouped series block the same requirement",
+                        ));
+                    }
+                    Some(_) => {}
+                    None => {
+                        group_req.insert(g, required);
+                    }
+                }
+            }
+        }
+    }
+    r
+}
+
+/// Lints a topology against a spec: every controller `(role, node)` pair
+/// must map to a live VM, every assignment must reference a known role and
+/// an in-range node/VM (SA012), and the Table III quorum counts must be
+/// satisfiable by the instances the topology actually provides (SA003).
+#[must_use]
+pub fn audit_topology(spec: &ControllerSpec, topo: &Topology) -> AuditReport {
+    let mut r = AuditReport::new();
+    let path = |rest: &str| format!("topology/{}/{rest}", topo.name());
+
+    for (_, role) in spec.controller_roles() {
+        for node in 0..spec.nodes {
+            if topo.vm_of(&role.name, node).is_none() {
+                r.push(Diagnostic::error(
+                    "SA012",
+                    path(&format!("assignments/{}/{node}", role.name)),
+                    format!("role {:?} instance {node} has no VM assigned", role.name),
+                    "assign every (controller role, node) pair to a VM",
+                ));
+            }
+        }
+    }
+    for (role_name, node, vm) in topo.assignments() {
+        let entry = path(&format!("assignments/{role_name}/{node}"));
+        if vm.0 >= topo.vm_count() {
+            r.push(Diagnostic::error(
+                "SA012",
+                entry.clone(),
+                format!("assignment references VM {} of {}", vm.0, topo.vm_count()),
+                "point the assignment at an existing VM",
+            ));
+        }
+        match spec.role(role_name) {
+            None => r.push(Diagnostic::error(
+                "SA012",
+                entry,
+                format!("assignment references unknown role {role_name:?}"),
+                "fix the role name or add the role to the spec",
+            )),
+            Some(role) if role.scope == RoleScope::Controller && node >= spec.nodes => {
+                r.push(Diagnostic::error(
+                    "SA012",
+                    entry,
+                    format!(
+                        "node index {node} is outside the {}-node cluster",
+                        spec.nodes
+                    ),
+                    "use node indices 0..nodes",
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+
+    // Table III cross-check: each quorum must be satisfiable by the
+    // instances this topology actually provides.
+    for plane in [Plane::ControlPlane, Plane::DataPlane] {
+        for req in spec.requirements(plane) {
+            let role = &spec.roles[req.role_index];
+            let provided = (0..spec.nodes)
+                .filter(|&n| topo.vm_of(&role.name, n).is_some())
+                .count();
+            if req.required as usize > provided {
+                r.push(Diagnostic::error(
+                    "SA003",
+                    path(&format!("quorums/{}/{}", role.name, req.label)),
+                    format!(
+                        "quorum needs {} of {} instances but the topology provides {provided}",
+                        req.required, spec.nodes
+                    ),
+                    "assign the missing instances or relax the quorum",
+                ));
+            }
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+    use sdnav_core::{ProcessSpec, RoleSpec};
+
+    fn spec() -> ControllerSpec {
+        ControllerSpec::opencontrail_3x()
+    }
+
+    #[test]
+    fn sa001_zero_nodes_and_no_roles() {
+        let empty = ControllerSpec {
+            name: "X".into(),
+            nodes: 0,
+            roles: vec![],
+        };
+        let r = audit_spec(&empty);
+        assert_eq!(r.error_count(), 2);
+        assert!(r.diagnostics().iter().all(|d| d.code == "SA001"));
+    }
+
+    #[test]
+    fn sa002_duplicate_role_and_process() {
+        let mut s = spec();
+        let copy = s.roles[0].clone();
+        s.roles.push(copy);
+        let p = s.roles[1].processes[0].clone();
+        s.roles[1].processes.push(p);
+        let r = audit_spec(&s);
+        assert!(r.has_code("SA002"));
+        // One finding per duplicated name, not per occurrence.
+        assert_eq!(
+            r.diagnostics().iter().filter(|d| d.code == "SA002").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn sa003_quorum_exceeds_cluster() {
+        let mut s = spec();
+        s.roles[0].processes[0].cp_required = 4;
+        let r = audit_spec(&s);
+        let d = r
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "SA003")
+            .expect("SA003 reported");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.path, "spec/roles/Config/processes/config-api");
+        assert!(d.message.contains("cp_required = 4"));
+    }
+
+    #[test]
+    fn sa003_per_host_bound_is_one() {
+        let mut s = spec();
+        let vrouter = s.roles.iter_mut().find(|r| r.name == "vRouter").unwrap();
+        vrouter.processes[0].dp_required = 2;
+        assert!(audit_spec(&s).has_code("SA003"));
+    }
+
+    #[test]
+    fn sa004_inconsistent_group() {
+        let mut s = spec();
+        let control = s.roles.iter_mut().find(|r| r.name == "Control").unwrap();
+        let dns = control
+            .processes
+            .iter_mut()
+            .find(|p| p.name == "dns")
+            .unwrap();
+        dns.dp_required = 0;
+        let r = audit_spec(&s);
+        assert!(r.has_code("SA004"));
+        assert!(r
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "SA004" && d.path.ends_with("dns")));
+    }
+
+    #[test]
+    fn sa005_multiple_supervisors_is_error() {
+        let mut s = spec();
+        s.roles[0].processes[0].is_supervisor = true;
+        let r = audit_spec(&s);
+        assert!(r
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "SA005" && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn sa005_auto_supervisor_is_warning() {
+        let mut s = spec();
+        let sup = s.roles[0]
+            .processes
+            .iter_mut()
+            .find(|p| p.is_supervisor)
+            .unwrap();
+        sup.restart = RestartMode::Auto;
+        let r = audit_spec(&s);
+        assert!(r
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "SA005" && d.severity == Severity::Warn));
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn sa005_auto_without_supervisor_is_warning() {
+        let s = ControllerSpec {
+            name: "X".into(),
+            nodes: 3,
+            roles: vec![RoleSpec::new(
+                "Solo",
+                RoleScope::Controller,
+                vec![ProcessSpec::new("worker", RestartMode::Auto).cp(1)],
+            )],
+        };
+        let r = audit_spec(&s);
+        assert!(r.diagnostics().iter().any(|d| d.code == "SA005"
+            && d.severity == Severity::Warn
+            && d.message.contains("no supervisor")));
+    }
+
+    #[test]
+    fn sa008_bad_downtime_factor() {
+        let mut s = spec();
+        s.roles[0].processes[1].downtime_factor = f64::NAN;
+        s.roles[0].processes[2].downtime_factor = -2.0;
+        let r = audit_spec(&s);
+        assert_eq!(
+            r.diagnostics().iter().filter(|d| d.code == "SA008").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn collects_multiple_findings_in_one_pass() {
+        let mut s = spec();
+        s.roles[0].processes[0].cp_required = 9; // SA003
+        s.roles[1].processes[0].downtime_factor = -1.0; // SA008
+        s.roles[2].processes[0].is_supervisor = true; // SA005 (two supervisors)
+        let r = audit_spec(&s);
+        assert!(r.has_code("SA003") && r.has_code("SA008") && r.has_code("SA005"));
+        assert!(r.error_count() >= 3);
+    }
+
+    #[test]
+    fn sa012_missing_assignment() {
+        let s = spec();
+        let mut t = Topology::new("Partial");
+        let rack = t.add_rack();
+        let host = t.add_host(rack);
+        // Assign every controller role except Database nodes 1 and 2.
+        for (_, role) in s.controller_roles() {
+            for node in 0..s.nodes {
+                if role.name == "Database" && node > 0 {
+                    continue;
+                }
+                let vm = t.add_vm(host);
+                t.assign(vm, &role.name, node);
+            }
+        }
+        let r = audit_topology(&s, &t);
+        assert!(r
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "SA012" && d.path.contains("Database/2")));
+        // Table III cross-check: the 2-of-3 Database quorums now have only
+        // one instance, so they are unsatisfiable on this topology.
+        assert!(r.has_code("SA003"));
+    }
+
+    #[test]
+    fn sa012_unknown_role_and_out_of_range_node() {
+        let s = spec();
+        let mut t = Topology::small(&s);
+        let rack = t.add_rack();
+        let host = t.add_host(rack);
+        let vm = t.add_vm(host);
+        t.assign(vm, "Nonexistent", 0);
+        t.assign(vm, "Config", 7);
+        let r = audit_topology(&s, &t);
+        assert!(r
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "SA012" && d.message.contains("unknown role")));
+        assert!(r
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "SA012" && d.message.contains("outside the 3-node cluster")));
+    }
+
+    #[test]
+    fn sa012_dangling_vm_from_json() {
+        let s = spec();
+        let mut topo = Topology::small(&s);
+        // Round-trip through JSON, then corrupt one assignment's VM index.
+        let json = sdnav_json::to_string(&topo);
+        let corrupted = json.replacen("\"vm\":0", "\"vm\":99", 1);
+        topo = sdnav_json::from_str(&corrupted).unwrap();
+        let r = audit_topology(&s, &topo);
+        assert!(r
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "SA012" && d.message.contains("VM 99")));
+    }
+
+    #[test]
+    fn paper_topologies_audit_clean() {
+        let s = spec();
+        for t in [
+            Topology::small(&s),
+            Topology::medium(&s),
+            Topology::large(&s),
+            Topology::small_three_racks(&s),
+        ] {
+            let r = audit_topology(&s, &t);
+            assert!(r.is_clean(), "{}:\n{}", t.name(), r.render());
+        }
+    }
+}

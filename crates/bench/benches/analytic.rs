@@ -1,7 +1,11 @@
-//! Criterion performance benches for the analytic layers.
+//! Harness-less timing benches for the analytic layers.
+//!
+//! Each case is timed with `std::time::Instant` over a fixed iteration
+//! count (no external bench framework — the build environment is offline).
+//! Run with `cargo bench -p sdnav-bench --bench analytic`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use sdnav_blocks::kofn::{k_of_n, k_of_n_heterogeneous};
 use sdnav_blocks::{Block, System};
@@ -9,56 +13,62 @@ use sdnav_core::{ControllerSpec, HwModel, HwParams, Scenario, SwModel, SwParams,
 use sdnav_markov::repairable::KOfNRepairable;
 use sdnav_markov::Ctmc;
 
-fn bench_kofn(c: &mut Criterion) {
-    c.bench_function("kofn/identical_2_of_3", |b| {
-        b.iter(|| k_of_n(black_box(2), black_box(3), black_box(0.9995)))
+/// Times `f` over `iters` iterations (after a 10% warmup) and prints the
+/// mean per-iteration cost.
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    for _ in 0..iters / 10 + 1 {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("{name:<44} {per_iter:>12.2?}/iter  ({iters} iters)");
+}
+
+fn bench_kofn() {
+    bench("kofn/identical_2_of_3", 100_000, || {
+        k_of_n(black_box(2), black_box(3), black_box(0.9995))
     });
     let alphas: Vec<f64> = (0..32).map(|i| 0.99 + 0.0003 * i as f64).collect();
-    c.bench_function("kofn/heterogeneous_16_of_32", |b| {
-        b.iter(|| k_of_n_heterogeneous(black_box(16), black_box(&alphas)))
+    bench("kofn/heterogeneous_16_of_32", 10_000, || {
+        k_of_n_heterogeneous(black_box(16), black_box(&alphas))
     });
 }
 
-fn bench_blocks(c: &mut Criterion) {
+fn bench_blocks() {
     let spec_block = Block::series(vec![
         Block::k_of_n(2, Block::unit("db", 0.9995).replicate(3)),
         Block::k_of_n(1, Block::unit("cfg", 0.9995).replicate(3)),
         Block::unit("rack", 0.99999),
     ]);
-    c.bench_function("blocks/availability", |b| {
-        b.iter(|| black_box(&spec_block).availability())
+    bench("blocks/availability", 100_000, || {
+        black_box(&spec_block).availability()
     });
     let system = System::new(spec_block.clone());
-    c.bench_function("blocks/minimal_cut_sets_order2", |b| {
-        b.iter(|| black_box(&system).minimal_cut_sets(2))
+    bench("blocks/minimal_cut_sets_order2", 1_000, || {
+        black_box(&system).minimal_cut_sets(2)
     });
 }
 
-fn bench_markov(c: &mut Criterion) {
-    c.bench_function("markov/gth_steady_state_20_states", |b| {
-        b.iter_batched(
-            || {
-                let mut chain = Ctmc::new(20);
-                for i in 0..19 {
-                    chain.add_transition(i, i + 1, 0.5 + i as f64 * 0.01);
-                    chain.add_transition(i + 1, i, 1.0);
-                }
-                chain
-            },
-            |chain| chain.steady_state().unwrap(),
-            BatchSize::SmallInput,
-        )
+fn bench_markov() {
+    bench("markov/gth_steady_state_20_states", 1_000, || {
+        let mut chain = Ctmc::new(20);
+        for i in 0..19 {
+            chain.add_transition(i, i + 1, 0.5 + i as f64 * 0.01);
+            chain.add_transition(i + 1, i, 1.0);
+        }
+        chain.steady_state().unwrap()
     });
-    c.bench_function("markov/repairable_2_of_3", |b| {
-        b.iter(|| {
-            KOfNRepairable::new(2, 3, black_box(1.0 / 5000.0), 10.0, 1)
-                .availability()
-                .unwrap()
-        })
+    bench("markov/repairable_2_of_3", 10_000, || {
+        KOfNRepairable::new(2, 3, black_box(1.0 / 5000.0), 10.0, 1)
+            .availability()
+            .unwrap()
     });
 }
 
-fn bench_models(c: &mut Criterion) {
+fn bench_models() {
     let spec = ControllerSpec::opencontrail_3x();
     let hw = HwParams::paper_defaults();
     let sw = SwParams::paper_defaults();
@@ -68,73 +78,71 @@ fn bench_models(c: &mut Criterion) {
         Topology::large(&spec),
     ] {
         let name = topo.name().to_lowercase();
-        c.bench_function(&format!("hw_model/{name}"), |b| {
-            b.iter(|| HwModel::new(&spec, &topo, black_box(hw)).availability())
+        bench(&format!("hw_model/{name}"), 10_000, || {
+            HwModel::new(&spec, &topo, black_box(hw)).availability()
         });
-        c.bench_function(&format!("sw_model/cp/{name}/supervisor_required"), |b| {
-            b.iter(|| {
+        bench(
+            &format!("sw_model/cp/{name}/supervisor_required"),
+            1_000,
+            || {
                 SwModel::new(&spec, &topo, black_box(sw), Scenario::SupervisorRequired)
                     .cp_availability()
-            })
-        });
-        c.bench_function(&format!("sw_model/dp/{name}/supervisor_required"), |b| {
-            b.iter(|| {
+            },
+        );
+        bench(
+            &format!("sw_model/dp/{name}/supervisor_required"),
+            1_000,
+            || {
                 SwModel::new(&spec, &topo, black_box(sw), Scenario::SupervisorRequired)
                     .host_dp_availability()
-            })
-        });
+            },
+        );
     }
 }
 
-fn bench_figures(c: &mut Criterion) {
+fn bench_figures() {
     let spec = ControllerSpec::opencontrail_3x();
-    c.bench_function("figures/fig3_21_points", |b| {
-        b.iter(|| sdnav_core::sweep::fig3(&spec, HwParams::paper_defaults(), 21))
+    bench("figures/fig3_21_points", 100, || {
+        sdnav_core::sweep::fig3(&spec, HwParams::paper_defaults(), 21)
     });
-    c.bench_function("figures/fig4_11_points", |b| {
-        b.iter(|| sdnav_core::sweep::fig4(&spec, SwParams::paper_defaults(), 11))
+    bench("figures/fig4_11_points", 100, || {
+        sdnav_core::sweep::fig4(&spec, SwParams::paper_defaults(), 11)
     });
-    c.bench_function("figures/fig5_11_points", |b| {
-        b.iter(|| sdnav_core::sweep::fig5(&spec, SwParams::paper_defaults(), 11))
+    bench("figures/fig5_11_points", 100, || {
+        sdnav_core::sweep::fig5(&spec, SwParams::paper_defaults(), 11)
     });
 }
 
-fn bench_extensions(c: &mut Criterion) {
-    c.bench_function("markov/coupled_quorum_2of3_64_states", |b| {
-        b.iter(|| {
-            sdnav_markov::quorum_coupling::coupled_quorum_availability(
-                black_box(2),
-                black_box(3),
-                sdnav_markov::supervisor::SupervisorParams::paper_defaults(),
-            )
-            .unwrap()
-        })
+fn bench_extensions() {
+    bench("markov/coupled_quorum_2of3_64_states", 100, || {
+        sdnav_markov::quorum_coupling::coupled_quorum_availability(
+            black_box(2),
+            black_box(3),
+            sdnav_markov::supervisor::SupervisorParams::paper_defaults(),
+        )
+        .unwrap()
     });
     let spec = ControllerSpec::opencontrail_3x();
-    c.bench_function("planner/evaluate_18_candidates", |b| {
-        b.iter(|| {
-            sdnav_core::planner::evaluate_candidates(
-                &spec,
-                SwParams::paper_defaults(),
-                &sdnav_core::planner::CostModel::ballpark(),
-            )
-        })
+    bench("planner/evaluate_18_candidates", 100, || {
+        sdnav_core::planner::evaluate_candidates(
+            &spec,
+            SwParams::paper_defaults(),
+            &sdnav_core::planner::CostModel::ballpark(),
+        )
     });
-    c.bench_function("sensitivity/sw_cp_large", |b| {
-        let topo = Topology::large(&spec);
-        b.iter(|| {
-            sdnav_core::sensitivity::sw(
-                &spec,
-                &topo,
-                SwParams::paper_defaults(),
-                Scenario::SupervisorRequired,
-                sdnav_core::sensitivity::SwMetric::ControlPlane,
-            )
-        })
+    let topo = Topology::large(&spec);
+    bench("sensitivity/sw_cp_large", 100, || {
+        sdnav_core::sensitivity::sw(
+            &spec,
+            &topo,
+            SwParams::paper_defaults(),
+            Scenario::SupervisorRequired,
+            sdnav_core::sensitivity::SwMetric::ControlPlane,
+        )
     });
 }
 
-fn bench_fmea(c: &mut Criterion) {
+fn bench_fmea() {
     let spec = ControllerSpec::opencontrail_3x();
     let topo = Topology::large(&spec);
     let dep = sdnav_fmea::Deployment::new(
@@ -143,22 +151,20 @@ fn bench_fmea(c: &mut Criterion) {
         SwParams::paper_defaults(),
         Scenario::SupervisorRequired,
     );
-    c.bench_function("fmea/single_order_enumeration", |b| {
-        b.iter(|| sdnav_fmea::enumerate(black_box(&dep), 1))
+    bench("fmea/single_order_enumeration", 100, || {
+        sdnav_fmea::enumerate(black_box(&dep), 1)
     });
-    c.bench_function("fmea/table1_derivation", |b| {
-        b.iter(|| sdnav_fmea::derive_table1(black_box(&spec)))
+    bench("fmea/table1_derivation", 1_000, || {
+        sdnav_fmea::derive_table1(black_box(&spec))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_kofn,
-    bench_blocks,
-    bench_markov,
-    bench_models,
-    bench_figures,
-    bench_fmea,
-    bench_extensions
-);
-criterion_main!(benches);
+fn main() {
+    bench_kofn();
+    bench_blocks();
+    bench_markov();
+    bench_models();
+    bench_figures();
+    bench_fmea();
+    bench_extensions();
+}

@@ -1,7 +1,9 @@
-//! Criterion performance benches for the discrete-event simulator.
+//! Harness-less timing benches for the discrete-event simulator.
+//!
+//! Run with `cargo bench -p sdnav-bench --bench simulator`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use sdnav_core::{ControllerSpec, Scenario, Topology};
 use sdnav_sim::{ConnectionModel, SimConfig, Simulation};
@@ -15,28 +17,28 @@ fn busy_config(scenario: Scenario) -> SimConfig {
     c
 }
 
-fn bench_event_throughput(c: &mut Criterion) {
+fn bench_event_throughput() {
     let spec = ControllerSpec::opencontrail_3x();
     for topo in [Topology::small(&spec), Topology::large(&spec)] {
         let sim = Simulation::new(&spec, &topo, busy_config(Scenario::SupervisorRequired));
         let name = topo.name().to_lowercase();
-        // Report per-event cost: count events once, then let Criterion
-        // measure whole runs (event counts are seed-deterministic).
+        // Report per-event cost (event counts are seed-deterministic).
         let events = sim.run(1).events;
-        let mut group = c.benchmark_group("simulator");
-        group.throughput(criterion::Throughput::Elements(events));
-        group.bench_function(format!("run_5000h/{name}"), |b| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                black_box(sim.run(seed))
-            })
-        });
-        group.finish();
+        let iters = 20u64;
+        let start = Instant::now();
+        for seed in 1..=iters {
+            black_box(sim.run(seed));
+        }
+        let elapsed = start.elapsed();
+        let per_event = elapsed.as_nanos() as f64 / (events * iters) as f64;
+        println!(
+            "simulator/run_5000h/{name:<8} {per_event:>8.1} ns/event  \
+             ({events} events/run, {iters} runs, total {elapsed:.2?})"
+        );
     }
 }
 
-fn bench_failover_model(c: &mut Criterion) {
+fn bench_failover_model() {
     let spec = ControllerSpec::opencontrail_3x();
     let topo = Topology::small(&spec);
     let mut cfg = busy_config(Scenario::SupervisorNotRequired);
@@ -44,14 +46,16 @@ fn bench_failover_model(c: &mut Criterion) {
         rediscovery_hours: 1.0 / 60.0,
     };
     let sim = Simulation::new(&spec, &topo, cfg);
-    c.bench_function("simulator/failover_connection_model", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(sim.run(seed))
-        })
-    });
+    let iters = 20u64;
+    let start = Instant::now();
+    for seed in 1..=iters {
+        black_box(sim.run(seed));
+    }
+    let per_run = start.elapsed() / iters as u32;
+    println!("simulator/failover_connection_model {per_run:>10.2?}/run ({iters} runs)");
 }
 
-criterion_group!(benches, bench_event_throughput, bench_failover_model);
-criterion_main!(benches);
+fn main() {
+    bench_event_throughput();
+    bench_failover_model();
+}

@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 use std::ops::Mul;
 
-use serde::{Deserialize, Serialize};
+use sdnav_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::Downtime;
 
@@ -27,9 +27,20 @@ pub(crate) const MINUTES_PER_YEAR: f64 = 525_960.0;
 /// let combined = role * vm; // {role + VM} series block
 /// assert!((combined.value() - 0.9995 * 0.99995).abs() < 1e-15);
 /// ```
-#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(try_from = "f64", into = "f64")]
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
 pub struct Availability(f64);
+
+impl ToJson for Availability {
+    fn to_json(&self) -> Json {
+        Json::Num(self.0)
+    }
+}
+
+impl FromJson for Availability {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Availability::new(value.as_f64()?).map_err(|e| JsonError::decode(e.to_string()))
+    }
+}
 
 impl Availability {
     /// A component that is always up.
@@ -396,12 +407,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let a = Availability::new(0.9995).unwrap();
-        let json = serde_json::to_string(&a).unwrap();
+        let json = sdnav_json::to_string(&a);
         assert_eq!(json, "0.9995");
-        let back: Availability = serde_json::from_str(&json).unwrap();
+        let back: Availability = sdnav_json::from_str(&json).unwrap();
         assert_eq!(a, back);
-        assert!(serde_json::from_str::<Availability>("1.5").is_err());
+        assert!(sdnav_json::from_str::<Availability>("1.5").is_err());
     }
 }

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use sdnav_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::kofn::k_of_n_heterogeneous;
 
@@ -28,8 +28,7 @@ use crate::kofn::k_of_n_heterogeneous;
 /// let system = Block::series(vec![db, Block::unit("rack", 0.99999)]);
 /// assert!(system.availability() > 0.99998);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Block {
     /// A leaf component with a fixed availability.
     Unit {
@@ -360,6 +359,62 @@ impl fmt::Display for Block {
     }
 }
 
+impl ToJson for Block {
+    fn to_json(&self) -> Json {
+        match self {
+            Block::Unit { name, availability } => Json::obj(vec![
+                ("kind", Json::str("unit")),
+                ("name", Json::str(name.clone())),
+                ("availability", Json::Num(*availability)),
+            ]),
+            Block::Series { children } => Json::obj(vec![
+                ("kind", Json::str("series")),
+                ("children", children.to_json()),
+            ]),
+            Block::Parallel { children } => Json::obj(vec![
+                ("kind", Json::str("parallel")),
+                ("children", children.to_json()),
+            ]),
+            Block::KOfN { k, children } => Json::obj(vec![
+                ("kind", Json::str("k_of_n")),
+                ("k", k.to_json()),
+                ("children", children.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for Block {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let kind = value.field("kind")?.as_str().map_err(|e| e.ctx("kind"))?;
+        match kind {
+            "unit" => Ok(Block::Unit {
+                name: String::from_json(value.field("name")?).map_err(|e| e.ctx("name"))?,
+                availability: value
+                    .field("availability")?
+                    .as_f64()
+                    .map_err(|e| e.ctx("availability"))?,
+            }),
+            "series" => Ok(Block::Series {
+                children: Vec::from_json(value.field("children")?)
+                    .map_err(|e| e.ctx("children"))?,
+            }),
+            "parallel" => Ok(Block::Parallel {
+                children: Vec::from_json(value.field("children")?)
+                    .map_err(|e| e.ctx("children"))?,
+            }),
+            "k_of_n" => Ok(Block::KOfN {
+                k: u32::from_json(value.field("k")?).map_err(|e| e.ctx("k"))?,
+                children: Vec::from_json(value.field("children")?)
+                    .map_err(|e| e.ctx("children"))?,
+            }),
+            other => Err(JsonError::decode(format!(
+                "unknown block kind `{other}` (expected unit, series, parallel, or k_of_n)"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,13 +572,21 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let b = Block::series(vec![
             Block::unit("a", 0.9),
             Block::k_of_n(2, Block::unit("n", 0.99).replicate(3)),
         ]);
-        let json = serde_json::to_string(&b).unwrap();
-        let back: Block = serde_json::from_str(&json).unwrap();
+        let json = sdnav_json::to_string(&b);
+        assert!(json.contains(r#""kind":"series""#));
+        assert!(json.contains(r#""kind":"k_of_n""#));
+        let back: Block = sdnav_json::from_str(&json).unwrap();
         assert_eq!(b, back);
+    }
+
+    #[test]
+    fn json_rejects_unknown_kind() {
+        let err = sdnav_json::from_str::<Block>(r#"{"kind":"mesh"}"#).unwrap_err();
+        assert!(err.to_string().contains("unknown block kind"));
     }
 }

@@ -293,6 +293,54 @@ mod tests {
         let _ = k_of_n(1, 2, 1.5);
     }
 
+    // The four structural edge cases the `sdnav-audit` SA006 check reasons
+    // about, pinned here for every k-of-n entry point so the lint rules and
+    // the math can never drift apart.
+
+    #[test]
+    fn edge_k_zero_is_always_up() {
+        for &a in &[0.0, 0.5, 1.0] {
+            for n in [0u32, 1, 5] {
+                assert_eq!(k_of_n(0, n, a), 1.0, "n={n} a={a}");
+                assert_eq!(k_of_n_unavailability(0, n, a), 0.0, "n={n} a={a}");
+            }
+        }
+        assert_eq!(k_of_n_heterogeneous(0, &[0.2, 0.9]), 1.0);
+    }
+
+    #[test]
+    fn edge_k_equals_n_is_series() {
+        for &a in &[0.0f64, 0.3, 0.999, 1.0] {
+            for n in [1u32, 2, 5] {
+                let expected = a.powi(n as i32);
+                assert!((k_of_n(n, n, a) - expected).abs() < EPS, "n={n} a={a}");
+            }
+        }
+        let alphas = [0.9, 0.8, 0.7];
+        let expected: f64 = alphas.iter().product();
+        assert!((k_of_n_heterogeneous(3, &alphas) - expected).abs() < EPS);
+    }
+
+    #[test]
+    fn edge_k_exceeds_n_is_never_up() {
+        for &a in &[0.0, 0.5, 1.0] {
+            assert_eq!(k_of_n(4, 3, a), 0.0, "a={a}");
+            assert_eq!(k_of_n(1, 0, a), 0.0, "a={a}");
+            assert_eq!(k_of_n_unavailability(4, 3, a), 1.0, "a={a}");
+        }
+        assert_eq!(k_of_n_heterogeneous(3, &[0.9, 0.9]), 0.0);
+    }
+
+    #[test]
+    fn edge_empty_set_follows_k() {
+        // n = 0: a 0-of-0 block is vacuously up, anything else impossible.
+        assert_eq!(k_of_n(0, 0, 0.7), 1.0);
+        assert_eq!(k_of_n(1, 0, 0.7), 0.0);
+        assert_eq!(k_of_n_unavailability(0, 0, 0.7), 0.0);
+        assert_eq!(k_of_n_unavailability(1, 0, 0.7), 1.0);
+        assert_eq!(up_count_distribution(&[]), vec![1.0]);
+    }
+
     #[test]
     fn unavailability_complements_availability() {
         for m in 0..=4u32 {

@@ -38,6 +38,9 @@ COMMANDS:
            [--accelerate F] [--seed S]
                               Monte-Carlo validation run
   spec [--out FILE]           dump the OpenContrail 3.x spec as JSON
+  lint [--format json] [--deny-warnings]
+                              statically audit the model (SA001..SA012);
+                              accepts broken specs via --spec
   help                        show this help
 
 COMMON OPTIONS:
@@ -65,6 +68,11 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &Args) -> Result<(), String> {
+    // `lint` deliberately bypasses `load_spec`: its whole point is to accept
+    // specs that `validate()` would reject and explain what is wrong.
+    if args.subcommand() == Some("lint") {
+        return lint(args);
+    }
     let spec = load_spec(args)?;
     match args.subcommand().unwrap_or("help") {
         "tables" => tables(&spec),
@@ -95,7 +103,7 @@ fn load_spec(args: &Args) -> Result<ControllerSpec, String> {
         Some(path) => {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?
+            sdnav_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?
         }
     };
     spec.validate().map_err(|e| e.to_string())?;
@@ -510,8 +518,35 @@ fn simulate(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn lint(args: &Args) -> Result<(), String> {
+    let spec: ControllerSpec = match args.get("spec") {
+        None => ControllerSpec::opencontrail_3x(),
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            sdnav_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?
+        }
+    };
+    let report = sdnav_audit::audit_model(&spec);
+    match args.get("format") {
+        Some("json") => println!("{}", sdnav_json::to_string_pretty(&report)),
+        Some(other) => return Err(format!("--format must be `json`, got {other:?}")),
+        None => print!("{}", report.render()),
+    }
+    if report.has_errors() {
+        return Err(format!("lint found {} error(s)", report.error_count()));
+    }
+    if args.has_flag("deny-warnings") && report.warning_count() > 0 {
+        return Err(format!(
+            "lint found {} warning(s) (--deny-warnings)",
+            report.warning_count()
+        ));
+    }
+    Ok(())
+}
+
 fn dump_spec(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
-    let json = serde_json::to_string_pretty(spec).map_err(|e| e.to_string())?;
+    let json = sdnav_json::to_string_pretty(spec);
     match args.get("out") {
         Some(path) => {
             std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;

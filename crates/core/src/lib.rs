@@ -69,7 +69,7 @@ pub mod sweep;
 mod topology;
 
 pub use hw::HwModel;
-pub use params::{HwParams, ProcessParams, SwParams};
+pub use params::{HwParams, ParamError, ProcessParams, SwParams};
 pub use spec::{
     ControllerSpec, Plane, ProcessSpec, QuorumCount, Requirement, RestartCount, RestartMode,
     RoleScope, RoleSpec, SpecError,

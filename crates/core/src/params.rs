@@ -1,18 +1,50 @@
 //! Model parameter sets and the paper's default values.
 
-use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
 
-fn check_unit(value: f64, name: &str) -> f64 {
-    assert!(
-        (0.0..=1.0).contains(&value),
-        "{name} must lie in [0, 1], got {value}"
-    );
-    value
+use sdnav_json::{FromJson, Json, JsonError, ToJson};
+
+/// A parameter failed validation: the named field is NaN or outside `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParamError {
+    /// Name of the offending field (e.g. `a_c`).
+    pub field: &'static str,
+    /// The out-of-range value.
+    pub value: f64,
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{field} must lie in [0, 1], got {value}",
+            field = self.field,
+            value = self.value
+        )
+    }
+}
+
+impl Error for ParamError {}
+
+fn try_unit(value: f64, field: &'static str) -> Result<f64, ParamError> {
+    if value.is_nan() || !(0.0..=1.0).contains(&value) {
+        Err(ParamError { field, value })
+    } else {
+        Ok(value)
+    }
+}
+
+fn check_unit(value: f64, name: &'static str) -> f64 {
+    match try_unit(value, name) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Parameters of the HW-centric analysis (§V): per-element availabilities
 /// with every controller role treated as an atomic element.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HwParams {
     /// Availability of one instance of any controller role, `A_C`.
     pub a_c: f64,
@@ -50,21 +82,56 @@ impl HwParams {
         }
     }
 
+    /// Checks all fields lie in `[0, 1]`, reporting the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamError`] naming the offending field.
+    pub fn try_validate(&self) -> Result<(), ParamError> {
+        try_unit(self.a_c, "a_c")?;
+        try_unit(self.a_v, "a_v")?;
+        try_unit(self.a_h, "a_h")?;
+        try_unit(self.a_r, "a_r")?;
+        Ok(())
+    }
+
     /// Validates all fields lie in `[0, 1]`.
     ///
     /// # Panics
     ///
-    /// Panics if any availability is out of range.
+    /// Panics if any availability is out of range. Use
+    /// [`HwParams::try_validate`] for a recoverable check.
     pub fn validate(&self) {
-        check_unit(self.a_c, "a_c");
-        check_unit(self.a_v, "a_v");
-        check_unit(self.a_h, "a_h");
-        check_unit(self.a_r, "a_r");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+}
+
+impl ToJson for HwParams {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("a_c", Json::Num(self.a_c)),
+            ("a_v", Json::Num(self.a_v)),
+            ("a_h", Json::Num(self.a_h)),
+            ("a_r", Json::Num(self.a_r)),
+        ])
+    }
+}
+
+impl FromJson for HwParams {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(HwParams {
+            a_c: value.field("a_c")?.as_f64().map_err(|e| e.ctx("a_c"))?,
+            a_v: value.field("a_v")?.as_f64().map_err(|e| e.ctx("a_v"))?,
+            a_h: value.field("a_h")?.as_f64().map_err(|e| e.ctx("a_h"))?,
+            a_r: value.field("a_r")?.as_f64().map_err(|e| e.ctx("a_r"))?,
+        })
     }
 }
 
 /// Per-process availability parameters for the SW-centric analysis (§VI.A).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProcessParams {
     /// Availability `A` of a process auto-restarted by its supervisor
     /// (`F/(F+R)`; the paper's default `0.99998` from `F = 5000 h`,
@@ -121,20 +188,54 @@ impl ProcessParams {
         }
     }
 
+    /// Checks all fields lie in `[0, 1]`, reporting the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamError`] naming the offending field.
+    pub fn try_validate(&self) -> Result<(), ParamError> {
+        try_unit(self.auto, "auto")?;
+        try_unit(self.manual, "manual")?;
+        Ok(())
+    }
+
     /// Validates all fields lie in `[0, 1]`.
     ///
     /// # Panics
     ///
-    /// Panics if any availability is out of range.
+    /// Panics if any availability is out of range. Use
+    /// [`ProcessParams::try_validate`] for a recoverable check.
     pub fn validate(&self) {
-        check_unit(self.auto, "auto");
-        check_unit(self.manual, "manual");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+}
+
+impl ToJson for ProcessParams {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("auto", Json::Num(self.auto)),
+            ("manual", Json::Num(self.manual)),
+        ])
+    }
+}
+
+impl FromJson for ProcessParams {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(ProcessParams {
+            auto: value.field("auto")?.as_f64().map_err(|e| e.ctx("auto"))?,
+            manual: value
+                .field("manual")?
+                .as_f64()
+                .map_err(|e| e.ctx("manual"))?,
+        })
     }
 }
 
 /// Full parameter set for the SW-centric analysis: process availabilities
 /// plus the platform availabilities.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwParams {
     /// Process availabilities (`A`, `A_S`).
     pub process: ProcessParams,
@@ -172,16 +273,52 @@ impl SwParams {
         }
     }
 
+    /// Checks all fields lie in `[0, 1]`, reporting the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamError`] naming the offending field.
+    pub fn try_validate(&self) -> Result<(), ParamError> {
+        self.process.try_validate()?;
+        try_unit(self.a_v, "a_v")?;
+        try_unit(self.a_h, "a_h")?;
+        try_unit(self.a_r, "a_r")?;
+        Ok(())
+    }
+
     /// Validates all fields lie in `[0, 1]`.
     ///
     /// # Panics
     ///
-    /// Panics if any availability is out of range.
+    /// Panics if any availability is out of range. Use
+    /// [`SwParams::try_validate`] for a recoverable check.
     pub fn validate(&self) {
-        self.process.validate();
-        check_unit(self.a_v, "a_v");
-        check_unit(self.a_h, "a_h");
-        check_unit(self.a_r, "a_r");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+}
+
+impl ToJson for SwParams {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("process", self.process.to_json()),
+            ("a_v", Json::Num(self.a_v)),
+            ("a_h", Json::Num(self.a_h)),
+            ("a_r", Json::Num(self.a_r)),
+        ])
+    }
+}
+
+impl FromJson for SwParams {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(SwParams {
+            process: ProcessParams::from_json(value.field("process")?)
+                .map_err(|e| e.ctx("process"))?,
+            a_v: value.field("a_v")?.as_f64().map_err(|e| e.ctx("a_v"))?,
+            a_h: value.field("a_h")?.as_f64().map_err(|e| e.ctx("a_h"))?,
+            a_r: value.field("a_r")?.as_f64().map_err(|e| e.ctx("a_r"))?,
+        })
     }
 }
 
@@ -246,10 +383,37 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let hw = HwParams::paper_defaults();
-        let json = serde_json::to_string(&hw).unwrap();
-        let back: HwParams = serde_json::from_str(&json).unwrap();
+        let json = sdnav_json::to_string(&hw);
+        let back: HwParams = sdnav_json::from_str(&json).unwrap();
         assert_eq!(hw, back);
+
+        let sw = SwParams::paper_defaults();
+        let back: SwParams = sdnav_json::from_str(&sdnav_json::to_string(&sw)).unwrap();
+        assert_eq!(sw, back);
+    }
+
+    #[test]
+    fn try_validate_reports_field_and_value() {
+        let bad = HwParams {
+            a_c: 1.2,
+            ..HwParams::paper_defaults()
+        };
+        let err = bad.try_validate().unwrap_err();
+        assert_eq!(err.field, "a_c");
+        assert_eq!(err.value, 1.2);
+        assert!(HwParams::paper_defaults().try_validate().is_ok());
+        assert!(SwParams::paper_defaults().try_validate().is_ok());
+        assert!(ProcessParams::paper_defaults().try_validate().is_ok());
+    }
+
+    #[test]
+    fn try_validate_rejects_nan() {
+        let bad = SwParams {
+            a_v: f64::NAN,
+            ..SwParams::paper_defaults()
+        };
+        assert_eq!(bad.try_validate().unwrap_err().field, "a_v");
     }
 }

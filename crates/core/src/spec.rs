@@ -5,11 +5,10 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use sdnav_json::{FromJson, Json, JsonError, ToJson};
 
 /// How a failed process gets restarted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RestartMode {
     /// Auto-restarted by the node-role's supervisor (availability `A`).
     Auto,
@@ -18,9 +17,29 @@ pub enum RestartMode {
     Manual,
 }
 
+impl ToJson for RestartMode {
+    fn to_json(&self) -> Json {
+        Json::str(match self {
+            RestartMode::Auto => "auto",
+            RestartMode::Manual => "manual",
+        })
+    }
+}
+
+impl FromJson for RestartMode {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str()? {
+            "auto" => Ok(RestartMode::Auto),
+            "manual" => Ok(RestartMode::Manual),
+            other => Err(JsonError::decode(format!(
+                "unknown restart mode `{other}` (expected auto or manual)"
+            ))),
+        }
+    }
+}
+
 /// Where a role's instances run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RoleScope {
     /// One instance per controller node (the 2N+1 cluster).
     Controller,
@@ -28,9 +47,29 @@ pub enum RoleScope {
     PerHost,
 }
 
+impl ToJson for RoleScope {
+    fn to_json(&self) -> Json {
+        Json::str(match self {
+            RoleScope::Controller => "controller",
+            RoleScope::PerHost => "per_host",
+        })
+    }
+}
+
+impl FromJson for RoleScope {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str()? {
+            "controller" => Ok(RoleScope::Controller),
+            "per_host" => Ok(RoleScope::PerHost),
+            other => Err(JsonError::decode(format!(
+                "unknown role scope `{other}` (expected controller or per_host)"
+            ))),
+        }
+    }
+}
+
 /// Which availability target is being analyzed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Plane {
     /// The SDN control plane (the paper's `A_CP`).
     ControlPlane,
@@ -38,8 +77,29 @@ pub enum Plane {
     DataPlane,
 }
 
+impl ToJson for Plane {
+    fn to_json(&self) -> Json {
+        Json::str(match self {
+            Plane::ControlPlane => "control_plane",
+            Plane::DataPlane => "data_plane",
+        })
+    }
+}
+
+impl FromJson for Plane {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str()? {
+            "control_plane" => Ok(Plane::ControlPlane),
+            "data_plane" => Ok(Plane::DataPlane),
+            other => Err(JsonError::decode(format!(
+                "unknown plane `{other}` (expected control_plane or data_plane)"
+            ))),
+        }
+    }
+}
+
 /// One process within a role (a row of the paper's Table I).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcessSpec {
     /// Process name, unique within its role (e.g. `config-api`).
     pub name: String,
@@ -51,28 +111,79 @@ pub struct ProcessSpec {
     /// Data-plane quorum requirement (the "m of 3" Host DP column).
     pub dp_required: u32,
     /// Optional control-plane block label: processes of the same role with
-    /// the same label form a single series block counted once.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
+    /// the same label form a single series block counted once. Omitted from
+    /// JSON when absent.
     pub cp_group: Option<String>,
     /// Optional data-plane block label, e.g. the paper's
     /// `{control + dns + named}` block, which is "modeled as a single
-    /// process with availability A³" (Table III footnote).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
+    /// process with availability A³" (Table III footnote). Omitted from
+    /// JSON when absent.
     pub dp_group: Option<String>,
-    /// Whether this process is the role's supervisor.
-    #[serde(default)]
+    /// Whether this process is the role's supervisor (JSON default: false).
     pub is_supervisor: bool,
     /// Downtime multiplier relative to the baseline process of its restart
     /// mode (§VI.A: "we can easily expand to K process types if lab/field
     /// data for F suggest the need to do so", e.g. new vs mature code).
     /// `1.0` = baseline; `10.0` = an immature process with 10× the
-    /// unavailability; `0.1` = a hardened one.
-    #[serde(default = "default_downtime_factor")]
+    /// unavailability; `0.1` = a hardened one (JSON default: 1.0).
     pub downtime_factor: f64,
 }
 
-fn default_downtime_factor() -> f64 {
-    1.0
+impl ToJson for ProcessSpec {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name", Json::str(self.name.clone())),
+            ("restart", self.restart.to_json()),
+            ("cp_required", self.cp_required.to_json()),
+            ("dp_required", self.dp_required.to_json()),
+        ];
+        if let Some(g) = &self.cp_group {
+            fields.push(("cp_group", Json::str(g.clone())));
+        }
+        if let Some(g) = &self.dp_group {
+            fields.push(("dp_group", Json::str(g.clone())));
+        }
+        fields.push(("is_supervisor", Json::Bool(self.is_supervisor)));
+        fields.push(("downtime_factor", Json::Num(self.downtime_factor)));
+        Json::obj(fields)
+    }
+}
+
+impl FromJson for ProcessSpec {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let opt_str = |name: &str| -> Result<Option<String>, JsonError> {
+            match value.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => v
+                    .as_str()
+                    .map(|s| Some(s.to_owned()))
+                    .map_err(|e| e.ctx(name)),
+            }
+        };
+        Ok(ProcessSpec {
+            name: String::from_json(value.field("name")?).map_err(|e| e.ctx("name"))?,
+            restart: RestartMode::from_json(value.field("restart")?)
+                .map_err(|e| e.ctx("restart"))?,
+            cp_required: value
+                .field("cp_required")?
+                .as_u32()
+                .map_err(|e| e.ctx("cp_required"))?,
+            dp_required: value
+                .field("dp_required")?
+                .as_u32()
+                .map_err(|e| e.ctx("dp_required"))?,
+            cp_group: opt_str("cp_group")?,
+            dp_group: opt_str("dp_group")?,
+            is_supervisor: match value.get("is_supervisor") {
+                None | Some(Json::Null) => false,
+                Some(v) => v.as_bool().map_err(|e| e.ctx("is_supervisor"))?,
+            },
+            downtime_factor: match value.get("downtime_factor") {
+                None | Some(Json::Null) => 1.0,
+                Some(v) => v.as_f64().map_err(|e| e.ctx("downtime_factor"))?,
+            },
+        })
+    }
 }
 
 impl ProcessSpec {
@@ -139,7 +250,7 @@ impl ProcessSpec {
 }
 
 /// One role (node type) of the controller.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoleSpec {
     /// Role name (e.g. `Config`, `Control`, `Analytics`, `Database`).
     pub name: String,
@@ -186,7 +297,7 @@ impl RoleSpec {
 
 /// Counts of required processes by restart mode for one role (a column of
 /// the paper's Table II).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RestartCount {
     /// Role name.
     pub role: String,
@@ -198,7 +309,7 @@ pub struct RestartCount {
 
 /// Counts of quorum requirements by type for one role and plane (a row of
 /// the paper's Table III).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuorumCount {
     /// Role name.
     pub role: String,
@@ -210,7 +321,7 @@ pub struct QuorumCount {
 
 /// A resolved quorum requirement: one process (or grouped series block) of
 /// one role, with the number of node instances that must be up.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Requirement {
     /// Index of the role in [`ControllerSpec::roles`].
     pub role_index: usize,
@@ -248,7 +359,7 @@ impl Requirement {
 /// Encapsulates everything the paper's models need to know about the
 /// controller implementation. [`ControllerSpec::opencontrail_3x`] is the
 /// paper's reference; build your own to model a different controller.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ControllerSpec {
     /// Implementation name (e.g. `OpenContrail 3.x`).
     pub name: String,
@@ -256,6 +367,46 @@ pub struct ControllerSpec {
     pub nodes: u32,
     /// The roles, controller-scoped first by convention.
     pub roles: Vec<RoleSpec>,
+}
+
+impl ToJson for RoleSpec {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(self.name.clone())),
+            ("scope", self.scope.to_json()),
+            ("processes", self.processes.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RoleSpec {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(RoleSpec {
+            name: String::from_json(value.field("name")?).map_err(|e| e.ctx("name"))?,
+            scope: RoleScope::from_json(value.field("scope")?).map_err(|e| e.ctx("scope"))?,
+            processes: Vec::from_json(value.field("processes")?).map_err(|e| e.ctx("processes"))?,
+        })
+    }
+}
+
+impl ToJson for ControllerSpec {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(self.name.clone())),
+            ("nodes", self.nodes.to_json()),
+            ("roles", self.roles.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ControllerSpec {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(ControllerSpec {
+            name: String::from_json(value.field("name")?).map_err(|e| e.ctx("name"))?,
+            nodes: value.field("nodes")?.as_u32().map_err(|e| e.ctx("nodes"))?,
+            roles: Vec::from_json(value.field("roles")?).map_err(|e| e.ctx("roles"))?,
+        })
+    }
 }
 
 impl ControllerSpec {
@@ -868,9 +1019,9 @@ mod tests {
             .iter()
             .flat_map(|r| &r.processes)
             .all(|p| p.downtime_factor == 1.0));
-        // Old JSON without the field still parses (serde default).
+        // Old JSON without the field still parses (decoder default).
         let json = r#"{"name":"config-api","restart":"auto","cp_required":1,"dp_required":0}"#;
-        let p: ProcessSpec = serde_json::from_str(json).unwrap();
+        let p: ProcessSpec = sdnav_json::from_str(json).unwrap();
         assert_eq!(p.downtime_factor, 1.0);
         // Builder sets it.
         let q = ProcessSpec::new("new-code", RestartMode::Auto).with_downtime_factor(10.0);
@@ -1025,10 +1176,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let spec = ControllerSpec::opencontrail_3x();
-        let json = serde_json::to_string_pretty(&spec).unwrap();
-        let back: ControllerSpec = serde_json::from_str(&json).unwrap();
+        let json = sdnav_json::to_string_pretty(&spec);
+        let back: ControllerSpec = sdnav_json::from_str(&json).unwrap();
         assert_eq!(spec, back);
+        // Optional group fields stay omitted when absent.
+        assert!(!json.contains("cp_group"));
+        assert!(json.contains("dp_group"));
     }
 }

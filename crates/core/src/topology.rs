@@ -4,21 +4,39 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use sdnav_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::{ControllerSpec, RoleScope};
 
 /// Identifier of a rack within a [`Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RackId(pub usize);
 
 /// Identifier of a host within a [`Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HostId(pub usize);
 
 /// Identifier of a VM within a [`Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VmId(pub usize);
+
+macro_rules! id_json {
+    ($($id:ident),+) => {$(
+        impl ToJson for $id {
+            fn to_json(&self) -> Json {
+                self.0.to_json()
+            }
+        }
+
+        impl FromJson for $id {
+            fn from_json(value: &Json) -> Result<Self, JsonError> {
+                value.as_usize().map($id)
+            }
+        }
+    )+};
+}
+
+id_json!(RackId, HostId, VmId);
 
 /// A physical deployment layout: racks contain hosts, hosts run VMs, and
 /// each VM carries one or more `(role, node)` assignments.
@@ -41,7 +59,7 @@ pub struct VmId(pub usize);
 /// assert_eq!(large.host_count(), 12);
 /// assert_eq!(large.vm_count(), 12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     name: String,
     /// `hosts[h]` is the rack of host `h`.
@@ -50,49 +68,61 @@ pub struct Topology {
     vms: Vec<HostId>,
     rack_count: usize,
     /// `(role name, node index)` → VM.
-    #[serde(with = "assignment_entries")]
     assignments: BTreeMap<(String, u32), VmId>,
 }
 
-/// JSON cannot key maps by tuples; (de)serialize assignments as an entry
-/// list `[{role, node, vm}, …]`.
-mod assignment_entries {
-    use std::collections::BTreeMap;
-
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    use super::VmId;
-
-    #[derive(Serialize, Deserialize)]
-    struct Entry {
-        role: String,
-        node: u32,
-        vm: VmId,
-    }
-
-    pub(super) fn serialize<S: Serializer>(
-        map: &BTreeMap<(String, u32), VmId>,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
-        let entries: Vec<Entry> = map
+impl ToJson for Topology {
+    fn to_json(&self) -> Json {
+        // JSON cannot key maps by tuples; serialize assignments as an
+        // entry list `[{role, node, vm}, …]`.
+        let entries: Vec<Json> = self
+            .assignments
             .iter()
-            .map(|((role, node), vm)| Entry {
-                role: role.clone(),
-                node: *node,
-                vm: *vm,
+            .map(|((role, node), vm)| {
+                Json::obj(vec![
+                    ("role", Json::str(role.clone())),
+                    ("node", node.to_json()),
+                    ("vm", vm.to_json()),
+                ])
             })
             .collect();
-        entries.serialize(ser)
+        Json::obj(vec![
+            ("name", Json::str(self.name.clone())),
+            ("hosts", self.hosts.to_json()),
+            ("vms", self.vms.to_json()),
+            ("rack_count", self.rack_count.to_json()),
+            ("assignments", Json::Arr(entries)),
+        ])
     }
+}
 
-    pub(super) fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<BTreeMap<(String, u32), VmId>, D::Error> {
-        let entries = Vec::<Entry>::deserialize(de)?;
-        Ok(entries
-            .into_iter()
-            .map(|e| ((e.role, e.node), e.vm))
-            .collect())
+impl FromJson for Topology {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let mut assignments = BTreeMap::new();
+        let entries = value
+            .field("assignments")?
+            .as_arr()
+            .map_err(|e| e.ctx("assignments"))?;
+        for (i, entry) in entries.iter().enumerate() {
+            let decoded = (|| -> Result<((String, u32), VmId), JsonError> {
+                let role = String::from_json(entry.field("role")?).map_err(|e| e.ctx("role"))?;
+                let node = entry.field("node")?.as_u32().map_err(|e| e.ctx("node"))?;
+                let vm = VmId::from_json(entry.field("vm")?).map_err(|e| e.ctx("vm"))?;
+                Ok(((role, node), vm))
+            })()
+            .map_err(|e| e.ctx(&format!("[{i}]")).ctx("assignments"))?;
+            assignments.insert(decoded.0, decoded.1);
+        }
+        Ok(Topology {
+            name: String::from_json(value.field("name")?).map_err(|e| e.ctx("name"))?,
+            hosts: Vec::from_json(value.field("hosts")?).map_err(|e| e.ctx("hosts"))?,
+            vms: Vec::from_json(value.field("vms")?).map_err(|e| e.ctx("vms"))?,
+            rack_count: value
+                .field("rack_count")?
+                .as_usize()
+                .map_err(|e| e.ctx("rack_count"))?,
+            assignments,
+        })
     }
 }
 
@@ -513,11 +543,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let s = spec();
         let t = Topology::medium(&s);
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Topology = serde_json::from_str(&json).unwrap();
+        let json = sdnav_json::to_string(&t);
+        let back: Topology = sdnav_json::from_str(&json).unwrap();
         assert_eq!(t, back);
+        // Assignments serialize as an entry list.
+        assert!(json.contains(r#""role":"Config""#));
     }
 }

@@ -2,13 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use sdnav_json::{FromJson, Json, JsonError, ToJson};
 
 use sdnav_core::{ControllerSpec, Plane, Scenario, SwParams, Topology};
 
 /// A failable element of a deployment.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Element {
     /// A whole rack (takes down all hosts in it).
     Rack {
@@ -81,6 +80,64 @@ impl Element {
                     ElementKind::Process
                 }
             }
+        }
+    }
+}
+
+impl ToJson for Element {
+    fn to_json(&self) -> Json {
+        match self {
+            Element::Rack { index } => Json::obj(vec![
+                ("kind", Json::str("rack")),
+                ("index", index.to_json()),
+            ]),
+            Element::Host { index } => Json::obj(vec![
+                ("kind", Json::str("host")),
+                ("index", index.to_json()),
+            ]),
+            Element::Vm { index } => {
+                Json::obj(vec![("kind", Json::str("vm")), ("index", index.to_json())])
+            }
+            Element::Process {
+                role,
+                node,
+                process,
+            } => Json::obj(vec![
+                ("kind", Json::str("process")),
+                ("role", Json::str(role.clone())),
+                ("node", node.to_json()),
+                ("process", Json::str(process.clone())),
+            ]),
+            Element::HostProcess { process } => Json::obj(vec![
+                ("kind", Json::str("host_process")),
+                ("process", Json::str(process.clone())),
+            ]),
+        }
+    }
+}
+
+impl FromJson for Element {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let kind = value.field("kind")?.as_str().map_err(|e| e.ctx("kind"))?;
+        let index = || -> Result<usize, JsonError> {
+            value.field("index")?.as_usize().map_err(|e| e.ctx("index"))
+        };
+        let process = || -> Result<String, JsonError> {
+            String::from_json(value.field("process")?).map_err(|e| e.ctx("process"))
+        };
+        match kind {
+            "rack" => Ok(Element::Rack { index: index()? }),
+            "host" => Ok(Element::Host { index: index()? }),
+            "vm" => Ok(Element::Vm { index: index()? }),
+            "process" => Ok(Element::Process {
+                role: String::from_json(value.field("role")?).map_err(|e| e.ctx("role"))?,
+                node: value.field("node")?.as_u32().map_err(|e| e.ctx("node"))?,
+                process: process()?,
+            }),
+            "host_process" => Ok(Element::HostProcess {
+                process: process()?,
+            }),
+            other => Err(JsonError::decode(format!("unknown element kind `{other}`"))),
         }
     }
 }

@@ -1,0 +1,173 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the tiny slice of the `rand` 0.9 API it actually uses: a
+//! seedable small RNG (`rngs::SmallRng`, implemented as xoshiro256++) and
+//! `Rng::random::<f64>()`. The statistical contract matches upstream where
+//! it matters for the simulator: `random::<f64>()` is uniform on `[0, 1)`
+//! with 53 bits of precision, and a given seed yields a reproducible
+//! stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Types that can be sampled uniformly from an RNG's native output.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample(rng: &mut rngs::SmallRng) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample(rng: &mut rngs::SmallRng) -> f64 {
+        // 53 random mantissa bits → uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample(rng: &mut rngs::SmallRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample(rng: &mut rngs::SmallRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample(rng: &mut rngs::SmallRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The subset of `rand::Rng` used by this workspace.
+pub trait Rng {
+    /// Draws a uniformly distributed value of type `T`.
+    fn random<T: Standard>(&mut self) -> T;
+
+    /// Draws a `usize` uniformly from `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn random_index(&mut self, bound: usize) -> usize;
+}
+
+/// The subset of `rand::SeedableRng` used by this workspace.
+pub trait SeedableRng: Sized {
+    /// Constructs an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng, Standard};
+
+    /// xoshiro256++ — the same generator family upstream `SmallRng` uses on
+    /// 64-bit targets: fast, 256-bit state, passes BigCrush.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        /// The raw 64-bit output of xoshiro256++.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical way to seed xoshiro.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        #[inline]
+        fn random<T: Standard>(&mut self) -> T {
+            T::sample(self)
+        }
+
+        fn random_index(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "cannot sample from an empty range");
+            // Multiply-shift bounded sampling (Lemire); the tiny modulo bias
+            // of the plain widening multiply is irrelevant at our bounds.
+            let hi = ((u128::from(self.next_u64()) * bound as u128) >> 64) as usize;
+            hi.min(bound - 1)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn same_seed_same_stream() {
+            let mut a = SmallRng::seed_from_u64(42);
+            let mut b = SmallRng::seed_from_u64(42);
+            for _ in 0..100 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+
+        #[test]
+        fn different_seeds_differ() {
+            let mut a = SmallRng::seed_from_u64(1);
+            let mut b = SmallRng::seed_from_u64(2);
+            assert_ne!(a.next_u64(), b.next_u64());
+        }
+
+        #[test]
+        fn f64_uniform_in_unit_interval() {
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut sum = 0.0;
+            for _ in 0..10_000 {
+                let u: f64 = rng.random();
+                assert!((0.0..1.0).contains(&u));
+                sum += u;
+            }
+            let mean = sum / 10_000.0;
+            assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+        }
+
+        #[test]
+        fn random_index_within_bound() {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let mut seen = [false; 7];
+            for _ in 0..1000 {
+                seen[rng.random_index(7)] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "all residues should appear");
+        }
+    }
+}

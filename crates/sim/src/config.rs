@@ -1,6 +1,39 @@
 //! Simulation configuration.
 
+use std::error::Error;
+use std::fmt;
+
 use sdnav_core::Scenario;
+
+/// A nonsensical [`SimConfig`] value.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A time or rate that must be strictly positive is not (field name
+    /// in human-readable form, e.g. `process MTBF`).
+    NonPositive(&'static str),
+    /// `warmup_fraction` outside `[0, 1)`.
+    BadWarmupFraction(f64),
+    /// Fewer than two batches — no batch-means confidence interval.
+    TooFewBatches(usize),
+    /// No compute hosts to carry vRouters.
+    NoComputeHosts,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NonPositive(what) => write!(f, "{what} must be positive"),
+            ConfigError::BadWarmupFraction(v) => {
+                write!(f, "warmup fraction must be in [0, 1), got {v}")
+            }
+            ConfigError::TooFewBatches(_) => write!(f, "need at least two batches"),
+            ConfigError::NoComputeHosts => write!(f, "need at least one compute host"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
 
 /// MTBF/MTTR pair for a hardware element class, in hours.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -222,26 +255,55 @@ impl SimConfig {
         }
     }
 
+    /// Checks the configuration, reporting the first nonsensical value
+    /// (non-positive times, zero batches, warm-up ≥ 1, no compute hosts).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        let positives = [
+            (self.process_mtbf, "process MTBF"),
+            (self.auto_restart, "auto restart"),
+            (self.manual_restart, "manual restart"),
+            (self.supervisor_window, "window"),
+            (self.horizon_hours, "horizon"),
+            (self.rack.mtbf, "rack MTBF"),
+            (self.host.mtbf, "host MTBF"),
+            (self.vm.mtbf, "VM MTBF"),
+        ];
+        for (value, what) in positives {
+            // NaN must fail too, so compare via the negation of `> 0`.
+            if value.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return Err(ConfigError::NonPositive(what));
+            }
+        }
+        if !(0.0..1.0).contains(&self.warmup_fraction) {
+            return Err(ConfigError::BadWarmupFraction(self.warmup_fraction));
+        }
+        if self.batches < 2 {
+            return Err(ConfigError::TooFewBatches(self.batches));
+        }
+        if self.compute_hosts == 0 {
+            return Err(ConfigError::NoComputeHosts);
+        }
+        if let ConnectionModel::Failover { rediscovery_hours } = self.connection {
+            if rediscovery_hours.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return Err(ConfigError::NonPositive("rediscovery"));
+            }
+        }
+        Ok(())
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
-    /// Panics on nonsensical values (non-positive times, zero batches,
-    /// warm-up ≥ 1, no compute hosts).
+    /// Panics on the first nonsensical value. Use
+    /// [`SimConfig::try_validate`] for a recoverable check.
     pub fn validate(&self) {
-        assert!(self.process_mtbf > 0.0, "process MTBF must be positive");
-        assert!(self.auto_restart > 0.0, "auto restart must be positive");
-        assert!(self.manual_restart > 0.0, "manual restart must be positive");
-        assert!(self.supervisor_window > 0.0, "window must be positive");
-        assert!(self.horizon_hours > 0.0, "horizon must be positive");
-        assert!(
-            (0.0..1.0).contains(&self.warmup_fraction),
-            "warmup fraction must be in [0, 1)"
-        );
-        assert!(self.batches >= 2, "need at least two batches");
-        assert!(self.compute_hosts > 0, "need at least one compute host");
-        if let ConnectionModel::Failover { rediscovery_hours } = self.connection {
-            assert!(rediscovery_hours > 0.0, "rediscovery must be positive");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
     }
 }
@@ -285,6 +347,40 @@ mod tests {
         let u0 = 1.0 - c.analytic_params().process.auto;
         let u1 = 1.0 - fast.analytic_params().process.auto;
         assert!((u1 / u0 - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn try_validate_reports_problems() {
+        let good = SimConfig::paper_defaults(Scenario::SupervisorNotRequired);
+        assert!(good.try_validate().is_ok());
+
+        let mut c = good;
+        c.batches = 1;
+        assert_eq!(c.try_validate(), Err(ConfigError::TooFewBatches(1)));
+
+        let mut c = good;
+        c.warmup_fraction = 1.0;
+        assert_eq!(c.try_validate(), Err(ConfigError::BadWarmupFraction(1.0)));
+
+        let mut c = good;
+        c.compute_hosts = 0;
+        assert_eq!(c.try_validate(), Err(ConfigError::NoComputeHosts));
+
+        let mut c = good;
+        c.process_mtbf = 0.0;
+        assert_eq!(
+            c.try_validate().unwrap_err().to_string(),
+            "process MTBF must be positive"
+        );
+
+        let mut c = good;
+        c.connection = ConnectionModel::Failover {
+            rediscovery_hours: 0.0,
+        };
+        assert_eq!(
+            c.try_validate(),
+            Err(ConfigError::NonPositive("rediscovery"))
+        );
     }
 
     #[test]

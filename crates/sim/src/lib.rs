@@ -46,7 +46,9 @@ mod engine;
 mod replicate;
 mod stats;
 
-pub use config::{ConnectionModel, ElementRates, RepairShape, RestartModel, SimConfig};
+pub use config::{
+    ConfigError, ConnectionModel, ElementRates, RepairShape, RestartModel, SimConfig,
+};
 pub use engine::{SimResult, Simulation};
 pub use replicate::{replicate, ReplicatedResult};
 pub use stats::{percentile, Estimate};

@@ -1,0 +1,57 @@
+//! Seeded-defect corpus: every fixture under `tests/fixtures/` contains one
+//! deliberately broken model, and its filename's `saNNN_` prefix names the
+//! diagnostic code the audit pass must raise for it. Files containing
+//! `.block.` decode as a reliability block diagram; everything else decodes
+//! as a controller spec and runs through the same full pass as `sdnav lint`.
+
+use sdnav_audit::{audit_block, audit_model, AuditReport};
+use sdnav_blocks::Block;
+use sdnav_core::ControllerSpec;
+
+#[test]
+fn every_fixture_is_flagged_with_its_expected_code() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/fixtures must exist")
+        .map(|entry| entry.expect("readable fixture entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    paths.sort();
+
+    let mut checked = 0;
+    for path in paths {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let code = name[..5].to_uppercase();
+        assert!(
+            code.starts_with("SA") && code[2..].chars().all(|c| c.is_ascii_digit()),
+            "{name}: fixture names must start with an saNNN_ code prefix"
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report: AuditReport = if name.contains(".block.") {
+            let block: Block =
+                sdnav_json::from_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            audit_block(&block, "rbd")
+        } else {
+            let spec: ControllerSpec =
+                sdnav_json::from_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            audit_model(&spec)
+        };
+        assert!(
+            report.has_code(&code),
+            "{name}: expected a {code} diagnostic, got:\n{}",
+            report.render()
+        );
+        assert!(!report.is_clean(), "{name}: fixture audited clean");
+        checked += 1;
+    }
+    assert!(
+        checked >= 10,
+        "expected at least 10 fixtures, found {checked}"
+    );
+}
+
+#[test]
+fn bundled_paper_model_lints_clean() {
+    let report = audit_model(&ControllerSpec::opencontrail_3x());
+    assert!(report.is_clean(), "{}", report.render());
+}

@@ -197,8 +197,8 @@ fn spec_round_trips_through_json() {
     // The adoption path: specs are data. Serialize, reload, re-analyze —
     // identical results.
     let spec = ControllerSpec::opencontrail_3x();
-    let json = serde_json::to_string(&spec).unwrap();
-    let reloaded: ControllerSpec = serde_json::from_str(&json).unwrap();
+    let json = sdnav_json::to_string(&spec);
+    let reloaded: ControllerSpec = sdnav_json::from_str(&json).unwrap();
     assert_eq!(spec, reloaded);
 
     let p = HwParams::paper_defaults();
