@@ -1,0 +1,99 @@
+//! SWEEP: thread-scaling benchmark of the batch grid evaluation engine.
+//!
+//! Runs the full paper grid (Figs. 3–5 plus simulated cells) through
+//! `sdnav_grid::evaluate` at 1 and 4 worker threads, verifies the result
+//! payloads are byte-identical, and reports the wall-clock speedup. The
+//! trailing line is a single JSON object (schema `sdnav-bench-sweep/v1`)
+//! that CI captures as the `BENCH_sweep.json` artifact.
+
+use std::time::Instant;
+
+use sdnav_bench::{header, spec};
+use sdnav_grid::{evaluate, GridOutcome, GridSpec};
+use sdnav_json::{Json, ToJson};
+
+fn grid(threads: usize) -> GridSpec {
+    GridSpec::builder()
+        .points(11)
+        .replications(2)
+        .threads(threads)
+        .sim_horizon_hours(10_000.0)
+        .sim_accelerate(200.0)
+        .sim_compute_hosts(2)
+        .build()
+        .expect("benchmark grid is valid")
+}
+
+fn timed(threads: usize) -> (GridOutcome, f64) {
+    let start = Instant::now();
+    let outcome = evaluate(&spec(), &grid(threads)).expect("grid evaluates");
+    (outcome, start.elapsed().as_secs_f64() * 1e3)
+}
+
+struct BenchReport {
+    items: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+    identical: bool,
+    cache_hits: u64,
+    cache_misses: u64,
+    steals: u64,
+}
+
+impl ToJson for BenchReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str("sdnav-bench-sweep/v1")),
+            ("items", Json::Num(self.items as f64)),
+            ("threads_1_ms", Json::Num(self.serial_ms)),
+            ("threads_4_ms", Json::Num(self.parallel_ms)),
+            ("speedup", Json::Num(self.speedup)),
+            ("results_identical", Json::Bool(self.identical)),
+            ("cache_hits", Json::Num(self.cache_hits as f64)),
+            ("cache_misses", Json::Num(self.cache_misses as f64)),
+            ("steals", Json::Num(self.steals as f64)),
+        ])
+    }
+}
+
+fn main() {
+    header(
+        "SWEEP",
+        "grid engine thread scaling: Figs. 3-5 (11 pts) + 2-replication \
+         simulated cells, 1 vs 4 worker threads",
+    );
+
+    // Warm-up pass so neither timed run pays first-touch costs.
+    let _ = timed(4);
+
+    let (serial, serial_ms) = timed(1);
+    let (parallel, parallel_ms) = timed(4);
+    let identical =
+        sdnav_json::to_string(&serial.results) == sdnav_json::to_string(&parallel.results);
+    let speedup = serial_ms / parallel_ms;
+
+    println!("items                : {}", serial.metrics.items);
+    println!("1 thread             : {serial_ms:.0} ms");
+    println!("4 threads            : {parallel_ms:.0} ms");
+    println!("speedup              : {speedup:.2}x");
+    println!("results identical    : {identical}");
+    println!(
+        "cache (4-thread run) : {} hits / {} misses, {} steals",
+        parallel.metrics.cache_hits, parallel.metrics.cache_misses, parallel.metrics.steals
+    );
+
+    let report = BenchReport {
+        items: serial.metrics.items,
+        serial_ms,
+        parallel_ms,
+        speedup,
+        identical,
+        cache_hits: parallel.metrics.cache_hits,
+        cache_misses: parallel.metrics.cache_misses,
+        steals: parallel.metrics.steals,
+    };
+    println!("{}", sdnav_json::to_string(&report));
+
+    assert!(identical, "result payload depends on thread count");
+}

@@ -8,6 +8,8 @@ use std::process::ExitCode;
 use args::Args;
 use sdnav_core::{ControllerSpec, HwModel, HwParams, Plane, Scenario, SwModel, SwParams, Topology};
 use sdnav_fmea::{derive_table1, dominant_modes, enumerate_filtered, Deployment, ElementKind};
+use sdnav_grid::plan::Figure;
+use sdnav_grid::{GridResults, GridSpec, SimRow};
 use sdnav_report::{minutes_per_year, Chart, Series, Table};
 use sdnav_sim::{replicate, SimConfig};
 
@@ -24,6 +26,12 @@ COMMANDS:
   fig3 [--points N] [--csv]   regenerate Fig. 3
   fig4 [--points N] [--csv]   regenerate Fig. 4
   fig5 [--points N] [--csv]   regenerate Fig. 5
+  sweep [--figures F,..] [--points N] [--replications R] [--threads T]
+        [--seed S] [--horizon H] [--accelerate F] [--compute-hosts N]
+        [--format json] [--out FILE]
+                              batch-evaluate a whole scenario grid (figures
+                              and optional simulation cells) in parallel;
+                              run metrics go to stderr
   fmea [--order N] [--scenario S] [--layout L] [--sw-only]
                               enumerate minimal failure modes
   importance [--scenario S] [--layout L]
@@ -38,9 +46,10 @@ COMMANDS:
            [--accelerate F] [--seed S]
                               Monte-Carlo validation run
   spec [--out FILE]           dump the OpenContrail 3.x spec as JSON
-  lint [--format json] [--deny-warnings]
+  lint [--format json] [--deny-warnings] [--topology FILE]
                               statically audit the model (SA001..SA012);
-                              accepts broken specs via --spec
+                              accepts broken specs via --spec and audits
+                              user topology JSON via --topology
   help                        show this help
 
 COMMON OPTIONS:
@@ -48,26 +57,64 @@ COMMON OPTIONS:
   --nodes N                   scale the cluster to 2N+1 = N nodes (odd)
   --layout small|medium|large (default: small)
   --scenario required|not-required (default: not-required)
+
+EXIT CODES: 0 success, 1 analysis/input failure, 2 usage error
 ";
+
+/// How a run failed, mapped onto the process exit code: bad invocations
+/// (unknown commands, malformed option values) exit 2; well-formed requests
+/// that fail (unreadable files, invalid models, lint findings) exit 1.
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Failure(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Usage(_) => ExitCode::from(2),
+            CliError::Failure(_) => ExitCode::from(1),
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Failure(m) => m,
+        }
+    }
+}
+
+fn usage(message: impl Into<String>) -> CliError {
+    CliError::Usage(message.into())
+}
+
+fn failure(message: impl Into<String>) -> CliError {
+    CliError::Failure(message.into())
+}
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("try `sdnav help`");
+            return ExitCode::from(2);
         }
     };
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("try `sdnav help`");
+            }
+            e.exit_code()
         }
     }
 }
 
-fn run(args: &Args) -> Result<(), String> {
+fn run(args: &Args) -> Result<(), CliError> {
     // `lint` deliberately bypasses `load_spec`: its whole point is to accept
     // specs that `validate()` would reject and explain what is wrong.
     if args.subcommand() == Some("lint") {
@@ -80,8 +127,9 @@ fn run(args: &Args) -> Result<(), String> {
         "hw" => hw(&spec, args),
         "sw" => sw(&spec, args),
         "fig3" => fig3(&spec, args),
-        "fig4" => sw_figure(&spec, args, true),
-        "fig5" => sw_figure(&spec, args, false),
+        "fig4" => sw_figure(&spec, args, Figure::Fig4),
+        "fig5" => sw_figure(&spec, args, Figure::Fig5),
+        "sweep" => sweep(&spec, args),
         "fmea" => fmea(&spec, args),
         "importance" => importance(&spec, args),
         "sensitivity" => sensitivity(&spec, args),
@@ -93,54 +141,54 @@ fn run(args: &Args) -> Result<(), String> {
             print!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}; try `sdnav help`")),
+        other => Err(usage(format!("unknown command {other:?}"))),
     }
 }
 
-fn load_spec(args: &Args) -> Result<ControllerSpec, String> {
+fn load_spec(args: &Args) -> Result<ControllerSpec, CliError> {
     let mut spec = match args.get("spec") {
         None => ControllerSpec::opencontrail_3x(),
         Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            sdnav_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| failure(format!("cannot read {path}: {e}")))?;
+            sdnav_json::from_str(&text).map_err(|e| failure(format!("cannot parse {path}: {e}")))?
         }
     };
-    spec.validate().map_err(|e| e.to_string())?;
+    spec.validate().map_err(|e| failure(e.to_string()))?;
     if let Some(nodes) = args.get("nodes") {
         let nodes: u32 = nodes
             .parse()
-            .map_err(|_| format!("--nodes expects an integer, got {nodes:?}"))?;
+            .map_err(|_| usage(format!("--nodes expects an integer, got {nodes:?}")))?;
         if nodes == 0 || nodes % 2 == 0 {
-            return Err(format!("--nodes must be odd (2N+1), got {nodes}"));
+            return Err(usage(format!("--nodes must be odd (2N+1), got {nodes}")));
         }
         spec = spec.scaled_cluster(nodes);
     }
     Ok(spec)
 }
 
-fn scenario(args: &Args) -> Result<Scenario, String> {
+fn scenario(args: &Args) -> Result<Scenario, CliError> {
     match args.get("scenario").unwrap_or("not-required") {
         "required" => Ok(Scenario::SupervisorRequired),
         "not-required" => Ok(Scenario::SupervisorNotRequired),
-        other => Err(format!(
+        other => Err(usage(format!(
             "--scenario must be `required` or `not-required`, got {other:?}"
-        )),
+        ))),
     }
 }
 
-fn layout(spec: &ControllerSpec, args: &Args) -> Result<Topology, String> {
+fn layout(spec: &ControllerSpec, args: &Args) -> Result<Topology, CliError> {
     match args.get("layout").unwrap_or("small") {
         "small" => Ok(Topology::small(spec)),
         "medium" => Ok(Topology::medium(spec)),
         "large" => Ok(Topology::large(spec)),
-        other => Err(format!(
+        other => Err(usage(format!(
             "--layout must be small, medium or large, got {other:?}"
-        )),
+        ))),
     }
 }
 
-fn tables(spec: &ControllerSpec) -> Result<(), String> {
+fn tables(spec: &ControllerSpec) -> Result<(), CliError> {
     println!("Table I — process failure modes (derived behaviorally):\n");
     let mut t1 = Table::new(vec!["Role", "Process", "SDN CP", "Host DP"]);
     for row in derive_table1(spec) {
@@ -172,7 +220,7 @@ fn tables(spec: &ControllerSpec) -> Result<(), String> {
     Ok(())
 }
 
-fn topology_cmd(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
+fn topology_cmd(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     match args.get("layout").unwrap_or("all") {
         "all" => {
             for t in [
@@ -188,12 +236,12 @@ fn topology_cmd(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn hw(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
-    let a_c = args.get_f64("a-c", 0.9995)?;
+fn hw(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
+    let a_c = args.get_f64("a-c", 0.9995).map_err(usage)?;
     if !(0.0..=1.0).contains(&a_c) {
-        return Err(format!(
+        return Err(usage(format!(
             "--a-c must be an availability in [0, 1], got {a_c}"
-        ));
+        )));
     }
     let params = HwParams::paper_defaults().with_a_c(a_c);
     let mut table = Table::new(vec!["topology", "availability", "downtime"]);
@@ -202,7 +250,9 @@ fn hw(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
         Topology::medium(spec),
         Topology::large(spec),
     ] {
-        let a = HwModel::new(spec, &topo, params).availability();
+        let a = HwModel::try_new(spec, &topo, params)
+            .map_err(|e| failure(e.to_string()))?
+            .availability();
         table.row(vec![
             topo.name().to_owned(),
             format!("{a:.9}"),
@@ -213,7 +263,7 @@ fn hw(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn sw(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
+fn sw(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     let scenario = scenario(args)?;
     let params = SwParams::paper_defaults();
     let mut table = Table::new(vec!["topology", "A_CP", "A_SDP", "A_DP", "CP DT", "DP DT"]);
@@ -222,7 +272,8 @@ fn sw(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
         Topology::medium(spec),
         Topology::large(spec),
     ] {
-        let m = SwModel::new(spec, &topo, params, scenario);
+        let m =
+            SwModel::try_new(spec, &topo, params, scenario).map_err(|e| failure(e.to_string()))?;
         table.row(vec![
             topo.name().to_owned(),
             format!("{:.9}", m.cp_availability()),
@@ -237,18 +288,27 @@ fn sw(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn fig3(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
-    let points = args.get_usize("points", 21)?;
-    let rows = sdnav_core::sweep::fig3(spec, HwParams::paper_defaults(), points);
-    let mut table = Table::new(vec!["A_C", "Small", "Medium", "Large"]);
-    for r in &rows {
-        table.row(vec![
-            format!("{:.5}", r.a_c),
-            format!("{:.9}", r.small),
-            format!("{:.9}", r.medium),
-            format!("{:.9}", r.large),
-        ]);
-    }
+/// Evaluates a single-figure grid — the figure subcommands are thin views
+/// over the same engine `sweep` uses.
+fn figure_grid(
+    spec: &ControllerSpec,
+    args: &Args,
+    figure: Figure,
+) -> Result<GridResults, CliError> {
+    let grid = GridSpec::builder()
+        .figures(&[figure])
+        .points(args.get_usize("points", 21).map_err(usage)?)
+        .threads(args.get_usize("threads", 0).map_err(usage)?)
+        .build()
+        .map_err(|e| failure(e.to_string()))?;
+    Ok(sdnav_grid::evaluate(spec, &grid)
+        .map_err(|e| failure(e.to_string()))?
+        .results)
+}
+
+fn fig3(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
+    let rows = figure_grid(spec, args, Figure::Fig3)?.fig3;
+    let table = fig3_table(&rows);
     if args.has_flag("csv") {
         print!("{}", table.to_csv());
         return Ok(());
@@ -272,16 +332,22 @@ fn fig3(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn sw_figure(spec: &ControllerSpec, args: &Args, cp: bool) -> Result<(), String> {
-    let points = args.get_usize("points", 21)?;
-    let params = SwParams::paper_defaults();
-    let rows = if cp {
-        sdnav_core::sweep::fig4(spec, params, points)
-    } else {
-        sdnav_core::sweep::fig5(spec, params, points)
-    };
+fn fig3_table(rows: &[sdnav_core::sweep::Fig3Row]) -> Table {
+    let mut table = Table::new(vec!["A_C", "Small", "Medium", "Large"]);
+    for r in rows {
+        table.row(vec![
+            format!("{:.5}", r.a_c),
+            format!("{:.9}", r.small),
+            format!("{:.9}", r.medium),
+            format!("{:.9}", r.large),
+        ]);
+    }
+    table
+}
+
+fn sw_table(rows: &[sdnav_core::sweep::SwSweepRow]) -> Table {
     let mut table = Table::new(vec!["x", "A", "1S", "2S", "1L", "2L"]);
-    for r in &rows {
+    for r in rows {
         table.row(vec![
             format!("{:+.2}", r.x),
             format!("{:.6}", r.a),
@@ -291,6 +357,45 @@ fn sw_figure(spec: &ControllerSpec, args: &Args, cp: bool) -> Result<(), String>
             format!("{:.9}", r.large_sup),
         ]);
     }
+    table
+}
+
+fn sim_table(rows: &[SimRow]) -> Table {
+    let mut table = Table::new(vec![
+        "x",
+        "topology",
+        "scenario",
+        "CP sim",
+        "CP analytic",
+        "DP sim",
+        "DP analytic",
+    ]);
+    for r in rows {
+        table.row(vec![
+            format!("{:+.2}", r.x),
+            r.topology.to_owned(),
+            if r.supervisor_required {
+                "required".to_owned()
+            } else {
+                "not-required".to_owned()
+            },
+            format!("{:.6} ±{:.6}", r.cp.mean, r.cp.std_error),
+            format!("{:.6}", r.analytic_cp),
+            format!("{:.6} ±{:.6}", r.dp.mean, r.dp.std_error),
+            format!("{:.6}", r.analytic_dp),
+        ]);
+    }
+    table
+}
+
+fn sw_figure(spec: &ControllerSpec, args: &Args, figure: Figure) -> Result<(), CliError> {
+    let results = figure_grid(spec, args, figure)?;
+    let rows = if figure == Figure::Fig4 {
+        results.fig4
+    } else {
+        results.fig5
+    };
+    let table = sw_table(&rows);
     if args.has_flag("csv") {
         print!("{}", table.to_csv());
         return Ok(());
@@ -315,14 +420,87 @@ fn sw_figure(spec: &ControllerSpec, args: &Args, cp: bool) -> Result<(), String>
         ))
         .labels(
             "orders of magnitude of downtime removed",
-            if cp { "A_CP" } else { "A_DP" },
+            if figure == Figure::Fig4 {
+                "A_CP"
+            } else {
+                "A_DP"
+            },
         );
     print!("{chart}");
     Ok(())
 }
 
-fn fmea(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
-    let order = args.get_usize("order", 2)?;
+fn sweep(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
+    let figures = match args.get("figures") {
+        None => vec![Figure::Fig3, Figure::Fig4, Figure::Fig5],
+        Some(list) => {
+            let mut figures = Vec::new();
+            for name in list.split(',') {
+                figures.push(Figure::parse(name.trim()).ok_or_else(|| {
+                    usage(format!(
+                        "--figures expects a comma list of fig3|fig4|fig5, got {name:?}"
+                    ))
+                })?);
+            }
+            figures
+        }
+    };
+    let grid = GridSpec::builder()
+        .figures(&figures)
+        .points(args.get_usize("points", 21).map_err(usage)?)
+        .replications(args.get_usize("replications", 0).map_err(usage)?)
+        .threads(args.get_usize("threads", 0).map_err(usage)?)
+        .seed(args.get_usize("seed", 7).map_err(usage)? as u64)
+        .sim_horizon_hours(args.get_f64("horizon", 20_000.0).map_err(usage)?)
+        .sim_accelerate(args.get_f64("accelerate", 200.0).map_err(usage)?)
+        .sim_compute_hosts(args.get_usize("compute-hosts", 2).map_err(usage)?)
+        .build()
+        .map_err(|e| failure(e.to_string()))?;
+
+    let outcome = sdnav_grid::evaluate(spec, &grid).map_err(|e| failure(e.to_string()))?;
+
+    // Results (reproducible) go to stdout / --out; metrics (run-varying
+    // timings) go to stderr so byte-comparing two runs' outputs works.
+    match args.get("format") {
+        Some("json") => {
+            let json = sdnav_json::to_string_pretty(&outcome.results);
+            match args.get("out") {
+                Some(path) => {
+                    std::fs::write(path, format!("{json}\n"))
+                        .map_err(|e| failure(format!("cannot write {path}: {e}")))?;
+                    eprintln!("wrote {path}");
+                }
+                None => println!("{json}"),
+            }
+            eprintln!("{}", sdnav_json::to_string_pretty(&outcome.metrics));
+        }
+        Some(other) => return Err(usage(format!("--format must be `json`, got {other:?}"))),
+        None => {
+            let r = &outcome.results;
+            if !r.fig3.is_empty() {
+                println!("Fig. 3 — HW-centric availability vs A_C:\n");
+                print!("{}", fig3_table(&r.fig3));
+            }
+            if !r.fig4.is_empty() {
+                println!("\nFig. 4 — SW-centric CP availability:\n");
+                print!("{}", sw_table(&r.fig4));
+            }
+            if !r.fig5.is_empty() {
+                println!("\nFig. 5 — SW-centric per-host DP availability:\n");
+                print!("{}", sw_table(&r.fig5));
+            }
+            if !r.sim.is_empty() {
+                println!("\nSimulated cells (accelerated rates):\n");
+                print!("{}", sim_table(&r.sim));
+            }
+            eprint!("{}", outcome.metrics.render());
+        }
+    }
+    Ok(())
+}
+
+fn fmea(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
+    let order = args.get_usize("order", 2).map_err(usage)?;
     let scenario = scenario(args)?;
     let topo = layout(spec, args)?;
     let sw_only = args.has_flag("sw-only");
@@ -347,10 +525,10 @@ fn fmea(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn importance(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
+fn importance(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     let scenario = scenario(args)?;
     let topo = layout(spec, args)?;
-    let order = args.get_usize("order", 2)?;
+    let order = args.get_usize("order", 2).map_err(usage)?;
     let dep = Deployment::new(spec, &topo, SwParams::paper_defaults(), scenario);
     let modes = enumerate_filtered(&dep, order, |e| {
         matches!(e.kind(), ElementKind::Process | ElementKind::Supervisor)
@@ -373,7 +551,7 @@ fn importance(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn sensitivity(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
+fn sensitivity(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     let scenario = scenario(args)?;
     let topo = layout(spec, args)?;
     use sdnav_core::sensitivity::{hw as hw_sens, sw as sw_sens, SwMetric};
@@ -407,7 +585,7 @@ fn sensitivity(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn plan(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
+fn plan(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     use sdnav_core::planner::{cheapest_meeting, evaluate_candidates, pareto_frontier, CostModel};
     let points = evaluate_candidates(spec, SwParams::paper_defaults(), &CostModel::ballpark());
     println!("Pareto frontier (cost vs CP downtime):\n");
@@ -431,7 +609,7 @@ fn plan(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
     if let Some(target) = args.get("target") {
         let target: f64 = target
             .parse()
-            .map_err(|_| format!("--target expects minutes/year, got {target:?}"))?;
+            .map_err(|_| usage(format!("--target expects minutes/year, got {target:?}")))?;
         match cheapest_meeting(&points, target) {
             Some(p) => println!(
                 "\ncheapest meeting ≤ {target} m/y: cost {:.0} — {} / {:?} / {}",
@@ -446,14 +624,14 @@ fn plan(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn harden(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
+fn harden(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     let scenario = scenario(args)?;
     let topo = layout(spec, args)?;
     let target = args
         .get("target")
-        .ok_or("harden requires --target <minutes/year>")?
+        .ok_or_else(|| usage("harden requires --target <minutes/year>"))?
         .parse::<f64>()
-        .map_err(|_| "--target expects minutes/year".to_owned())?;
+        .map_err(|_| usage("--target expects minutes/year"))?;
     let base = SwParams::paper_defaults();
     match sdnav_core::sweep::required_process_availability(spec, &topo, base, scenario, target) {
         Some(a) => {
@@ -477,22 +655,26 @@ fn harden(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn simulate(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
+fn simulate(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     let scenario = scenario(args)?;
     let topo = layout(spec, args)?;
-    let mut config = SimConfig::paper_defaults(scenario);
-    let accel = args.get_f64("accelerate", 100.0)?;
-    if accel != 1.0 {
-        config = config.accelerated(accel);
+    let accel = args.get_f64("accelerate", 100.0).map_err(usage)?;
+    let config = SimConfig::builder(scenario)
+        .accelerate(accel)
+        .horizon_hours(args.get_f64("horizon", 200_000.0).map_err(usage)?)
+        .compute_hosts(args.get_usize("compute-hosts", 3).map_err(usage)?)
+        .build()
+        .map_err(|e| failure(e.to_string()))?;
+    let replications = args.get_usize("replications", 4).map_err(usage)?;
+    if replications == 0 {
+        return Err(usage("--replications must be at least 1"));
     }
-    config.horizon_hours = args.get_f64("horizon", 200_000.0)?;
-    let replications = args.get_usize("replications", 4)?;
-    let seed = args.get_usize("seed", 1)? as u64;
-    config.compute_hosts = args.get_usize("compute-hosts", 3)?;
+    let seed = args.get_usize("seed", 1).map_err(usage)? as u64;
 
     let result = replicate(spec, &topo, config, seed, replications);
     let params = config.analytic_params();
-    let model = SwModel::new(spec, &topo, params, scenario);
+    let model =
+        SwModel::try_new(spec, &topo, params, scenario).map_err(|e| failure(e.to_string()))?;
     println!(
         "simulated {} replications × {:.0} h on {} ({:?}, rates ×{accel})",
         replications,
@@ -518,38 +700,49 @@ fn simulate(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn lint(args: &Args) -> Result<(), String> {
+fn lint(args: &Args) -> Result<(), CliError> {
     let spec: ControllerSpec = match args.get("spec") {
         None => ControllerSpec::opencontrail_3x(),
         Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            sdnav_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| failure(format!("cannot read {path}: {e}")))?;
+            sdnav_json::from_str(&text).map_err(|e| failure(format!("cannot parse {path}: {e}")))?
         }
     };
-    let report = sdnav_audit::audit_model(&spec);
+    let mut report = sdnav_audit::audit_model(&spec);
+    if let Some(path) = args.get("topology") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| failure(format!("cannot read {path}: {e}")))?;
+        let topo: Topology = sdnav_json::from_str(&text)
+            .map_err(|e| failure(format!("cannot parse {path}: {e}")))?;
+        report.merge(sdnav_audit::audit_topology(&spec, &topo));
+    }
     match args.get("format") {
         Some("json") => println!("{}", sdnav_json::to_string_pretty(&report)),
-        Some(other) => return Err(format!("--format must be `json`, got {other:?}")),
+        Some(other) => return Err(usage(format!("--format must be `json`, got {other:?}"))),
         None => print!("{}", report.render()),
     }
     if report.has_errors() {
-        return Err(format!("lint found {} error(s)", report.error_count()));
+        return Err(failure(format!(
+            "lint found {} error(s)",
+            report.error_count()
+        )));
     }
     if args.has_flag("deny-warnings") && report.warning_count() > 0 {
-        return Err(format!(
+        return Err(failure(format!(
             "lint found {} warning(s) (--deny-warnings)",
             report.warning_count()
-        ));
+        )));
     }
     Ok(())
 }
 
-fn dump_spec(spec: &ControllerSpec, args: &Args) -> Result<(), String> {
+fn dump_spec(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     let json = sdnav_json::to_string_pretty(spec);
     match args.get("out") {
         Some(path) => {
-            std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            std::fs::write(path, &json)
+                .map_err(|e| failure(format!("cannot write {path}: {e}")))?;
             println!("wrote {path}");
         }
         None => println!("{json}"),

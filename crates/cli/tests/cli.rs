@@ -2,16 +2,25 @@
 
 use std::process::Command;
 
-fn sdnav(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_sdnav"))
+fn sdnav_raw(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_sdnav"))
         .args(args)
         .output()
-        .expect("binary runs");
+        .expect("binary runs")
+}
+
+fn sdnav(args: &[&str]) -> (bool, String, String) {
+    let out = sdnav_raw(args);
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
+}
+
+/// Exit code of a run (the CLI contract: 0 success, 1 failure, 2 usage).
+fn sdnav_code(args: &[&str]) -> i32 {
+    sdnav_raw(args).status.code().expect("exit code")
 }
 
 #[test]
@@ -202,6 +211,96 @@ fn bundled_onos_spec_loads() {
     assert!(ok);
     assert!(stdout.contains("atomix"));
     assert!(stdout.contains("2 of 3"));
+}
+
+#[test]
+fn usage_errors_exit_2_failures_exit_1() {
+    // Malformed invocations → 2.
+    assert_eq!(sdnav_code(&["frobnicate"]), 2);
+    assert_eq!(sdnav_code(&["sweep", "--figures", "fig9"]), 2);
+    assert_eq!(sdnav_code(&["fig3", "--points", "abc"]), 2);
+    assert_eq!(sdnav_code(&["simulate", "--scenario", "sometimes"]), 2);
+    assert_eq!(sdnav_code(&["sweep", "--format", "yaml"]), 2);
+    // Well-formed requests that fail → 1.
+    assert_eq!(sdnav_code(&["lint", "--spec", "/no/such/file.json"]), 1);
+    assert_eq!(sdnav_code(&["fig4", "--points", "0"]), 1);
+    // Success → 0.
+    assert_eq!(sdnav_code(&["help"]), 0);
+}
+
+#[test]
+fn sweep_results_are_byte_identical_across_thread_counts() {
+    let run = |threads: &str| {
+        sdnav_raw(&[
+            "sweep",
+            "--points",
+            "3",
+            "--replications",
+            "2",
+            "--horizon",
+            "2000",
+            "--accelerate",
+            "500",
+            "--threads",
+            threads,
+            "--format",
+            "json",
+        ])
+    };
+    let one = run("1");
+    assert!(
+        one.status.success(),
+        "{}",
+        String::from_utf8_lossy(&one.stderr)
+    );
+    let four = run("4");
+    assert!(four.status.success());
+    assert_eq!(
+        one.stdout, four.stdout,
+        "sweep results must not depend on --threads"
+    );
+    // Run-varying metrics go to stderr, never into the result payload.
+    let metrics = String::from_utf8_lossy(&four.stderr);
+    assert!(metrics.contains("sdnav-sweep-metrics/v1"), "{metrics}");
+    let results = String::from_utf8_lossy(&one.stdout);
+    assert!(results.contains("sdnav-sweep-results/v1"));
+    assert!(!results.contains("execute_ms"));
+}
+
+#[test]
+fn sweep_human_output_renders_requested_figures() {
+    let (ok, stdout, stderr) = sdnav(&["sweep", "--figures", "fig3,fig5", "--points", "3"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("Fig. 3"));
+    assert!(!stdout.contains("Fig. 4"));
+    assert!(stdout.contains("Fig. 5"));
+    assert!(stderr.contains("sweep metrics"));
+    assert!(stderr.contains("cache"));
+}
+
+#[test]
+fn lint_topology_flags_broken_and_accepts_valid() {
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fixtures/sa012_unassigned_role.topo.json"
+    );
+    let out = sdnav_raw(&["lint", "--topology", fixture]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("SA012"));
+
+    // A faithful Small topology audits clean through the same path.
+    let spec = sdnav_core::ControllerSpec::opencontrail_3x();
+    let path = std::env::temp_dir().join("sdnav_cli_test_small.topo.json");
+    let topo = sdnav_core::Topology::small(&spec);
+    std::fs::write(&path, sdnav_json::to_string(&topo)).unwrap();
+    let out = sdnav_raw(&["lint", "--topology", path.to_str().unwrap()]);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
 }
 
 #[test]

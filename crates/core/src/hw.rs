@@ -37,16 +37,34 @@ impl<'a> HwModel<'a> {
     /// # Panics
     ///
     /// Panics if `params` are out of range or `topology` is invalid for
-    /// `spec` (use [`Topology::validate`] to get a proper error first).
+    /// `spec`. Use [`HwModel::try_new`] for a recoverable check.
     #[must_use]
     pub fn new(spec: &'a ControllerSpec, topology: &Topology, params: HwParams) -> Self {
-        params.validate();
+        match Self::try_new(spec, topology, params) {
+            Ok(model) => model,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the model, validating the parameters first.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::ParamError`] naming the first out-of-range
+    /// availability. (Topology/spec mismatches still panic — run
+    /// [`Topology::validate`] first for a proper error.)
+    pub fn try_new(
+        spec: &'a ControllerSpec,
+        topology: &Topology,
+        params: HwParams,
+    ) -> Result<Self, crate::ParamError> {
+        params.try_validate()?;
         let enumerator = Enumerator::new(spec, topology, params.a_v, params.a_h, params.a_r);
-        HwModel {
+        Ok(HwModel {
             spec,
             params,
             enumerator,
-        }
+        })
     }
 
     /// Exact controller availability.
@@ -103,6 +121,20 @@ mod tests {
 
     fn defaults() -> HwParams {
         HwParams::paper_defaults()
+    }
+
+    #[test]
+    fn try_new_rejects_bad_params_and_accepts_defaults() {
+        let s = spec();
+        let topo = Topology::small(&s);
+        let bad = HwParams {
+            a_c: 1.5,
+            ..defaults()
+        };
+        let err = HwModel::try_new(&s, &topo, bad).unwrap_err();
+        assert_eq!(err.field, "a_c");
+        let model = HwModel::try_new(&s, &topo, defaults()).unwrap();
+        assert!(model.availability() > 0.9999);
     }
 
     #[test]

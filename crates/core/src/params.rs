@@ -99,8 +99,8 @@ impl HwParams {
     ///
     /// # Panics
     ///
-    /// Panics if any availability is out of range. Use
-    /// [`HwParams::try_validate`] for a recoverable check.
+    /// Panics if any availability is out of range.
+    #[deprecated(since = "0.1.0", note = "use `try_validate` and handle the error")]
     pub fn validate(&self) {
         if let Err(e) = self.try_validate() {
             panic!("{e}");
@@ -203,8 +203,8 @@ impl ProcessParams {
     ///
     /// # Panics
     ///
-    /// Panics if any availability is out of range. Use
-    /// [`ProcessParams::try_validate`] for a recoverable check.
+    /// Panics if any availability is out of range.
+    #[deprecated(since = "0.1.0", note = "use `try_validate` and handle the error")]
     pub fn validate(&self) {
         if let Err(e) = self.try_validate() {
             panic!("{e}");
@@ -290,8 +290,8 @@ impl SwParams {
     ///
     /// # Panics
     ///
-    /// Panics if any availability is out of range. Use
-    /// [`SwParams::try_validate`] for a recoverable check.
+    /// Panics if any availability is out of range.
+    #[deprecated(since = "0.1.0", note = "use `try_validate` and handle the error")]
     pub fn validate(&self) {
         if let Err(e) = self.try_validate() {
             panic!("{e}");

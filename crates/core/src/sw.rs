@@ -57,7 +57,7 @@ impl<'a> SwModel<'a> {
     /// # Panics
     ///
     /// Panics if `params` are out of range or `topology` is invalid for
-    /// `spec`.
+    /// `spec`. Use [`SwModel::try_new`] for a recoverable check.
     #[must_use]
     pub fn new(
         spec: &'a ControllerSpec,
@@ -65,14 +65,33 @@ impl<'a> SwModel<'a> {
         params: SwParams,
         scenario: Scenario,
     ) -> Self {
-        params.validate();
+        match Self::try_new(spec, topology, params, scenario) {
+            Ok(model) => model,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the model, validating the parameters first.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::ParamError`] naming the first out-of-range
+    /// availability. (Topology/spec mismatches still panic — run
+    /// [`Topology::validate`] first for a proper error.)
+    pub fn try_new(
+        spec: &'a ControllerSpec,
+        topology: &Topology,
+        params: SwParams,
+        scenario: Scenario,
+    ) -> Result<Self, crate::ParamError> {
+        params.try_validate()?;
         let enumerator = Enumerator::new(spec, topology, params.a_v, params.a_h, params.a_r);
-        SwModel {
+        Ok(SwModel {
             spec,
             params,
             scenario,
             enumerator,
-        }
+        })
     }
 
     /// The scenario being analyzed.
@@ -193,6 +212,21 @@ mod tests {
 
     fn downtime(a: f64) -> f64 {
         (1.0 - a) * MINUTES_PER_YEAR
+    }
+
+    #[test]
+    fn try_new_rejects_bad_params_and_accepts_defaults() {
+        let s = spec();
+        let topo = Topology::small(&s);
+        let bad = SwParams {
+            a_v: -0.1,
+            ..defaults()
+        };
+        let err = SwModel::try_new(&s, &topo, bad, Scenario::SupervisorNotRequired).unwrap_err();
+        assert_eq!(err.field, "a_v");
+        let model =
+            SwModel::try_new(&s, &topo, defaults(), Scenario::SupervisorNotRequired).unwrap();
+        assert!(model.cp_availability() > 0.999987);
     }
 
     #[test]

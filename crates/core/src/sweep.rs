@@ -1,5 +1,7 @@
 //! Parameter sweeps regenerating the paper's Figs. 3–5.
 
+use sdnav_json::{FromJson, Json, JsonError, ToJson};
+
 use crate::{ControllerSpec, HwModel, HwParams, Scenario, SwModel, SwParams, Topology};
 
 /// `count` evenly spaced points covering `[start, end]` inclusive.
@@ -36,6 +38,31 @@ pub struct Fig3Row {
     pub medium: f64,
     /// Large-topology controller availability.
     pub large: f64,
+}
+
+impl ToJson for Fig3Row {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("a_c", Json::Num(self.a_c)),
+            ("small", Json::Num(self.small)),
+            ("medium", Json::Num(self.medium)),
+            ("large", Json::Num(self.large)),
+        ])
+    }
+}
+
+impl FromJson for Fig3Row {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Fig3Row {
+            a_c: value.field("a_c")?.as_f64().map_err(|e| e.ctx("a_c"))?,
+            small: value.field("small")?.as_f64().map_err(|e| e.ctx("small"))?,
+            medium: value
+                .field("medium")?
+                .as_f64()
+                .map_err(|e| e.ctx("medium"))?,
+            large: value.field("large")?.as_f64().map_err(|e| e.ctx("large"))?,
+        })
+    }
 }
 
 /// Regenerates Fig. 3: sweeps `A_C` over `[0.999, 1.0]` (the paper's
@@ -81,6 +108,35 @@ pub struct SwSweepRow {
     pub large_no_sup: f64,
     /// Option 2L: Large topology, supervisor required.
     pub large_sup: f64,
+}
+
+impl ToJson for SwSweepRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("x", Json::Num(self.x)),
+            ("a", Json::Num(self.a)),
+            ("small_no_sup", Json::Num(self.small_no_sup)),
+            ("small_sup", Json::Num(self.small_sup)),
+            ("large_no_sup", Json::Num(self.large_no_sup)),
+            ("large_sup", Json::Num(self.large_sup)),
+        ])
+    }
+}
+
+impl FromJson for SwSweepRow {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let f = |name: &'static str| -> Result<f64, JsonError> {
+            value.field(name)?.as_f64().map_err(|e| e.ctx(name))
+        };
+        Ok(SwSweepRow {
+            x: f("x")?,
+            a: f("a")?,
+            small_no_sup: f("small_no_sup")?,
+            small_sup: f("small_sup")?,
+            large_no_sup: f("large_no_sup")?,
+            large_sup: f("large_sup")?,
+        })
+    }
 }
 
 fn sw_sweep(

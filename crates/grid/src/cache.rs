@@ -1,0 +1,163 @@
+//! Memoized sub-model evaluations shared across grid points.
+//!
+//! Several grid axes revisit the same underlying model evaluation: the
+//! Fig. 4 and Fig. 5 sweeps both need the full SW-centric model at every
+//! `(topology, scenario, x)` — Fig. 4 reads the control-plane availability,
+//! Fig. 5 the per-host data-plane availability — and each evaluation
+//! internally performs the expensive k-of-n/RBD conditional enumeration
+//! over shared hardware. The cache stores the complete availability triple
+//! per evaluation, so whichever figure reaches a point first pays for the
+//! enumeration and the other gets it for free.
+
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Key of one memoizable sub-model evaluation.
+///
+/// Floating-point coordinates are keyed by **bit pattern**: two grid points
+/// share an entry only when their parameters are bit-identical, which also
+/// guarantees a cached value is exactly what a fresh evaluation would
+/// produce — a cache hit can never change a result byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubModelKey {
+    /// HW-centric availabilities at one role availability `A_C`; the value
+    /// triple is `[small, medium, large]`.
+    Hw {
+        /// `A_C.to_bits()`.
+        a_c_bits: u64,
+    },
+    /// SW-centric model at one sweep position; the value triple is
+    /// `[cp, shared_dp, host_dp]`.
+    Sw {
+        /// Reference topology index (0 = Small, 1 = Large).
+        topology: u8,
+        /// Whether the supervisor-required scenario applies.
+        supervisor_required: bool,
+        /// Figure x-position, `x.to_bits()`.
+        x_bits: u64,
+    },
+}
+
+/// A sharded, counting memo table for [`SubModelKey`] → availability
+/// triples.
+#[derive(Debug)]
+pub struct SubModelCache {
+    shards: Vec<Mutex<HashMap<SubModelKey, [f64; 3]>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for SubModelCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SubModelCache {
+    /// Number of independently locked shards (bounds contention, not
+    /// capacity).
+    const SHARDS: usize = 16;
+
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        SubModelCache {
+            shards: (0..Self::SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &SubModelKey) -> &Mutex<HashMap<SubModelKey, [f64; 3]>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % Self::SHARDS]
+    }
+
+    /// Returns the cached triple for `key`, computing and inserting it on a
+    /// miss.
+    ///
+    /// `compute` runs outside the shard lock, so two threads racing on the
+    /// same key may both evaluate; both then count as misses and the first
+    /// insert wins. That costs a duplicated evaluation, never a wrong
+    /// answer: `compute` must be (and here is) a pure function of the key.
+    pub fn get_or_compute(&self, key: SubModelKey, compute: impl FnOnce() -> [f64; 3]) -> [f64; 3] {
+        if let Some(value) = self.shard(&key).lock().expect("cache shard").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *value;
+        }
+        let value = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.shard(&key)
+            .lock()
+            .expect("cache shard")
+            .entry(key)
+            .or_insert(value);
+        value
+    }
+
+    /// Lookups served from the table.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to evaluate.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_hits_and_misses() {
+        let cache = SubModelCache::new();
+        let key = SubModelKey::Hw {
+            a_c_bits: 0.9995f64.to_bits(),
+        };
+        let v1 = cache.get_or_compute(key, || [1.0, 2.0, 3.0]);
+        let v2 = cache.get_or_compute(key, || panic!("must not recompute"));
+        assert_eq!(v1, v2);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = SubModelCache::new();
+        for (i, x) in [0.1f64, 0.2, 0.3].iter().enumerate() {
+            let key = SubModelKey::Sw {
+                topology: 0,
+                supervisor_required: false,
+                x_bits: x.to_bits(),
+            };
+            let value = cache.get_or_compute(key, || [i as f64, 0.0, 0.0]);
+            assert_eq!(value[0], i as f64);
+        }
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn scenario_and_topology_partition_the_sw_keyspace() {
+        let cache = SubModelCache::new();
+        let mk = |topology, required| SubModelKey::Sw {
+            topology,
+            supervisor_required: required,
+            x_bits: 0.0f64.to_bits(),
+        };
+        cache.get_or_compute(mk(0, false), || [1.0; 3]);
+        cache.get_or_compute(mk(0, true), || [2.0; 3]);
+        cache.get_or_compute(mk(1, false), || [3.0; 3]);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.get_or_compute(mk(0, true), || panic!())[0], 2.0);
+    }
+}

@@ -1,0 +1,683 @@
+//! Batched scenario-grid evaluation for the paper's models.
+//!
+//! The analytic sweeps (`sdnav_core::sweep`) and the discrete-event
+//! simulator (`sdnav_sim`) each answer one question at a time. This crate
+//! evaluates a whole *grid* of questions — figure × topology × parameter
+//! point × method — in one run:
+//!
+//! 1. **Plan** ([`plan`]): expand a [`GridSpec`] into independent
+//!    [`plan::WorkItem`]s in a canonical order, each with a deterministic,
+//!    identity-derived RNG seed.
+//! 2. **Execute** ([`pool`]): run the items on a std-only work-stealing
+//!    thread pool. Results land in per-item slots, so the output is
+//!    byte-identical for any `--threads` value.
+//! 3. **Memoize** ([`cache`]): grid axes overlap — Fig. 4 and Fig. 5 need
+//!    the same SW-model evaluations — so sub-model results are cached by
+//!    bit-pattern keys and shared across items.
+//! 4. **Aggregate**: fold per-item outputs back into figure tables and
+//!    simulation rows in plan order, streaming simulation replications
+//!    through [`sdnav_sim::Welford`].
+//!
+//! [`evaluate`] is the single entry point; it returns the results plus a
+//! [`metrics::RunMetrics`] block (stage timings, cache hit rates,
+//! steals, throughput). Results are reproducible; metrics are not and are
+//! reported separately.
+//!
+//! ```
+//! use sdnav_core::ControllerSpec;
+//! use sdnav_grid::{evaluate, GridSpec};
+//!
+//! let spec = ControllerSpec::opencontrail_3x();
+//! let grid = GridSpec::builder().points(5).build().expect("valid grid");
+//! let outcome = evaluate(&spec, &grid).expect("grid evaluates");
+//! assert_eq!(outcome.results.fig3.len(), 5);
+//! assert!(outcome.metrics.cache_hits > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+use sdnav_core::sweep::{Fig3Row, SwSweepRow};
+use sdnav_core::{
+    ControllerSpec, HwModel, HwParams, ParamError, Scenario, SwModel, SwParams, Topology,
+};
+use sdnav_json::{Json, ToJson};
+use sdnav_sim::{ConfigError, Estimate, SimBuildError, SimConfig, Simulation, Welford};
+
+pub mod cache;
+pub mod metrics;
+pub mod plan;
+pub mod pool;
+
+use cache::{SubModelCache, SubModelKey};
+use metrics::{RunMetrics, StageTimings};
+use plan::{item_seed, plan_items, Figure, SimTopology, WorkItem};
+
+/// What a grid run should cover. Build one with [`GridSpec::builder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSpec {
+    /// Figures to sweep analytically.
+    pub figures: Vec<Figure>,
+    /// Samples per sweep axis.
+    pub points: usize,
+    /// Simulation replications per grid cell (0 disables simulation).
+    pub replications: usize,
+    /// Base RNG seed; per-item seeds are derived from it and the item's
+    /// grid coordinates.
+    pub seed: u64,
+    /// Worker threads (0 = one per available CPU).
+    pub threads: usize,
+    /// Simulated horizon per replication, in hours.
+    pub sim_horizon_hours: f64,
+    /// Failure-rate acceleration factor for simulation cells.
+    pub sim_accelerate: f64,
+    /// Simulated compute hosts carrying vRouters.
+    pub sim_compute_hosts: usize,
+}
+
+impl GridSpec {
+    /// Starts a builder with the default grid: all three figures, 21
+    /// points, no simulation, seed 7, auto thread count, and accelerated
+    /// short-horizon simulation settings suitable for smoke-grade
+    /// validation (20 000 h at 200× on 2 hosts).
+    pub fn builder() -> GridSpecBuilder {
+        GridSpecBuilder {
+            spec: GridSpec {
+                figures: vec![Figure::Fig3, Figure::Fig4, Figure::Fig5],
+                points: 21,
+                replications: 0,
+                seed: 7,
+                threads: 0,
+                sim_horizon_hours: 20_000.0,
+                sim_accelerate: 200.0,
+                sim_compute_hosts: 2,
+            },
+        }
+    }
+}
+
+/// Step-by-step construction of a validated [`GridSpec`].
+#[derive(Debug, Clone)]
+#[must_use = "call `.build()` to obtain the validated GridSpec"]
+pub struct GridSpecBuilder {
+    spec: GridSpec,
+}
+
+impl GridSpecBuilder {
+    /// Restricts the run to the given figures (deduplicated, order kept).
+    pub fn figures(mut self, figures: &[Figure]) -> Self {
+        let mut list: Vec<Figure> = Vec::new();
+        for f in figures {
+            if !list.contains(f) {
+                list.push(*f);
+            }
+        }
+        self.spec.figures = list;
+        self
+    }
+
+    /// Sets the samples per sweep axis.
+    pub fn points(mut self, points: usize) -> Self {
+        self.spec.points = points;
+        self
+    }
+
+    /// Sets the simulation replications per cell (0 disables simulation).
+    pub fn replications(mut self, replications: usize) -> Self {
+        self.spec.replications = replications;
+        self
+    }
+
+    /// Sets the base RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Sets the worker thread count (0 = one per available CPU).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.spec.threads = threads;
+        self
+    }
+
+    /// Sets the simulated horizon per replication, in hours.
+    pub fn sim_horizon_hours(mut self, hours: f64) -> Self {
+        self.spec.sim_horizon_hours = hours;
+        self
+    }
+
+    /// Sets the failure-rate acceleration for simulation cells.
+    pub fn sim_accelerate(mut self, factor: f64) -> Self {
+        self.spec.sim_accelerate = factor;
+        self
+    }
+
+    /// Sets the simulated compute-host count.
+    pub fn sim_compute_hosts(mut self, hosts: usize) -> Self {
+        self.spec.sim_compute_hosts = hosts;
+        self
+    }
+
+    /// Validates and returns the grid spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::Spec`] naming the first nonsensical value.
+    pub fn build(self) -> Result<GridSpec, GridError> {
+        let s = &self.spec;
+        if s.figures.is_empty() {
+            return Err(GridError::Spec("at least one figure is required"));
+        }
+        if s.points == 0 {
+            return Err(GridError::Spec("points must be at least 1"));
+        }
+        if s.sim_horizon_hours.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(GridError::Spec("simulation horizon must be positive"));
+        }
+        if s.sim_accelerate.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(GridError::Spec("simulation acceleration must be positive"));
+        }
+        if s.sim_compute_hosts == 0 {
+            return Err(GridError::Spec("need at least one simulated compute host"));
+        }
+        Ok(self.spec)
+    }
+}
+
+/// A grid run that could not be planned or executed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GridError {
+    /// The grid spec itself is nonsensical.
+    Spec(&'static str),
+    /// A model parameter set failed validation.
+    Param(ParamError),
+    /// A simulation configuration failed validation.
+    Config(ConfigError),
+    /// A simulation could not be constructed.
+    Sim(SimBuildError),
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::Spec(what) => write!(f, "invalid grid spec: {what}"),
+            GridError::Param(e) => write!(f, "invalid model parameters: {e}"),
+            GridError::Config(e) => write!(f, "invalid simulation config: {e}"),
+            GridError::Sim(e) => write!(f, "cannot build simulation: {e}"),
+        }
+    }
+}
+
+impl Error for GridError {}
+
+impl From<ParamError> for GridError {
+    fn from(e: ParamError) -> Self {
+        GridError::Param(e)
+    }
+}
+
+impl From<ConfigError> for GridError {
+    fn from(e: ConfigError) -> Self {
+        GridError::Config(e)
+    }
+}
+
+impl From<SimBuildError> for GridError {
+    fn from(e: SimBuildError) -> Self {
+        GridError::Sim(e)
+    }
+}
+
+/// One simulated grid cell: replication-aggregated estimates next to the
+/// matching analytic prediction (computed from the *accelerated* rates the
+/// simulator actually ran).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRow {
+    /// Sweep x-position (orders of magnitude of process downtime removed).
+    pub x: f64,
+    /// Simulated deployment name (`Small` | `Large`).
+    pub topology: &'static str,
+    /// Whether the supervisor-required scenario applied.
+    pub supervisor_required: bool,
+    /// Replications aggregated into the estimates.
+    pub replications: usize,
+    /// Across-replication control-plane availability estimate.
+    pub cp: Estimate,
+    /// Across-replication per-host data-plane availability estimate.
+    pub dp: Estimate,
+    /// Total events processed across the replications.
+    pub events: u64,
+    /// Analytic CP availability at the simulated (accelerated) rates.
+    pub analytic_cp: f64,
+    /// Analytic per-host DP availability at the simulated rates.
+    pub analytic_dp: f64,
+}
+
+impl ToJson for SimRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("x", Json::Num(self.x)),
+            ("topology", Json::str(self.topology)),
+            ("supervisor_required", Json::Bool(self.supervisor_required)),
+            ("replications", Json::Num(self.replications as f64)),
+            ("cp_mean", Json::Num(self.cp.mean)),
+            ("cp_std_error", Json::Num(self.cp.std_error)),
+            ("dp_mean", Json::Num(self.dp.mean)),
+            ("dp_std_error", Json::Num(self.dp.std_error)),
+            ("events", Json::Num(self.events as f64)),
+            ("analytic_cp", Json::Num(self.analytic_cp)),
+            ("analytic_dp", Json::Num(self.analytic_dp)),
+        ])
+    }
+}
+
+/// The reproducible payload of a grid run.
+///
+/// Serialized as `sdnav-sweep-results/v1`. For a fixed spec and grid this
+/// is byte-identical across thread counts and runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GridResults {
+    /// Fig. 3 rows (empty when the figure was not requested).
+    pub fig3: Vec<Fig3Row>,
+    /// Fig. 4 rows.
+    pub fig4: Vec<SwSweepRow>,
+    /// Fig. 5 rows.
+    pub fig5: Vec<SwSweepRow>,
+    /// Simulated cells (empty when `replications == 0`).
+    pub sim: Vec<SimRow>,
+}
+
+impl ToJson for GridResults {
+    fn to_json(&self) -> Json {
+        let rows = |items: &[Fig3Row]| Json::Arr(items.iter().map(ToJson::to_json).collect());
+        let sw_rows = |items: &[SwSweepRow]| Json::Arr(items.iter().map(ToJson::to_json).collect());
+        Json::obj(vec![
+            ("schema", Json::str("sdnav-sweep-results/v1")),
+            ("fig3", rows(&self.fig3)),
+            ("fig4", sw_rows(&self.fig4)),
+            ("fig5", sw_rows(&self.fig5)),
+            (
+                "sim",
+                Json::Arr(self.sim.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Everything one grid run produces: the reproducible results and the
+/// run-varying metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridOutcome {
+    /// The reproducible result payload.
+    pub results: GridResults,
+    /// Stage timings, cache counters, throughput for this particular run.
+    pub metrics: RunMetrics,
+}
+
+/// Per-item output, folded back into [`GridResults`] in plan order.
+enum ItemOutput {
+    Fig3(Fig3Row),
+    Sw(Figure, SwSweepRow),
+    Sim(SimRow),
+}
+
+/// Shared read-only context for item evaluation.
+struct EvalCtx<'a> {
+    spec: &'a ControllerSpec,
+    small: Topology,
+    medium: Topology,
+    large: Topology,
+    hw_base: HwParams,
+    sw_base: SwParams,
+    grid: &'a GridSpec,
+    cache: &'a SubModelCache,
+}
+
+impl EvalCtx<'_> {
+    /// The memoized `[cp, shared_dp, host_dp]` triple of the SW-centric
+    /// model at one `(topology, scenario, x)` — the evaluation Fig. 4 and
+    /// Fig. 5 share.
+    fn sw_triple(&self, which: SimTopology, scenario: Scenario, x: f64) -> [f64; 3] {
+        let key = SubModelKey::Sw {
+            topology: match which {
+                SimTopology::Small => 0,
+                SimTopology::Large => 1,
+            },
+            supervisor_required: scenario == Scenario::SupervisorRequired,
+            x_bits: x.to_bits(),
+        };
+        self.cache.get_or_compute(key, || {
+            // Figure x = +1 means 10× less downtime → scale by 10^(−x).
+            let params = self.sw_base.scale_process_downtime(-x);
+            let topo = match which {
+                SimTopology::Small => &self.small,
+                SimTopology::Large => &self.large,
+            };
+            let model = SwModel::try_new(self.spec, topo, params, scenario)
+                .expect("base params validated before planning; scaling keeps them in range");
+            [
+                model.cp_availability(),
+                model.shared_dp_availability(),
+                model.host_dp_availability(),
+            ]
+        })
+    }
+
+    fn eval(&self, item: &WorkItem) -> Result<ItemOutput, GridError> {
+        match item {
+            WorkItem::Fig3Point { a_c } => {
+                let key = SubModelKey::Hw {
+                    a_c_bits: a_c.to_bits(),
+                };
+                let [small, medium, large] = self.cache.get_or_compute(key, || {
+                    let p = self.hw_base.with_a_c(*a_c);
+                    let avail = |topo: &Topology| {
+                        HwModel::try_new(self.spec, topo, p)
+                            .expect("base params validated before planning")
+                            .availability()
+                    };
+                    [avail(&self.small), avail(&self.medium), avail(&self.large)]
+                });
+                Ok(ItemOutput::Fig3(Fig3Row {
+                    a_c: *a_c,
+                    small,
+                    medium,
+                    large,
+                }))
+            }
+            WorkItem::SwPoint { figure, x } => {
+                // Fig. 4 reads the CP availability (triple slot 0), Fig. 5
+                // the per-host DP availability (slot 2).
+                let slot = if *figure == Figure::Fig4 { 0 } else { 2 };
+                let pick = |which, scenario| self.sw_triple(which, scenario, *x)[slot];
+                Ok(ItemOutput::Sw(
+                    *figure,
+                    SwSweepRow {
+                        x: *x,
+                        a: self.sw_base.scale_process_downtime(-x).process.auto,
+                        small_no_sup: pick(SimTopology::Small, Scenario::SupervisorNotRequired),
+                        small_sup: pick(SimTopology::Small, Scenario::SupervisorRequired),
+                        large_no_sup: pick(SimTopology::Large, Scenario::SupervisorNotRequired),
+                        large_sup: pick(SimTopology::Large, Scenario::SupervisorRequired),
+                    },
+                ))
+            }
+            WorkItem::SimPoint {
+                x,
+                topology,
+                scenario,
+            } => self.eval_sim(item, *x, *topology, *scenario),
+        }
+    }
+
+    fn eval_sim(
+        &self,
+        item: &WorkItem,
+        x: f64,
+        topology: SimTopology,
+        scenario: Scenario,
+    ) -> Result<ItemOutput, GridError> {
+        // Map the figures' x-axis onto restart times: scale each process
+        // unavailability by 10^(−x) at the paper's fixed F, so the
+        // simulated cells line up with the analytic sweep positions.
+        let defaults = SimConfig::paper_defaults(scenario);
+        let f_mtbf = defaults.process_mtbf;
+        let restart_for = |restart: f64| {
+            let u = restart / (f_mtbf + restart) * 10f64.powf(-x);
+            f_mtbf * u / (1.0 - u)
+        };
+        let config = SimConfig::builder(scenario)
+            .auto_restart(restart_for(defaults.auto_restart))
+            .manual_restart(restart_for(defaults.manual_restart))
+            .horizon_hours(self.grid.sim_horizon_hours)
+            .compute_hosts(self.grid.sim_compute_hosts)
+            .accelerate(self.grid.sim_accelerate)
+            .build()?;
+        let topo = match topology {
+            SimTopology::Small => &self.small,
+            SimTopology::Large => &self.large,
+        };
+        let sim = Simulation::try_new(self.spec, topo, config)?;
+
+        // Replications run sequentially inside the item with seeds derived
+        // from the item's identity — the stream (and thus every byte of the
+        // estimates) is independent of scheduling.
+        let base_seed = item_seed(self.grid.seed, item);
+        let mut cp = Welford::new();
+        let mut dp = Welford::new();
+        let mut events = 0u64;
+        for r in 0..self.grid.replications {
+            let result = sim.run(base_seed.wrapping_add(r as u64));
+            cp.push(result.cp_availability);
+            dp.push(result.dp_availability);
+            events += result.events;
+        }
+
+        // Analytic reference at the rates the simulator actually ran
+        // (acceleration changes the implied availabilities, so this is not
+        // the same evaluation as the figures' x-keyed cache entries).
+        let analytic = SwModel::try_new(self.spec, topo, config.analytic_params(), scenario)?;
+
+        Ok(ItemOutput::Sim(SimRow {
+            x,
+            topology: topology.name(),
+            supervisor_required: scenario == Scenario::SupervisorRequired,
+            replications: self.grid.replications,
+            cp: cp.estimate(),
+            dp: dp.estimate(),
+            events,
+            analytic_cp: analytic.cp_availability(),
+            analytic_dp: analytic.host_dp_availability(),
+        }))
+    }
+}
+
+/// Evaluates a grid: plans the items, executes them on the pool, and
+/// aggregates results in plan order.
+///
+/// # Errors
+///
+/// Returns the first [`GridError`] encountered (in plan order, regardless
+/// of execution order).
+pub fn evaluate(spec: &ControllerSpec, grid: &GridSpec) -> Result<GridOutcome, GridError> {
+    let threads = if grid.threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        grid.threads
+    };
+
+    let plan_start = Instant::now();
+    let hw_base = HwParams::paper_defaults();
+    let sw_base = SwParams::paper_defaults();
+    hw_base.try_validate()?;
+    sw_base.try_validate()?;
+    let items = plan_items(&grid.figures, grid.points, grid.replications);
+    let cache = SubModelCache::new();
+    let ctx = EvalCtx {
+        spec,
+        small: Topology::small(spec),
+        medium: Topology::medium(spec),
+        large: Topology::large(spec),
+        hw_base,
+        sw_base,
+        grid,
+        cache: &cache,
+    };
+    let plan_ms = plan_start.elapsed().as_secs_f64() * 1e3;
+
+    let execute_start = Instant::now();
+    let (outputs, stats) = pool::execute(threads, &items, |_, item| ctx.eval(item));
+    let execute_ms = execute_start.elapsed().as_secs_f64() * 1e3;
+
+    let aggregate_start = Instant::now();
+    let mut results = GridResults::default();
+    let mut sim_events = 0u64;
+    for output in outputs {
+        match output? {
+            ItemOutput::Fig3(row) => results.fig3.push(row),
+            ItemOutput::Sw(Figure::Fig4, row) => results.fig4.push(row),
+            ItemOutput::Sw(_, row) => results.fig5.push(row),
+            ItemOutput::Sim(row) => {
+                sim_events += row.events;
+                results.sim.push(row);
+            }
+        }
+    }
+    let aggregate_ms = aggregate_start.elapsed().as_secs_f64() * 1e3;
+
+    let metrics = RunMetrics {
+        threads: stats.workers,
+        items: items.len(),
+        stages: StageTimings {
+            plan_ms,
+            execute_ms,
+            aggregate_ms,
+        },
+        items_per_sec: if execute_ms > 0.0 {
+            items.len() as f64 / (execute_ms / 1e3)
+        } else {
+            0.0
+        },
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        steals: stats.steals,
+        sim_replications: (results.sim.len() * grid.replications) as u64,
+        sim_events,
+    };
+    Ok(GridOutcome { results, metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ControllerSpec {
+        ControllerSpec::opencontrail_3x()
+    }
+
+    fn sim_grid(threads: usize) -> GridSpec {
+        GridSpec::builder()
+            .points(3)
+            .replications(2)
+            .threads(threads)
+            .sim_horizon_hours(5_000.0)
+            .sim_accelerate(500.0)
+            .sim_compute_hosts(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn grid_rows_match_core_sweeps_exactly() {
+        let s = spec();
+        let grid = GridSpec::builder().points(7).threads(2).build().unwrap();
+        let outcome = evaluate(&s, &grid).unwrap();
+        let fig3 = sdnav_core::sweep::fig3(&s, HwParams::paper_defaults(), 7);
+        let fig4 = sdnav_core::sweep::fig4(&s, SwParams::paper_defaults(), 7);
+        let fig5 = sdnav_core::sweep::fig5(&s, SwParams::paper_defaults(), 7);
+        assert_eq!(outcome.results.fig3, fig3);
+        assert_eq!(outcome.results.fig4, fig4);
+        assert_eq!(outcome.results.fig5, fig5);
+        assert!(outcome.results.sim.is_empty());
+    }
+
+    #[test]
+    fn results_are_byte_identical_across_thread_counts() {
+        let s = spec();
+        let reference = sdnav_json::to_string(&evaluate(&s, &sim_grid(1)).unwrap().results);
+        for threads in [2, 8] {
+            let json = sdnav_json::to_string(&evaluate(&s, &sim_grid(threads)).unwrap().results);
+            assert_eq!(json, reference, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn fig4_fig5_share_cached_sub_models() {
+        let s = spec();
+        let grid = GridSpec::builder()
+            .figures(&[Figure::Fig4, Figure::Fig5])
+            .points(5)
+            .threads(1)
+            .build()
+            .unwrap();
+        let outcome = evaluate(&s, &grid).unwrap();
+        // Each x-point needs 4 (topology, scenario) triples; whichever
+        // figure computes them first, the other's 4 lookups all hit.
+        assert_eq!(outcome.metrics.cache_misses, 4 * 5);
+        assert_eq!(outcome.metrics.cache_hits, 4 * 5);
+    }
+
+    #[test]
+    fn sim_rows_track_their_analytic_reference() {
+        let s = spec();
+        let outcome = evaluate(&s, &sim_grid(0)).unwrap();
+        assert_eq!(outcome.results.sim.len(), 3 * 2 * 2);
+        for row in &outcome.results.sim {
+            assert_eq!(row.replications, 2);
+            assert!(row.events > 0);
+            // Loose sanity bound: accelerated short runs are noisy, but the
+            // simulated CP availability must live in the same regime as the
+            // analytic prediction.
+            assert!(
+                (row.cp.mean - row.analytic_cp).abs() < 0.05,
+                "x={} {} sup={}: sim {} vs analytic {}",
+                row.x,
+                row.topology,
+                row.supervisor_required,
+                row.cp.mean,
+                row.analytic_cp
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_nonsense() {
+        assert_eq!(
+            GridSpec::builder().points(0).build().unwrap_err(),
+            GridError::Spec("points must be at least 1")
+        );
+        assert_eq!(
+            GridSpec::builder().figures(&[]).build().unwrap_err(),
+            GridError::Spec("at least one figure is required")
+        );
+        assert_eq!(
+            GridSpec::builder().sim_accelerate(0.0).build().unwrap_err(),
+            GridError::Spec("simulation acceleration must be positive")
+        );
+        assert_eq!(
+            GridSpec::builder()
+                .sim_compute_hosts(0)
+                .build()
+                .unwrap_err(),
+            GridError::Spec("need at least one simulated compute host")
+        );
+    }
+
+    #[test]
+    fn figures_deduplicate_but_keep_order() {
+        let grid = GridSpec::builder()
+            .figures(&[Figure::Fig5, Figure::Fig3, Figure::Fig5])
+            .build()
+            .unwrap();
+        assert_eq!(grid.figures, vec![Figure::Fig5, Figure::Fig3]);
+    }
+
+    #[test]
+    fn results_json_carries_schema_and_rows() {
+        let s = spec();
+        let grid = GridSpec::builder().points(2).threads(1).build().unwrap();
+        let outcome = evaluate(&s, &grid).unwrap();
+        let json = sdnav_json::to_string(&outcome.results);
+        assert!(json.contains("sdnav-sweep-results/v1"));
+        assert!(json.contains("\"fig3\""));
+        assert!(json.contains("\"a_c\""));
+        let metrics_json = sdnav_json::to_string(&outcome.metrics);
+        assert!(metrics_json.contains("sdnav-sweep-metrics/v1"));
+    }
+}

@@ -14,6 +14,8 @@ pub enum ConfigError {
     NonPositive(&'static str),
     /// `warmup_fraction` outside `[0, 1)`.
     BadWarmupFraction(f64),
+    /// An availability outside `(0, 1]` (or NaN).
+    BadAvailability(f64),
     /// Fewer than two batches — no batch-means confidence interval.
     TooFewBatches(usize),
     /// No compute hosts to carry vRouters.
@@ -26,6 +28,9 @@ impl fmt::Display for ConfigError {
             ConfigError::NonPositive(what) => write!(f, "{what} must be positive"),
             ConfigError::BadWarmupFraction(v) => {
                 write!(f, "warmup fraction must be in [0, 1), got {v}")
+            }
+            ConfigError::BadAvailability(v) => {
+                write!(f, "availability must be in (0, 1], got {v}")
             }
             ConfigError::TooFewBatches(_) => write!(f, "need at least two batches"),
             ConfigError::NoComputeHosts => write!(f, "need at least one compute host"),
@@ -54,20 +59,41 @@ impl ElementRates {
     /// Rates with a given availability at a fixed MTBF
     /// (`MTTR = MTBF·(1−A)/A`).
     ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::NonPositive`] if `mtbf` is not positive and
+    /// [`ConfigError::BadAvailability`] if `availability` is outside
+    /// `(0, 1]`.
+    pub fn try_from_availability(mtbf: f64, availability: f64) -> Result<Self, ConfigError> {
+        if mtbf.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(ConfigError::NonPositive("MTBF"));
+        }
+        if !(availability > 0.0 && availability <= 1.0) {
+            return Err(ConfigError::BadAvailability(availability));
+        }
+        Ok(ElementRates {
+            mtbf,
+            mttr: mtbf * (1.0 - availability) / availability,
+        })
+    }
+
+    /// Rates with a given availability at a fixed MTBF
+    /// (`MTTR = MTBF·(1−A)/A`).
+    ///
     /// # Panics
     ///
     /// Panics if `availability` is not in `(0, 1]` or `mtbf` is not
     /// positive.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_from_availability` and handle the error"
+    )]
     #[must_use]
     pub fn from_availability(mtbf: f64, availability: f64) -> Self {
-        assert!(mtbf > 0.0, "MTBF must be positive");
-        assert!(
-            availability > 0.0 && availability <= 1.0,
-            "availability must be in (0, 1]"
-        );
-        ElementRates {
-            mtbf,
-            mttr: mtbf * (1.0 - availability) / availability,
+        match Self::try_from_availability(mtbf, availability) {
+            Ok(rates) => rates,
+            Err(ConfigError::BadAvailability(_)) => panic!("availability must be in (0, 1]"),
+            Err(_) => panic!("MTBF must be positive"),
         }
     }
 
@@ -203,9 +229,11 @@ impl SimConfig {
                 mttr: 48.0,
             },
             // Host: 5-year MTBF (§V.D, [16]); MTTR follows from A_H.
-            host: ElementRates::from_availability(5.0 * 8766.0, 0.99990),
+            host: ElementRates::try_from_availability(5.0 * 8766.0, 0.99990)
+                .expect("paper defaults are valid"),
             // VM: 1440 h (~2 months) MTBF; MTTR follows from A_V.
-            vm: ElementRates::from_availability(1440.0, 0.99995),
+            vm: ElementRates::try_from_availability(1440.0, 0.99995)
+                .expect("paper defaults are valid"),
             compute_hosts: 6,
             connection: ConnectionModel::Analytic,
             restart_model: RestartModel::Faithful,
@@ -299,12 +327,166 @@ impl SimConfig {
     ///
     /// # Panics
     ///
-    /// Panics on the first nonsensical value. Use
-    /// [`SimConfig::try_validate`] for a recoverable check.
+    /// Panics on the first nonsensical value.
+    #[deprecated(since = "0.1.0", note = "use `try_validate` and handle the error")]
     pub fn validate(&self) {
         if let Err(e) = self.try_validate() {
             panic!("{e}");
         }
+    }
+
+    /// Starts a builder seeded with [`SimConfig::paper_defaults`] for the
+    /// given scenario. [`SimConfigBuilder::build`] re-validates, so a
+    /// config that parses is a config that runs:
+    ///
+    /// ```
+    /// use sdnav_core::Scenario;
+    /// use sdnav_sim::SimConfig;
+    ///
+    /// let config = SimConfig::builder(Scenario::SupervisorNotRequired)
+    ///     .horizon_hours(50_000.0)
+    ///     .accelerate(100.0)
+    ///     .compute_hosts(3)
+    ///     .build()
+    ///     .expect("valid config");
+    /// assert_eq!(config.compute_hosts, 3);
+    /// ```
+    pub fn builder(scenario: Scenario) -> SimConfigBuilder {
+        SimConfigBuilder {
+            config: SimConfig::paper_defaults(scenario),
+            accelerate: 1.0,
+        }
+    }
+}
+
+/// Step-by-step construction of a validated [`SimConfig`].
+///
+/// Starts from the paper's defaults (via [`SimConfig::builder`]); every
+/// setter overrides one field and [`SimConfigBuilder::build`] runs
+/// [`SimConfig::try_validate`], so call sites cannot obtain an invalid
+/// config without handling the error.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "call `.build()` to obtain the validated SimConfig"]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+    accelerate: f64,
+}
+
+impl SimConfigBuilder {
+    /// Sets the process MTBF `F` in hours.
+    pub fn process_mtbf(mut self, hours: f64) -> Self {
+        self.config.process_mtbf = hours;
+        self
+    }
+
+    /// Sets the auto-restart time `R` in hours.
+    pub fn auto_restart(mut self, hours: f64) -> Self {
+        self.config.auto_restart = hours;
+        self
+    }
+
+    /// Sets the manual restart time `R_S` in hours.
+    pub fn manual_restart(mut self, hours: f64) -> Self {
+        self.config.manual_restart = hours;
+        self
+    }
+
+    /// Sets the scenario-1 supervisor maintenance window `W` in hours.
+    pub fn supervisor_window(mut self, hours: f64) -> Self {
+        self.config.supervisor_window = hours;
+        self
+    }
+
+    /// Sets the rack failure/repair rates.
+    pub fn rack(mut self, rates: ElementRates) -> Self {
+        self.config.rack = rates;
+        self
+    }
+
+    /// Sets the host failure/repair rates.
+    pub fn host(mut self, rates: ElementRates) -> Self {
+        self.config.host = rates;
+        self
+    }
+
+    /// Sets the VM failure/repair rates.
+    pub fn vm(mut self, rates: ElementRates) -> Self {
+        self.config.vm = rates;
+        self
+    }
+
+    /// Sets the number of simulated compute hosts.
+    pub fn compute_hosts(mut self, hosts: usize) -> Self {
+        self.config.compute_hosts = hosts;
+        self
+    }
+
+    /// Sets the vRouter connection model.
+    pub fn connection(mut self, model: ConnectionModel) -> Self {
+        self.config.connection = model;
+        self
+    }
+
+    /// Sets the restart-time semantics for unsupervised auto processes.
+    pub fn restart_model(mut self, model: RestartModel) -> Self {
+        self.config.restart_model = model;
+        self
+    }
+
+    /// Sets the repair/restart time distribution shape.
+    pub fn repair_shape(mut self, shape: RepairShape) -> Self {
+        self.config.repair_shape = shape;
+        self
+    }
+
+    /// Records individual CP outage durations into the result.
+    pub fn record_outages(mut self, record: bool) -> Self {
+        self.config.record_outages = record;
+        self
+    }
+
+    /// Sets the simulated horizon in hours.
+    pub fn horizon_hours(mut self, hours: f64) -> Self {
+        self.config.horizon_hours = hours;
+        self
+    }
+
+    /// Sets the warm-up fraction in `[0, 1)`.
+    pub fn warmup_fraction(mut self, fraction: f64) -> Self {
+        self.config.warmup_fraction = fraction;
+        self
+    }
+
+    /// Sets the number of batch-means batches (≥ 2).
+    pub fn batches(mut self, batches: usize) -> Self {
+        self.config.batches = batches;
+        self
+    }
+
+    /// Inflates all failure rates by `factor` (applied once at build time;
+    /// see [`SimConfig::accelerated`]).
+    pub fn accelerate(mut self, factor: f64) -> Self {
+        self.accelerate = factor;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found (including a non-positive
+    /// acceleration factor, reported as `NonPositive("acceleration")`).
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        if self.accelerate.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(ConfigError::NonPositive("acceleration"));
+        }
+        let config = if self.accelerate == 1.0 {
+            self.config
+        } else {
+            self.config.accelerated(self.accelerate)
+        };
+        config.try_validate()?;
+        Ok(config)
     }
 }
 
@@ -325,8 +507,73 @@ mod tests {
 
     #[test]
     fn from_availability_round_trips() {
-        let r = ElementRates::from_availability(1000.0, 0.999);
+        let r = ElementRates::try_from_availability(1000.0, 0.999).unwrap();
         assert!((r.availability() - 0.999).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_from_availability_rejects_bad_inputs() {
+        assert_eq!(
+            ElementRates::try_from_availability(0.0, 0.5),
+            Err(ConfigError::NonPositive("MTBF"))
+        );
+        assert_eq!(
+            ElementRates::try_from_availability(100.0, 0.0),
+            Err(ConfigError::BadAvailability(0.0))
+        );
+        assert_eq!(
+            ElementRates::try_from_availability(100.0, 1.5),
+            Err(ConfigError::BadAvailability(1.5))
+        );
+        assert!(ElementRates::try_from_availability(100.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn builder_defaults_match_paper_defaults() {
+        let built = SimConfig::builder(Scenario::SupervisorRequired)
+            .build()
+            .unwrap();
+        assert_eq!(
+            built,
+            SimConfig::paper_defaults(Scenario::SupervisorRequired)
+        );
+    }
+
+    #[test]
+    fn builder_applies_overrides_and_acceleration() {
+        let built = SimConfig::builder(Scenario::SupervisorNotRequired)
+            .horizon_hours(10_000.0)
+            .accelerate(100.0)
+            .compute_hosts(2)
+            .batches(10)
+            .build()
+            .unwrap();
+        let by_hand = SimConfig::paper_defaults(Scenario::SupervisorNotRequired).accelerated(100.0);
+        assert_eq!(built.process_mtbf, by_hand.process_mtbf);
+        assert_eq!(built.horizon_hours, 10_000.0);
+        assert_eq!(built.compute_hosts, 2);
+        assert_eq!(built.batches, 10);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        let err = SimConfig::builder(Scenario::SupervisorNotRequired)
+            .batches(1)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::TooFewBatches(1));
+
+        let err = SimConfig::builder(Scenario::SupervisorNotRequired)
+            .accelerate(0.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::NonPositive("acceleration"));
+
+        let err = SimConfig::builder(Scenario::SupervisorNotRequired)
+            .horizon_hours(-1.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::NonPositive("horizon"));
     }
 
     #[test]
@@ -385,6 +632,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "need at least two batches")]
+    #[allow(deprecated)]
     fn validate_rejects_single_batch() {
         let mut c = SimConfig::paper_defaults(Scenario::SupervisorNotRequired);
         c.batches = 1;
@@ -393,6 +641,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "availability must be in (0, 1]")]
+    #[allow(deprecated)]
     fn from_availability_rejects_zero() {
         let _ = ElementRates::from_availability(1000.0, 0.0);
     }

@@ -136,18 +136,68 @@ pub struct Simulation<'a> {
     _spec: std::marker::PhantomData<&'a ()>,
 }
 
+/// Why a [`Simulation`] could not be prepared.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimBuildError {
+    /// The [`SimConfig`] failed [`SimConfig::try_validate`].
+    Config(crate::ConfigError),
+    /// The topology does not fit the spec.
+    Topology(sdnav_core::TopologyError),
+}
+
+impl std::fmt::Display for SimBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimBuildError::Config(e) => write!(f, "invalid simulation config: {e}"),
+            SimBuildError::Topology(e) => write!(f, "invalid topology: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimBuildError {}
+
+impl From<crate::ConfigError> for SimBuildError {
+    fn from(e: crate::ConfigError) -> Self {
+        SimBuildError::Config(e)
+    }
+}
+
+impl From<sdnav_core::TopologyError> for SimBuildError {
+    fn from(e: sdnav_core::TopologyError) -> Self {
+        SimBuildError::Topology(e)
+    }
+}
+
 impl<'a> Simulation<'a> {
     /// Prepares a simulation.
     ///
     /// # Panics
     ///
     /// Panics if `config` is invalid or `topology` does not fit `spec`.
+    /// Use [`Simulation::try_new`] for a recoverable check.
     #[must_use]
     pub fn new(spec: &'a ControllerSpec, topology: &'a Topology, config: SimConfig) -> Self {
-        config.validate();
-        topology
-            .validate(spec)
-            .expect("topology must be valid for the spec");
+        match Self::try_new(spec, topology, config) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Prepares a simulation, validating the config and the topology/spec
+    /// fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimBuildError`] if the config is invalid or the topology
+    /// does not cover every controller `(role, node)` pair of the spec.
+    pub fn try_new(
+        spec: &'a ControllerSpec,
+        topology: &'a Topology,
+        config: SimConfig,
+    ) -> Result<Self, SimBuildError> {
+        config.try_validate()?;
+        topology.validate(spec)?;
         let nodes = spec.nodes as usize;
 
         let host_rack: Vec<usize> = (0..topology.host_count())
@@ -230,7 +280,7 @@ impl<'a> Simulation<'a> {
             })
             .collect();
 
-        Simulation {
+        Ok(Simulation {
             config,
             nodes,
             rack_count: topology.rack_count(),
@@ -243,7 +293,7 @@ impl<'a> Simulation<'a> {
             dp_reqs,
             vprocs,
             _spec: std::marker::PhantomData,
-        }
+        })
     }
 
     /// Runs the simulation with the given RNG seed.

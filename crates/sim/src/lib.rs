@@ -48,7 +48,8 @@ mod stats;
 
 pub use config::{
     ConfigError, ConnectionModel, ElementRates, RepairShape, RestartModel, SimConfig,
+    SimConfigBuilder,
 };
-pub use engine::{SimResult, Simulation};
+pub use engine::{SimBuildError, SimResult, Simulation};
 pub use replicate::{replicate, ReplicatedResult};
-pub use stats::{percentile, Estimate};
+pub use stats::{percentile, Estimate, Welford};

@@ -2,7 +2,7 @@
 
 use sdnav_core::{ControllerSpec, Topology};
 
-use crate::{Estimate, SimConfig, Simulation};
+use crate::{Estimate, SimConfig, Simulation, Welford};
 
 /// Aggregated result of several independent replications.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,31 +39,40 @@ pub fn replicate(
 ) -> ReplicatedResult {
     assert!(replications > 0, "need at least one replication");
     let sim = Simulation::new(spec, topology, config);
-    let results: Vec<crate::SimResult> = std::thread::scope(|scope| {
+    // Workers run in parallel; the join loop folds their results in seed
+    // order, so the Welford streams see a fixed sample order and the
+    // aggregate is deterministic regardless of completion order. Nothing is
+    // retained per replication — only the streaming accumulators.
+    let mut cp = Welford::new();
+    let mut dp = Welford::new();
+    let mut total_events = 0u64;
+    let mut total_hours = 0.0f64;
+    let mut cp_outages = 0u64;
+    let mut outage_hours = 0.0f64;
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..replications)
             .map(|i| {
                 let sim = &sim;
                 scope.spawn(move || sim.run(seed + i as u64))
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("replication worker panicked"))
-            .collect()
+        for h in handles {
+            let r = h.join().expect("replication worker panicked");
+            cp.push(r.cp_availability);
+            dp.push(r.dp_availability);
+            total_events += r.events;
+            total_hours += r.simulated_hours;
+            cp_outages += r.cp_outage_count;
+            if r.cp_outage_count > 0 {
+                outage_hours += r.cp_outage_mean_hours * r.cp_outage_count as f64;
+            }
+        }
     });
-    let cp_means: Vec<f64> = results.iter().map(|r| r.cp_availability).collect();
-    let dp_means: Vec<f64> = results.iter().map(|r| r.dp_availability).collect();
-    let cp_outages: u64 = results.iter().map(|r| r.cp_outage_count).sum();
-    let outage_hours: f64 = results
-        .iter()
-        .filter(|r| r.cp_outage_count > 0)
-        .map(|r| r.cp_outage_mean_hours * r.cp_outage_count as f64)
-        .sum();
     ReplicatedResult {
-        cp: Estimate::from_samples(&cp_means),
-        dp: Estimate::from_samples(&dp_means),
-        total_events: results.iter().map(|r| r.events).sum(),
-        total_hours: results.iter().map(|r| r.simulated_hours).sum(),
+        cp: cp.estimate(),
+        dp: dp.estimate(),
+        total_events,
+        total_hours,
         cp_outages,
         cp_outage_mean_hours: if cp_outages > 0 {
             outage_hours / cp_outages as f64

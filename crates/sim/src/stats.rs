@@ -57,6 +57,101 @@ impl Estimate {
     }
 }
 
+/// Streaming mean/variance accumulator (Welford's online algorithm).
+///
+/// Numerically stable one-pass replacement for collecting samples into a
+/// `Vec` and calling [`Estimate::from_samples`]: the grid engine pushes each
+/// replication's availability as it completes and never materializes the
+/// sample set. For any push order the mean and variance agree with the
+/// two-pass batch computation to floating-point round-off; for a *fixed*
+/// push order the result is bit-for-bit deterministic.
+///
+/// ```
+/// use sdnav_sim::Welford;
+/// let mut w = Welford::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.count(), 4);
+/// assert!((w.mean() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Folds one sample into the running mean and variance.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Number of samples pushed so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Running mean (NaN while empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (NaN below two samples).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Standard error of the mean (NaN below two samples).
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        (self.sample_variance() / self.count as f64).sqrt()
+    }
+
+    /// Converts the accumulated stream into an [`Estimate`], mirroring
+    /// [`Estimate::from_samples`] on the same values in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were pushed.
+    #[must_use]
+    pub fn estimate(&self) -> Estimate {
+        assert!(self.count > 0, "need at least one sample");
+        Estimate {
+            mean: self.mean,
+            std_error: self.std_error(),
+            samples: self.count as usize,
+        }
+    }
+}
+
 /// Linear-interpolated percentile of pre-sorted ascending `values`
 /// (`q` in `[0, 1]`).
 ///
@@ -131,5 +226,73 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn empty_samples_panic() {
         let _ = Estimate::from_samples(&[]);
+    }
+
+    #[test]
+    fn welford_matches_batch_estimate() {
+        // The streaming estimate must agree with the two-pass batch
+        // computation on the same samples, well past the precision the
+        // simulator reports (9 decimal digits).
+        let samples = [0.999_98, 0.999_91, 0.999_99, 0.999_85, 0.999_97, 1.0];
+        let batch = Estimate::from_samples(&samples);
+        let mut w = Welford::new();
+        for s in samples {
+            w.push(s);
+        }
+        let stream = w.estimate();
+        assert_eq!(stream.samples, batch.samples);
+        assert!((stream.mean - batch.mean).abs() < 1e-15);
+        assert!((stream.std_error - batch.std_error).abs() < 1e-15);
+    }
+
+    #[test]
+    fn welford_matches_batch_on_adversarial_scales() {
+        // Large offset + tiny spread: the case where naive sum-of-squares
+        // cancels catastrophically. Both Welford and the two-pass batch
+        // must agree (and match the shift-invariant reference computed on
+        // the well-conditioned offsets).
+        let samples: Vec<f64> = (0..100).map(|i| 1e6 + (i % 7) as f64 * 1e-3).collect();
+        let offsets: Vec<f64> = samples.iter().map(|s| s - 1e6).collect();
+        let reference = Estimate::from_samples(&offsets);
+        let mut w = Welford::new();
+        for &s in &samples {
+            w.push(s);
+        }
+        assert!((w.mean() - (reference.mean + 1e6)).abs() / 1e6 < 1e-15);
+        assert!((w.std_error() - reference.std_error).abs() <= 1e-7 * reference.std_error);
+    }
+
+    #[test]
+    fn welford_empty_and_single_sample() {
+        let w = Welford::new();
+        assert!(w.is_empty());
+        assert!(w.mean().is_nan());
+        assert!(w.sample_variance().is_nan());
+
+        let mut w = Welford::new();
+        w.push(0.5);
+        let e = w.estimate();
+        assert_eq!(e.samples, 1);
+        assert_eq!(e.mean, 0.5);
+        assert!(e.std_error.is_nan());
+    }
+
+    #[test]
+    fn welford_is_deterministic_for_fixed_order() {
+        let samples = [0.3, 0.1, 0.9, 0.4];
+        let run = || {
+            let mut w = Welford::new();
+            for s in samples {
+                w.push(s);
+            }
+            (w.mean().to_bits(), w.std_error().to_bits())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn welford_empty_estimate_panics() {
+        let _ = Welford::new().estimate();
     }
 }

@@ -1,12 +1,14 @@
 //! Seeded-defect corpus: every fixture under `tests/fixtures/` contains one
 //! deliberately broken model, and its filename's `saNNN_` prefix names the
 //! diagnostic code the audit pass must raise for it. Files containing
-//! `.block.` decode as a reliability block diagram; everything else decodes
+//! `.block.` decode as a reliability block diagram; files containing
+//! `.topo.` decode as a deployment topology and are audited against the
+//! bundled spec (as `sdnav lint --topology` does); everything else decodes
 //! as a controller spec and runs through the same full pass as `sdnav lint`.
 
-use sdnav_audit::{audit_block, audit_model, AuditReport};
+use sdnav_audit::{audit_block, audit_model, audit_topology, AuditReport};
 use sdnav_blocks::Block;
-use sdnav_core::ControllerSpec;
+use sdnav_core::{ControllerSpec, Topology};
 
 #[test]
 fn every_fixture_is_flagged_with_its_expected_code() {
@@ -31,6 +33,10 @@ fn every_fixture_is_flagged_with_its_expected_code() {
             let block: Block =
                 sdnav_json::from_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
             audit_block(&block, "rbd")
+        } else if name.contains(".topo.") {
+            let topo: Topology =
+                sdnav_json::from_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            audit_topology(&ControllerSpec::opencontrail_3x(), &topo)
         } else {
             let spec: ControllerSpec =
                 sdnav_json::from_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"));

@@ -1,0 +1,76 @@
+//! Cross-crate guarantees of the batch grid engine: the result payload is
+//! byte-identical whatever the thread count, the memo cache actually
+//! shares sub-model evaluations across figures, and the engine reproduces
+//! the single-shot analytic sweeps exactly.
+
+use sdnav_core::{ControllerSpec, HwParams, SwParams};
+use sdnav_grid::plan::Figure;
+use sdnav_grid::{evaluate, GridSpec};
+
+fn spec() -> ControllerSpec {
+    ControllerSpec::opencontrail_3x()
+}
+
+#[test]
+fn sweep_bytes_do_not_depend_on_thread_count() {
+    let grid = |threads| {
+        GridSpec::builder()
+            .points(3)
+            .replications(2)
+            .threads(threads)
+            .sim_horizon_hours(3_000.0)
+            .sim_accelerate(500.0)
+            .sim_compute_hosts(2)
+            .build()
+            .unwrap()
+    };
+    let s = spec();
+    let reference = sdnav_json::to_string(&evaluate(&s, &grid(1)).unwrap().results);
+    for threads in [2, 8] {
+        let json = sdnav_json::to_string(&evaluate(&s, &grid(threads)).unwrap().results);
+        assert_eq!(json, reference, "threads={threads} changed the payload");
+    }
+}
+
+#[test]
+fn grid_reproduces_single_shot_sweeps_and_shares_cache() {
+    // One thread makes the cache counters exact: concurrent runs may
+    // duplicate a racing computation (counted as an extra miss, never a
+    // wrong value).
+    let s = spec();
+    let grid = GridSpec::builder().points(5).threads(1).build().unwrap();
+    let outcome = evaluate(&s, &grid).unwrap();
+    assert_eq!(
+        outcome.results.fig3,
+        sdnav_core::sweep::fig3(&s, HwParams::paper_defaults(), 5)
+    );
+    assert_eq!(
+        outcome.results.fig4,
+        sdnav_core::sweep::fig4(&s, SwParams::paper_defaults(), 5)
+    );
+    assert_eq!(
+        outcome.results.fig5,
+        sdnav_core::sweep::fig5(&s, SwParams::paper_defaults(), 5)
+    );
+    // Fig. 4 and Fig. 5 read the same (topology, scenario, x) sub-models:
+    // one figure pays (20 unique Sw keys + 5 Hw keys), the other hits.
+    assert_eq!(outcome.metrics.cache_hits, 20);
+    assert_eq!(outcome.metrics.cache_misses, 25);
+}
+
+#[test]
+fn single_figure_grids_skip_unrelated_work() {
+    let s = spec();
+    let grid = GridSpec::builder()
+        .figures(&[Figure::Fig3])
+        .points(4)
+        .threads(1)
+        .build()
+        .unwrap();
+    let outcome = evaluate(&s, &grid).unwrap();
+    assert_eq!(outcome.results.fig3.len(), 4);
+    assert!(outcome.results.fig4.is_empty());
+    assert!(outcome.results.fig5.is_empty());
+    assert!(outcome.results.sim.is_empty());
+    assert_eq!(outcome.metrics.items, 4);
+}
