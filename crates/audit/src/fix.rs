@@ -1,0 +1,346 @@
+//! Deterministic autofixes for trivially machine-correctable findings.
+//!
+//! Only findings with exactly one semantics-preserving (or
+//! obviously-intended) rewrite are fixable:
+//!
+//! * **SA002** — duplicate role/process names: later duplicates get a
+//!   deterministic `-2`, `-3`, … suffix;
+//! * **SA014** — a bare MTBF plausible only as a FIT count is normalized
+//!   to hours (`1e9 / value`) and annotated;
+//! * **SA006** — `k`-of-`n` with `k = n` becomes the equivalent series
+//!   block, and trivially-up children (`0`-of-`n` groups, empty series)
+//!   are dropped from series parents where removal is an identity.
+//!
+//! Fixers are pure: they return the rewritten artifact plus a [`FixPlan`]
+//! describing every edit, and applying a fixer to its own output yields an
+//! empty plan (the CLI's `--fix` re-lints the result to prove the fixed
+//! codes are gone).
+
+use std::collections::BTreeSet;
+
+use sdnav_blocks::Block;
+use sdnav_core::{ControllerSpec, Quantity, SpecRates, Unit};
+
+use crate::units::{fit_slip_hours, TimeKind};
+
+/// Diagnostic codes `fix_spec`/`fix_block` can rewrite.
+pub const FIXABLE_CODES: &[&str] = &["SA002", "SA006", "SA014"];
+
+/// One planned rewrite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixEdit {
+    /// The diagnostic code the edit resolves.
+    pub code: &'static str,
+    /// Path of the rewritten element (same scheme as [`crate::Diagnostic`]).
+    pub path: String,
+    /// What the edit does, `old -> new`.
+    pub detail: String,
+}
+
+/// The ordered, deterministic list of edits a fixer wants to apply.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FixPlan {
+    /// The edits, in application order.
+    pub edits: Vec<FixEdit>,
+}
+
+impl FixPlan {
+    /// Whether the fixer found nothing to rewrite.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// Human-readable plan: one `fix[CODE] path: detail` line per edit.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.edits {
+            let _ = writeln!(out, "fix[{}] {}: {}", e.code, e.path, e.detail);
+        }
+        if self.edits.is_empty() {
+            out.push_str("fix: nothing auto-fixable\n");
+        } else {
+            let _ = writeln!(out, "fix: {} edit(s)", self.edits.len());
+        }
+        out
+    }
+}
+
+/// Picks `base-2`, `base-3`, … — the first suffixed name not in `taken`.
+fn dedup_name(base: &str, taken: &BTreeSet<String>) -> String {
+    let mut i = 2;
+    loop {
+        let candidate = format!("{base}-{i}");
+        if !taken.contains(&candidate) {
+            return candidate;
+        }
+        i += 1;
+    }
+}
+
+fn fix_fit_slips(rates: &mut SpecRates, plan: &mut FixPlan) {
+    let mut field = |path: &str, q: &mut Option<Quantity>| {
+        let Some(current) = *q else { return };
+        if let Some(hours) = fit_slip_hours(current, TimeKind::Mtbf) {
+            plan.edits.push(FixEdit {
+                code: "SA014",
+                path: format!("spec/rates/{path}"),
+                detail: format!(
+                    "{} (read as FIT) -> {{\"value\": {hours}, \"unit\": \"hours\"}}",
+                    current.value
+                ),
+            });
+            *q = Some(Quantity::with_unit(hours, Unit::Hours));
+        }
+    };
+    field("process_mtbf", &mut rates.process_mtbf);
+    for (name, pair) in [
+        ("rack", &mut rates.rack),
+        ("host", &mut rates.host),
+        ("vm", &mut rates.vm),
+    ] {
+        if let Some(p) = pair {
+            field(&format!("{name}/mtbf"), &mut p.mtbf);
+        }
+    }
+}
+
+/// Rewrites the auto-fixable spec findings: duplicate role/process names
+/// (SA002) and FIT-for-hours MTBF slips (SA014). Returns the fixed spec
+/// and the edit plan; a spec with nothing fixable comes back unchanged
+/// with an empty plan.
+#[must_use]
+pub fn fix_spec(spec: &ControllerSpec) -> (ControllerSpec, FixPlan) {
+    let mut fixed = spec.clone();
+    let mut plan = FixPlan::default();
+
+    let mut role_names: BTreeSet<String> = fixed.roles.iter().map(|r| r.name.clone()).collect();
+    let mut seen = BTreeSet::new();
+    for role in &mut fixed.roles {
+        if !seen.insert(role.name.clone()) {
+            let new = dedup_name(&role.name, &role_names);
+            plan.edits.push(FixEdit {
+                code: "SA002",
+                path: format!("spec/roles/{}", role.name),
+                detail: format!("duplicate role renamed {} -> {new}", role.name),
+            });
+            role_names.insert(new.clone());
+            role.name = new;
+        }
+    }
+    for role in &mut fixed.roles {
+        let mut proc_names: BTreeSet<String> =
+            role.processes.iter().map(|p| p.name.clone()).collect();
+        let mut seen = BTreeSet::new();
+        for p in &mut role.processes {
+            if !seen.insert(p.name.clone()) {
+                let new = dedup_name(&p.name, &proc_names);
+                plan.edits.push(FixEdit {
+                    code: "SA002",
+                    path: format!("spec/roles/{}/processes/{}", role.name, p.name),
+                    detail: format!("duplicate process renamed {} -> {new}", p.name),
+                });
+                proc_names.insert(new.clone());
+                p.name = new;
+            }
+        }
+    }
+
+    if let Some(rates) = &mut fixed.rates {
+        fix_fit_slips(rates, &mut plan);
+    }
+    (fixed, plan)
+}
+
+/// Whether a block is trivially up (an identity member of a series).
+fn trivially_up(block: &Block) -> bool {
+    match block {
+        Block::Series { children } => children.is_empty(),
+        Block::KOfN { k: 0, .. } => true,
+        _ => false,
+    }
+}
+
+fn fix_block_inner(block: &Block, path: &str, plan: &mut FixPlan) -> Block {
+    match block {
+        Block::Unit { .. } => block.clone(),
+        Block::Parallel { children } => Block::Parallel {
+            children: children
+                .iter()
+                .enumerate()
+                .map(|(i, c)| fix_block_inner(c, &format!("{path}/{i}"), plan))
+                .collect(),
+        },
+        Block::Series { children } => {
+            let mut fixed = Vec::new();
+            for (i, c) in children.iter().enumerate() {
+                let child = fix_block_inner(c, &format!("{path}/{i}"), plan);
+                // Dropping a trivially-up member from a series is an
+                // identity (series availability is the product, and the
+                // member contributes a factor of 1).
+                if trivially_up(&child) {
+                    plan.edits.push(FixEdit {
+                        code: "SA006",
+                        path: format!("{path}/{i}"),
+                        detail: "trivially-up child removed from series".to_owned(),
+                    });
+                } else {
+                    fixed.push(child);
+                }
+            }
+            Block::Series { children: fixed }
+        }
+        Block::KOfN { k, children } => {
+            let children: Vec<Block> = children
+                .iter()
+                .enumerate()
+                .map(|(i, c)| fix_block_inner(c, &format!("{path}/{i}"), plan))
+                .collect();
+            let n = u32::try_from(children.len()).unwrap_or(u32::MAX);
+            if *k == n && n > 0 {
+                plan.edits.push(FixEdit {
+                    code: "SA006",
+                    path: path.to_owned(),
+                    detail: format!("{k}-of-{n} (all children required) -> series"),
+                });
+                Block::Series { children }
+            } else {
+                Block::KOfN { k: *k, children }
+            }
+        }
+    }
+}
+
+/// Rewrites the auto-fixable RBD findings (SA006): `k = n` groups become
+/// the equivalent series, and trivially-up children are removed from
+/// series parents. `k > n` errors have no safe rewrite and are left alone.
+#[must_use]
+pub fn fix_block(block: &Block) -> (Block, FixPlan) {
+    let mut plan = FixPlan::default();
+    let fixed = fix_block_inner(block, "rbd", &mut plan);
+    (fixed, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{audit_block, audit_spec, audit_units};
+    use sdnav_core::RatePair;
+
+    #[test]
+    fn fix_is_identity_on_clean_artifacts() {
+        let spec = ControllerSpec::opencontrail_3x();
+        let (fixed, plan) = fix_spec(&spec);
+        assert!(plan.is_empty());
+        assert_eq!(fixed, spec);
+        assert!(plan.render().contains("nothing"));
+
+        let block = Block::series(vec![
+            Block::unit("a", 0.99),
+            Block::k_of_n(2, Block::unit("b", 0.999).replicate(3)),
+        ]);
+        let (fixed, plan) = fix_block(&block);
+        assert!(plan.is_empty());
+        assert_eq!(fixed, block);
+    }
+
+    #[test]
+    fn sa002_duplicates_renamed_deterministically() {
+        let mut spec = ControllerSpec::opencontrail_3x();
+        let dup_role = spec.roles[0].clone();
+        spec.roles.push(dup_role);
+        let p = spec.roles[1].processes[0].clone();
+        spec.roles[1].processes.push(p.clone());
+        spec.roles[1].processes.push(p);
+        assert!(audit_spec(&spec).has_code("SA002"));
+
+        let (fixed, plan) = fix_spec(&spec);
+        assert_eq!(plan.edits.iter().filter(|e| e.code == "SA002").count(), 3);
+        assert!(!audit_spec(&fixed).has_code("SA002"));
+        assert_eq!(fixed.roles.last().unwrap().name, "Config-2");
+        // The two duplicated processes get distinct suffixes.
+        let names: Vec<&str> = fixed.roles[1]
+            .processes
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect();
+        let unique: BTreeSet<&&str> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+        // Fixing again is a no-op.
+        let (again, plan2) = fix_spec(&fixed);
+        assert!(plan2.is_empty());
+        assert_eq!(again, fixed);
+    }
+
+    #[test]
+    fn sa014_fit_slip_normalized_to_annotated_hours() {
+        let mut spec = ControllerSpec::opencontrail_3x();
+        spec.rates = Some(SpecRates {
+            rack: Some(RatePair {
+                mtbf: Some(Quantity::bare(10.0)),
+                mttr: Some(Quantity::bare(48.0)),
+            }),
+            ..SpecRates::default()
+        });
+        assert!(audit_units(&spec).has_code("SA014"));
+
+        let (fixed, plan) = fix_spec(&spec);
+        assert_eq!(plan.edits.len(), 1);
+        assert_eq!(plan.edits[0].code, "SA014");
+        assert!(plan.render().contains("rack/mtbf"));
+        let mtbf = fixed.rates.as_ref().unwrap().rack.unwrap().mtbf.unwrap();
+        assert_eq!(mtbf, Quantity::with_unit(1.0e8, Unit::Hours));
+        assert!(!audit_units(&fixed).has_code("SA014"));
+        // Annotated values are never rewritten.
+        let (again, plan2) = fix_spec(&fixed);
+        assert!(plan2.is_empty());
+        assert_eq!(again, fixed);
+    }
+
+    #[test]
+    fn sa006_k_equals_n_becomes_series() {
+        let block = Block::k_of_n(3, Block::unit("db", 0.999).replicate(3));
+        assert!(audit_block(&block, "rbd").has_code("SA006"));
+        let (fixed, plan) = fix_block(&block);
+        assert_eq!(plan.edits.len(), 1);
+        assert!(plan.edits[0].detail.contains("series"));
+        assert!(matches!(fixed, Block::Series { .. }));
+        assert!(!audit_block(&fixed, "rbd").has_code("SA006"));
+        // Availability is preserved exactly.
+        assert_eq!(fixed.availability(), block.availability());
+    }
+
+    #[test]
+    fn sa006_trivial_children_dropped_from_series() {
+        let block = Block::series(vec![
+            Block::unit("a", 0.99),
+            Block::series(vec![]),
+            Block::KOfN {
+                k: 0,
+                children: vec![Block::unit("b", 0.5)],
+            },
+        ]);
+        let (fixed, plan) = fix_block(&block);
+        assert_eq!(plan.edits.len(), 2);
+        match &fixed {
+            Block::Series { children } => assert_eq!(children.len(), 1),
+            other => panic!("expected series, got {other:?}"),
+        }
+        assert_eq!(fixed.availability(), block.availability());
+        assert!(!audit_block(&fixed, "rbd").has_code("SA006"));
+    }
+
+    #[test]
+    fn k_exceeds_n_is_not_rewritten() {
+        let block = Block::KOfN {
+            k: 3,
+            children: vec![Block::unit("a", 0.9), Block::unit("b", 0.9)],
+        };
+        let (fixed, plan) = fix_block(&block);
+        assert!(plan.is_empty());
+        assert_eq!(fixed, block);
+        assert!(audit_block(&fixed, "rbd").has_errors());
+    }
+}

@@ -9,7 +9,7 @@
 //! *lint* pass — it walks the whole model, collects **every** finding, and
 //! reports each as a structured [`Diagnostic`]:
 //!
-//! * a stable code (`SA001` … `SA012`) that scripts and CI can match on,
+//! * a stable code (`SA001` … `SA019`) that scripts and CI can match on,
 //! * a [`Severity`] (`Error` = the model is wrong, `Warn` = the model is
 //!   suspicious, `Info` = worth knowing),
 //! * the path of the offending element
@@ -32,6 +32,21 @@
 //! | SA010 | error/warn | CTMC generator sanity: row sums, negative rates, absorbing / unreachable states |
 //! | SA011 | error/warn | simulator config: invalid values, excessive warm-up, batches too short for the slowest repair |
 //! | SA012 | error      | topology ↔ spec consistency: missing assignments, unknown roles, dangling VMs, out-of-range nodes |
+//! | SA013 | error/warn | MTBF/MTTR pair mixes units: FIT on a repair field, a rate where a mean time is expected |
+//! | SA014 | warn       | FIT-for-hours magnitude slip: a bare MTBF implausible as hours but plausible as a FIT count (auto-fixable) |
+//! | SA015 | error      | rate or time used where a probability is expected (`a_v`/`a_h`/`a_r`) |
+//! | SA016 | warn       | an element's failure/repair CTMC rates imply an availability that contradicts the spec's declared one |
+//! | SA017 | warn       | sim time-unit drift: overridden horizon under 10× the resolved process MTBF |
+//! | SA018 | warn       | specs of one sweep grid declare the same field in different units |
+//! | SA019 | error/warn | unresolvable or ambiguous unit: no plausible reading as hours, FIT, or a rate |
+//!
+//! SA013–SA019 come from the unit-inference dataflow pass ([`audit_units`]):
+//! declared units win, bare values are classified by per-field magnitude
+//! bands, and the *resolved* values flow into a derived parameter set, RBD,
+//! CTMCs, and simulator config that are re-audited under
+//! `spec/rates/derived/`. [`fix_spec`]/[`fix_block`] rewrite the trivially
+//! auto-fixable findings ([`FIXABLE_CODES`]), and [`to_sarif`] renders any
+//! report as SARIF 2.1.0 for CI annotation.
 //!
 //! # Quickstart
 //!
@@ -55,8 +70,11 @@
 #![warn(missing_debug_implementations)]
 
 mod dynamics;
+mod fix;
 mod rbd;
+mod sarif;
 mod spec;
+mod units;
 
 use std::fmt;
 
@@ -65,8 +83,11 @@ use sdnav_json::{Json, ToJson};
 use sdnav_sim::SimConfig;
 
 pub use dynamics::{audit_ctmc, audit_hw_params, audit_sim_config, audit_sw_params};
+pub use fix::{fix_block, fix_spec, FixEdit, FixPlan, FIXABLE_CODES};
 pub use rbd::{audit_block, cp_rbd, dp_rbd};
+pub use sarif::{to_sarif, validate_sarif, RULES};
 pub use spec::{audit_spec, audit_topology};
+pub use units::{audit_spec_set, audit_units};
 
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -108,7 +129,7 @@ impl ToJson for Severity {
 /// One finding of the analysis pass.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnostic {
-    /// Stable code (`SA001` … `SA012`), safe to match on in scripts.
+    /// Stable code (`SA001` … `SA019`), safe to match on in scripts.
     pub code: &'static str,
     /// Severity of the finding.
     pub severity: Severity,
@@ -326,6 +347,7 @@ pub fn audit_model(spec: &ControllerSpec) -> AuditReport {
         report.merge(audit_sim_config(&config));
         report.merge(dynamics::audit_config_ctmcs(&config));
     }
+    report.merge(audit_units(spec));
     report
 }
 

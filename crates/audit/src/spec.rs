@@ -266,6 +266,7 @@ mod tests {
             name: "X".into(),
             nodes: 0,
             roles: vec![],
+            rates: None,
         };
         let r = audit_spec(&empty);
         assert_eq!(r.error_count(), 2);
@@ -367,6 +368,7 @@ mod tests {
                 RoleScope::Controller,
                 vec![ProcessSpec::new("worker", RestartMode::Auto).cp(1)],
             )],
+            rates: None,
         };
         let r = audit_spec(&s);
         assert!(r.diagnostics().iter().any(|d| d.code == "SA005"

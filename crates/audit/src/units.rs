@@ -1,0 +1,812 @@
+//! Cross-artifact unit-inference dataflow pass (SA013–SA019).
+//!
+//! A spec's optional [`SpecRates`] block overrides the paper's default
+//! parameters, but JSON carries no dimensions: a MTBF entered in FIT
+//! (failures per 10⁹ hours) instead of hours silently shifts availability
+//! by orders of magnitude without any crash. This pass assigns every
+//! override a unit — from the declared annotation when present, otherwise
+//! from the field's role and a per-field plausible-magnitude band — then
+//! *flows the resolved values downstream* through the derived parameter
+//! set, a derived reliability block diagram, the two-state failure/repair
+//! CTMCs, and a derived simulator configuration, re-running the SA008–SA011
+//! checks on the corrected data.
+//!
+//! Flowing corrected values is what keeps the findings non-duplicated: a
+//! FIT-entered MTBF is reported once as SA014, and the derived config is
+//! built from the *corrected* hours, so the same slip does not surface a
+//! second time as a SA009 "MTTR ≥ MTBF" warning. A genuinely inverted
+//! pair declared in hours, by contrast, is trusted and still reaches SA009.
+
+use sdnav_blocks::Block;
+use sdnav_core::{
+    ControllerSpec, Quantity, RatePair, Scenario, SpecRates, SwParams, Unit, FIT_SCALE,
+};
+use sdnav_sim::SimConfig;
+
+use crate::{audit_block, audit_sim_config, audit_sw_params, dynamics, AuditReport, Diagnostic};
+
+/// What dimension a rates field is consumed as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TimeKind {
+    /// A mean time between failures — the only kind a FIT count can mean.
+    Mtbf,
+    /// A repair/restart delay.
+    Repair,
+    /// A simulation horizon.
+    Horizon,
+}
+
+/// Plausible magnitude band, in hours, for a field of the given kind.
+///
+/// The bands bracket the paper's Table values with two-plus orders of
+/// margin on each side, so any paper-like model passes without annotation
+/// while a FIT-for-hours slip (off by ~1e9/value) lands far outside.
+fn band(kind: TimeKind) -> (f64, f64) {
+    match kind {
+        TimeKind::Mtbf => (24.0, 1.0e9),
+        TimeKind::Repair => (1.0e-4, 1.0e3),
+        TimeKind::Horizon => (100.0, 1.0e10),
+    }
+}
+
+fn in_band(v: f64, (lo, hi): (f64, f64)) -> bool {
+    v.is_finite() && v >= lo && v <= hi
+}
+
+/// If `q` is a bare MTBF-like value implausible as hours but plausible as a
+/// FIT count, returns the corrected hours (`1e9 / value`).
+pub(crate) fn fit_slip_hours(q: Quantity, kind: TimeKind) -> Option<f64> {
+    if q.unit.is_some() || kind != TimeKind::Mtbf {
+        return None;
+    }
+    let b = band(kind);
+    if !(q.value.is_finite() && q.value > 0.0) || in_band(q.value, b) {
+        return None;
+    }
+    let as_fit = FIT_SCALE / q.value;
+    in_band(as_fit, b).then_some(as_fit)
+}
+
+/// The unit a field was resolved to — declared or inferred — for
+/// cross-spec comparison (SA018).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Effective {
+    Unit(Unit),
+    Unresolved,
+}
+
+/// Resolution of a single time-like field: canonical hours (when a
+/// dimensionally sound reading exists) plus the unit it was read in.
+struct ResolvedTime {
+    hours: Option<f64>,
+    effective: Effective,
+}
+
+fn resolve_time(r: &mut AuditReport, path: &str, q: Quantity, kind: TimeKind) -> ResolvedTime {
+    let unresolved = |r: &mut AuditReport, sev_err: bool, msg: String, hint: &str| {
+        let d = if sev_err {
+            Diagnostic::error("SA019", path, msg, hint)
+        } else {
+            Diagnostic::warn("SA019", path, msg, hint)
+        };
+        r.push(d);
+        ResolvedTime {
+            hours: None,
+            effective: Effective::Unresolved,
+        }
+    };
+    if !(q.value.is_finite() && q.value > 0.0) {
+        return unresolved(
+            r,
+            true,
+            format!("value {} cannot be a time in any unit", q.value),
+            "mean times must be finite and positive",
+        );
+    }
+    let b = band(kind);
+    match q.unit {
+        // A declared unit always wins over magnitude heuristics: an
+        // explicitly hours-annotated inverted MTTR/MTBF pair is trusted
+        // here and flagged downstream as SA009, not reinterpreted.
+        Some(Unit::Hours) => ResolvedTime {
+            hours: Some(q.value),
+            effective: Effective::Unit(Unit::Hours),
+        },
+        Some(Unit::Fit) => {
+            if kind == TimeKind::Mtbf {
+                ResolvedTime {
+                    hours: Some(FIT_SCALE / q.value),
+                    effective: Effective::Unit(Unit::Fit),
+                }
+            } else {
+                r.push(Diagnostic::error(
+                    "SA013",
+                    path,
+                    format!(
+                        "a FIT count ({} failures per 10^9 h) makes no sense for a \
+                         repair or horizon field",
+                        q.value
+                    ),
+                    "FIT only expresses failure intensity; declare the repair time in hours",
+                ));
+                ResolvedTime {
+                    hours: None,
+                    effective: Effective::Unresolved,
+                }
+            }
+        }
+        Some(Unit::PerHour) => {
+            if kind == TimeKind::Horizon {
+                return unresolved(
+                    r,
+                    false,
+                    "a horizon declared as a rate is ambiguous".to_owned(),
+                    "declare the horizon in hours",
+                );
+            }
+            r.push(Diagnostic::warn(
+                "SA013",
+                path,
+                format!(
+                    "declared as a per-hour rate where a mean time is expected; \
+                     reading it as 1/value = {} h",
+                    1.0 / q.value
+                ),
+                "declare mean times in hours (or FIT for MTBFs) to keep pairs dimensionally consistent",
+            ));
+            ResolvedTime {
+                hours: Some(1.0 / q.value),
+                effective: Effective::Unit(Unit::PerHour),
+            }
+        }
+        Some(Unit::Probability | Unit::Dimensionless) => unresolved(
+            r,
+            false,
+            format!("declared {} where a time is expected", q.unit.unwrap()),
+            "declare mean times in hours",
+        ),
+        None => {
+            if in_band(q.value, b) {
+                return ResolvedTime {
+                    hours: Some(q.value),
+                    effective: Effective::Unit(Unit::Hours),
+                };
+            }
+            if let Some(corrected) = fit_slip_hours(q, kind) {
+                r.push(Diagnostic::warn(
+                    "SA014",
+                    path,
+                    format!(
+                        "{} h is implausible as a mean time but plausible as a FIT \
+                         count: 1e9/{} = {corrected} h",
+                        q.value, q.value
+                    ),
+                    format!(
+                        "if the value is in FIT, annotate it \
+                         {{\"value\": {}, \"unit\": \"fit\"}} or convert to {corrected} \
+                         hours (`lint --fix` rewrites this)",
+                        q.value
+                    ),
+                ));
+                return ResolvedTime {
+                    hours: Some(corrected),
+                    effective: Effective::Unit(Unit::Fit),
+                };
+            }
+            let as_rate = 1.0 / q.value;
+            if kind != TimeKind::Horizon && in_band(as_rate, b) {
+                return unresolved(
+                    r,
+                    false,
+                    format!(
+                        "{} is implausible as hours but plausible as a per-hour rate \
+                         (1/value = {as_rate} h)",
+                        q.value
+                    ),
+                    "annotate the unit (hours or per_hour) to disambiguate",
+                );
+            }
+            unresolved(
+                r,
+                false,
+                format!(
+                    "cannot infer a unit for {}: implausible as hours, FIT, or a rate",
+                    q.value
+                ),
+                "annotate the unit explicitly",
+            )
+        }
+    }
+}
+
+/// Resolution of a probability-expected field (`a_v`, `a_h`, `a_r`).
+fn resolve_probability(r: &mut AuditReport, path: &str, q: Quantity) -> Option<f64> {
+    match q.unit {
+        Some(Unit::Probability | Unit::Dimensionless) | None => {
+            if q.value.is_finite() && (0.0..=1.0).contains(&q.value) {
+                Some(q.value)
+            } else {
+                r.push(Diagnostic::error(
+                    "SA015",
+                    path,
+                    format!(
+                        "{} is not a probability; it looks like a rate or a time",
+                        q.value
+                    ),
+                    "steady-state availabilities are probabilities in [0, 1]; \
+                     to give rates instead, use the element's mtbf/mttr pair",
+                ));
+                None
+            }
+        }
+        Some(u @ (Unit::PerHour | Unit::Fit | Unit::Hours)) => {
+            r.push(Diagnostic::error(
+                "SA015",
+                path,
+                format!("declared {u} where a probability is expected"),
+                "availabilities are probabilities; to give rates, use the \
+                 element's mtbf/mttr pair instead",
+            ));
+            None
+        }
+    }
+}
+
+/// One resolved MTBF/MTTR pair.
+#[derive(Default, Clone, Copy)]
+struct ResolvedPair {
+    mtbf: Option<f64>,
+    mttr: Option<f64>,
+}
+
+struct Resolution {
+    report: AuditReport,
+    process_mtbf: Option<f64>,
+    auto_restart: Option<f64>,
+    manual_restart: Option<f64>,
+    rack: ResolvedPair,
+    host: ResolvedPair,
+    vm: ResolvedPair,
+    a_v: Option<f64>,
+    a_h: Option<f64>,
+    a_r: Option<f64>,
+    sim_horizon: Option<f64>,
+    /// `(field path, effective unit)` for cross-spec comparison.
+    effective: Vec<(&'static str, Effective)>,
+}
+
+fn resolve_rates(rates: &SpecRates) -> Resolution {
+    let mut report = AuditReport::new();
+    let mut effective = Vec::new();
+    let time = |report: &mut AuditReport,
+                effective: &mut Vec<(&'static str, Effective)>,
+                field: &'static str,
+                q: Option<Quantity>,
+                kind: TimeKind| {
+        let q = q?;
+        let resolved = resolve_time(report, &format!("spec/rates/{field}"), q, kind);
+        effective.push((field, resolved.effective));
+        resolved.hours
+    };
+    let process_mtbf = time(
+        &mut report,
+        &mut effective,
+        "process_mtbf",
+        rates.process_mtbf,
+        TimeKind::Mtbf,
+    );
+    let auto_restart = time(
+        &mut report,
+        &mut effective,
+        "auto_restart",
+        rates.auto_restart,
+        TimeKind::Repair,
+    );
+    let manual_restart = time(
+        &mut report,
+        &mut effective,
+        "manual_restart",
+        rates.manual_restart,
+        TimeKind::Repair,
+    );
+    let pair = |report: &mut AuditReport,
+                effective: &mut Vec<(&'static str, Effective)>,
+                mtbf_field: &'static str,
+                mttr_field: &'static str,
+                p: &Option<RatePair>| {
+        let Some(p) = p else {
+            return ResolvedPair::default();
+        };
+        ResolvedPair {
+            mtbf: time(report, effective, mtbf_field, p.mtbf, TimeKind::Mtbf),
+            mttr: time(report, effective, mttr_field, p.mttr, TimeKind::Repair),
+        }
+    };
+    let rack = pair(
+        &mut report,
+        &mut effective,
+        "rack/mtbf",
+        "rack/mttr",
+        &rates.rack,
+    );
+    let host = pair(
+        &mut report,
+        &mut effective,
+        "host/mtbf",
+        "host/mttr",
+        &rates.host,
+    );
+    let vm = pair(&mut report, &mut effective, "vm/mtbf", "vm/mttr", &rates.vm);
+    let prob = |report: &mut AuditReport, field: &'static str, q: Option<Quantity>| {
+        let q = q?;
+        resolve_probability(report, &format!("spec/rates/{field}"), q)
+    };
+    let a_v = prob(&mut report, "a_v", rates.a_v);
+    let a_h = prob(&mut report, "a_h", rates.a_h);
+    let a_r = prob(&mut report, "a_r", rates.a_r);
+    let sim_horizon = time(
+        &mut report,
+        &mut effective,
+        "sim_horizon",
+        rates.sim_horizon,
+        TimeKind::Horizon,
+    );
+    Resolution {
+        report,
+        process_mtbf,
+        auto_restart,
+        manual_restart,
+        rack,
+        host,
+        vm,
+        a_v,
+        a_h,
+        a_r,
+        sim_horizon,
+        effective,
+    }
+}
+
+fn prefix_paths(mut report: AuditReport, prefix: &str) -> AuditReport {
+    for d in &mut report.diagnostics {
+        d.path = format!("{prefix}{}", d.path);
+    }
+    report
+}
+
+/// Unit-inference dataflow audit of a spec's rate overrides (SA013–SA019).
+///
+/// Resolves every override to the model's canonical dimension (hours /
+/// probability), reporting declaration mismatches (SA013), FIT-for-hours
+/// magnitude slips (SA014, auto-fixable), rates where probabilities are
+/// expected (SA015), pair-implied availabilities contradicting declared
+/// ones (SA016), a simulation horizon too short for the resolved process
+/// MTBF (SA017), and unresolvable values (SA019). The resolved values are
+/// then flowed into a derived parameter set, RBD, failure/repair CTMCs,
+/// and simulator config, whose SA008–SA011 findings are reported under
+/// `spec/rates/derived/`.
+///
+/// Specs without a `rates` block — including the paper reference — audit
+/// clean by construction.
+#[must_use]
+pub fn audit_units(spec: &ControllerSpec) -> AuditReport {
+    let Some(rates) = &spec.rates else {
+        return AuditReport::new();
+    };
+    let mut res = resolve_rates(rates);
+    let mut report = std::mem::take(&mut res.report);
+
+    // SA016: an element's declared availability must agree with the
+    // availability its failure/repair CTMC rates imply (A = F/(F+R)).
+    for (name, pair, declared) in [
+        ("vm", res.vm, res.a_v),
+        ("host", res.host, res.a_h),
+        ("rack", res.rack, res.a_r),
+    ] {
+        let (Some(mtbf), Some(mttr), Some(decl)) = (pair.mtbf, pair.mttr, declared) else {
+            continue;
+        };
+        let implied = mtbf / (mtbf + mttr);
+        if (implied - decl).abs() > 1.0e-4 {
+            report.push(Diagnostic::warn(
+                "SA016",
+                format!("spec/rates/a_{}", &name[..1]),
+                format!(
+                    "the {name} failure/repair rates imply availability {implied:.6} \
+                     but the spec declares {decl}",
+                ),
+                "drop one of the two (the pair or the availability), or make \
+                 them consistent",
+            ));
+        }
+    }
+
+    // SA017: an explicitly overridden horizon must be long enough to
+    // observe failures at the resolved process MTBF.
+    if let Some(horizon) = res.sim_horizon {
+        let mtbf = res.process_mtbf.unwrap_or_else(|| {
+            SimConfig::paper_defaults(Scenario::SupervisorNotRequired).process_mtbf
+        });
+        if horizon < 10.0 * mtbf {
+            report.push(Diagnostic::warn(
+                "SA017",
+                "spec/rates/sim_horizon",
+                format!(
+                    "sim horizon {horizon} h is under 10x the process MTBF ({mtbf} h); \
+                     the run will observe almost no process failures"
+                ),
+                "lengthen sim_horizon (or drop the override) so each batch sees failures",
+            ));
+        }
+    }
+
+    // Dataflow: resolved values feed the derived params, RBD, CTMCs, and
+    // sim config, which are re-audited with the standard SA008–SA011
+    // checks. Because the corrected (not raw) values flow here, a slip
+    // already reported as SA014 does not re-surface as SA009.
+    let mut sw = SwParams::paper_defaults();
+    let f = res.process_mtbf.unwrap_or(5000.0);
+    let r_auto = res.auto_restart.unwrap_or(0.1);
+    let r_manual = res.manual_restart.unwrap_or(1.0);
+    sw.process.auto = f / (f + r_auto);
+    sw.process.manual = f / (f + r_manual);
+    let implied = |p: ResolvedPair| match (p.mtbf, p.mttr) {
+        (Some(f), Some(r)) => Some(f / (f + r)),
+        _ => None,
+    };
+    if let Some(a) = res.a_v.or_else(|| implied(res.vm)) {
+        sw.a_v = a;
+    }
+    if let Some(a) = res.a_h.or_else(|| implied(res.host)) {
+        sw.a_h = a;
+    }
+    if let Some(a) = res.a_r.or_else(|| implied(res.rack)) {
+        sw.a_r = a;
+    }
+    report.merge(prefix_paths(audit_sw_params(&sw), "spec/rates/derived/"));
+
+    let unit = |name: &str, a: f64| Block::Unit {
+        name: name.to_owned(),
+        availability: a,
+    };
+    let derived_rbd = Block::Series {
+        children: vec![
+            unit("process-auto", sw.process.auto),
+            unit("process-manual", sw.process.manual),
+            unit("vm", sw.a_v),
+            unit("host", sw.a_h),
+            unit("rack", sw.a_r),
+        ],
+    };
+    report.merge(audit_block(&derived_rbd, "spec/rates/derived/rbd"));
+
+    let mut config = SimConfig::paper_defaults(Scenario::SupervisorNotRequired);
+    config.process_mtbf = f;
+    config.auto_restart = r_auto;
+    config.manual_restart = r_manual;
+    for (rates, target) in [
+        (res.rack, &mut config.rack),
+        (res.host, &mut config.host),
+        (res.vm, &mut config.vm),
+    ] {
+        if let Some(mtbf) = rates.mtbf {
+            target.mtbf = mtbf;
+        }
+        if let Some(mttr) = rates.mttr {
+            target.mttr = mttr;
+        }
+    }
+    if let Some(h) = res.sim_horizon {
+        config.horizon_hours = h;
+    }
+    let mut derived = audit_sim_config(&config);
+    derived.merge(dynamics::audit_config_ctmcs(&config));
+    // The horizon-vs-repair batch-length smell (SA011) duplicates SA017
+    // when the horizon override is the cause; keep the unit-aware finding.
+    if report.has_code("SA017") {
+        derived
+            .diagnostics
+            .retain(|d| !(d.code == "SA011" && d.path.contains("batches")));
+    }
+    report.merge(prefix_paths(derived, "spec/rates/derived/"));
+    report
+}
+
+/// Audits a sweep grid of specs: every spec individually (prefixed with its
+/// index and name), plus the cross-spec unit-consistency check (SA018) —
+/// two specs of one grid declaring the same field in different units make
+/// their results incomparable even when each is self-consistent.
+#[must_use]
+pub fn audit_spec_set(specs: &[ControllerSpec]) -> AuditReport {
+    let mut report = AuditReport::new();
+    if specs.is_empty() {
+        report.push(Diagnostic::error(
+            "SA001",
+            "specs",
+            "the spec set is empty",
+            "a sweep grid needs at least one controller spec",
+        ));
+        return report;
+    }
+    let mut per_field: Vec<(&'static str, Vec<(usize, Unit)>)> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        report.merge(prefix_paths(
+            crate::audit_model(spec),
+            &format!("specs/{i}/"),
+        ));
+        let Some(rates) = &spec.rates else { continue };
+        for (field, eff) in resolve_rates(rates).effective {
+            let Effective::Unit(u) = eff else { continue };
+            match per_field.iter_mut().find(|(f, _)| *f == field) {
+                Some((_, seen)) => seen.push((i, u)),
+                None => per_field.push((field, vec![(i, u)])),
+            }
+        }
+    }
+    for (field, seen) in per_field {
+        let first = seen[0];
+        if let Some(&other) = seen.iter().find(|(_, u)| *u != first.1) {
+            report.push(Diagnostic::warn(
+                "SA018",
+                format!("specs/rates/{field}"),
+                format!(
+                    "specs of one sweep grid disagree about the unit of {field}: \
+                     spec {} ({}) uses {} but spec {} ({}) uses {}",
+                    first.0, specs[first.0].name, first.1, other.0, specs[other.0].name, other.1
+                ),
+                "declare the field in the same unit across the grid so the \
+                 sweep results are comparable",
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit_model;
+    use sdnav_core::Quantity;
+
+    fn spec_with(rates: SpecRates) -> ControllerSpec {
+        let mut spec = ControllerSpec::opencontrail_3x();
+        spec.rates = Some(rates);
+        spec
+    }
+
+    #[test]
+    fn no_rates_block_is_clean() {
+        assert!(audit_units(&ControllerSpec::opencontrail_3x()).is_clean());
+    }
+
+    #[test]
+    fn paper_equivalent_overrides_are_clean() {
+        // The paper's own Table values, partly bare and partly annotated,
+        // resolve without findings.
+        let rates = SpecRates {
+            process_mtbf: Some(Quantity::bare(5000.0)),
+            auto_restart: Some(Quantity::with_unit(0.1, Unit::Hours)),
+            manual_restart: Some(Quantity::bare(1.0)),
+            rack: Some(RatePair {
+                mtbf: Some(Quantity::bare(4.8e6)),
+                mttr: Some(Quantity::bare(48.0)),
+            }),
+            ..SpecRates::default()
+        };
+        let r = audit_model(&spec_with(rates));
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn fit_annotated_mtbf_is_clean_and_converted() {
+        // 22_816 FIT ⇔ ~43_830 h (5 years): a declared unit needs no
+        // inference and no finding.
+        let rates = SpecRates {
+            host: Some(RatePair {
+                mtbf: Some(Quantity::with_unit(22_816.0, Unit::Fit)),
+                mttr: Some(Quantity::bare(4.383)),
+            }),
+            ..SpecRates::default()
+        };
+        let r = audit_model(&spec_with(rates));
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn sa013_fit_declared_on_repair_field() {
+        let rates = SpecRates {
+            rack: Some(RatePair {
+                mtbf: Some(Quantity::bare(4.8e6)),
+                mttr: Some(Quantity::with_unit(100.0, Unit::Fit)),
+            }),
+            ..SpecRates::default()
+        };
+        let r = audit_units(&spec_with(rates));
+        assert!(r.has_code("SA013"));
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn sa013_per_hour_on_time_field_converts() {
+        let rates = SpecRates {
+            process_mtbf: Some(Quantity::with_unit(0.0002, Unit::PerHour)),
+            ..SpecRates::default()
+        };
+        let r = audit_units(&spec_with(rates));
+        let d = r
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "SA013")
+            .expect("SA013 reported");
+        assert!(d.message.contains("5000"));
+        // The conversion is dimensionally sound, so nothing downstream breaks.
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn sa014_fit_magnitude_slip_detected_and_corrected_downstream() {
+        // 10 "hours" with a 48 h MTTR: raw values would trip SA009
+        // (availability under 50%), but 10 is a textbook FIT count for an
+        // ultra-reliable rack (1e8 h), so the slip is reported once, as
+        // SA014, and the corrected value flows into the derived config.
+        let rates = SpecRates {
+            rack: Some(RatePair {
+                mtbf: Some(Quantity::bare(10.0)),
+                mttr: Some(Quantity::bare(48.0)),
+            }),
+            ..SpecRates::default()
+        };
+        let r = audit_model(&spec_with(rates));
+        assert!(r.has_code("SA014"), "{}", r.render());
+        assert!(!r.has_code("SA009"), "duplicate finding:\n{}", r.render());
+        let d = r.diagnostics().iter().find(|d| d.code == "SA014").unwrap();
+        assert!(d.hint.contains("fix"));
+        assert!(d.message.contains("100000000"));
+    }
+
+    #[test]
+    fn sa009_survives_when_hours_are_declared() {
+        // The same inverted pair, but explicitly annotated as hours: the
+        // declaration is trusted, so no SA014 — the inversion is reported
+        // as SA009 from the derived config instead.
+        let rates = SpecRates {
+            rack: Some(RatePair {
+                mtbf: Some(Quantity::with_unit(10.0, Unit::Hours)),
+                mttr: Some(Quantity::with_unit(48.0, Unit::Hours)),
+            }),
+            ..SpecRates::default()
+        };
+        let r = audit_model(&spec_with(rates));
+        assert!(r.has_code("SA009"), "{}", r.render());
+        assert!(!r.has_code("SA014"));
+    }
+
+    #[test]
+    fn sa015_rate_declared_as_availability() {
+        let rates = SpecRates {
+            a_v: Some(Quantity::with_unit(0.0002, Unit::PerHour)),
+            ..SpecRates::default()
+        };
+        let r = audit_units(&spec_with(rates));
+        assert!(r.has_code("SA015"));
+        assert!(r.has_errors());
+        // Bare out-of-range values are also caught.
+        let rates = SpecRates {
+            a_h: Some(Quantity::bare(5000.0)),
+            ..SpecRates::default()
+        };
+        assert!(audit_units(&spec_with(rates)).has_code("SA015"));
+    }
+
+    #[test]
+    fn sa016_pair_contradicts_declared_availability() {
+        let rates = SpecRates {
+            vm: Some(RatePair {
+                mtbf: Some(Quantity::bare(1440.0)),
+                mttr: Some(Quantity::bare(0.072)),
+            }),
+            a_v: Some(Quantity::bare(0.9)),
+            ..SpecRates::default()
+        };
+        let r = audit_units(&spec_with(rates));
+        let d = r
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "SA016")
+            .expect("SA016 reported");
+        assert!(d.message.contains("0.9"));
+        // Consistent values stay clean.
+        let rates = SpecRates {
+            vm: Some(RatePair {
+                mtbf: Some(Quantity::bare(1440.0)),
+                mttr: Some(Quantity::bare(0.072)),
+            }),
+            a_v: Some(Quantity::bare(1440.0 / 1440.072)),
+            ..SpecRates::default()
+        };
+        assert!(!audit_units(&spec_with(rates)).has_code("SA016"));
+    }
+
+    #[test]
+    fn sa017_horizon_below_process_mtbf() {
+        let rates = SpecRates {
+            process_mtbf: Some(Quantity::bare(5000.0)),
+            sim_horizon: Some(Quantity::bare(2000.0)),
+            ..SpecRates::default()
+        };
+        let r = audit_units(&spec_with(rates));
+        assert!(r.has_code("SA017"));
+        // The derived config's batch-length smell is folded into SA017.
+        assert!(!r.has_code("SA011"), "{}", r.render());
+        // A long-enough horizon is clean.
+        let rates = SpecRates {
+            sim_horizon: Some(Quantity::bare(1.0e6)),
+            ..SpecRates::default()
+        };
+        assert!(audit_units(&spec_with(rates)).is_clean());
+    }
+
+    #[test]
+    fn sa018_cross_spec_unit_disagreement() {
+        let a = spec_with(SpecRates {
+            process_mtbf: Some(Quantity::with_unit(200_000.0, Unit::Fit)),
+            ..SpecRates::default()
+        });
+        let mut b = spec_with(SpecRates {
+            process_mtbf: Some(Quantity::bare(5000.0)),
+            ..SpecRates::default()
+        });
+        b.name = "variant".to_owned();
+        let r = audit_spec_set(&[a.clone(), b]);
+        assert!(r.has_code("SA018"), "{}", r.render());
+        // A grid agreeing on units is clean.
+        assert!(!audit_spec_set(&[a.clone(), a]).has_code("SA018"));
+        // An empty grid is an error.
+        assert!(audit_spec_set(&[]).has_errors());
+    }
+
+    #[test]
+    fn sa019_ambiguous_and_impossible_values() {
+        // 5e9: implausible as hours (above any MTBF), as FIT (0.2 h), and
+        // as a rate.
+        let rates = SpecRates {
+            process_mtbf: Some(Quantity::bare(5.0e9)),
+            ..SpecRates::default()
+        };
+        let r = audit_units(&spec_with(rates));
+        assert!(r.has_code("SA019"), "{}", r.render());
+        // A rate-looking bare value names the reciprocal reading.
+        let rates = SpecRates {
+            process_mtbf: Some(Quantity::bare(0.0002)),
+            ..SpecRates::default()
+        };
+        let r = audit_units(&spec_with(rates));
+        let d = r.diagnostics().iter().find(|d| d.code == "SA019").unwrap();
+        assert!(d.message.contains("per-hour"));
+        // Non-positive values are SA019 errors.
+        let rates = SpecRates {
+            auto_restart: Some(Quantity::bare(-0.1)),
+            ..SpecRates::default()
+        };
+        assert!(audit_units(&spec_with(rates)).has_errors());
+    }
+
+    #[test]
+    fn genuinely_bad_declared_values_reach_downstream_checks() {
+        // A declared-hours MTBF of 1e30 is trusted (declared beats
+        // inference) and the derived CTMC/sim checks see the raw value.
+        let rates = SpecRates {
+            vm: Some(RatePair {
+                mtbf: Some(Quantity::with_unit(0.05, Unit::Hours)),
+                mttr: Some(Quantity::with_unit(0.072, Unit::Hours)),
+            }),
+            ..SpecRates::default()
+        };
+        let r = audit_units(&spec_with(rates));
+        assert!(r.has_code("SA009"));
+        assert!(r
+            .diagnostics()
+            .iter()
+            .any(|d| d.path.starts_with("spec/rates/derived/")));
+    }
+}

@@ -79,13 +79,16 @@ fn bench_models() {
     ] {
         let name = topo.name().to_lowercase();
         bench(&format!("hw_model/{name}"), 10_000, || {
-            HwModel::new(&spec, &topo, black_box(hw)).availability()
+            HwModel::try_new(&spec, &topo, black_box(hw))
+                .unwrap()
+                .availability()
         });
         bench(
             &format!("sw_model/cp/{name}/supervisor_required"),
             1_000,
             || {
-                SwModel::new(&spec, &topo, black_box(sw), Scenario::SupervisorRequired)
+                SwModel::try_new(&spec, &topo, black_box(sw), Scenario::SupervisorRequired)
+                    .unwrap()
                     .cp_availability()
             },
         );
@@ -93,7 +96,8 @@ fn bench_models() {
             &format!("sw_model/dp/{name}/supervisor_required"),
             1_000,
             || {
-                SwModel::new(&spec, &topo, black_box(sw), Scenario::SupervisorRequired)
+                SwModel::try_new(&spec, &topo, black_box(sw), Scenario::SupervisorRequired)
+                    .unwrap()
                     .host_dp_availability()
             },
         );

@@ -20,7 +20,8 @@ fn busy_config(scenario: Scenario) -> SimConfig {
 fn bench_event_throughput() {
     let spec = ControllerSpec::opencontrail_3x();
     for topo in [Topology::small(&spec), Topology::large(&spec)] {
-        let sim = Simulation::new(&spec, &topo, busy_config(Scenario::SupervisorRequired));
+        let sim =
+            Simulation::try_new(&spec, &topo, busy_config(Scenario::SupervisorRequired)).unwrap();
         let name = topo.name().to_lowercase();
         // Report per-event cost (event counts are seed-deterministic).
         let events = sim.run(1).events;
@@ -45,7 +46,7 @@ fn bench_failover_model() {
     cfg.connection = ConnectionModel::Failover {
         rediscovery_hours: 1.0 / 60.0,
     };
-    let sim = Simulation::new(&spec, &topo, cfg);
+    let sim = Simulation::try_new(&spec, &topo, cfg).unwrap();
     let iters = 20u64;
     let start = Instant::now();
     for seed in 1..=iters {

@@ -17,9 +17,15 @@ fn main() {
     let mut table = Table::new(vec!["A_C", "form", "exact", "closed/approx", "gap (m/y)"]);
     for a_c in [0.999, 0.9995, 0.9999] {
         let p = hw_params().with_a_c(a_c);
-        let small = HwModel::new(&spec, &Topology::small(&spec), p).availability();
-        let medium = HwModel::new(&spec, &Topology::medium(&spec), p).availability();
-        let large = HwModel::new(&spec, &Topology::large(&spec), p).availability();
+        let small = HwModel::try_new(&spec, &Topology::small(&spec), p)
+            .expect("valid HW model")
+            .availability();
+        let medium = HwModel::try_new(&spec, &Topology::medium(&spec), p)
+            .expect("valid HW model")
+            .availability();
+        let large = HwModel::try_new(&spec, &Topology::large(&spec), p)
+            .expect("valid HW model")
+            .availability();
         let rows: Vec<(&str, f64, f64)> = vec![
             ("Eq.(3) Small", small, paper::hw_small_eq3(p)),
             (

@@ -7,9 +7,15 @@ use sdnav_core::{HwModel, Topology};
 fn main() {
     let spec = spec();
     let p = hw_params();
-    let small = HwModel::new(&spec, &Topology::small(&spec), p).availability();
-    let medium = HwModel::new(&spec, &Topology::medium(&spec), p).availability();
-    let large = HwModel::new(&spec, &Topology::large(&spec), p).availability();
+    let small = HwModel::try_new(&spec, &Topology::small(&spec), p)
+        .expect("valid HW model")
+        .availability();
+    let medium = HwModel::try_new(&spec, &Topology::medium(&spec), p)
+        .expect("valid HW model")
+        .availability();
+    let large = HwModel::try_new(&spec, &Topology::large(&spec), p)
+        .expect("valid HW model")
+        .availability();
 
     header("CLM-HW", "§V.D quoted values and conclusions");
     println!(
@@ -60,8 +66,12 @@ fn main() {
     // Role/VM/host separation neutrality: compare Small vs Large with racks
     // taken out of the picture.
     let p_norack = sdnav_core::HwParams { a_r: 1.0, ..p };
-    let small_nr = HwModel::new(&spec, &Topology::small(&spec), p_norack).availability();
-    let large_nr = HwModel::new(&spec, &Topology::large(&spec), p_norack).availability();
+    let small_nr = HwModel::try_new(&spec, &Topology::small(&spec), p_norack)
+        .expect("valid HW model")
+        .availability();
+    let large_nr = HwModel::try_new(&spec, &Topology::large(&spec), p_norack)
+        .expect("valid HW model")
+        .availability();
     println!("  'separation of roles onto separate VMs/hosts does not improve availability':");
     println!(
         "    with A_R = 1: Small {:.9} vs fully separated Large {:.9} (Δ = {:+.2e})",

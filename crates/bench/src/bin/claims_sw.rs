@@ -11,7 +11,9 @@ fn main() {
     let large = Topology::large(&spec);
 
     header("CLM-SW", "§VI.G quoted CP and DP downtimes (minutes/year)");
-    let eval = |topo: &Topology, scenario| SwModel::new(&spec, topo, params, scenario);
+    let eval = |topo: &Topology, scenario| {
+        SwModel::try_new(&spec, topo, params, scenario).expect("valid SW model")
+    };
 
     let cp = |topo: &Topology, scenario| downtime_m_y(eval(topo, scenario).cp_availability());
     let dp = |topo: &Topology, scenario| downtime_m_y(eval(topo, scenario).host_dp_availability());
@@ -126,8 +128,12 @@ fn main() {
         Scenario::SupervisorNotRequired,
         Scenario::SupervisorRequired,
     ] {
-        let dpdk_dp = SwModel::new(&spec, &large, params, scenario).host_dp_availability();
-        let kern_dp = SwModel::new(&kernel, &kernel_topo, params, scenario).host_dp_availability();
+        let dpdk_dp = SwModel::try_new(&spec, &large, params, scenario)
+            .expect("valid SW model")
+            .host_dp_availability();
+        let kern_dp = SwModel::try_new(&kernel, &kernel_topo, params, scenario)
+            .expect("valid SW model")
+            .host_dp_availability();
         println!(
             "  {scenario:?}: DPDK {:.1} m/y vs kernel-mode {:.1} m/y ({:+.1} m/y for DPDK's user-space process)",
             downtime_m_y(dpdk_dp),
@@ -148,7 +154,8 @@ fn main() {
         ("NBD (0.9990)", 0.9990),
     ] {
         let p = SwParams { a_h, ..params };
-        let m = SwModel::new(&spec, &small, p, Scenario::SupervisorRequired);
+        let m = SwModel::try_new(&spec, &small, p, Scenario::SupervisorRequired)
+            .expect("valid SW model");
         println!(
             "  A_H = {label:<18} → 2S CP downtime {:.2} m/y",
             downtime_m_y(m.cp_availability())

@@ -24,8 +24,11 @@ fn main() {
     for nodes in [3u32, 5, 7] {
         let spec = base.scaled_cluster(nodes);
         for topo in [Topology::small(&spec), Topology::large(&spec)] {
-            let hw_a = HwModel::new(&spec, &topo, hw_params()).availability();
-            let sw = SwModel::new(&spec, &topo, sw_params(), Scenario::SupervisorRequired);
+            let hw_a = HwModel::try_new(&spec, &topo, hw_params())
+                .expect("valid HW model")
+                .availability();
+            let sw = SwModel::try_new(&spec, &topo, sw_params(), Scenario::SupervisorRequired)
+                .expect("valid SW model");
             table.row(vec![
                 nodes.to_string(),
                 topo.name().to_owned(),

@@ -38,7 +38,9 @@ fn main() {
         cfg.compute_hosts = 1;
         cfg.record_outages = true;
         cfg.restart_model = RestartModel::AnalyticIndependence;
-        let r = Simulation::new(&spec, &topo, cfg).run(4242);
+        let r = Simulation::try_new(&spec, &topo, cfg)
+            .expect("valid simulation")
+            .run(4242);
         let d = &r.cp_outage_durations;
         let row = if d.is_empty() {
             vec![

@@ -13,7 +13,8 @@ use sdnav_report::Table;
 
 fn cp_downtime(spec: &ControllerSpec) -> f64 {
     let topo = Topology::large(spec);
-    let model = SwModel::new(spec, &topo, sw_params(), Scenario::SupervisorRequired);
+    let model = SwModel::try_new(spec, &topo, sw_params(), Scenario::SupervisorRequired)
+        .expect("valid SW model");
     downtime_m_y(model.cp_availability())
 }
 

@@ -69,7 +69,7 @@ fn main() {
         config.rack = config.rack.scaled_time(24.0);
         let result = replicate(&spec, &topo, config, 1000, replications);
         let params = config.analytic_params();
-        let model = SwModel::new(&spec, &topo, params, scenario);
+        let model = SwModel::try_new(&spec, &topo, params, scenario).expect("valid SW model");
         for (plane, analytic, estimate) in [
             ("CP", model.cp_availability(), result.cp),
             ("DP", model.host_dp_availability(), result.dp),

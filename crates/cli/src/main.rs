@@ -46,10 +46,15 @@ COMMANDS:
            [--accelerate F] [--seed S]
                               Monte-Carlo validation run
   spec [--out FILE]           dump the OpenContrail 3.x spec as JSON
-  lint [--format json] [--deny-warnings] [--topology FILE]
-                              statically audit the model (SA001..SA012);
-                              accepts broken specs via --spec and audits
-                              user topology JSON via --topology
+  lint [--format json|sarif] [--deny-warnings] [--topology FILE]
+       [--block FILE] [--spec-set FILE] [--fix] [--dry-run]
+                              statically audit the model (SA001..SA019);
+                              accepts broken specs via --spec, standalone
+                              RBD JSON via --block, sweep-grid spec arrays
+                              via --spec-set, and user topology JSON via
+                              --topology; --fix rewrites auto-fixable
+                              findings in place (--dry-run prints the edit
+                              plan without writing)
   help                        show this help
 
 COMMON OPTIONS:
@@ -700,26 +705,112 @@ fn simulate(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// What `lint` is auditing (and, with `--fix`, rewriting).
+enum LintTarget {
+    Spec(Box<ControllerSpec>),
+    Block(sdnav_blocks::Block),
+    Set(Vec<ControllerSpec>),
+}
+
+fn read_json<T: sdnav_json::FromJson>(path: &str) -> Result<T, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| failure(format!("cannot read {path}: {e}")))?;
+    sdnav_json::from_str(&text).map_err(|e| failure(format!("cannot parse {path}: {e}")))
+}
+
+/// Writes via a sibling temp file + rename so an interrupted `--fix` never
+/// leaves a half-written artifact behind.
+fn write_atomic(path: &str, contents: &str) -> Result<(), CliError> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents).map_err(|e| failure(format!("cannot write {tmp}: {e}")))?;
+    std::fs::rename(&tmp, path).map_err(|e| failure(format!("cannot replace {path}: {e}")))
+}
+
 fn lint(args: &Args) -> Result<(), CliError> {
-    let spec: ControllerSpec = match args.get("spec") {
-        None => ControllerSpec::opencontrail_3x(),
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| failure(format!("cannot read {path}: {e}")))?;
-            sdnav_json::from_str(&text).map_err(|e| failure(format!("cannot parse {path}: {e}")))?
+    let selectors = [args.get("spec"), args.get("block"), args.get("spec-set")];
+    if selectors.iter().flatten().count() > 1 {
+        return Err(usage(
+            "--spec, --block and --spec-set are mutually exclusive",
+        ));
+    }
+    let (target, path) = if let Some(path) = args.get("block") {
+        (LintTarget::Block(read_json(path)?), Some(path))
+    } else if let Some(path) = args.get("spec-set") {
+        (LintTarget::Set(read_json(path)?), Some(path))
+    } else if let Some(path) = args.get("spec") {
+        (LintTarget::Spec(Box::new(read_json(path)?)), Some(path))
+    } else {
+        (
+            LintTarget::Spec(Box::new(ControllerSpec::opencontrail_3x())),
+            None,
+        )
+    };
+
+    let fix = args.has_flag("fix");
+    let dry_run = args.has_flag("dry-run");
+    if dry_run && !fix {
+        return Err(usage("--dry-run only makes sense with --fix"));
+    }
+    if fix && matches!(target, LintTarget::Set(_)) {
+        return Err(usage("--fix supports a single --spec or --block"));
+    }
+    if fix && args.get("topology").is_some() {
+        return Err(usage("--fix cannot be combined with --topology"));
+    }
+
+    let audit = |target: &LintTarget| -> Result<sdnav_audit::AuditReport, CliError> {
+        match target {
+            LintTarget::Spec(spec) => {
+                let mut report = sdnav_audit::audit_model(spec);
+                if let Some(topo_path) = args.get("topology") {
+                    let topo: Topology = read_json(topo_path)?;
+                    report.merge(sdnav_audit::audit_topology(spec, &topo));
+                }
+                Ok(report)
+            }
+            LintTarget::Block(block) => Ok(sdnav_audit::audit_block(block, "rbd")),
+            LintTarget::Set(specs) => Ok(sdnav_audit::audit_spec_set(specs)),
         }
     };
-    let mut report = sdnav_audit::audit_model(&spec);
-    if let Some(path) = args.get("topology") {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| failure(format!("cannot read {path}: {e}")))?;
-        let topo: Topology = sdnav_json::from_str(&text)
-            .map_err(|e| failure(format!("cannot parse {path}: {e}")))?;
-        report.merge(sdnav_audit::audit_topology(&spec, &topo));
+
+    let mut report = audit(&target)?;
+    if fix {
+        let (fixed, plan) = match &target {
+            LintTarget::Spec(spec) => {
+                let (spec, plan) = sdnav_audit::fix_spec(spec);
+                (LintTarget::Spec(Box::new(spec)), plan)
+            }
+            LintTarget::Block(block) => {
+                let (block, plan) = sdnav_audit::fix_block(block);
+                (LintTarget::Block(block), plan)
+            }
+            LintTarget::Set(_) => unreachable!("rejected above"),
+        };
+        print!("{}", plan.render());
+        if !dry_run && !plan.is_empty() {
+            let path = path.ok_or_else(|| {
+                usage("--fix needs a file to rewrite; pass --spec FILE or --block FILE")
+            })?;
+            let json = match &fixed {
+                LintTarget::Spec(spec) => sdnav_json::to_string_pretty(spec.as_ref()),
+                LintTarget::Block(block) => sdnav_json::to_string_pretty(block),
+                LintTarget::Set(_) => unreachable!("rejected above"),
+            };
+            write_atomic(path, &format!("{json}\n"))?;
+            eprintln!("fix: rewrote {path}");
+            // Exit-code semantics follow the artifact now on disk.
+            report = audit(&fixed)?;
+        }
     }
+
     match args.get("format") {
         Some("json") => println!("{}", sdnav_json::to_string_pretty(&report)),
-        Some(other) => return Err(usage(format!("--format must be `json`, got {other:?}"))),
+        Some("sarif") => println!("{}", sdnav_audit::to_sarif(&report, path).to_pretty()),
+        Some(other) => {
+            return Err(usage(format!(
+                "--format must be `json` or `sarif`, got {other:?}"
+            )))
+        }
         None => print!("{}", report.render()),
     }
     if report.has_errors() {

@@ -303,6 +303,166 @@ fn lint_topology_flags_broken_and_accepts_valid() {
     );
 }
 
+fn fixture(name: &str) -> String {
+    format!("{}/../../tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Copies a fixture into a scratch dir so `--fix` can rewrite it.
+fn scratch_copy(name: &str, tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("sdnav-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dest = dir.join(format!("{tag}_{name}"));
+    std::fs::copy(fixture(name), &dest).unwrap();
+    dest
+}
+
+#[test]
+fn lint_reports_sa014_with_fix_hint_in_json() {
+    let (ok, stdout, _) = sdnav(&[
+        "lint",
+        "--spec",
+        &fixture("sa014_fit_magnitude_slip.json"),
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "SA014 is warn-level; exit 0 without --deny-warnings");
+    assert!(stdout.contains("\"SA014\""), "{stdout}");
+    assert!(stdout.contains("lint --fix"), "hint must mention the fixer");
+    // The gate mode rejects it.
+    assert_eq!(
+        sdnav_code(&[
+            "lint",
+            "--deny-warnings",
+            "--spec",
+            &fixture("sa014_fit_magnitude_slip.json"),
+        ]),
+        1
+    );
+}
+
+#[test]
+fn lint_fix_rewrites_and_relints_clean() {
+    let path = scratch_copy("sa014_fit_magnitude_slip.json", "apply");
+    let path = path.to_str().unwrap();
+    let (ok, stdout, stderr) = sdnav(&["lint", "--fix", "--spec", path]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stdout.contains("fix[SA014]"), "{stdout}");
+    assert!(stderr.contains("rewrote"), "{stderr}");
+    // The rewritten spec carries the unit annotation and re-lints clean
+    // even under the strictest gate.
+    let text = std::fs::read_to_string(path).unwrap();
+    assert!(text.contains("\"unit\": \"hours\""), "{text}");
+    let (ok, stdout, _) = sdnav(&["lint", "--deny-warnings", "--spec", path]);
+    assert!(ok, "{stdout}");
+    assert!(!stdout.contains("SA014"));
+    // Fixing a fixed file is a no-op.
+    let before = std::fs::read(path).unwrap();
+    let (ok, stdout, _) = sdnav(&["lint", "--fix", "--spec", path]);
+    assert!(ok);
+    assert!(stdout.contains("nothing auto-fixable"), "{stdout}");
+    assert_eq!(before, std::fs::read(path).unwrap());
+}
+
+#[test]
+fn lint_fix_dry_run_leaves_file_byte_identical() {
+    let path = scratch_copy("sa014_fit_magnitude_slip.json", "dry");
+    let path = path.to_str().unwrap();
+    let before = std::fs::read(path).unwrap();
+    let (ok, stdout, _) = sdnav(&["lint", "--fix", "--dry-run", "--spec", path]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("fix[SA014]"), "plan must be printed");
+    assert_eq!(
+        before,
+        std::fs::read(path).unwrap(),
+        "--dry-run must not write"
+    );
+}
+
+#[test]
+fn lint_sarif_output_is_valid() {
+    let (ok, stdout, _) = sdnav(&[
+        "lint",
+        "--spec",
+        &fixture("sa014_fit_magnitude_slip.json"),
+        "--format",
+        "sarif",
+    ]);
+    assert!(ok);
+    let sarif = sdnav_json::Json::parse(&stdout).expect("SARIF output parses as JSON");
+    sdnav_audit::validate_sarif(&sarif).expect("SARIF output validates");
+    assert!(stdout.contains("\"ruleId\": \"SA014\""), "{stdout}");
+    assert!(
+        stdout.contains("sa014_fit_magnitude_slip.json"),
+        "artifact uri must point at the linted file"
+    );
+    // A clean model still emits a valid (empty-results) log.
+    let (ok, stdout, _) = sdnav(&["lint", "--format", "sarif"]);
+    assert!(ok);
+    let sarif = sdnav_json::Json::parse(&stdout).unwrap();
+    sdnav_audit::validate_sarif(&sarif).unwrap();
+}
+
+#[test]
+fn lint_spec_set_flags_unit_drift() {
+    let out = sdnav_raw(&[
+        "lint",
+        "--deny-warnings",
+        "--spec-set",
+        &fixture("sa018_unit_drift.set.json"),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("SA018"));
+}
+
+#[test]
+fn lint_block_audits_and_fixes_standalone_rbds() {
+    let out = sdnav_raw(&["lint", "--block", &fixture("sa006_k_exceeds_n.block.json")]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("SA006"));
+
+    // A trivially-simplifiable k=n group is rewritten in place.
+    let dir = std::env::temp_dir().join("sdnav-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("k_equals_n.block.json");
+    std::fs::write(
+        &path,
+        r#"{"kind": "k_of_n", "k": 2, "children": [
+            {"kind": "unit", "name": "a", "availability": 0.999},
+            {"kind": "unit", "name": "b", "availability": 0.999}
+        ]}"#,
+    )
+    .unwrap();
+    let path = path.to_str().unwrap();
+    let (ok, stdout, _) = sdnav(&["lint", "--fix", "--block", path]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("fix[SA006]"), "{stdout}");
+    let text = std::fs::read_to_string(path).unwrap();
+    assert!(text.contains("\"series\""), "{text}");
+    let (ok, _, _) = sdnav(&["lint", "--deny-warnings", "--block", path]);
+    assert!(ok);
+}
+
+#[test]
+fn lint_flag_combinations_are_usage_checked() {
+    // Mutually exclusive artifact selectors.
+    assert_eq!(sdnav_code(&["lint", "--spec", "a", "--block", "b"]), 2);
+    // --dry-run without --fix.
+    assert_eq!(sdnav_code(&["lint", "--dry-run"]), 2);
+    // --fix cannot target a whole sweep grid or combine with --topology.
+    assert_eq!(
+        sdnav_code(&[
+            "lint",
+            "--fix",
+            "--spec-set",
+            &fixture("sa018_unit_drift.set.json"),
+        ]),
+        2
+    );
+    assert_eq!(sdnav_code(&["lint", "--fix", "--topology", "t.json"]), 2);
+    // Unknown formats.
+    assert_eq!(sdnav_code(&["lint", "--format", "yaml"]), 2);
+}
+
 #[test]
 fn simulate_smoke() {
     let (ok, stdout, _) = sdnav(&[

@@ -66,9 +66,15 @@ mod tests {
         let minutes = 525_960.0;
         for a_c in [0.999, 0.9995, 0.9999] {
             let p = HwParams::paper_defaults().with_a_c(a_c);
-            let small_exact = HwModel::new(&spec, &Topology::small(&spec), p).availability();
-            let medium_exact = HwModel::new(&spec, &Topology::medium(&spec), p).availability();
-            let large_exact = HwModel::new(&spec, &Topology::large(&spec), p).availability();
+            let small_exact = HwModel::try_new(&spec, &Topology::small(&spec), p)
+                .expect("valid HW model")
+                .availability();
+            let medium_exact = HwModel::try_new(&spec, &Topology::medium(&spec), p)
+                .expect("valid HW model")
+                .availability();
+            let large_exact = HwModel::try_new(&spec, &Topology::large(&spec), p)
+                .expect("valid HW model")
+                .availability();
             assert!(
                 (hw_small(p) - small_exact).abs() * minutes < 0.2,
                 "small a_c={a_c}: {} vs {}",

@@ -19,7 +19,7 @@ use crate::{ControllerSpec, HwParams, Topology};
 /// use sdnav_core::{ControllerSpec, HwModel, HwParams, Topology};
 ///
 /// let spec = ControllerSpec::opencontrail_3x();
-/// let model = HwModel::new(&spec, &Topology::small(&spec), HwParams::paper_defaults());
+/// let model = HwModel::try_new(&spec, &Topology::small(&spec), HwParams::paper_defaults()).expect("valid HW model");
 /// // §V.D: "with role availability A_C = 0.9995, Controller availability
 /// // is 0.999989 for the Small ... topologies".
 /// assert!((model.availability() - 0.999989).abs() < 1e-6);
@@ -39,6 +39,7 @@ impl<'a> HwModel<'a> {
     /// Panics if `params` are out of range or `topology` is invalid for
     /// `spec`. Use [`HwModel::try_new`] for a recoverable check.
     #[must_use]
+    #[deprecated(since = "0.1.0", note = "use `HwModel::try_new` and handle the error")]
     pub fn new(spec: &'a ControllerSpec, topology: &Topology, params: HwParams) -> Self {
         match Self::try_new(spec, topology, params) {
             Ok(model) => model,
@@ -141,7 +142,9 @@ mod tests {
     fn fig3_quoted_small_availability() {
         // §V.D: A_S = 0.999989 at A_C = 0.9995.
         let s = spec();
-        let a = HwModel::new(&s, &Topology::small(&s), defaults()).availability();
+        let a = HwModel::try_new(&s, &Topology::small(&s), defaults())
+            .expect("valid HW model")
+            .availability();
         assert!((a - 0.999989).abs() < 1e-6, "got {a:.9}");
     }
 
@@ -149,7 +152,9 @@ mod tests {
     fn fig3_quoted_medium_availability() {
         // §V.D: Medium matches Small at 0.999989 (to printed precision).
         let s = spec();
-        let a = HwModel::new(&s, &Topology::medium(&s), defaults()).availability();
+        let a = HwModel::try_new(&s, &Topology::medium(&s), defaults())
+            .expect("valid HW model")
+            .availability();
         assert!((a - 0.999989).abs() < 1e-6, "got {a:.9}");
     }
 
@@ -157,7 +162,9 @@ mod tests {
     fn fig3_quoted_large_availability() {
         // §V.D: A_L = 0.9999990 at A_C = 0.9995.
         let s = spec();
-        let a = HwModel::new(&s, &Topology::large(&s), defaults()).availability();
+        let a = HwModel::try_new(&s, &Topology::large(&s), defaults())
+            .expect("valid HW model")
+            .availability();
         assert!((a - 0.9999990).abs() < 2e-7, "got {a:.9}");
     }
 
@@ -167,7 +174,9 @@ mod tests {
         let s = spec();
         for a_c in [0.999, 0.9995, 0.9999] {
             let p = defaults().with_a_c(a_c);
-            let exact = HwModel::new(&s, &Topology::small(&s), p).availability();
+            let exact = HwModel::try_new(&s, &Topology::small(&s), p)
+                .expect("valid HW model")
+                .availability();
             let closed = paper::hw_small_eq3(p);
             assert!(
                 (exact - closed).abs() < 1e-12,
@@ -181,7 +190,9 @@ mod tests {
         let s = spec();
         for a_c in [0.999, 0.9995, 0.9999] {
             let p = defaults().with_a_c(a_c);
-            let exact = HwModel::new(&s, &Topology::large(&s), p).availability();
+            let exact = HwModel::try_new(&s, &Topology::large(&s), p)
+                .expect("valid HW model")
+                .availability();
             let closed = paper::hw_large_eq8(p);
             assert!(
                 (exact - closed).abs() < 1e-12,
@@ -197,7 +208,9 @@ mod tests {
         // the quantities of interest (< 1e-8) but may be nonzero.
         let s = spec();
         let p = defaults();
-        let exact = HwModel::new(&s, &Topology::medium(&s), p).availability();
+        let exact = HwModel::try_new(&s, &Topology::medium(&s), p)
+            .expect("valid HW model")
+            .availability();
         let closed = paper::hw_medium_eq6_corrected(p);
         assert!(
             (exact - closed).abs() < 1e-8,
@@ -210,8 +223,12 @@ mod tests {
         // §V.D: "adding a second rack (S→M) actually slightly reduces
         // availability".
         let s = spec();
-        let small = HwModel::new(&s, &Topology::small(&s), defaults()).availability();
-        let medium = HwModel::new(&s, &Topology::medium(&s), defaults()).availability();
+        let small = HwModel::try_new(&s, &Topology::small(&s), defaults())
+            .expect("valid HW model")
+            .availability();
+        let medium = HwModel::try_new(&s, &Topology::medium(&s), defaults())
+            .expect("valid HW model")
+            .availability();
         assert!(medium < small, "small={small:.9} medium={medium:.9}");
         // ... but only slightly.
         assert!(small - medium < 1e-5);
@@ -220,8 +237,12 @@ mod tests {
     #[test]
     fn three_racks_beat_one() {
         let s = spec();
-        let small = HwModel::new(&s, &Topology::small(&s), defaults()).availability();
-        let large = HwModel::new(&s, &Topology::large(&s), defaults()).availability();
+        let small = HwModel::try_new(&s, &Topology::small(&s), defaults())
+            .expect("valid HW model")
+            .availability();
+        let large = HwModel::try_new(&s, &Topology::large(&s), defaults())
+            .expect("valid HW model")
+            .availability();
         assert!(large > small);
     }
 
@@ -230,8 +251,12 @@ mod tests {
         // §V.D: "Controller availability increases from 0.999989 to
         // 0.9999990 (a savings of 5 minutes/year in downtime)".
         let s = spec();
-        let small = HwModel::new(&s, &Topology::small(&s), defaults()).availability();
-        let large = HwModel::new(&s, &Topology::large(&s), defaults()).availability();
+        let small = HwModel::try_new(&s, &Topology::small(&s), defaults())
+            .expect("valid HW model")
+            .availability();
+        let large = HwModel::try_new(&s, &Topology::large(&s), defaults())
+            .expect("valid HW model")
+            .availability();
         let minutes_saved = (large - small) * 525_960.0;
         assert!(
             (minutes_saved - 5.0).abs() < 0.5,
@@ -245,7 +270,9 @@ mod tests {
         let topo = Topology::small(&s);
         let mut last = 0.0;
         for a_c in [0.999, 0.9993, 0.9996, 0.9999] {
-            let a = HwModel::new(&s, &topo, defaults().with_a_c(a_c)).availability();
+            let a = HwModel::try_new(&s, &topo, defaults().with_a_c(a_c))
+                .expect("valid HW model")
+                .availability();
             assert!(a >= last);
             last = a;
         }
@@ -260,7 +287,9 @@ mod tests {
             a_h: 1.0,
             a_r: 1.0,
         };
-        let a = HwModel::new(&s, &Topology::large(&s), p).availability();
+        let a = HwModel::try_new(&s, &Topology::large(&s), p)
+            .expect("valid HW model")
+            .availability();
         // A = A_{1/3}³ · A_{2/3} at α = 0.9995.
         let a13 = sdnav_blocks::kofn::k_of_n(1, 3, 0.9995);
         let a23 = sdnav_blocks::kofn::k_of_n(2, 3, 0.9995);
@@ -278,8 +307,12 @@ mod tests {
             a_r: 1.0,
             ..defaults()
         };
-        let small = HwModel::new(&s, &Topology::small(&s), p).availability();
-        let large = HwModel::new(&s, &Topology::large(&s), p).availability();
+        let small = HwModel::try_new(&s, &Topology::small(&s), p)
+            .expect("valid HW model")
+            .availability();
+        let large = HwModel::try_new(&s, &Topology::large(&s), p)
+            .expect("valid HW model")
+            .availability();
         assert!(
             (small - large).abs() < 1e-7,
             "small={small:.10} large={large:.10}"
@@ -289,7 +322,7 @@ mod tests {
     #[test]
     fn unavailability_complements() {
         let s = spec();
-        let m = HwModel::new(&s, &Topology::small(&s), defaults());
+        let m = HwModel::try_new(&s, &Topology::small(&s), defaults()).expect("valid HW model");
         assert!((m.availability() + m.unavailability() - 1.0).abs() < 1e-15);
         assert_eq!(m.params(), defaults());
     }

@@ -43,8 +43,8 @@
 //! let spec = ControllerSpec::opencontrail_3x();
 //! let params = HwParams::paper_defaults();
 //!
-//! let small = HwModel::new(&spec, &Topology::small(&spec), params).availability();
-//! let large = HwModel::new(&spec, &Topology::large(&spec), params).availability();
+//! let small = HwModel::try_new(&spec, &Topology::small(&spec), params).expect("valid HW model").availability();
+//! let large = HwModel::try_new(&spec, &Topology::large(&spec), params).expect("valid HW model").availability();
 //!
 //! // Fig. 3: at the default parameters the Large topology reaches ~6.5
 //! // nines while Small stays just below 5 nines.
@@ -67,6 +67,7 @@ mod spec;
 mod sw;
 pub mod sweep;
 mod topology;
+mod units;
 
 pub use hw::HwModel;
 pub use params::{HwParams, ParamError, ProcessParams, SwParams};
@@ -76,3 +77,4 @@ pub use spec::{
 };
 pub use sw::{Scenario, SwModel};
 pub use topology::{HostId, RackId, Topology, TopologyError, VmId};
+pub use units::{Quantity, RatePair, SpecRates, Unit, FIT_SCALE};

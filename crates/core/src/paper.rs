@@ -230,7 +230,9 @@ mod tests {
         let topo = Topology::small(&s);
         for a_c in [0.999, 0.9995, 0.99999] {
             let p = HwParams::paper_defaults().with_a_c(a_c);
-            let general = HwModel::new(&s, &topo, p).availability();
+            let general = HwModel::try_new(&s, &topo, p)
+                .expect("valid HW model")
+                .availability();
             assert!((hw_small_eq3(p) - general).abs() < 1e-13, "a_c={a_c}");
         }
     }
@@ -241,7 +243,9 @@ mod tests {
         let topo = Topology::large(&s);
         for a_c in [0.999, 0.9995, 0.99999] {
             let p = HwParams::paper_defaults().with_a_c(a_c);
-            let general = HwModel::new(&s, &topo, p).availability();
+            let general = HwModel::try_new(&s, &topo, p)
+                .expect("valid HW model")
+                .availability();
             assert!((hw_large_eq8(p) - general).abs() < 1e-13, "a_c={a_c}");
         }
     }
@@ -251,7 +255,9 @@ mod tests {
         let s = spec();
         let topo = Topology::medium(&s);
         let p = HwParams::paper_defaults();
-        let general = HwModel::new(&s, &topo, p).availability();
+        let general = HwModel::try_new(&s, &topo, p)
+            .expect("valid HW model")
+            .availability();
         assert!((hw_medium_exact(p) - general).abs() < 1e-13);
     }
 
@@ -285,7 +291,7 @@ mod tests {
             Scenario::SupervisorNotRequired,
             Scenario::SupervisorRequired,
         ] {
-            let model = SwModel::new(&s, &topo, params, scenario);
+            let model = SwModel::try_new(&s, &topo, params, scenario).expect("valid SW model");
             for plane in [Plane::ControlPlane, Plane::DataPlane] {
                 let closed = sw_small(&s, params, scenario, plane);
                 let general = match plane {
@@ -309,7 +315,7 @@ mod tests {
             Scenario::SupervisorNotRequired,
             Scenario::SupervisorRequired,
         ] {
-            let model = SwModel::new(&s, &topo, params, scenario);
+            let model = SwModel::try_new(&s, &topo, params, scenario).expect("valid SW model");
             for plane in [Plane::ControlPlane, Plane::DataPlane] {
                 let closed = sw_large(&s, params, scenario, plane);
                 let general = match plane {
@@ -333,7 +339,7 @@ mod tests {
             Scenario::SupervisorNotRequired,
             Scenario::SupervisorRequired,
         ] {
-            let model = SwModel::new(&s, &topo, params, scenario);
+            let model = SwModel::try_new(&s, &topo, params, scenario).expect("valid SW model");
             assert!(
                 (sw_local_dp(&s, params, scenario) - model.local_dp_availability()).abs() < 1e-15
             );

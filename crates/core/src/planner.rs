@@ -149,7 +149,8 @@ pub fn evaluate_candidates(
                     a_h: tier.a_h(),
                     ..base
                 };
-                let model = SwModel::new(spec, &topology, params, scenario);
+                let model =
+                    SwModel::try_new(spec, &topology, params, scenario).expect("valid SW model");
                 let cp = model.cp_availability();
                 out.push(PlanPoint {
                     topology: topology.name().to_owned(),

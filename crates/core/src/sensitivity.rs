@@ -86,7 +86,11 @@ fn ranked(mut out: Vec<ParamSensitivity>) -> Vec<ParamSensitivity> {
 /// `A_C`, `A_V`, `A_H`, `A_R`, ranked by downtime share.
 #[must_use]
 pub fn hw(spec: &ControllerSpec, topology: &Topology, params: HwParams) -> Vec<ParamSensitivity> {
-    let eval = |p: HwParams| HwModel::new(spec, topology, p).availability();
+    let eval = |p: HwParams| {
+        HwModel::try_new(spec, topology, p)
+            .expect("valid HW model")
+            .availability()
+    };
     let base = eval(params);
     ranked(vec![
         build("A_C", params.a_c, base, |v| {
@@ -124,7 +128,7 @@ pub fn sw(
     metric: SwMetric,
 ) -> Vec<ParamSensitivity> {
     let eval = |p: SwParams| {
-        let model = SwModel::new(spec, topology, p, scenario);
+        let model = SwModel::try_new(spec, topology, p, scenario).expect("valid SW model");
         match metric {
             SwMetric::ControlPlane => model.cp_availability(),
             SwMetric::HostDataPlane => model.host_dp_availability(),

@@ -367,6 +367,10 @@ pub struct ControllerSpec {
     pub nodes: u32,
     /// The roles, controller-scoped first by convention.
     pub roles: Vec<RoleSpec>,
+    /// Optional unit-annotated rate overrides (see [`crate::SpecRates`]).
+    /// `None` means "paper defaults everywhere"; omitted from JSON when
+    /// absent.
+    pub rates: Option<crate::SpecRates>,
 }
 
 impl ToJson for RoleSpec {
@@ -391,11 +395,15 @@ impl FromJson for RoleSpec {
 
 impl ToJson for ControllerSpec {
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("name", Json::str(self.name.clone())),
             ("nodes", self.nodes.to_json()),
             ("roles", self.roles.to_json()),
-        ])
+        ];
+        if let Some(r) = &self.rates {
+            fields.push(("rates", r.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -405,6 +413,10 @@ impl FromJson for ControllerSpec {
             name: String::from_json(value.field("name")?).map_err(|e| e.ctx("name"))?,
             nodes: value.field("nodes")?.as_u32().map_err(|e| e.ctx("nodes"))?,
             roles: Vec::from_json(value.field("roles")?).map_err(|e| e.ctx("roles"))?,
+            rates: match value.get("rates") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(crate::SpecRates::from_json(v).map_err(|e| e.ctx("rates"))?),
+            },
         })
     }
 }
@@ -487,6 +499,7 @@ impl ControllerSpec {
                 RoleSpec::new("Database", RoleScope::Controller, database),
                 RoleSpec::new("vRouter", RoleScope::PerHost, vrouter),
             ],
+            rates: None,
         };
         spec.validate().expect("reference spec is valid");
         spec
@@ -1184,5 +1197,22 @@ mod tests {
         // Optional group fields stay omitted when absent.
         assert!(!json.contains("cp_group"));
         assert!(json.contains("dp_group"));
+        // The reference model carries no rate overrides, and the field is
+        // omitted rather than serialized as null.
+        assert!(!json.contains("rates"));
+    }
+
+    #[test]
+    fn json_round_trip_with_rates() {
+        let mut spec = ControllerSpec::opencontrail_3x();
+        spec.rates = Some(crate::SpecRates {
+            process_mtbf: Some(crate::Quantity::with_unit(200_000.0, crate::Unit::Fit)),
+            ..crate::SpecRates::default()
+        });
+        let json = sdnav_json::to_string_pretty(&spec);
+        assert!(json.contains("\"rates\""));
+        assert!(json.contains("\"fit\""));
+        let back: ControllerSpec = sdnav_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
     }
 }

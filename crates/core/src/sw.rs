@@ -38,8 +38,8 @@ pub enum Scenario {
 ///
 /// let spec = ControllerSpec::opencontrail_3x();
 /// let topo = Topology::small(&spec);
-/// let model = SwModel::new(&spec, &topo, SwParams::paper_defaults(),
-///                          Scenario::SupervisorNotRequired);
+/// let model = SwModel::try_new(&spec, &topo, SwParams::paper_defaults(),
+///                          Scenario::SupervisorNotRequired).expect("valid SW model");
 /// // §VI.G: "A_CP exceeds 0.999987 for the Small topology".
 /// assert!(model.cp_availability() > 0.999987);
 /// ```
@@ -59,6 +59,7 @@ impl<'a> SwModel<'a> {
     /// Panics if `params` are out of range or `topology` is invalid for
     /// `spec`. Use [`SwModel::try_new`] for a recoverable check.
     #[must_use]
+    #[deprecated(since = "0.1.0", note = "use `SwModel::try_new` and handle the error")]
     pub fn new(
         spec: &'a ControllerSpec,
         topology: &Topology,
@@ -233,12 +234,13 @@ mod tests {
     fn cp_small_supervisor_not_required_is_5_9_minutes() {
         // §VI.G quotes 5.9 m/y for option 1S.
         let s = spec();
-        let m = SwModel::new(
+        let m = SwModel::try_new(
             &s,
             &Topology::small(&s),
             defaults(),
             Scenario::SupervisorNotRequired,
-        );
+        )
+        .expect("valid SW model");
         let dt = downtime(m.cp_availability());
         assert!((dt - 5.9).abs() < 0.15, "got {dt:.2} m/y");
     }
@@ -246,12 +248,13 @@ mod tests {
     #[test]
     fn cp_small_supervisor_required_is_6_6_minutes() {
         let s = spec();
-        let m = SwModel::new(
+        let m = SwModel::try_new(
             &s,
             &Topology::small(&s),
             defaults(),
             Scenario::SupervisorRequired,
-        );
+        )
+        .expect("valid SW model");
         let dt = downtime(m.cp_availability());
         assert!((dt - 6.6).abs() < 0.25, "got {dt:.2} m/y");
     }
@@ -259,12 +262,13 @@ mod tests {
     #[test]
     fn cp_large_supervisor_not_required_is_0_7_minutes() {
         let s = spec();
-        let m = SwModel::new(
+        let m = SwModel::try_new(
             &s,
             &Topology::large(&s),
             defaults(),
             Scenario::SupervisorNotRequired,
-        );
+        )
+        .expect("valid SW model");
         let dt = downtime(m.cp_availability());
         assert!((dt - 0.7).abs() < 0.15, "got {dt:.2} m/y");
     }
@@ -272,12 +276,13 @@ mod tests {
     #[test]
     fn cp_large_supervisor_required_is_1_4_minutes() {
         let s = spec();
-        let m = SwModel::new(
+        let m = SwModel::try_new(
             &s,
             &Topology::large(&s),
             defaults(),
             Scenario::SupervisorRequired,
-        );
+        )
+        .expect("valid SW model");
         let dt = downtime(m.cp_availability());
         assert!((dt - 1.4).abs() < 0.25, "got {dt:.2} m/y");
     }
@@ -291,9 +296,11 @@ mod tests {
             Scenario::SupervisorNotRequired,
             Scenario::SupervisorRequired,
         ] {
-            let small = SwModel::new(&s, &Topology::small(&s), defaults(), scenario);
+            let small = SwModel::try_new(&s, &Topology::small(&s), defaults(), scenario)
+                .expect("valid SW model");
             assert!(small.cp_availability() > 0.999987, "{scenario:?}");
-            let large = SwModel::new(&s, &Topology::large(&s), defaults(), scenario);
+            let large = SwModel::try_new(&s, &Topology::large(&s), defaults(), scenario)
+                .expect("valid SW model");
             assert!(large.cp_availability() > 0.999997, "{scenario:?}");
         }
     }
@@ -302,18 +309,20 @@ mod tests {
     fn dp_small_downtimes_match_paper() {
         // §VI.G: DP downtime "from 26 to 131 m/y in the Small topology".
         let s = spec();
-        let without = SwModel::new(
+        let without = SwModel::try_new(
             &s,
             &Topology::small(&s),
             defaults(),
             Scenario::SupervisorNotRequired,
-        );
-        let with = SwModel::new(
+        )
+        .expect("valid SW model");
+        let with = SwModel::try_new(
             &s,
             &Topology::small(&s),
             defaults(),
             Scenario::SupervisorRequired,
-        );
+        )
+        .expect("valid SW model");
         let dt_without = downtime(without.host_dp_availability());
         let dt_with = downtime(with.host_dp_availability());
         assert!((dt_without - 26.0).abs() < 1.0, "got {dt_without:.1}");
@@ -324,18 +333,20 @@ mod tests {
     fn dp_large_downtimes_match_paper() {
         // §VI.G: "from 21 to 126 m/y in the Large topology".
         let s = spec();
-        let without = SwModel::new(
+        let without = SwModel::try_new(
             &s,
             &Topology::large(&s),
             defaults(),
             Scenario::SupervisorNotRequired,
-        );
-        let with = SwModel::new(
+        )
+        .expect("valid SW model");
+        let with = SwModel::try_new(
             &s,
             &Topology::large(&s),
             defaults(),
             Scenario::SupervisorRequired,
-        );
+        )
+        .expect("valid SW model");
         let dt_without = downtime(without.host_dp_availability());
         let dt_with = downtime(with.host_dp_availability());
         assert!((dt_without - 21.0).abs() < 1.0, "got {dt_without:.1}");
@@ -347,9 +358,11 @@ mod tests {
         // §VI.G: A_DP = 0.99975+ with supervisor required, 0.99995+ without.
         let s = spec();
         for topo in [Topology::small(&s), Topology::large(&s)] {
-            let with = SwModel::new(&s, &topo, defaults(), Scenario::SupervisorRequired);
+            let with = SwModel::try_new(&s, &topo, defaults(), Scenario::SupervisorRequired)
+                .expect("valid SW model");
             assert!(with.host_dp_availability() > 0.99975);
-            let without = SwModel::new(&s, &topo, defaults(), Scenario::SupervisorNotRequired);
+            let without = SwModel::try_new(&s, &topo, defaults(), Scenario::SupervisorNotRequired)
+                .expect("valid SW model");
             assert!(without.host_dp_availability() > 0.99995);
         }
     }
@@ -362,8 +375,10 @@ mod tests {
             Topology::medium(&s),
             Topology::large(&s),
         ] {
-            let with = SwModel::new(&s, &topo, defaults(), Scenario::SupervisorRequired);
-            let without = SwModel::new(&s, &topo, defaults(), Scenario::SupervisorNotRequired);
+            let with = SwModel::try_new(&s, &topo, defaults(), Scenario::SupervisorRequired)
+                .expect("valid SW model");
+            let without = SwModel::try_new(&s, &topo, defaults(), Scenario::SupervisorNotRequired)
+                .expect("valid SW model");
             assert!(
                 with.cp_availability() < without.cp_availability(),
                 "{}",
@@ -380,12 +395,13 @@ mod tests {
     #[test]
     fn local_dp_is_a_squared_without_supervisor() {
         let s = spec();
-        let m = SwModel::new(
+        let m = SwModel::try_new(
             &s,
             &Topology::small(&s),
             defaults(),
             Scenario::SupervisorNotRequired,
-        );
+        )
+        .expect("valid SW model");
         let a = defaults().process.auto;
         assert!((m.local_dp_availability() - a * a).abs() < 1e-15);
     }
@@ -393,12 +409,13 @@ mod tests {
     #[test]
     fn local_dp_includes_supervisor_when_required() {
         let s = spec();
-        let m = SwModel::new(
+        let m = SwModel::try_new(
             &s,
             &Topology::small(&s),
             defaults(),
             Scenario::SupervisorRequired,
-        );
+        )
+        .expect("valid SW model");
         let p = defaults().process;
         assert!((m.local_dp_availability() - p.auto * p.auto * p.manual).abs() < 1e-15);
     }
@@ -406,12 +423,13 @@ mod tests {
     #[test]
     fn host_dp_is_product_of_shared_and_local() {
         let s = spec();
-        let m = SwModel::new(
+        let m = SwModel::try_new(
             &s,
             &Topology::large(&s),
             defaults(),
             Scenario::SupervisorRequired,
-        );
+        )
+        .expect("valid SW model");
         let product = m.shared_dp_availability() * m.local_dp_availability();
         assert!((m.host_dp_availability() - product).abs() < 1e-15);
     }
@@ -421,12 +439,13 @@ mod tests {
         // §VI.G: "total DP availability is dominated by the identical host
         // vRouter LDP availability" — shared DP is much better than local.
         let s = spec();
-        let m = SwModel::new(
+        let m = SwModel::try_new(
             &s,
             &Topology::large(&s),
             defaults(),
             Scenario::SupervisorRequired,
-        );
+        )
+        .expect("valid SW model");
         assert!(m.shared_dp_availability() > m.local_dp_availability());
     }
 
@@ -440,19 +459,21 @@ mod tests {
         // see EXPERIMENTS.md.)
         let s = spec();
         let params = defaults().scale_process_downtime(-1.0);
-        let small_with = SwModel::new(
+        let small_with = SwModel::try_new(
             &s,
             &Topology::small(&s),
             params,
             Scenario::SupervisorRequired,
         )
+        .expect("valid SW model")
         .cp_availability();
-        let small_without = SwModel::new(
+        let small_without = SwModel::try_new(
             &s,
             &Topology::small(&s),
             params,
             Scenario::SupervisorNotRequired,
         )
+        .expect("valid SW model")
         .cp_availability();
         assert!((small_with - small_without).abs() < 2e-7);
         // Small is dominated by its single rack: unavailability ≈ 1 − A_R.
@@ -460,12 +481,13 @@ mod tests {
         assert!((u - 1e-5).abs() < 2e-6, "u={u:e}");
         // Rack separation becomes the key differentiator: Large beats
         // Small by roughly the rack unavailability.
-        let large_with = SwModel::new(
+        let large_with = SwModel::try_new(
             &s,
             &Topology::large(&s),
             params,
             Scenario::SupervisorRequired,
         )
+        .expect("valid SW model")
         .cp_availability();
         assert!(large_with - small_with > 8e-6);
     }
@@ -476,34 +498,38 @@ mod tests {
         // relevant; Small and Large begin to converge.
         let s = spec();
         let params = defaults().scale_process_downtime(1.0);
-        let small = SwModel::new(
+        let small = SwModel::try_new(
             &s,
             &Topology::small(&s),
             params,
             Scenario::SupervisorRequired,
         )
+        .expect("valid SW model")
         .cp_availability();
-        let large = SwModel::new(
+        let large = SwModel::try_new(
             &s,
             &Topology::large(&s),
             params,
             Scenario::SupervisorRequired,
         )
+        .expect("valid SW model")
         .cp_availability();
         let gap_low = small - large;
-        let small0 = SwModel::new(
+        let small0 = SwModel::try_new(
             &s,
             &Topology::small(&s),
             defaults(),
             Scenario::SupervisorRequired,
         )
+        .expect("valid SW model")
         .cp_availability();
-        let large0 = SwModel::new(
+        let large0 = SwModel::try_new(
             &s,
             &Topology::large(&s),
             defaults(),
             Scenario::SupervisorRequired,
         )
+        .expect("valid SW model")
         .cp_availability();
         let gap_default = small0 - large0;
         // The relative gap (as a share of unavailability) shrinks.
@@ -516,19 +542,21 @@ mod tests {
         // supervisor required and ~0.9996 without.
         let s = spec();
         let params = defaults().scale_process_downtime(1.0);
-        let with = SwModel::new(
+        let with = SwModel::try_new(
             &s,
             &Topology::small(&s),
             params,
             Scenario::SupervisorRequired,
         )
+        .expect("valid SW model")
         .host_dp_availability();
-        let without = SwModel::new(
+        let without = SwModel::try_new(
             &s,
             &Topology::small(&s),
             params,
             Scenario::SupervisorNotRequired,
         )
+        .expect("valid SW model")
         .host_dp_availability();
         assert!((with - 0.9976).abs() < 3e-4, "got {with:.5}");
         assert!((without - 0.9996).abs() < 1e-4, "got {without:.5}");
@@ -542,19 +570,21 @@ mod tests {
         // notes "the difference is due to rack separation in the SDP").
         let s = spec();
         let params = defaults().scale_process_downtime(-1.0);
-        let with = SwModel::new(
+        let with = SwModel::try_new(
             &s,
             &Topology::large(&s),
             params,
             Scenario::SupervisorRequired,
         )
+        .expect("valid SW model")
         .host_dp_availability();
-        let without = SwModel::new(
+        let without = SwModel::try_new(
             &s,
             &Topology::large(&s),
             params,
             Scenario::SupervisorNotRequired,
         )
+        .expect("valid SW model")
         .host_dp_availability();
         assert!((with - 0.999976).abs() < 3e-6, "got {with:.7}");
         assert!((without - 0.999996).abs() < 3e-6, "got {without:.7}");
@@ -576,12 +606,13 @@ mod tests {
         let base_spec = spec();
         let topo = Topology::large(&base_spec);
         let cp = |s: &ControllerSpec| {
-            SwModel::new(
+            SwModel::try_new(
                 s,
                 &Topology::large(s),
                 defaults(),
                 Scenario::SupervisorNotRequired,
             )
+            .expect("valid SW model")
             .cp_availability()
         };
         let base = cp(&base_spec);
@@ -613,13 +644,15 @@ mod tests {
         let kernel = ControllerSpec::opencontrail_3x_kernel_mode();
         let topo_d = Topology::large(&dpdk);
         let topo_k = Topology::large(&kernel);
-        let m_d = SwModel::new(&dpdk, &topo_d, defaults(), Scenario::SupervisorNotRequired);
-        let m_k = SwModel::new(
+        let m_d = SwModel::try_new(&dpdk, &topo_d, defaults(), Scenario::SupervisorNotRequired)
+            .expect("valid SW model");
+        let m_k = SwModel::try_new(
             &kernel,
             &topo_k,
             defaults(),
             Scenario::SupervisorNotRequired,
-        );
+        )
+        .expect("valid SW model");
         let a = defaults().process.auto;
         assert!((m_d.local_dp_availability() - a * a).abs() < 1e-15);
         assert!((m_k.local_dp_availability() - a).abs() < 1e-15);
@@ -631,12 +664,13 @@ mod tests {
     #[test]
     fn accessors() {
         let s = spec();
-        let m = SwModel::new(
+        let m = SwModel::try_new(
             &s,
             &Topology::small(&s),
             defaults(),
             Scenario::SupervisorRequired,
-        );
+        )
+        .expect("valid SW model");
         assert_eq!(m.scenario(), Scenario::SupervisorRequired);
         assert_eq!(m.params(), defaults());
     }

@@ -78,9 +78,15 @@ pub fn fig3(spec: &ControllerSpec, base: HwParams, points: usize) -> Vec<Fig3Row
             let p = base.with_a_c(a_c);
             Fig3Row {
                 a_c,
-                small: HwModel::new(spec, &small, p).availability(),
-                medium: HwModel::new(spec, &medium, p).availability(),
-                large: HwModel::new(spec, &large, p).availability(),
+                small: HwModel::try_new(spec, &small, p)
+                    .expect("valid HW model")
+                    .availability(),
+                medium: HwModel::try_new(spec, &medium, p)
+                    .expect("valid HW model")
+                    .availability(),
+                large: HwModel::try_new(spec, &large, p)
+                    .expect("valid HW model")
+                    .availability(),
             }
         })
         .collect()
@@ -152,8 +158,9 @@ fn sw_sweep(
         .map(|x| {
             // Figure x = +1 means 10× LESS downtime → scale by 10^(−x).
             let params = base.scale_process_downtime(-x);
-            let eval =
-                |topo: &Topology, scenario| metric(&SwModel::new(spec, topo, params, scenario));
+            let eval = |topo: &Topology, scenario| {
+                metric(&SwModel::try_new(spec, topo, params, scenario).expect("valid SW model"))
+            };
             SwSweepRow {
                 x,
                 a: params.process.auto,
@@ -239,7 +246,7 @@ pub fn required_process_availability(
     let target_u = target_minutes_per_year / 525_960.0;
     let downtime_at = |delta: f64| {
         let params = base.scale_process_downtime(delta);
-        let model = SwModel::new(spec, topology, params, scenario);
+        let model = SwModel::try_new(spec, topology, params, scenario).expect("valid SW model");
         (1.0 - model.cp_availability()) - target_u
     };
     // delta < 0 = better processes. Search over ±1 order of magnitude each
@@ -339,7 +346,8 @@ mod tests {
         let s = spec();
         let topo = Topology::large(&s);
         let base = SwParams::paper_defaults();
-        let model = SwModel::new(&s, &topo, base, Scenario::SupervisorRequired);
+        let model = SwModel::try_new(&s, &topo, base, Scenario::SupervisorRequired)
+            .expect("valid SW model");
         let target = (1.0 - model.cp_availability()) * 525_960.0;
         let a =
             required_process_availability(&s, &topo, base, Scenario::SupervisorRequired, target)

@@ -45,7 +45,7 @@ proptest! {
     fn hw_availability_in_unit_interval(p in arb_hw_params()) {
         let spec = ControllerSpec::opencontrail_3x();
         for topo in [Topology::small(&spec), Topology::medium(&spec), Topology::large(&spec)] {
-            let a = HwModel::new(&spec, &topo, p).availability();
+            let a = HwModel::try_new(&spec, &topo, p).unwrap().availability();
             prop_assert!((0.0..=1.0 + 1e-12).contains(&a), "{}: {}", topo.name(), a);
         }
     }
@@ -65,9 +65,9 @@ proptest! {
         // failures beat Large; see `vm_host_separation_never_helps`.)
         let p = HwParams { a_c, a_v, a_h, a_r };
         let spec = ControllerSpec::opencontrail_3x();
-        let small = HwModel::new(&spec, &Topology::small(&spec), p).availability();
-        let medium = HwModel::new(&spec, &Topology::medium(&spec), p).availability();
-        let large = HwModel::new(&spec, &Topology::large(&spec), p).availability();
+        let small = HwModel::try_new(&spec, &Topology::small(&spec), p).unwrap().availability();
+        let medium = HwModel::try_new(&spec, &Topology::medium(&spec), p).unwrap().availability();
+        let large = HwModel::try_new(&spec, &Topology::large(&spec), p).unwrap().availability();
         prop_assert!(large >= small - 1e-12);
         prop_assert!(large >= medium - 1e-12);
     }
@@ -81,8 +81,8 @@ proptest! {
         // concentrates failures onto nodes the quorum already tolerates.
         let p = HwParams { a_r: 1.0, ..p };
         let spec = ControllerSpec::opencontrail_3x();
-        let small = HwModel::new(&spec, &Topology::small(&spec), p).availability();
-        let large = HwModel::new(&spec, &Topology::large(&spec), p).availability();
+        let small = HwModel::try_new(&spec, &Topology::small(&spec), p).unwrap().availability();
+        let large = HwModel::try_new(&spec, &Topology::large(&spec), p).unwrap().availability();
         prop_assert!(large <= small + 1e-12, "small={} large={}", small, large);
     }
 
@@ -91,8 +91,8 @@ proptest! {
         // The paper's headline conclusion holds across the parameter space:
         // Medium (two racks) never beats Small (one rack).
         let spec = ControllerSpec::opencontrail_3x();
-        let small = HwModel::new(&spec, &Topology::small(&spec), p).availability();
-        let medium = HwModel::new(&spec, &Topology::medium(&spec), p).availability();
+        let small = HwModel::try_new(&spec, &Topology::small(&spec), p).unwrap().availability();
+        let medium = HwModel::try_new(&spec, &Topology::medium(&spec), p).unwrap().availability();
         prop_assert!(medium <= small + 1e-12, "small={} medium={}", small, medium);
     }
 
@@ -100,7 +100,7 @@ proptest! {
     fn hw_monotone_in_each_parameter(p in arb_hw_params(), bump in 0.0f64..0.005) {
         let spec = ControllerSpec::opencontrail_3x();
         let topo = Topology::medium(&spec);
-        let base = HwModel::new(&spec, &topo, p).availability();
+        let base = HwModel::try_new(&spec, &topo, p).unwrap().availability();
         for which in 0..4 {
             let mut q = p;
             match which {
@@ -109,7 +109,7 @@ proptest! {
                 2 => q.a_h = (q.a_h + bump).min(1.0),
                 _ => q.a_r = (q.a_r + bump).min(1.0),
             }
-            let better = HwModel::new(&spec, &topo, q).availability();
+            let better = HwModel::try_new(&spec, &topo, q).unwrap().availability();
             prop_assert!(better >= base - 1e-12, "param {} not monotone", which);
         }
     }
@@ -119,7 +119,7 @@ proptest! {
         let spec = ControllerSpec::opencontrail_3x();
         for topo in [Topology::small(&spec), Topology::medium(&spec), Topology::large(&spec)] {
             for scenario in [Scenario::SupervisorNotRequired, Scenario::SupervisorRequired] {
-                let m = SwModel::new(&spec, &topo, p, scenario);
+                let m = SwModel::try_new(&spec, &topo, p, scenario).unwrap();
                 for a in [m.cp_availability(), m.shared_dp_availability(), m.host_dp_availability()] {
                     prop_assert!((0.0..=1.0 + 1e-12).contains(&a));
                 }
@@ -131,8 +131,8 @@ proptest! {
     fn sw_supervisor_required_never_better(p in arb_sw_params()) {
         let spec = ControllerSpec::opencontrail_3x();
         for topo in [Topology::small(&spec), Topology::large(&spec)] {
-            let with = SwModel::new(&spec, &topo, p, Scenario::SupervisorRequired);
-            let without = SwModel::new(&spec, &topo, p, Scenario::SupervisorNotRequired);
+            let with = SwModel::try_new(&spec, &topo, p, Scenario::SupervisorRequired).unwrap();
+            let without = SwModel::try_new(&spec, &topo, p, Scenario::SupervisorNotRequired).unwrap();
             prop_assert!(with.cp_availability() <= without.cp_availability() + 1e-12);
             prop_assert!(with.host_dp_availability() <= without.host_dp_availability() + 1e-12);
         }
@@ -145,7 +145,7 @@ proptest! {
         let spec = ControllerSpec::opencontrail_3x();
         for scenario in [Scenario::SupervisorNotRequired, Scenario::SupervisorRequired] {
             for plane in [Plane::ControlPlane, Plane::DataPlane] {
-                let small_model = SwModel::new(&spec, &Topology::small(&spec), p, scenario);
+                let small_model = SwModel::try_new(&spec, &Topology::small(&spec), p, scenario).unwrap();
                 let small_general = match plane {
                     Plane::ControlPlane => small_model.cp_availability(),
                     Plane::DataPlane => small_model.shared_dp_availability(),
@@ -154,7 +154,7 @@ proptest! {
                 prop_assert!((small_general - small_closed).abs() < 1e-10,
                     "small {:?} {:?}: {} vs {}", scenario, plane, small_general, small_closed);
 
-                let large_model = SwModel::new(&spec, &Topology::large(&spec), p, scenario);
+                let large_model = SwModel::try_new(&spec, &Topology::large(&spec), p, scenario).unwrap();
                 let large_general = match plane {
                     Plane::ControlPlane => large_model.cp_availability(),
                     Plane::DataPlane => large_model.shared_dp_availability(),
@@ -169,11 +169,11 @@ proptest! {
     #[test]
     fn hw_closed_forms_match_general_evaluator(p in arb_hw_params()) {
         let spec = ControllerSpec::opencontrail_3x();
-        let small = HwModel::new(&spec, &Topology::small(&spec), p).availability();
+        let small = HwModel::try_new(&spec, &Topology::small(&spec), p).unwrap().availability();
         prop_assert!((small - sdnav_core::paper::hw_small_eq3(p)).abs() < 1e-12);
-        let medium = HwModel::new(&spec, &Topology::medium(&spec), p).availability();
+        let medium = HwModel::try_new(&spec, &Topology::medium(&spec), p).unwrap().availability();
         prop_assert!((medium - sdnav_core::paper::hw_medium_exact(p)).abs() < 1e-12);
-        let large = HwModel::new(&spec, &Topology::large(&spec), p).availability();
+        let large = HwModel::try_new(&spec, &Topology::large(&spec), p).unwrap().availability();
         prop_assert!((large - sdnav_core::paper::hw_large_eq8(p)).abs() < 1e-12);
     }
 
@@ -182,7 +182,7 @@ proptest! {
         // CP availability can never exceed the bare Database quorum of the
         // best case (all hardware perfect).
         let spec = ControllerSpec::opencontrail_3x();
-        let m = SwModel::new(&spec, &Topology::large(&spec), p, Scenario::SupervisorNotRequired);
+        let m = SwModel::try_new(&spec, &Topology::large(&spec), p, Scenario::SupervisorNotRequired).unwrap();
         let db_quorum = sdnav_blocks::kofn::k_of_n(2, 3, p.process.manual).powi(4);
         prop_assert!(m.cp_availability() <= db_quorum + 1e-12);
     }

@@ -414,7 +414,8 @@ mod tests {
             ] {
                 let d = Deployment::new(&spec, &topo, params, scenario);
                 let modes = enumerate(&d, 2);
-                let model = SwModel::new(&spec, &topo, params, scenario);
+                let model =
+                    SwModel::try_new(&spec, &topo, params, scenario).expect("valid SW model");
                 let cp_exact = 1.0 - model.cp_availability();
                 let cp_est = estimate_unavailability(&modes, true);
                 assert!(

@@ -177,6 +177,10 @@ impl<'a> Simulation<'a> {
     /// Panics if `config` is invalid or `topology` does not fit `spec`.
     /// Use [`Simulation::try_new`] for a recoverable check.
     #[must_use]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Simulation::try_new` and handle the error"
+    )]
     pub fn new(spec: &'a ControllerSpec, topology: &'a Topology, config: SimConfig) -> Self {
         match Self::try_new(spec, topology, config) {
             Ok(sim) => sim,
@@ -804,7 +808,7 @@ mod tests {
         let topo = Topology::small(&s);
         let mut cfg = fast_config(Scenario::SupervisorNotRequired);
         cfg.horizon_hours = 20_000.0;
-        let sim = Simulation::new(&s, &topo, cfg);
+        let sim = Simulation::try_new(&s, &topo, cfg).expect("valid simulation");
         let a = sim.run(7);
         let b = sim.run(7);
         // Field-wise comparison (the struct holds NaN-able fields, so
@@ -830,7 +834,9 @@ mod tests {
         };
         cfg.compute_hosts = 2;
         cfg.horizon_hours = 200_000.0;
-        let r = Simulation::new(&s, &topo, cfg).run(5);
+        let r = Simulation::try_new(&s, &topo, cfg)
+            .expect("valid simulation")
+            .run(5);
         assert!(r.cp_outage_count > 20, "{}", r.cp_outage_count);
         // Outage time ≈ unavailability × measured window.
         let measured = cfg.horizon_hours * (1.0 - cfg.warmup_fraction);
@@ -859,7 +865,9 @@ mod tests {
         let mut cfg = SimConfig::paper_defaults(Scenario::SupervisorNotRequired);
         cfg.horizon_hours = 100.0;
         cfg.compute_hosts = 1;
-        let r = Simulation::new(&s, &topo, cfg).run(9);
+        let r = Simulation::try_new(&s, &topo, cfg)
+            .expect("valid simulation")
+            .run(9);
         if r.cp_outage_count == 0 {
             assert!(r.cp_mtbf_hours.is_infinite());
             assert!(r.cp_outage_mean_hours.is_nan());
@@ -872,7 +880,9 @@ mod tests {
         let topo = Topology::small(&s);
         let mut cfg = fast_config(Scenario::SupervisorRequired);
         cfg.horizon_hours = 20_000.0;
-        let r = Simulation::new(&s, &topo, cfg).run(1);
+        let r = Simulation::try_new(&s, &topo, cfg)
+            .expect("valid simulation")
+            .run(1);
         assert!((0.0..=1.0).contains(&r.cp_availability));
         assert!((0.0..=1.0).contains(&r.dp_availability));
         assert!(r.events > 100);
@@ -883,13 +893,16 @@ mod tests {
         let s = spec();
         let topo = Topology::small(&s);
         let cfg = fast_config(Scenario::SupervisorNotRequired);
-        let result = Simulation::new(&s, &topo, cfg).run(11);
-        let analytic = SwModel::new(
+        let result = Simulation::try_new(&s, &topo, cfg)
+            .expect("valid simulation")
+            .run(11);
+        let analytic = SwModel::try_new(
             &s,
             &topo,
             cfg.analytic_params(),
             Scenario::SupervisorNotRequired,
         )
+        .expect("valid SW model")
         .cp_availability();
         assert!(
             result.cp_estimate.is_consistent_with(analytic, 4.0),
@@ -903,13 +916,16 @@ mod tests {
         let s = spec();
         let topo = Topology::large(&s);
         let cfg = fast_config(Scenario::SupervisorRequired);
-        let result = Simulation::new(&s, &topo, cfg).run(13);
-        let analytic = SwModel::new(
+        let result = Simulation::try_new(&s, &topo, cfg)
+            .expect("valid simulation")
+            .run(13);
+        let analytic = SwModel::try_new(
             &s,
             &topo,
             cfg.analytic_params(),
             Scenario::SupervisorRequired,
         )
+        .expect("valid SW model")
         .cp_availability();
         assert!(
             result.cp_estimate.is_consistent_with(analytic, 4.0),
@@ -923,13 +939,16 @@ mod tests {
         let s = spec();
         let topo = Topology::small(&s);
         let cfg = fast_config(Scenario::SupervisorRequired);
-        let result = Simulation::new(&s, &topo, cfg).run(17);
-        let analytic = SwModel::new(
+        let result = Simulation::try_new(&s, &topo, cfg)
+            .expect("valid simulation")
+            .run(17);
+        let analytic = SwModel::try_new(
             &s,
             &topo,
             cfg.analytic_params(),
             Scenario::SupervisorRequired,
         )
+        .expect("valid SW model")
         .host_dp_availability();
         assert!(
             result.dp_estimate.is_consistent_with(analytic, 4.0),
@@ -942,9 +961,12 @@ mod tests {
     fn supervisor_required_is_worse_in_simulation_too() {
         let s = spec();
         let topo = Topology::small(&s);
-        let with = Simulation::new(&s, &topo, fast_config(Scenario::SupervisorRequired)).run(3);
-        let without =
-            Simulation::new(&s, &topo, fast_config(Scenario::SupervisorNotRequired)).run(3);
+        let with = Simulation::try_new(&s, &topo, fast_config(Scenario::SupervisorRequired))
+            .expect("valid simulation")
+            .run(3);
+        let without = Simulation::try_new(&s, &topo, fast_config(Scenario::SupervisorNotRequired))
+            .expect("valid simulation")
+            .run(3);
         assert!(with.dp_availability < without.dp_availability);
     }
 
@@ -960,8 +982,12 @@ mod tests {
         failover_cfg.connection = ConnectionModel::Failover {
             rediscovery_hours: 1.0 / 60.0,
         };
-        let base = Simulation::new(&s, &topo, analytic_cfg).run(19);
-        let failover = Simulation::new(&s, &topo, failover_cfg).run(19);
+        let base = Simulation::try_new(&s, &topo, analytic_cfg)
+            .expect("valid simulation")
+            .run(19);
+        let failover = Simulation::try_new(&s, &topo, failover_cfg)
+            .expect("valid simulation")
+            .run(19);
         // Failover can only be worse, and not by much.
         assert!(
             failover.dp_availability <= base.dp_availability + 3.0 * base.dp_estimate.std_error
@@ -981,8 +1007,12 @@ mod tests {
         faithful.restart_model = crate::RestartModel::Faithful;
         let mut independent = faithful;
         independent.restart_model = crate::RestartModel::AnalyticIndependence;
-        let f = Simulation::new(&s, &topo, faithful).run(77);
-        let i = Simulation::new(&s, &topo, independent).run(77);
+        let f = Simulation::try_new(&s, &topo, faithful)
+            .expect("valid simulation")
+            .run(77);
+        let i = Simulation::try_new(&s, &topo, independent)
+            .expect("valid simulation")
+            .run(77);
         assert!(
             f.dp_availability < i.dp_availability,
             "faithful={} independent={}",
@@ -1009,7 +1039,11 @@ mod tests {
         ] {
             let mut cfg = fast_config(Scenario::SupervisorRequired);
             cfg.repair_shape = shape;
-            results.push(Simulation::new(&s, &topo, cfg).run(41));
+            results.push(
+                Simulation::try_new(&s, &topo, cfg)
+                    .expect("valid simulation")
+                    .run(41),
+            );
         }
         for pair in results.windows(2) {
             let diff = (pair[0].dp_availability - pair[1].dp_availability).abs();
@@ -1027,7 +1061,9 @@ mod tests {
         let mut cfg = fast_config(Scenario::SupervisorRequired);
         cfg.horizon_hours = 50_000.0;
         cfg.record_outages = true;
-        let r = Simulation::new(&s, &topo, cfg).run(2);
+        let r = Simulation::try_new(&s, &topo, cfg)
+            .expect("valid simulation")
+            .run(2);
         assert_eq!(r.cp_outage_durations.len() as u64, r.cp_outage_count);
         assert!(r.cp_outage_durations.windows(2).all(|w| w[0] <= w[1]));
         let total: f64 = r.cp_outage_durations.iter().sum();
@@ -1035,7 +1071,9 @@ mod tests {
         // Off by default: nothing recorded.
         let mut quiet = cfg;
         quiet.record_outages = false;
-        let r = Simulation::new(&s, &topo, quiet).run(2);
+        let r = Simulation::try_new(&s, &topo, quiet)
+            .expect("valid simulation")
+            .run(2);
         assert!(r.cp_outage_durations.is_empty());
         assert!(r.cp_outage_count > 0);
     }
@@ -1051,11 +1089,15 @@ mod tests {
             mttr: 10.0,
         };
         cfg.horizon_hours = 100_000.0;
-        let r = Simulation::new(&s, &topo, cfg).run(23);
+        let r = Simulation::try_new(&s, &topo, cfg)
+            .expect("valid simulation")
+            .run(23);
         assert!(r.cp_availability < 0.95);
         // Large tolerates a single rack: much better.
         let large = Topology::large(&s);
-        let r_large = Simulation::new(&s, &large, cfg).run(23);
+        let r_large = Simulation::try_new(&s, &large, cfg)
+            .expect("valid simulation")
+            .run(23);
         assert!(r_large.cp_availability > r.cp_availability + 0.02);
     }
 }

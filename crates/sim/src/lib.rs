@@ -33,7 +33,7 @@
 //! let topo = Topology::small(&spec);
 //! let mut config = SimConfig::paper_defaults(Scenario::SupervisorNotRequired);
 //! config.horizon_hours = 50_000.0;
-//! let result = Simulation::new(&spec, &topo, config).run(42);
+//! let result = Simulation::try_new(&spec, &topo, config).expect("valid simulation").run(42);
 //! assert!(result.cp_availability > 0.99);
 //! ```
 

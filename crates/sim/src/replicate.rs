@@ -38,7 +38,7 @@ pub fn replicate(
     replications: usize,
 ) -> ReplicatedResult {
     assert!(replications > 0, "need at least one replication");
-    let sim = Simulation::new(spec, topology, config);
+    let sim = Simulation::try_new(spec, topology, config).expect("valid simulation");
     // Workers run in parallel; the join loop folds their results in seed
     // order, so the Welford streams see a fixed sample order and the
     // aggregate is deterministic regardless of completion order. Nothing is

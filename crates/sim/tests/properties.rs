@@ -62,7 +62,7 @@ proptest! {
     fn results_are_well_formed(config in arb_config(), seed in 0u64..1000) {
         let spec = ControllerSpec::opencontrail_3x();
         let topo = Topology::medium(&spec);
-        let r = Simulation::new(&spec, &topo, config).run(seed);
+        let r = Simulation::try_new(&spec, &topo, config).unwrap().run(seed);
         prop_assert!((0.0..=1.0).contains(&r.cp_availability));
         prop_assert!((0.0..=1.0).contains(&r.dp_availability));
         prop_assert!(r.events > 0);
@@ -80,7 +80,7 @@ proptest! {
     fn same_seed_same_result(config in arb_config(), seed in 0u64..1000) {
         let spec = ControllerSpec::opencontrail_3x();
         let topo = Topology::small(&spec);
-        let sim = Simulation::new(&spec, &topo, config);
+        let sim = Simulation::try_new(&spec, &topo, config).unwrap();
         let a = sim.run(seed);
         let b = sim.run(seed);
         prop_assert_eq!(a.events, b.events);
@@ -99,7 +99,7 @@ proptest! {
         // (boundary truncation makes it approximate).
         let spec = ControllerSpec::opencontrail_3x();
         let topo = Topology::small(&spec);
-        let r = Simulation::new(&spec, &topo, config).run(seed);
+        let r = Simulation::try_new(&spec, &topo, config).unwrap().run(seed);
         if r.cp_outage_count > 0 {
             let measured = config.horizon_hours * (1.0 - config.warmup_fraction);
             let outage_time = r.cp_outage_mean_hours * r.cp_outage_count as f64;

@@ -46,7 +46,8 @@ fn main() {
         };
         let mut cells = vec![label.to_owned()];
         for topo in &topologies {
-            let model = SwModel::new(&spec, topo, params, Scenario::SupervisorRequired);
+            let model = SwModel::try_new(&spec, topo, params, Scenario::SupervisorRequired)
+                .expect("valid SW model");
             cells.push(format!(
                 "{:.1}",
                 (1.0 - model.cp_availability()) * MINUTES_PER_YEAR
@@ -61,7 +62,8 @@ fn main() {
     println!("\nFleet view (500 edge sites, Same-Day maintenance):");
     let params = SwParams::paper_defaults();
     for topo in &topologies {
-        let model = SwModel::new(&spec, topo, params, Scenario::SupervisorRequired);
+        let model = SwModel::try_new(&spec, topo, params, Scenario::SupervisorRequired)
+            .expect("valid SW model");
         let u = 1.0 - model.cp_availability();
         // Expected number of sites in a CP outage at any instant, and
         // site-outages per year assuming ~2-day rack events dominate Small.

@@ -26,7 +26,8 @@ fn main() {
         let small = Topology::small(&spec);
         let large = Topology::large(&spec);
         let dt = |topo: &Topology| {
-            let m = SwModel::new(&spec, topo, params, Scenario::SupervisorRequired);
+            let m = SwModel::try_new(&spec, topo, params, Scenario::SupervisorRequired)
+                .expect("valid SW model");
             (
                 (1.0 - m.cp_availability()) * MINUTES_PER_YEAR,
                 (1.0 - m.host_dp_availability()) * MINUTES_PER_YEAR,

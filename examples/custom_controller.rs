@@ -45,6 +45,7 @@ fn onos_like() -> ControllerSpec {
         name: "ONOS-like (fictional)".to_owned(),
         nodes: 3,
         roles: vec![controller, forwarder],
+        rates: None,
     };
     spec.validate().expect("spec is consistent");
     spec
@@ -67,7 +68,8 @@ fn report(spec: &ControllerSpec) {
         println!("  {plane:?}: M = {m} quorum + N = {n} any-instance requirements");
     }
     for topo in [Topology::small(spec), Topology::large(spec)] {
-        let model = SwModel::new(spec, &topo, params, Scenario::SupervisorRequired);
+        let model = SwModel::try_new(spec, &topo, params, Scenario::SupervisorRequired)
+            .expect("valid SW model");
         println!(
             "  {:<7} CP {:.9} ({:5.1} m/y)   host DP {:.9} ({:5.1} m/y)",
             topo.name(),

@@ -24,7 +24,7 @@ fn main() {
     println!("HW-centric controller availability (A_C = 0.9995):");
     let hw = HwParams::paper_defaults();
     for topo in [&small, &medium, &large] {
-        let model = HwModel::new(&spec, topo, hw);
+        let model = HwModel::try_new(&spec, topo, hw).expect("valid HW model");
         let a = model.availability();
         println!(
             "  {:<7} {:.9}  ({:.1} minutes/year of downtime)",
@@ -39,7 +39,8 @@ fn main() {
     println!("\nSW-centric availability (supervisor required — the realistic case):");
     let sw = SwParams::paper_defaults();
     for topo in [&small, &large] {
-        let model = SwModel::new(&spec, topo, sw, Scenario::SupervisorRequired);
+        let model = SwModel::try_new(&spec, topo, sw, Scenario::SupervisorRequired)
+            .expect("valid SW model");
         println!(
             "  {:<7} control plane {:.9}   host data plane {:.9}",
             topo.name(),
@@ -52,7 +53,8 @@ fn main() {
     //    very highly available, while every host's data plane rides on
     //    single points of failure (vrouter-agent, vrouter-dpdk, and the
     //    vRouter supervisor).
-    let model = SwModel::new(&spec, &large, sw, Scenario::SupervisorRequired);
+    let model =
+        SwModel::try_new(&spec, &large, sw, Scenario::SupervisorRequired).expect("valid SW model");
     println!(
         "\nCP downtime {:>6.1} m/y  vs  per-host DP downtime {:>6.1} m/y",
         (1.0 - model.cp_availability()) * 525_960.0,

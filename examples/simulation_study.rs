@@ -31,7 +31,8 @@ fn main() {
         config.restart_model = sdn_availability::sim::RestartModel::AnalyticIndependence;
         config.rack = config.rack.scaled_time(24.0);
         let result = replicate(&spec, &topo, config, 7, 4);
-        let analytic = SwModel::new(&spec, &topo, config.analytic_params(), scenario);
+        let analytic = SwModel::try_new(&spec, &topo, config.analytic_params(), scenario)
+            .expect("valid SW model");
         println!("{scenario:?}:");
         println!(
             "  CP analytic {:.7}   simulated {}",

@@ -27,7 +27,7 @@
 //!
 //! let spec = ControllerSpec::opencontrail_3x();
 //! let topo = Topology::large(&spec);
-//! let a = HwModel::new(&spec, &topo, HwParams::paper_defaults()).availability();
+//! let a = HwModel::try_new(&spec, &topo, HwParams::paper_defaults()).expect("valid HW model").availability();
 //! assert!(a > 0.999999);
 //! ```
 

@@ -26,7 +26,7 @@ fn hyperconverged_equals_small_with_shared_host_factored_out() {
     let p = HwParams::paper_defaults();
     let hyper = hyperconverged(&spec);
     assert!(hyper.validate(&spec).is_ok());
-    let got = HwModel::new(&spec, &hyper, p).availability();
+    let got = HwModel::try_new(&spec, &hyper, p).unwrap().availability();
 
     let inner = HwParams {
         a_h: 1.0,
@@ -46,8 +46,12 @@ fn hyperconverged_is_worse_than_small() {
     // failure: strictly worse than Small's per-node hosts.
     let spec = ControllerSpec::opencontrail_3x();
     let p = HwParams::paper_defaults();
-    let hyper = HwModel::new(&spec, &hyperconverged(&spec), p).availability();
-    let small = HwModel::new(&spec, &Topology::small(&spec), p).availability();
+    let hyper = HwModel::try_new(&spec, &hyperconverged(&spec), p)
+        .unwrap()
+        .availability();
+    let small = HwModel::try_new(&spec, &Topology::small(&spec), p)
+        .unwrap()
+        .availability();
     assert!(hyper < small);
     // By roughly 2·(1−A_H) (the host goes from a 2-of-3-protected element
     // to a series element).
@@ -62,12 +66,13 @@ fn hyperconverged_is_worse_than_small() {
 fn sw_model_handles_custom_topologies_too() {
     let spec = ControllerSpec::opencontrail_3x();
     let hyper = hyperconverged(&spec);
-    let model = SwModel::new(
+    let model = SwModel::try_new(
         &spec,
         &hyper,
         SwParams::paper_defaults(),
         Scenario::SupervisorRequired,
-    );
+    )
+    .unwrap();
     let a = model.cp_availability();
     assert!((0.0..=1.0).contains(&a));
     // Must be dominated by the shared host+rack series term.
@@ -95,9 +100,13 @@ fn unbalanced_rack_split_is_still_two_rack_shaped() {
         }
     }
     let p = HwParams::paper_defaults();
-    let unbalanced = HwModel::new(&spec, &t, p).availability();
-    let small = HwModel::new(&spec, &Topology::small(&spec), p).availability();
-    let large = HwModel::new(&spec, &Topology::large(&spec), p).availability();
+    let unbalanced = HwModel::try_new(&spec, &t, p).unwrap().availability();
+    let small = HwModel::try_new(&spec, &Topology::small(&spec), p)
+        .unwrap()
+        .availability();
+    let large = HwModel::try_new(&spec, &Topology::large(&spec), p)
+        .unwrap()
+        .availability();
     assert!(unbalanced < small, "two racks never beat one");
     assert!(large - unbalanced > 5e-6, "far from Large's protection");
 }
@@ -113,32 +122,37 @@ fn five_node_cluster_runs_through_every_layer() {
         Topology::large(&spec),
     ] {
         assert!(topo.validate(&spec).is_ok(), "{}", topo.name());
-        let hw = HwModel::new(&spec, &topo, HwParams::paper_defaults()).availability();
+        let hw = HwModel::try_new(&spec, &topo, HwParams::paper_defaults())
+            .unwrap()
+            .availability();
         assert!((0.0..=1.0).contains(&hw));
-        let sw = SwModel::new(
+        let sw = SwModel::try_new(
             &spec,
             &topo,
             SwParams::paper_defaults(),
             Scenario::SupervisorRequired,
-        );
+        )
+        .unwrap();
         assert!(sw.cp_availability() <= 1.0);
         assert!(sw.cp_availability() > 0.999, "{}", topo.name());
     }
     // A 5-rack large cluster beats the 3-rack one.
     let three = ControllerSpec::opencontrail_3x();
-    let a3 = SwModel::new(
+    let a3 = SwModel::try_new(
         &three,
         &Topology::large(&three),
         SwParams::paper_defaults(),
         Scenario::SupervisorRequired,
     )
+    .unwrap()
     .cp_availability();
-    let a5 = SwModel::new(
+    let a5 = SwModel::try_new(
         &spec,
         &Topology::large(&spec),
         SwParams::paper_defaults(),
         Scenario::SupervisorRequired,
     )
+    .unwrap()
     .cp_availability();
     assert!(a5 > a3);
 }

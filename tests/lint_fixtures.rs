@@ -1,14 +1,35 @@
-//! Seeded-defect corpus: every fixture under `tests/fixtures/` contains one
-//! deliberately broken model, and its filename's `saNNN_` prefix names the
-//! diagnostic code the audit pass must raise for it. Files containing
-//! `.block.` decode as a reliability block diagram; files containing
-//! `.topo.` decode as a deployment topology and are audited against the
-//! bundled spec (as `sdnav lint --topology` does); everything else decodes
-//! as a controller spec and runs through the same full pass as `sdnav lint`.
+//! Seeded-defect corpus: every `saNNN_`-prefixed fixture under
+//! `tests/fixtures/` contains one deliberately broken model, and the prefix
+//! names the diagnostic code the audit pass must raise for it. Files
+//! containing `.block.` decode as a reliability block diagram; files
+//! containing `.topo.` decode as a deployment topology and are audited
+//! against the bundled spec (as `sdnav lint --topology` does); files
+//! containing `.set.` decode as a sweep grid of specs (as `--spec-set`
+//! does); everything else decodes as a controller spec and runs through the
+//! same full pass as `sdnav lint`. Fixtures prefixed `clean_` are the
+//! opposite: well-annotated models that must audit without findings.
 
-use sdnav_audit::{audit_block, audit_model, audit_topology, AuditReport};
+use sdnav_audit::{audit_block, audit_model, audit_spec_set, audit_topology, AuditReport};
 use sdnav_blocks::Block;
 use sdnav_core::{ControllerSpec, Topology};
+
+fn audit_fixture(name: &str, text: &str) -> AuditReport {
+    if name.contains(".block.") {
+        let block: Block = sdnav_json::from_str(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        audit_block(&block, "rbd")
+    } else if name.contains(".topo.") {
+        let topo: Topology = sdnav_json::from_str(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        audit_topology(&ControllerSpec::opencontrail_3x(), &topo)
+    } else if name.contains(".set.") {
+        let specs: Vec<ControllerSpec> =
+            sdnav_json::from_str(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        audit_spec_set(&specs)
+    } else {
+        let spec: ControllerSpec =
+            sdnav_json::from_str(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        audit_model(&spec)
+    }
+}
 
 #[test]
 fn every_fixture_is_flagged_with_its_expected_code() {
@@ -20,40 +41,39 @@ fn every_fixture_is_flagged_with_its_expected_code() {
         .collect();
     paths.sort();
 
-    let mut checked = 0;
+    let mut seeded = 0;
+    let mut clean = 0;
     for path in paths {
         let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report = audit_fixture(&name, &text);
+        if name.starts_with("clean_") {
+            assert!(
+                report.is_clean(),
+                "{name}: clean fixture raised findings:\n{}",
+                report.render()
+            );
+            clean += 1;
+            continue;
+        }
         let code = name[..5].to_uppercase();
         assert!(
             code.starts_with("SA") && code[2..].chars().all(|c| c.is_ascii_digit()),
-            "{name}: fixture names must start with an saNNN_ code prefix"
+            "{name}: fixture names must start with an saNNN_ or clean_ prefix"
         );
-        let text = std::fs::read_to_string(&path).unwrap();
-        let report: AuditReport = if name.contains(".block.") {
-            let block: Block =
-                sdnav_json::from_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
-            audit_block(&block, "rbd")
-        } else if name.contains(".topo.") {
-            let topo: Topology =
-                sdnav_json::from_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
-            audit_topology(&ControllerSpec::opencontrail_3x(), &topo)
-        } else {
-            let spec: ControllerSpec =
-                sdnav_json::from_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
-            audit_model(&spec)
-        };
         assert!(
             report.has_code(&code),
             "{name}: expected a {code} diagnostic, got:\n{}",
             report.render()
         );
         assert!(!report.is_clean(), "{name}: fixture audited clean");
-        checked += 1;
+        seeded += 1;
     }
     assert!(
-        checked >= 10,
-        "expected at least 10 fixtures, found {checked}"
+        seeded >= 17,
+        "expected at least 17 seeded fixtures, found {seeded}"
     );
+    assert!(clean >= 1, "expected at least 1 clean_ fixture");
 }
 
 #[test]

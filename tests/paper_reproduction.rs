@@ -18,12 +18,13 @@ fn abstract_claim_cp_high_dp_low() {
     // inherent single points of failure."
     let spec = ControllerSpec::opencontrail_3x();
     let topo = Topology::large(&spec);
-    let model = SwModel::new(
+    let model = SwModel::try_new(
         &spec,
         &topo,
         SwParams::paper_defaults(),
         Scenario::SupervisorRequired,
-    );
+    )
+    .unwrap();
     assert!(model.cp_availability() > 0.999997);
     assert!(model.host_dp_availability() < 0.9998);
     // The gap is two orders of magnitude of downtime.
@@ -34,9 +35,15 @@ fn abstract_claim_cp_high_dp_low() {
 fn fig3_quoted_values() {
     let spec = ControllerSpec::opencontrail_3x();
     let p = HwParams::paper_defaults();
-    let small = HwModel::new(&spec, &Topology::small(&spec), p).availability();
-    let medium = HwModel::new(&spec, &Topology::medium(&spec), p).availability();
-    let large = HwModel::new(&spec, &Topology::large(&spec), p).availability();
+    let small = HwModel::try_new(&spec, &Topology::small(&spec), p)
+        .unwrap()
+        .availability();
+    let medium = HwModel::try_new(&spec, &Topology::medium(&spec), p)
+        .unwrap()
+        .availability();
+    let large = HwModel::try_new(&spec, &Topology::large(&spec), p)
+        .unwrap()
+        .availability();
     assert!((small - 0.999989).abs() < 1e-6);
     assert!((medium - 0.999989).abs() < 1e-6);
     assert!((large - 0.9999990).abs() < 2e-7);
@@ -58,7 +65,7 @@ fn fig4_fig5_quoted_downtimes() {
         } else {
             Topology::large(&spec)
         };
-        let model = SwModel::new(&spec, &topo, params, scenario);
+        let model = SwModel::try_new(&spec, &topo, params, scenario).unwrap();
         let cp = downtime(model.cp_availability());
         let dp = downtime(model.host_dp_availability());
         assert!(
@@ -80,7 +87,9 @@ fn conclusion_formula_one_or_two_racks() {
     let p = HwParams::paper_defaults();
     let alpha = p.a_c * p.a_v * p.a_h;
     let approx = alpha * alpha * (3.0 - 2.0 * alpha) * p.a_r;
-    let small = HwModel::new(&spec, &Topology::small(&spec), p).availability();
+    let small = HwModel::try_new(&spec, &Topology::small(&spec), p)
+        .unwrap()
+        .availability();
     assert!(downtime(approx) - downtime(small) < 0.2);
 }
 
@@ -92,7 +101,9 @@ fn conclusion_formula_three_racks() {
     let p = HwParams::paper_defaults();
     let alpha = p.a_c * p.a_v * p.a_h * p.a_r;
     let approx = alpha * alpha * (3.0 - 2.0 * alpha);
-    let large = HwModel::new(&spec, &Topology::large(&spec), p).availability();
+    let large = HwModel::try_new(&spec, &Topology::large(&spec), p)
+        .unwrap()
+        .availability();
     assert!((downtime(approx) - downtime(large)).abs() < 0.2);
 }
 
@@ -119,7 +130,7 @@ fn fmea_and_models_agree_on_spofs() {
 
     // And their combined unavailability explains (almost all of) the gap
     // between the shared and total DP availability.
-    let model = SwModel::new(&spec, &topo, params, Scenario::SupervisorRequired);
+    let model = SwModel::try_new(&spec, &topo, params, Scenario::SupervisorRequired).unwrap();
     let local_u: f64 = 1.0 - model.local_dp_availability();
     let spof_u: f64 = spofs
         .iter()
@@ -202,8 +213,12 @@ fn spec_round_trips_through_json() {
     assert_eq!(spec, reloaded);
 
     let p = HwParams::paper_defaults();
-    let a1 = HwModel::new(&spec, &Topology::small(&spec), p).availability();
-    let a2 = HwModel::new(&reloaded, &Topology::small(&reloaded), p).availability();
+    let a1 = HwModel::try_new(&spec, &Topology::small(&spec), p)
+        .unwrap()
+        .availability();
+    let a2 = HwModel::try_new(&reloaded, &Topology::small(&reloaded), p)
+        .unwrap()
+        .availability();
     assert_eq!(a1, a2);
 }
 

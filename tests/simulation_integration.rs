@@ -13,12 +13,13 @@ fn simulated_and_analytic_agree_at_accelerated_rates() {
     // Validate the closed forms under the independence assumption they make.
     config.restart_model = sdn_availability::sim::RestartModel::AnalyticIndependence;
     let result = replicate(&spec, &topo, config, 31, 3);
-    let model = SwModel::new(
+    let model = SwModel::try_new(
         &spec,
         &topo,
         config.analytic_params(),
         Scenario::SupervisorRequired,
-    );
+    )
+    .unwrap();
     assert!(
         result.cp.is_consistent_with(model.cp_availability(), 5.0),
         "CP sim={} analytic={:.6}",
@@ -61,12 +62,13 @@ fn downtime_factors_flow_through_sim_and_analytic_consistently() {
     config.restart_model = sdn_availability::sim::RestartModel::AnalyticIndependence;
     config.rack = config.rack.scaled_time(24.0);
     let result = replicate(&spec, &topo, config, 71, 4);
-    let model = SwModel::new(
+    let model = SwModel::try_new(
         &spec,
         &topo,
         config.analytic_params(),
         Scenario::SupervisorNotRequired,
-    );
+    )
+    .unwrap();
     let analytic = model.cp_availability();
     assert!(
         result.cp.is_consistent_with(analytic, 6.0)
@@ -77,12 +79,13 @@ fn downtime_factors_flow_through_sim_and_analytic_consistently() {
     // And the degradation is material versus the baseline spec.
     let base_spec = ControllerSpec::opencontrail_3x();
     let base_topo = Topology::large(&base_spec);
-    let base_model = SwModel::new(
+    let base_model = SwModel::try_new(
         &base_spec,
         &base_topo,
         config.analytic_params(),
         Scenario::SupervisorNotRequired,
-    );
+    )
+    .unwrap();
     assert!(analytic < base_model.cp_availability());
 }
 
@@ -113,19 +116,21 @@ fn simulation_reproduces_topology_ordering() {
     );
     // And the analytic model agrees with the simulated gap's direction.
     let params = config.analytic_params();
-    let small_a = SwModel::new(
+    let small_a = SwModel::try_new(
         &spec,
         &Topology::small(&spec),
         params,
         Scenario::SupervisorNotRequired,
     )
+    .unwrap()
     .cp_availability();
-    let large_a = SwModel::new(
+    let large_a = SwModel::try_new(
         &spec,
         &Topology::large(&spec),
         params,
         Scenario::SupervisorNotRequired,
     )
+    .unwrap()
     .cp_availability();
     assert!(large_a > small_a);
     // With few replications the sample SE is itself noisy; 8σ keeps the
