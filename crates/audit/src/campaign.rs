@@ -1,0 +1,322 @@
+//! Chaos-campaign lint pass (SA020–SA023).
+//!
+//! Campaigns are authored against a *deployment*, so most campaign defects
+//! are only visible with the compiled simulation in hand: a target name
+//! that does not resolve (SA020), an injection scheduled past the horizon
+//! (SA021), maintenance windows that — alone or overlapping — take a
+//! control-plane quorum below its required member count (SA022), and a
+//! declared crew pool of zero (SA023). Like every other pass in this
+//! crate, the audit collects *all* findings instead of stopping at the
+//! first, and deliberately runs even on campaigns that
+//! [`ChaosSpec::try_validate`] would reject, so seeded fixtures for each
+//! code lint without tripping an earlier gate.
+
+use std::collections::BTreeSet;
+
+use sdnav_chaos::{resolve_target, ChaosSpec, InjectionKind, TargetRef, MAX_OCCURRENCES};
+use sdnav_sim::Simulation;
+
+use crate::{AuditReport, Diagnostic};
+
+/// One expanded maintenance occurrence, for overlap analysis.
+struct MaintWindow {
+    injection: usize,
+    start: f64,
+    end: f64,
+    /// Distinct `(requirement, node)` CP member blocks the window's target
+    /// takes down.
+    blocks: Vec<(usize, usize)>,
+}
+
+/// Lints a campaign against the deployment it will run on, reporting
+/// SA020–SA023.
+///
+/// | Code  | Severity | Check |
+/// |-------|----------|-------|
+/// | SA020 | error    | a target does not exist in the simulated deployment |
+/// | SA021 | warn     | an injection's first occurrence is at or beyond the horizon — it can never fire |
+/// | SA022 | warn     | maintenance windows (alone or overlapping) take a CP quorum below its required member count |
+/// | SA023 | error    | the campaign declares a repair-crew pool of zero crews |
+#[must_use]
+pub fn audit_campaign(campaign: &ChaosSpec, sim: &Simulation<'_>) -> AuditReport {
+    let mut report = AuditReport::new();
+    let horizon = sim.config().horizon_hours;
+
+    if let Some(crews) = campaign.crews {
+        if crews.count == 0 {
+            report.push(Diagnostic::error(
+                "SA023",
+                "campaign/crews",
+                "the campaign declares a repair-crew pool of zero crews, so no hardware repair can ever start",
+                "declare at least one crew, or drop the `crews` block for unlimited crews",
+            ));
+        }
+    }
+
+    let mut windows: Vec<MaintWindow> = Vec::new();
+    for (i, inj) in campaign.injections.iter().enumerate() {
+        let path = format!("campaign/injections/{}", inj.label);
+        let mut check = |target: &TargetRef| {
+            let resolved = resolve_target(target, sim);
+            if resolved.is_err() {
+                report.push(Diagnostic::error(
+                    "SA020",
+                    &path,
+                    format!("target {target} does not exist in the simulated deployment"),
+                    "check the index against the topology (rack/host/vm) or the role, node, and process names against the spec",
+                ));
+            }
+            resolved.ok()
+        };
+        let resolved_primary = match &inj.kind {
+            InjectionKind::Fail { target, .. }
+            | InjectionKind::Maintenance { target, .. }
+            | InjectionKind::Latent { target } => check(target),
+            InjectionKind::CommonCause {
+                trigger, members, ..
+            } => {
+                let t = check(trigger);
+                for member in members {
+                    check(member);
+                }
+                t
+            }
+        };
+
+        if inj.at >= horizon && inj.at.is_finite() {
+            report.push(Diagnostic::warn(
+                "SA021",
+                &path,
+                format!(
+                    "first occurrence at {} h is at or beyond the {horizon} h simulation horizon — the injection can never fire",
+                    inj.at
+                ),
+                "move `at` inside the horizon or extend `horizon_hours`",
+            ));
+        }
+
+        // Expand this injection's maintenance occurrences for the quorum
+        // overlap check. Guard against degenerate `every` values — the
+        // audit must terminate even on campaigns compile() would reject.
+        if let (InjectionKind::Maintenance { duration_hours, .. }, Some(target)) =
+            (&inj.kind, resolved_primary)
+        {
+            if inj.at.is_finite() && duration_hours.is_finite() && *duration_hours > 0.0 {
+                let blocks = sim.cp_blocks_taken_down(target);
+                let step = inj.every.filter(|e| e.is_finite() && *e > 0.0);
+                let mut occurrence = 0usize;
+                loop {
+                    let start = inj.at + occurrence as f64 * step.unwrap_or(0.0);
+                    if start >= horizon || occurrence >= MAX_OCCURRENCES {
+                        break;
+                    }
+                    windows.push(MaintWindow {
+                        injection: i,
+                        start,
+                        end: start + duration_hours,
+                        blocks: blocks.clone(),
+                    });
+                    if step.is_none() {
+                        break;
+                    }
+                    occurrence += 1;
+                }
+            }
+        }
+    }
+
+    // SA022: at each window start, union the CP member blocks of every
+    // window active at that instant and test each quorum requirement.
+    // Deduplicate by the set of participating injections so `every`
+    // expansions report once, not per occurrence.
+    let mut reported: BTreeSet<Vec<usize>> = BTreeSet::new();
+    for w in &windows {
+        let active: Vec<&MaintWindow> = windows
+            .iter()
+            .filter(|o| o.start <= w.start && w.start < o.end)
+            .collect();
+        let participants: BTreeSet<usize> = active.iter().map(|o| o.injection).collect();
+        let down: BTreeSet<(usize, usize)> = active
+            .iter()
+            .flat_map(|o| o.blocks.iter().copied())
+            .collect();
+        for req in 0..sim.cp_requirement_count() {
+            let members = sim.nodes();
+            let required = sim.cp_required(req);
+            let down_count = down.iter().filter(|(r, _)| *r == req).count();
+            if members - down_count < required {
+                let key: Vec<usize> = participants.iter().copied().collect();
+                if reported.insert(key.clone()) {
+                    let labels: Vec<&str> = key
+                        .iter()
+                        .map(|&i| campaign.injections[i].label.as_str())
+                        .collect();
+                    let path = format!("campaign/injections/{}", labels.join("+"));
+                    report.push(Diagnostic::warn(
+                        "SA022",
+                        path,
+                        format!(
+                            "maintenance window(s) [{}] leave {} of {members} members of a control-plane quorum (requires {required}) — planned downtime takes the control plane out",
+                            labels.join(", "),
+                            members - down_count,
+                        ),
+                        "stagger the windows or shrink the maintenance scope so a quorum majority stays up",
+                    ));
+                }
+                break;
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnav_core::{ControllerSpec, Scenario, Topology};
+    use sdnav_sim::SimConfig;
+
+    fn small_sim<'a>(spec: &'a ControllerSpec, topo: &'a Topology) -> Simulation<'a> {
+        let mut config = SimConfig::paper_defaults(Scenario::SupervisorNotRequired);
+        config.horizon_hours = 10_000.0;
+        config.compute_hosts = 2;
+        Simulation::try_new(spec, topo, config).expect("valid simulation")
+    }
+
+    fn campaign(text: &str) -> ChaosSpec {
+        sdnav_json::from_str(text).expect("valid campaign JSON")
+    }
+
+    #[test]
+    fn clean_campaign_audits_clean() {
+        let spec = ControllerSpec::opencontrail_3x();
+        let topo = Topology::small(&spec);
+        let sim = small_sim(&spec, &topo);
+        let c = campaign(
+            r#"{"name": "clean", "crews": {"count": 2},
+                "injections": [
+                    {"label": "kill", "kind": "fail", "target": "rack:0",
+                     "at": 100.0, "repair_hours": 24.0},
+                    {"label": "maint", "kind": "maintenance", "target": "vm:0",
+                     "at": 500.0, "duration_hours": 8.0}
+                ]}"#,
+        );
+        let report = audit_campaign(&c, &sim);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn sa020_unknown_targets() {
+        let spec = ControllerSpec::opencontrail_3x();
+        let topo = Topology::small(&spec);
+        let sim = small_sim(&spec, &topo);
+        let c = campaign(
+            r#"{"name": "x", "injections": [
+                {"label": "bad-rack", "kind": "fail", "target": "rack:99", "at": 1.0},
+                {"label": "bad-member", "kind": "common_cause", "trigger": "rack:0",
+                 "members": ["host:123"], "probability": 0.5, "at": 2.0},
+                {"label": "bad-proc", "kind": "latent",
+                 "target": "proc:NoSuchRole/0/nope", "at": 3.0}
+            ]}"#,
+        );
+        let report = audit_campaign(&c, &sim);
+        assert_eq!(report.error_count(), 3, "{}", report.render());
+        assert!(report.has_code("SA020"));
+    }
+
+    #[test]
+    fn sa021_beyond_horizon() {
+        let spec = ControllerSpec::opencontrail_3x();
+        let topo = Topology::small(&spec);
+        let sim = small_sim(&spec, &topo);
+        let c = campaign(
+            r#"{"name": "x", "injections": [
+                {"label": "late", "kind": "fail", "target": "rack:0", "at": 10000.0}
+            ]}"#,
+        );
+        let report = audit_campaign(&c, &sim);
+        assert!(report.has_code("SA021"), "{}", report.render());
+        assert_eq!(report.error_count(), 0);
+    }
+
+    #[test]
+    fn sa022_overlapping_maintenance_breaks_quorum() {
+        let spec = ControllerSpec::opencontrail_3x();
+        let topo = Topology::small(&spec);
+        let sim = small_sim(&spec, &topo);
+        // Small = one rack: maintaining VMs 0 and 1 together leaves 1 of 3
+        // controller nodes, below every 2-of-3 quorum.
+        let c = campaign(
+            r#"{"name": "x", "injections": [
+                {"label": "m0", "kind": "maintenance", "target": "vm:0",
+                 "at": 100.0, "duration_hours": 24.0},
+                {"label": "m1", "kind": "maintenance", "target": "vm:1",
+                 "at": 110.0, "duration_hours": 24.0}
+            ]}"#,
+        );
+        let report = audit_campaign(&c, &sim);
+        assert!(report.has_code("SA022"), "{}", report.render());
+        // Exactly one finding despite both windows seeing the overlap.
+        assert_eq!(report.warning_count(), 1, "{}", report.render());
+
+        // Staggered windows are fine.
+        let staggered = campaign(
+            r#"{"name": "x", "injections": [
+                {"label": "m0", "kind": "maintenance", "target": "vm:0",
+                 "at": 100.0, "duration_hours": 24.0},
+                {"label": "m1", "kind": "maintenance", "target": "vm:1",
+                 "at": 200.0, "duration_hours": 24.0}
+            ]}"#,
+        );
+        assert!(audit_campaign(&staggered, &sim).is_clean());
+    }
+
+    #[test]
+    fn sa022_single_window_on_shared_hardware() {
+        let spec = ControllerSpec::opencontrail_3x();
+        let topo = Topology::small(&spec);
+        let sim = small_sim(&spec, &topo);
+        // Small packs all three controller VMs in one rack: one rack-wide
+        // maintenance window takes the whole control plane down by itself.
+        let c = campaign(
+            r#"{"name": "x", "injections": [
+                {"label": "rackwork", "kind": "maintenance", "target": "rack:0",
+                 "at": 100.0, "duration_hours": 4.0}
+            ]}"#,
+        );
+        let report = audit_campaign(&c, &sim);
+        assert!(report.has_code("SA022"), "{}", report.render());
+    }
+
+    #[test]
+    fn sa022_periodic_windows_report_once() {
+        let spec = ControllerSpec::opencontrail_3x();
+        let topo = Topology::small(&spec);
+        let sim = small_sim(&spec, &topo);
+        let c = campaign(
+            r#"{"name": "x", "injections": [
+                {"label": "weekly", "kind": "maintenance", "target": "rack:0",
+                 "at": 100.0, "every": 168.0, "duration_hours": 4.0}
+            ]}"#,
+        );
+        let report = audit_campaign(&c, &sim);
+        let sa022 = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == "SA022")
+            .count();
+        assert_eq!(sa022, 1, "{}", report.render());
+    }
+
+    #[test]
+    fn sa023_zero_crews() {
+        let spec = ControllerSpec::opencontrail_3x();
+        let topo = Topology::small(&spec);
+        let sim = small_sim(&spec, &topo);
+        let c = campaign(r#"{"name": "x", "crews": {"count": 0}, "injections": []}"#);
+        let report = audit_campaign(&c, &sim);
+        assert!(report.has_code("SA023"), "{}", report.render());
+        assert!(report.has_errors());
+    }
+}

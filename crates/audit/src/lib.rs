@@ -9,7 +9,7 @@
 //! *lint* pass — it walks the whole model, collects **every** finding, and
 //! reports each as a structured [`Diagnostic`]:
 //!
-//! * a stable code (`SA001` … `SA019`) that scripts and CI can match on,
+//! * a stable code (`SA001` … `SA023`) that scripts and CI can match on,
 //! * a [`Severity`] (`Error` = the model is wrong, `Warn` = the model is
 //!   suspicious, `Info` = worth knowing),
 //! * the path of the offending element
@@ -39,12 +39,18 @@
 //! | SA017 | warn       | sim time-unit drift: overridden horizon under 10× the resolved process MTBF |
 //! | SA018 | warn       | specs of one sweep grid declare the same field in different units |
 //! | SA019 | error/warn | unresolvable or ambiguous unit: no plausible reading as hours, FIT, or a rate |
+//! | SA020 | error      | chaos campaign names a target that does not exist in the deployment |
+//! | SA021 | warn       | chaos injection scheduled at or beyond the simulation horizon — it can never fire |
+//! | SA022 | warn       | maintenance window(s), alone or overlapping, take a CP quorum below its required member count |
+//! | SA023 | error      | chaos campaign declares a repair-crew pool of zero crews |
 //!
 //! SA013–SA019 come from the unit-inference dataflow pass ([`audit_units`]):
 //! declared units win, bare values are classified by per-field magnitude
 //! bands, and the *resolved* values flow into a derived parameter set, RBD,
 //! CTMCs, and simulator config that are re-audited under
-//! `spec/rates/derived/`. [`fix_spec`]/[`fix_block`] rewrite the trivially
+//! `spec/rates/derived/`. SA020–SA023 come from the chaos-campaign pass
+//! ([`audit_campaign`]), which lints a fault-injection campaign against
+//! the deployment it will run on. [`fix_spec`]/[`fix_block`] rewrite the trivially
 //! auto-fixable findings ([`FIXABLE_CODES`]), and [`to_sarif`] renders any
 //! report as SARIF 2.1.0 for CI annotation.
 //!
@@ -69,6 +75,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod campaign;
 mod dynamics;
 mod fix;
 mod rbd;
@@ -82,6 +89,7 @@ use sdnav_core::{ControllerSpec, Scenario, Topology};
 use sdnav_json::{Json, ToJson};
 use sdnav_sim::SimConfig;
 
+pub use campaign::audit_campaign;
 pub use dynamics::{audit_ctmc, audit_hw_params, audit_sim_config, audit_sw_params};
 pub use fix::{fix_block, fix_spec, FixEdit, FixPlan, FIXABLE_CODES};
 pub use rbd::{audit_block, cp_rbd, dp_rbd};
@@ -129,7 +137,7 @@ impl ToJson for Severity {
 /// One finding of the analysis pass.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnostic {
-    /// Stable code (`SA001` … `SA019`), safe to match on in scripts.
+    /// Stable code (`SA001` … `SA023`), safe to match on in scripts.
     pub code: &'static str,
     /// Severity of the finding.
     pub severity: Severity,

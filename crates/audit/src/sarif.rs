@@ -5,7 +5,7 @@
 //! lint gate's report annotates findings inline on pull requests. The
 //! emitter maps each [`Diagnostic`](crate::Diagnostic) to a SARIF result
 //! (model paths become logical locations; the linted file, when known,
-//! becomes the physical location) and ships the full SA001–SA019 rule
+//! becomes the physical location) and ships the full SA001–SA023 rule
 //! catalog as `tool.driver.rules` metadata.
 //!
 //! [`validate_sarif`] checks a document against the subset of the 2.1.0
@@ -59,6 +59,16 @@ pub const RULES: &[(&str, &str)] = &[
         "Specs of one sweep grid disagree about a field's unit",
     ),
     ("SA019", "Unresolvable or ambiguous unit"),
+    ("SA020", "Campaign target does not exist in the deployment"),
+    (
+        "SA021",
+        "Campaign injection scheduled at or beyond the horizon",
+    ),
+    (
+        "SA022",
+        "Maintenance window(s) take down a control-plane quorum",
+    ),
+    ("SA023", "Campaign declares a repair-crew pool of zero"),
 ];
 
 fn level(severity: Severity) -> &'static str {
@@ -302,7 +312,7 @@ mod tests {
             .unwrap()
             .as_arr()
             .unwrap();
-        assert_eq!(rules.len(), 19);
+        assert_eq!(rules.len(), 23);
     }
 
     #[test]

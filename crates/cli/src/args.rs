@@ -2,10 +2,12 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed command line: a subcommand plus `--key value` / `--flag` options.
+/// Parsed command line: a subcommand, an optional action (second
+/// positional, e.g. `chaos run`), plus `--key value` / `--flag` options.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     subcommand: Option<String>,
+    action: Option<String>,
     options: BTreeMap<String, String>,
     flags: Vec<String>,
 }
@@ -13,9 +15,10 @@ pub struct Args {
 impl Args {
     /// Parses an argument list (excluding the program name).
     ///
-    /// The first non-`--` token is the subcommand. A `--key` followed by a
-    /// non-`--` token is an option; a `--key` followed by another `--key`
-    /// (or nothing) is a boolean flag.
+    /// The first non-`--` token is the subcommand and the second, when
+    /// present, its action (`sdnav chaos run ...`). A `--key` followed by
+    /// a non-`--` token is an option; a `--key` followed by another
+    /// `--key` (or nothing) is a boolean flag.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut out = Args::default();
         let mut iter = args.into_iter().peekable();
@@ -33,6 +36,8 @@ impl Args {
                 }
             } else if out.subcommand.is_none() {
                 out.subcommand = Some(arg);
+            } else if out.action.is_none() {
+                out.action = Some(arg);
             } else {
                 return Err(format!("unexpected positional argument {arg:?}"));
             }
@@ -43,6 +48,11 @@ impl Args {
     /// The subcommand, if any.
     pub fn subcommand(&self) -> Option<&str> {
         self.subcommand.as_deref()
+    }
+
+    /// The action (second positional), if any.
+    pub fn action(&self) -> Option<&str> {
+        self.action.as_deref()
     }
 
     /// String option value.
@@ -109,8 +119,16 @@ mod tests {
     }
 
     #[test]
+    fn second_positional_is_the_action() {
+        let a = parse(&["chaos", "run", "--campaign", "c.json"]);
+        assert_eq!(a.subcommand(), Some("chaos"));
+        assert_eq!(a.action(), Some("run"));
+        assert_eq!(a.get("campaign"), Some("c.json"));
+    }
+
+    #[test]
     fn rejects_extra_positional() {
-        let r = Args::parse(["a".to_owned(), "b".to_owned()]);
+        let r = Args::parse(["a".to_owned(), "b".to_owned(), "c".to_owned()]);
         assert!(r.is_err());
     }
 

@@ -28,10 +28,14 @@ COMMANDS:
   fig5 [--points N] [--csv]   regenerate Fig. 5
   sweep [--figures F,..] [--points N] [--replications R] [--threads T]
         [--seed S] [--horizon H] [--accelerate F] [--compute-hosts N]
+        [--campaign FILE] [--crews N,..] [--ccf P,..]
         [--format json] [--out FILE]
                               batch-evaluate a whole scenario grid (figures
                               and optional simulation cells) in parallel;
-                              run metrics go to stderr
+                              --campaign adds chaos cells sweeping the
+                              campaign over crew-count × common-cause
+                              probability axes (default 1,2,3,4 ×
+                              0,0.25,0.5,0.75,1); run metrics go to stderr
   fmea [--order N] [--scenario S] [--layout L] [--sw-only]
                               enumerate minimal failure modes
   importance [--scenario S] [--layout L]
@@ -46,15 +50,28 @@ COMMANDS:
            [--accelerate F] [--seed S]
                               Monte-Carlo validation run
   spec [--out FILE]           dump the OpenContrail 3.x spec as JSON
+  chaos run --campaign FILE [--layout L] [--scenario S] [--seed S]
+            [--horizon H] [--accelerate F] [--compute-hosts N]
+            [--format json] [--out FILE]
+                              run a declarative fault-injection campaign
+                              (scheduled faults, common-cause groups,
+                              maintenance windows, crew pools, latent
+                              faults) and print the outage-attribution
+                              ledger; --format json emits the
+                              deterministic sdnav-chaos-report/v1 document
   lint [--format json|sarif] [--deny-warnings] [--topology FILE]
-       [--block FILE] [--spec-set FILE] [--fix] [--dry-run]
-                              statically audit the model (SA001..SA019);
+       [--block FILE] [--spec-set FILE] [--campaign FILE]
+       [--fix] [--dry-run]
+                              statically audit the model (SA001..SA023);
                               accepts broken specs via --spec, standalone
                               RBD JSON via --block, sweep-grid spec arrays
-                              via --spec-set, and user topology JSON via
-                              --topology; --fix rewrites auto-fixable
-                              findings in place (--dry-run prints the edit
-                              plan without writing)
+                              via --spec-set, user topology JSON via
+                              --topology, and chaos campaigns via
+                              --campaign (SA020..SA023, linted against the
+                              built-in deployment at --layout/--scenario);
+                              --fix rewrites auto-fixable findings in
+                              place (--dry-run prints the edit plan
+                              without writing)
   help                        show this help
 
 COMMON OPTIONS:
@@ -126,7 +143,14 @@ fn run(args: &Args) -> Result<(), CliError> {
         return lint(args);
     }
     let spec = load_spec(args)?;
+    if args.action().is_some() && args.subcommand() != Some("chaos") {
+        return Err(usage(format!(
+            "unexpected positional argument {:?}",
+            args.action().expect("checked")
+        )));
+    }
     match args.subcommand().unwrap_or("help") {
+        "chaos" => chaos(&spec, args),
         "tables" => tables(&spec),
         "topology" => topology_cmd(&spec, args),
         "hw" => hw(&spec, args),
@@ -393,6 +417,32 @@ fn sim_table(rows: &[SimRow]) -> Table {
     table
 }
 
+fn chaos_table(rows: &[sdnav_grid::ChaosRow]) -> Table {
+    let mut table = Table::new(vec![
+        "crews",
+        "CCF p",
+        "topology",
+        "CP sim",
+        "DP sim",
+        "injected CP h",
+        "organic CP h",
+        "injections",
+    ]);
+    for r in rows {
+        table.row(vec![
+            r.crew_count.to_string(),
+            format!("{:.2}", r.ccf_probability),
+            r.topology.to_owned(),
+            format!("{:.6} ±{:.6}", r.cp.mean, r.cp.std_error),
+            format!("{:.6} ±{:.6}", r.dp.mean, r.dp.std_error),
+            format!("{:.2}", r.injected_cp_hours_mean),
+            format!("{:.2}", r.organic_cp_hours_mean),
+            r.injected_events.to_string(),
+        ]);
+    }
+    table
+}
+
 fn sw_figure(spec: &ControllerSpec, args: &Args, figure: Figure) -> Result<(), CliError> {
     let results = figure_grid(spec, args, figure)?;
     let rows = if figure == Figure::Fig4 {
@@ -450,7 +500,7 @@ fn sweep(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
             figures
         }
     };
-    let grid = GridSpec::builder()
+    let mut builder = GridSpec::builder()
         .figures(&figures)
         .points(args.get_usize("points", 21).map_err(usage)?)
         .replications(args.get_usize("replications", 0).map_err(usage)?)
@@ -458,9 +508,39 @@ fn sweep(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
         .seed(args.get_usize("seed", 7).map_err(usage)? as u64)
         .sim_horizon_hours(args.get_f64("horizon", 20_000.0).map_err(usage)?)
         .sim_accelerate(args.get_f64("accelerate", 200.0).map_err(usage)?)
-        .sim_compute_hosts(args.get_usize("compute-hosts", 2).map_err(usage)?)
-        .build()
-        .map_err(|e| failure(e.to_string()))?;
+        .sim_compute_hosts(args.get_usize("compute-hosts", 2).map_err(usage)?);
+    if let Some(path) = args.get("campaign") {
+        let campaign: sdnav_chaos::ChaosSpec = read_json(path)?;
+        campaign
+            .try_validate()
+            .map_err(|e| failure(format!("{path}: {e}")))?;
+        builder = builder.chaos_campaign(campaign);
+        if let Some(list) = args.get("crews") {
+            let mut crews = Vec::new();
+            for part in list.split(',') {
+                crews.push(part.trim().parse::<usize>().map_err(|_| {
+                    usage(format!(
+                        "--crews expects a comma list of counts, got {part:?}"
+                    ))
+                })?);
+            }
+            builder = builder.chaos_crew_counts(&crews);
+        }
+        if let Some(list) = args.get("ccf") {
+            let mut probabilities = Vec::new();
+            for part in list.split(',') {
+                probabilities.push(part.trim().parse::<f64>().map_err(|_| {
+                    usage(format!(
+                        "--ccf expects a comma list of probabilities, got {part:?}"
+                    ))
+                })?);
+            }
+            builder = builder.chaos_ccf_probabilities(&probabilities);
+        }
+    } else if args.get("crews").is_some() || args.get("ccf").is_some() {
+        return Err(usage("--crews and --ccf require --campaign"));
+    }
+    let grid = builder.build().map_err(|e| failure(e.to_string()))?;
 
     let outcome = sdnav_grid::evaluate(spec, &grid).map_err(|e| failure(e.to_string()))?;
 
@@ -497,6 +577,10 @@ fn sweep(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
             if !r.sim.is_empty() {
                 println!("\nSimulated cells (accelerated rates):\n");
                 print!("{}", sim_table(&r.sim));
+            }
+            if !r.chaos.is_empty() {
+                println!("\nChaos campaign cells (crew count × CCF probability):\n");
+                print!("{}", chaos_table(&r.chaos));
             }
             eprint!("{}", outcome.metrics.render());
         }
@@ -705,11 +789,110 @@ fn simulate(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Builds the simulation configuration shared by `chaos run` and
+/// `lint --campaign` from the common options.
+fn chaos_config(args: &Args) -> Result<SimConfig, CliError> {
+    SimConfig::builder(scenario(args)?)
+        .accelerate(args.get_f64("accelerate", 100.0).map_err(usage)?)
+        .horizon_hours(args.get_f64("horizon", 100_000.0).map_err(usage)?)
+        .compute_hosts(args.get_usize("compute-hosts", 3).map_err(usage)?)
+        .build()
+        .map_err(|e| failure(e.to_string()))
+}
+
+fn chaos(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
+    match args.action() {
+        Some("run") => {}
+        Some(other) => return Err(usage(format!("unknown chaos action {other:?}"))),
+        None => return Err(usage("chaos requires an action: `sdnav chaos run ...`")),
+    }
+    let path = args
+        .get("campaign")
+        .ok_or_else(|| usage("chaos run requires --campaign <file>"))?;
+    let campaign: sdnav_chaos::ChaosSpec = read_json(path)?;
+    campaign
+        .try_validate()
+        .map_err(|e| failure(format!("{path}: {e}")))?;
+    let topo = layout(spec, args)?;
+    let config = chaos_config(args)?;
+    let sim =
+        sdnav_sim::Simulation::try_new(spec, &topo, config).map_err(|e| failure(e.to_string()))?;
+    let plan =
+        sdnav_chaos::compile(&campaign, &sim).map_err(|e| failure(format!("{path}: {e}")))?;
+    let seed = args.get_usize("seed", 1).map_err(usage)? as u64;
+    let result = sim.run_injected(seed, &plan);
+    let report = sdnav_chaos::report(&campaign, &result);
+
+    match args.get("format") {
+        Some("json") => {
+            let json = report.to_pretty();
+            match args.get("out") {
+                Some(out) => {
+                    std::fs::write(out, format!("{json}\n"))
+                        .map_err(|e| failure(format!("cannot write {out}: {e}")))?;
+                    eprintln!("wrote {out}");
+                }
+                None => println!("{json}"),
+            }
+        }
+        Some(other) => return Err(usage(format!("--format must be `json`, got {other:?}"))),
+        None => {
+            let ledger = result.ledger.as_ref().expect("injected run has a ledger");
+            println!(
+                "campaign {:?} on {} ({:?}): {} planned event(s), {} fired, {} latent(s) revealed",
+                campaign.name,
+                topo.name(),
+                config.scenario,
+                plan.events.len(),
+                ledger.injected_events,
+                ledger.revealed_latents,
+            );
+            println!(
+                "  CP availability : {:.9} ({} outage(s), {:.4} h total)",
+                result.cp_availability,
+                result.cp_outage_count,
+                ledger.cp_outage_hours()
+            );
+            println!("  DP availability : {:.9}", result.dp_availability);
+            println!("\noutage attribution (root cause):\n");
+            let mut table = Table::new(vec!["cause", "CP outages", "CP hours", "DP host-hours"]);
+            let causes = std::iter::once(sdnav_chaos::Cause::Organic)
+                .chain((0..campaign.injections.len()).map(sdnav_chaos::Cause::Injection));
+            for cause in causes {
+                let outages: Vec<_> = ledger
+                    .cp_outages
+                    .iter()
+                    .filter(|o| o.root_cause == cause)
+                    .collect();
+                table.row(vec![
+                    sdnav_chaos::cause_name(&campaign, cause),
+                    outages.len().to_string(),
+                    format!(
+                        "{:.4}",
+                        outages.iter().fold(0.0, |acc, o| acc + o.duration())
+                    ),
+                    format!(
+                        "{:.4}",
+                        ledger
+                            .dp_down_host_hours
+                            .get(cause.slot())
+                            .copied()
+                            .unwrap_or(0.0)
+                    ),
+                ]);
+            }
+            print!("{table}");
+        }
+    }
+    Ok(())
+}
+
 /// What `lint` is auditing (and, with `--fix`, rewriting).
 enum LintTarget {
     Spec(Box<ControllerSpec>),
     Block(sdnav_blocks::Block),
     Set(Vec<ControllerSpec>),
+    Campaign(sdnav_chaos::ChaosSpec),
 }
 
 fn read_json<T: sdnav_json::FromJson>(path: &str) -> Result<T, CliError> {
@@ -727,16 +910,23 @@ fn write_atomic(path: &str, contents: &str) -> Result<(), CliError> {
 }
 
 fn lint(args: &Args) -> Result<(), CliError> {
-    let selectors = [args.get("spec"), args.get("block"), args.get("spec-set")];
+    let selectors = [
+        args.get("spec"),
+        args.get("block"),
+        args.get("spec-set"),
+        args.get("campaign"),
+    ];
     if selectors.iter().flatten().count() > 1 {
         return Err(usage(
-            "--spec, --block and --spec-set are mutually exclusive",
+            "--spec, --block, --spec-set and --campaign are mutually exclusive",
         ));
     }
     let (target, path) = if let Some(path) = args.get("block") {
         (LintTarget::Block(read_json(path)?), Some(path))
     } else if let Some(path) = args.get("spec-set") {
         (LintTarget::Set(read_json(path)?), Some(path))
+    } else if let Some(path) = args.get("campaign") {
+        (LintTarget::Campaign(read_json(path)?), Some(path))
     } else if let Some(path) = args.get("spec") {
         (LintTarget::Spec(Box::new(read_json(path)?)), Some(path))
     } else {
@@ -751,7 +941,7 @@ fn lint(args: &Args) -> Result<(), CliError> {
     if dry_run && !fix {
         return Err(usage("--dry-run only makes sense with --fix"));
     }
-    if fix && matches!(target, LintTarget::Set(_)) {
+    if fix && matches!(target, LintTarget::Set(_) | LintTarget::Campaign(_)) {
         return Err(usage("--fix supports a single --spec or --block"));
     }
     if fix && args.get("topology").is_some() {
@@ -770,6 +960,17 @@ fn lint(args: &Args) -> Result<(), CliError> {
             }
             LintTarget::Block(block) => Ok(sdnav_audit::audit_block(block, "rbd")),
             LintTarget::Set(specs) => Ok(sdnav_audit::audit_spec_set(specs)),
+            LintTarget::Campaign(campaign) => {
+                // Campaigns are linted against the deployment they will run
+                // on: the built-in spec at --layout/--scenario, with the
+                // same config options `chaos run` takes.
+                let spec = ControllerSpec::opencontrail_3x();
+                let topo = layout(&spec, args)?;
+                let config = chaos_config(args)?;
+                let sim = sdnav_sim::Simulation::try_new(&spec, &topo, config)
+                    .map_err(|e| failure(e.to_string()))?;
+                Ok(sdnav_audit::audit_campaign(campaign, &sim))
+            }
         }
     };
 
@@ -784,7 +985,7 @@ fn lint(args: &Args) -> Result<(), CliError> {
                 let (block, plan) = sdnav_audit::fix_block(block);
                 (LintTarget::Block(block), plan)
             }
-            LintTarget::Set(_) => unreachable!("rejected above"),
+            LintTarget::Set(_) | LintTarget::Campaign(_) => unreachable!("rejected above"),
         };
         print!("{}", plan.render());
         if !dry_run && !plan.is_empty() {
@@ -794,7 +995,7 @@ fn lint(args: &Args) -> Result<(), CliError> {
             let json = match &fixed {
                 LintTarget::Spec(spec) => sdnav_json::to_string_pretty(spec.as_ref()),
                 LintTarget::Block(block) => sdnav_json::to_string_pretty(block),
-                LintTarget::Set(_) => unreachable!("rejected above"),
+                LintTarget::Set(_) | LintTarget::Campaign(_) => unreachable!("rejected above"),
             };
             write_atomic(path, &format!("{json}\n"))?;
             eprintln!("fix: rewrote {path}");

@@ -464,6 +464,139 @@ fn lint_flag_combinations_are_usage_checked() {
 }
 
 #[test]
+fn lint_campaign_fixtures_round_trip() {
+    // Seeded campaign defects trip their codes through `--campaign`.
+    let out = sdnav_raw(&[
+        "lint",
+        "--campaign",
+        &fixture("sa020_unknown_target.campaign.json"),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("SA020"));
+    // The clean campaign passes even under the strict gate.
+    let (ok, stdout, _) = sdnav(&[
+        "lint",
+        "--deny-warnings",
+        "--campaign",
+        &fixture("clean_rack_fail.campaign.json"),
+    ]);
+    assert!(ok, "{stdout}");
+    // `--fix` cannot rewrite campaigns; `--campaign` is exclusive with
+    // the other artifact selectors.
+    assert_eq!(
+        sdnav_code(&[
+            "lint",
+            "--fix",
+            "--campaign",
+            &fixture("clean_rack_fail.campaign.json"),
+        ]),
+        2
+    );
+    assert_eq!(sdnav_code(&["lint", "--spec", "a", "--campaign", "b"]), 2);
+}
+
+#[test]
+fn chaos_run_reports_attribution() {
+    let (ok, stdout, stderr) = sdnav(&[
+        "chaos",
+        "run",
+        "--campaign",
+        &fixture("clean_rack_fail.campaign.json"),
+        "--horizon",
+        "20000",
+        "--seed",
+        "3",
+    ]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stdout.contains("rack0-outage"), "{stdout}");
+    assert!(stdout.contains("organic"), "{stdout}");
+    // Usage contract: the action is required, unknown actions are refused,
+    // and a campaign file is mandatory.
+    assert_eq!(sdnav_code(&["chaos"]), 2);
+    assert_eq!(sdnav_code(&["chaos", "stop"]), 2);
+    assert_eq!(sdnav_code(&["chaos", "run"]), 2);
+    // A structurally broken campaign is a failure, not a usage error.
+    assert_eq!(
+        sdnav_code(&[
+            "chaos",
+            "run",
+            "--campaign",
+            &fixture("sa023_zero_crews.campaign.json"),
+        ]),
+        1
+    );
+}
+
+#[test]
+fn chaos_json_report_is_valid_and_serializes_nan_as_null() {
+    // A horizon this short sees no organic CP outage and the campaign's
+    // first injection lies beyond it, so cp_outage_mean_hours is NaN —
+    // which must serialize as null, never as `NaN` (invalid JSON).
+    let (ok, stdout, stderr) = sdnav(&[
+        "chaos",
+        "run",
+        "--campaign",
+        &fixture("clean_rack_fail.campaign.json"),
+        "--horizon",
+        "100",
+        "--accelerate",
+        "1",
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "{stdout}{stderr}");
+    let report = sdnav_json::Json::parse(&stdout).expect("chaos report must be valid JSON");
+    assert!(
+        stdout.contains("\"cp_outage_mean_hours\": null"),
+        "{stdout}"
+    );
+    assert_eq!(
+        report.field("schema").unwrap().as_str().unwrap(),
+        "sdnav-chaos-report/v1"
+    );
+    // Ledger totals account for 100% of the reported outage-hours.
+    let ledger = report.field("ledger").unwrap();
+    let total = ledger
+        .field("cp_outage_hours_total")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert_eq!(total, 0.0);
+}
+
+#[test]
+fn sweep_campaign_json_is_valid_and_parseable() {
+    let (ok, stdout, stderr) = sdnav(&[
+        "sweep",
+        "--figures",
+        "fig3",
+        "--points",
+        "2",
+        "--replications",
+        "1",
+        "--horizon",
+        "2000",
+        "--accelerate",
+        "500",
+        "--campaign",
+        &fixture("clean_rack_fail.campaign.json"),
+        "--crews",
+        "1,2",
+        "--ccf",
+        "0,1",
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "{stderr}");
+    let results = sdnav_json::Json::parse(&stdout).expect("sweep results must be valid JSON");
+    let chaos = results.field("chaos").unwrap().as_arr().unwrap();
+    assert_eq!(chaos.len(), 2 * 2 * 2, "crews × ccf × topologies");
+    // The axes flags are rejected without a campaign.
+    assert_eq!(sdnav_code(&["sweep", "--crews", "1,2"]), 2);
+    assert_eq!(sdnav_code(&["sweep", "--ccf", "0.5"]), 2);
+}
+
+#[test]
 fn simulate_smoke() {
     let (ok, stdout, _) = sdnav(&[
         "simulate",

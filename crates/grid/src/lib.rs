@@ -56,7 +56,8 @@ pub mod pool;
 
 use cache::{SubModelCache, SubModelKey};
 use metrics::{RunMetrics, StageTimings};
-use plan::{item_seed, plan_items, Figure, SimTopology, WorkItem};
+use plan::{item_seed, plan_chaos_items, plan_items, Figure, SimTopology, WorkItem};
+use sdnav_chaos::{ChaosSpec, CrewDiscipline, CrewSpec, InjectionKind};
 
 /// What a grid run should cover. Build one with [`GridSpec::builder`].
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +79,15 @@ pub struct GridSpec {
     pub sim_accelerate: f64,
     /// Simulated compute hosts carrying vRouters.
     pub sim_compute_hosts: usize,
+    /// Base chaos campaign for the campaign axes (`None` disables them).
+    /// Each chaos cell clones it, overrides the crew count and every
+    /// common-cause probability with the cell's coordinates, and runs
+    /// `replications.max(1)` injected replications.
+    pub chaos_campaign: Option<ChaosSpec>,
+    /// Crew-count axis for chaos cells.
+    pub chaos_crew_counts: Vec<usize>,
+    /// Common-cause probability axis for chaos cells.
+    pub chaos_ccf_probabilities: Vec<f64>,
 }
 
 impl GridSpec {
@@ -96,6 +106,9 @@ impl GridSpec {
                 sim_horizon_hours: 20_000.0,
                 sim_accelerate: 200.0,
                 sim_compute_hosts: 2,
+                chaos_campaign: None,
+                chaos_crew_counts: vec![1, 2, 3, 4],
+                chaos_ccf_probabilities: vec![0.0, 0.25, 0.5, 0.75, 1.0],
             },
         }
     }
@@ -163,6 +176,24 @@ impl GridSpecBuilder {
         self
     }
 
+    /// Enables the chaos-campaign axes with this base campaign.
+    pub fn chaos_campaign(mut self, campaign: ChaosSpec) -> Self {
+        self.spec.chaos_campaign = Some(campaign);
+        self
+    }
+
+    /// Sets the crew-count axis for chaos cells.
+    pub fn chaos_crew_counts(mut self, counts: &[usize]) -> Self {
+        self.spec.chaos_crew_counts = counts.to_vec();
+        self
+    }
+
+    /// Sets the common-cause probability axis for chaos cells.
+    pub fn chaos_ccf_probabilities(mut self, probabilities: &[f64]) -> Self {
+        self.spec.chaos_ccf_probabilities = probabilities.to_vec();
+        self
+    }
+
     /// Validates and returns the grid spec.
     ///
     /// # Errors
@@ -185,6 +216,25 @@ impl GridSpecBuilder {
         if s.sim_compute_hosts == 0 {
             return Err(GridError::Spec("need at least one simulated compute host"));
         }
+        if let Some(campaign) = &s.chaos_campaign {
+            if campaign.try_validate().is_err() {
+                return Err(GridError::Spec("chaos campaign fails validation"));
+            }
+            if s.chaos_crew_counts.is_empty() || s.chaos_crew_counts.contains(&0) {
+                return Err(GridError::Spec(
+                    "chaos crew counts must be non-empty and positive",
+                ));
+            }
+            if s.chaos_ccf_probabilities.is_empty()
+                || s.chaos_ccf_probabilities
+                    .iter()
+                    .any(|p| !(0.0..=1.0).contains(p))
+            {
+                return Err(GridError::Spec(
+                    "chaos probabilities must be non-empty and in [0, 1]",
+                ));
+            }
+        }
         Ok(self.spec)
     }
 }
@@ -201,6 +251,9 @@ pub enum GridError {
     Config(ConfigError),
     /// A simulation could not be constructed.
     Sim(SimBuildError),
+    /// The chaos campaign failed to compile against a grid cell's
+    /// simulation (message from [`sdnav_chaos::CompileError`]).
+    Campaign(String),
 }
 
 impl fmt::Display for GridError {
@@ -210,6 +263,7 @@ impl fmt::Display for GridError {
             GridError::Param(e) => write!(f, "invalid model parameters: {e}"),
             GridError::Config(e) => write!(f, "invalid simulation config: {e}"),
             GridError::Sim(e) => write!(f, "cannot build simulation: {e}"),
+            GridError::Campaign(e) => write!(f, "cannot compile chaos campaign: {e}"),
         }
     }
 }
@@ -277,6 +331,62 @@ impl ToJson for SimRow {
     }
 }
 
+/// One chaos-campaign grid cell: the base campaign re-parameterized to one
+/// `(crew count, common-cause probability, topology)` coordinate, with
+/// replication-aggregated availability estimates and the mean attribution
+/// split between injected and organic root causes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosRow {
+    /// Repair crews available in this cell.
+    pub crew_count: usize,
+    /// Probability applied to every common-cause group member.
+    pub ccf_probability: f64,
+    /// Simulated deployment name (`Small` | `Large`).
+    pub topology: &'static str,
+    /// Replications aggregated into the estimates.
+    pub replications: usize,
+    /// Across-replication control-plane availability estimate.
+    pub cp: Estimate,
+    /// Across-replication per-host data-plane availability estimate.
+    pub dp: Estimate,
+    /// Mean CP outage-hours per replication rooted in campaign injections.
+    pub injected_cp_hours_mean: f64,
+    /// Mean CP outage-hours per replication rooted in organic failures.
+    pub organic_cp_hours_mean: f64,
+    /// Planned events applied, summed across the replications.
+    pub injected_events: u64,
+    /// Latent faults revealed by failovers, summed across the replications.
+    pub revealed_latents: u64,
+    /// Total events processed across the replications.
+    pub events: u64,
+}
+
+impl ToJson for ChaosRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("crew_count", Json::Num(self.crew_count as f64)),
+            ("ccf_probability", Json::Num(self.ccf_probability)),
+            ("topology", Json::str(self.topology)),
+            ("replications", Json::Num(self.replications as f64)),
+            ("cp_mean", Json::Num(self.cp.mean)),
+            ("cp_std_error", Json::Num(self.cp.std_error)),
+            ("dp_mean", Json::Num(self.dp.mean)),
+            ("dp_std_error", Json::Num(self.dp.std_error)),
+            (
+                "injected_cp_hours_mean",
+                Json::Num(self.injected_cp_hours_mean),
+            ),
+            (
+                "organic_cp_hours_mean",
+                Json::Num(self.organic_cp_hours_mean),
+            ),
+            ("injected_events", Json::Num(self.injected_events as f64)),
+            ("revealed_latents", Json::Num(self.revealed_latents as f64)),
+            ("events", Json::Num(self.events as f64)),
+        ])
+    }
+}
+
 /// The reproducible payload of a grid run.
 ///
 /// Serialized as `sdnav-sweep-results/v1`. For a fixed spec and grid this
@@ -291,6 +401,9 @@ pub struct GridResults {
     pub fig5: Vec<SwSweepRow>,
     /// Simulated cells (empty when `replications == 0`).
     pub sim: Vec<SimRow>,
+    /// Chaos-campaign cells (empty when no campaign was set). Additive to
+    /// the `sdnav-sweep-results/v1` schema.
+    pub chaos: Vec<ChaosRow>,
 }
 
 impl ToJson for GridResults {
@@ -305,6 +418,10 @@ impl ToJson for GridResults {
             (
                 "sim",
                 Json::Arr(self.sim.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "chaos",
+                Json::Arr(self.chaos.iter().map(ToJson::to_json).collect()),
             ),
         ])
     }
@@ -325,6 +442,7 @@ enum ItemOutput {
     Fig3(Fig3Row),
     Sw(Figure, SwSweepRow),
     Sim(SimRow),
+    Chaos(ChaosRow),
 }
 
 /// Shared read-only context for item evaluation.
@@ -413,7 +531,97 @@ impl EvalCtx<'_> {
                 topology,
                 scenario,
             } => self.eval_sim(item, *x, *topology, *scenario),
+            WorkItem::ChaosPoint {
+                crew_count,
+                ccf_probability,
+                topology,
+            } => self.eval_chaos(item, *crew_count, *ccf_probability, *topology),
         }
+    }
+
+    fn eval_chaos(
+        &self,
+        item: &WorkItem,
+        crew_count: usize,
+        ccf_probability: f64,
+        topology: SimTopology,
+    ) -> Result<ItemOutput, GridError> {
+        let base = self
+            .grid
+            .chaos_campaign
+            .as_ref()
+            .expect("chaos items are only planned when a campaign is set");
+        // Re-parameterize the base campaign to this cell's coordinates: the
+        // crew axis replaces the pool size (keeping the declared discipline)
+        // and the probability axis overrides every common-cause group.
+        let mut campaign = base.clone();
+        let discipline = campaign
+            .crews
+            .as_ref()
+            .map_or(CrewDiscipline::Fifo, |c| c.discipline);
+        campaign.crews = Some(CrewSpec {
+            count: crew_count,
+            discipline,
+        });
+        for injection in &mut campaign.injections {
+            if let InjectionKind::CommonCause { probability, .. } = &mut injection.kind {
+                *probability = ccf_probability;
+            }
+        }
+
+        let config = SimConfig::builder(Scenario::SupervisorNotRequired)
+            .horizon_hours(self.grid.sim_horizon_hours)
+            .compute_hosts(self.grid.sim_compute_hosts)
+            .accelerate(self.grid.sim_accelerate)
+            .build()?;
+        let topo = match topology {
+            SimTopology::Small => &self.small,
+            SimTopology::Large => &self.large,
+        };
+        let sim = Simulation::try_new(self.spec, topo, config)?;
+        let plan = sdnav_chaos::compile(&campaign, &sim)
+            .map_err(|e| GridError::Campaign(e.to_string()))?;
+
+        // Even a replications=0 grid runs one chaos replication per cell:
+        // the campaign axes are the point of a chaos sweep, not an add-on
+        // to the figure replications.
+        let replications = self.grid.replications.max(1);
+        let base_seed = item_seed(self.grid.seed, item);
+        let mut cp = Welford::new();
+        let mut dp = Welford::new();
+        let mut events = 0u64;
+        let mut injected_events = 0u64;
+        let mut revealed_latents = 0u64;
+        let mut injected_hours = 0.0;
+        let mut organic_hours = 0.0;
+        for r in 0..replications {
+            let result = sim.run_injected(base_seed.wrapping_add(r as u64), &plan);
+            cp.push(result.cp_availability);
+            dp.push(result.dp_availability);
+            events += result.events;
+            if let Some(ledger) = &result.ledger {
+                injected_events += ledger.injected_events;
+                revealed_latents += ledger.revealed_latents;
+                let by_cause = ledger.cp_hours_by_cause();
+                organic_hours += by_cause[0];
+                injected_hours += by_cause[1..].iter().fold(0.0, |acc, h| acc + h);
+            }
+        }
+
+        let n = replications as f64;
+        Ok(ItemOutput::Chaos(ChaosRow {
+            crew_count,
+            ccf_probability,
+            topology: topology.name(),
+            replications,
+            cp: cp.estimate(),
+            dp: dp.estimate(),
+            injected_cp_hours_mean: injected_hours / n,
+            organic_cp_hours_mean: organic_hours / n,
+            injected_events,
+            revealed_latents,
+            events,
+        }))
     }
 
     fn eval_sim(
@@ -497,7 +705,13 @@ pub fn evaluate(spec: &ControllerSpec, grid: &GridSpec) -> Result<GridOutcome, G
     let sw_base = SwParams::paper_defaults();
     hw_base.try_validate()?;
     sw_base.try_validate()?;
-    let items = plan_items(&grid.figures, grid.points, grid.replications);
+    let mut items = plan_items(&grid.figures, grid.points, grid.replications);
+    if grid.chaos_campaign.is_some() {
+        items.extend(plan_chaos_items(
+            &grid.chaos_crew_counts,
+            &grid.chaos_ccf_probabilities,
+        ));
+    }
     let cache = SubModelCache::new();
     let ctx = EvalCtx {
         spec,
@@ -527,6 +741,10 @@ pub fn evaluate(spec: &ControllerSpec, grid: &GridSpec) -> Result<GridOutcome, G
                 sim_events += row.events;
                 results.sim.push(row);
             }
+            ItemOutput::Chaos(row) => {
+                sim_events += row.events;
+                results.chaos.push(row);
+            }
         }
     }
     let aggregate_ms = aggregate_start.elapsed().as_secs_f64() * 1e3;
@@ -547,7 +765,12 @@ pub fn evaluate(spec: &ControllerSpec, grid: &GridSpec) -> Result<GridOutcome, G
         cache_hits: cache.hits(),
         cache_misses: cache.misses(),
         steals: stats.steals,
-        sim_replications: (results.sim.len() * grid.replications) as u64,
+        sim_replications: (results.sim.len() * grid.replications) as u64
+            + results
+                .chaos
+                .iter()
+                .map(|row| row.replications as u64)
+                .sum::<u64>(),
         sim_events,
     };
     Ok(GridOutcome { results, metrics })
@@ -556,9 +779,46 @@ pub fn evaluate(spec: &ControllerSpec, grid: &GridSpec) -> Result<GridOutcome, G
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sdnav_chaos::{InjectionSpec, TargetRef};
 
     fn spec() -> ControllerSpec {
         ControllerSpec::opencontrail_3x()
+    }
+
+    /// A rack-CCF campaign valid on both the Small and Large topologies.
+    fn ccf_campaign() -> ChaosSpec {
+        ChaosSpec {
+            name: "grid-rack-ccf".into(),
+            seed: 3,
+            crews: None,
+            injections: vec![InjectionSpec {
+                label: "rack-ccf".into(),
+                kind: InjectionKind::CommonCause {
+                    trigger: TargetRef::Rack(0),
+                    members: vec![TargetRef::Host(0), TargetRef::Host(1)],
+                    probability: 0.5,
+                    repair_hours: Some(8.0),
+                },
+                at: 500.0,
+                every: Some(1_000.0),
+            }],
+        }
+    }
+
+    fn chaos_grid(threads: usize) -> GridSpec {
+        GridSpec::builder()
+            .figures(&[Figure::Fig3])
+            .points(2)
+            .replications(2)
+            .threads(threads)
+            .sim_horizon_hours(5_000.0)
+            .sim_accelerate(500.0)
+            .sim_compute_hosts(2)
+            .chaos_campaign(ccf_campaign())
+            .chaos_crew_counts(&[1, 2])
+            .chaos_ccf_probabilities(&[0.0, 1.0])
+            .build()
+            .unwrap()
     }
 
     fn sim_grid(threads: usize) -> GridSpec {
@@ -657,6 +917,99 @@ mod tests {
                 .unwrap_err(),
             GridError::Spec("need at least one simulated compute host")
         );
+    }
+
+    #[test]
+    fn chaos_axes_produce_attributed_rows() {
+        let s = spec();
+        let outcome = evaluate(&s, &chaos_grid(2)).unwrap();
+        // 2 crew counts × 2 probabilities × 2 topologies.
+        assert_eq!(outcome.results.chaos.len(), 8);
+        for row in &outcome.results.chaos {
+            assert_eq!(row.replications, 2);
+            assert!(row.events > 0);
+            // The trigger rack always fails, so every cell injects events.
+            assert!(row.injected_events > 0, "cell injected nothing: {row:?}");
+            assert!(row.cp.mean > 0.0 && row.cp.mean <= 1.0);
+        }
+        // p=1.0 takes the correlated hosts down with the rack; p=0.0 only
+        // the trigger. More injected events at p=1.0 for the same seeds.
+        let events_at = |p: f64| {
+            outcome
+                .results
+                .chaos
+                .iter()
+                .filter(|r| r.ccf_probability == p)
+                .map(|r| r.injected_events)
+                .sum::<u64>()
+        };
+        assert!(events_at(1.0) > events_at(0.0));
+        let json = sdnav_json::to_string(&outcome.results);
+        assert!(json.contains("\"chaos\""));
+        assert!(json.contains("\"injected_cp_hours_mean\""));
+    }
+
+    #[test]
+    fn chaos_rows_are_byte_identical_across_thread_counts() {
+        let s = spec();
+        let reference = sdnav_json::to_string(&evaluate(&s, &chaos_grid(1)).unwrap().results);
+        for threads in [2, 8] {
+            let json = sdnav_json::to_string(&evaluate(&s, &chaos_grid(threads)).unwrap().results);
+            assert_eq!(json, reference, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn chaos_cells_run_even_without_figure_replications() {
+        let s = spec();
+        let grid = GridSpec::builder()
+            .figures(&[Figure::Fig3])
+            .points(2)
+            .threads(1)
+            .sim_horizon_hours(2_000.0)
+            .sim_accelerate(500.0)
+            .chaos_campaign(ccf_campaign())
+            .chaos_crew_counts(&[1])
+            .chaos_ccf_probabilities(&[1.0])
+            .build()
+            .unwrap();
+        let outcome = evaluate(&s, &grid).unwrap();
+        assert!(outcome.results.sim.is_empty());
+        assert_eq!(outcome.results.chaos.len(), 2);
+        for row in &outcome.results.chaos {
+            assert_eq!(row.replications, 1);
+        }
+    }
+
+    #[test]
+    fn builder_rejects_bad_chaos_axes() {
+        assert_eq!(
+            GridSpec::builder()
+                .chaos_campaign(ccf_campaign())
+                .chaos_crew_counts(&[])
+                .build()
+                .unwrap_err(),
+            GridError::Spec("chaos crew counts must be non-empty and positive")
+        );
+        assert_eq!(
+            GridSpec::builder()
+                .chaos_campaign(ccf_campaign())
+                .chaos_ccf_probabilities(&[0.5, 1.5])
+                .build()
+                .unwrap_err(),
+            GridError::Spec("chaos probabilities must be non-empty and in [0, 1]")
+        );
+        let mut broken = ccf_campaign();
+        broken.name.clear();
+        assert_eq!(
+            GridSpec::builder()
+                .chaos_campaign(broken)
+                .build()
+                .unwrap_err(),
+            GridError::Spec("chaos campaign fails validation")
+        );
+        // Bad axes are fine while no campaign is set.
+        assert!(GridSpec::builder().chaos_crew_counts(&[]).build().is_ok());
     }
 
     #[test]

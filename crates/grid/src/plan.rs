@@ -85,6 +85,36 @@ pub enum WorkItem {
         /// Supervisor mode of operation.
         scenario: Scenario,
     },
+    /// One chaos-campaign cell: the base campaign re-parameterized to this
+    /// crew count and common-cause probability, all replications run
+    /// sequentially inside the item.
+    ChaosPoint {
+        /// Repair crews available in this cell.
+        crew_count: usize,
+        /// Probability applied to every common-cause group member.
+        ccf_probability: f64,
+        /// Deployment to simulate.
+        topology: SimTopology,
+    },
+}
+
+/// Expands the chaos campaign axes (crew count × common-cause probability ×
+/// topology, in that nesting order) appended after [`plan_items`]'s output.
+#[must_use]
+pub fn plan_chaos_items(crew_counts: &[usize], ccf_probabilities: &[f64]) -> Vec<WorkItem> {
+    let mut items = Vec::new();
+    for &crew_count in crew_counts {
+        for &ccf_probability in ccf_probabilities {
+            for topology in [SimTopology::Small, SimTopology::Large] {
+                items.push(WorkItem::ChaosPoint {
+                    crew_count,
+                    ccf_probability,
+                    topology,
+                });
+            }
+        }
+    }
+    items
 }
 
 /// Expands the grid axes into the canonical work-item order: Fig. 3 points,
@@ -164,6 +194,22 @@ pub fn item_seed(base: u64, item: &WorkItem) -> u64 {
                 Scenario::SupervisorRequired => 1,
             };
             splitmix64(x.to_bits() ^ (topo_bit << 1) ^ (scen_bit << 2) ^ (1 << 3))
+        }
+        WorkItem::ChaosPoint {
+            crew_count,
+            ccf_probability,
+            topology,
+        } => {
+            let topo_bit = match topology {
+                SimTopology::Small => 0u64,
+                SimTopology::Large => 1,
+            };
+            splitmix64(
+                ccf_probability.to_bits()
+                    ^ ((*crew_count as u64) << 1)
+                    ^ (topo_bit << 40)
+                    ^ (1 << 41),
+            )
         }
     };
     splitmix64(base ^ tag)

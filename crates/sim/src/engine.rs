@@ -8,6 +8,9 @@ use rand::{Rng, SeedableRng};
 
 use sdnav_core::{ControllerSpec, Plane, RestartMode, Scenario, Topology};
 
+use crate::injection::{
+    AttributionLedger, Cause, InjectAction, InjectTarget, InjectionPlan, OutageRecord,
+};
 use crate::{ConnectionModel, Estimate, SimConfig};
 
 /// Result of a single simulation run.
@@ -25,6 +28,12 @@ pub struct SimResult {
     /// measured window.
     pub cp_outage_count: u64,
     /// Mean duration of those CP outages, in hours (NaN if none).
+    ///
+    /// JSON contract: NaN is not representable in JSON, and `sdnav-json`
+    /// serializes every non-finite number as `null`. An outage-free run
+    /// therefore reports `"cp_outage_mean_hours": null` in `sdnav chaos
+    /// run --format json` output — consumers must treat `null` as "no
+    /// outages", not as zero.
     pub cp_outage_mean_hours: f64,
     /// Mean time between CP outages: measured hours / outage count
     /// (infinite if none occurred). This is the quantity behind the
@@ -38,6 +47,9 @@ pub struct SimResult {
     pub events: u64,
     /// Hours of simulated time (the configured horizon).
     pub simulated_hours: f64,
+    /// Outage-attribution ledger, populated by
+    /// [`Simulation::run_injected`] (`None` for [`Simulation::run`]).
+    pub ledger: Option<AttributionLedger>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,12 +65,26 @@ enum EventKind {
     VProcFail(usize, usize),
     VProcRepair(usize, usize),
     Rediscover(usize),
+    /// A planned injection occurrence (index into `InjectionPlan::events`).
+    Injected(usize),
+    /// End of a maintenance window on a flat element index.
+    MaintEnd(usize),
 }
+
+/// Epoch value meaning "always valid" (events not tied to an element's
+/// failure/repair cycle: rediscovery, injections, maintenance ends).
+const EPOCH_ANY: u32 = u32::MAX;
 
 #[derive(Debug)]
 struct TimedEvent {
     time: f64,
     seq: u64,
+    /// Generation of the target element when this event was scheduled.
+    /// An injection that forces the element's state bumps the element's
+    /// epoch, silently cancelling stale pending events ([`EPOCH_ANY`]
+    /// events are never cancelled). With no injections every epoch stays
+    /// 0, so organic behavior is untouched.
+    epoch: u32,
     kind: EventKind,
 }
 
@@ -128,6 +154,10 @@ pub struct Simulation<'a> {
     chains: Vec<(usize, usize, usize)>,
     // Static process structure.
     procs: Vec<ProcInfo>,
+    /// `(role name, node, process name)` per pid, for name resolution.
+    proc_keys: Vec<(String, usize, String)>,
+    /// vRouter process names, parallel to `vprocs`.
+    vproc_keys: Vec<String>,
     /// `(role_row, node)` → supervisor pid (usize::MAX if none).
     supervisors: Vec<usize>,
     cp_reqs: Vec<ReqInfo>,
@@ -213,6 +243,7 @@ impl<'a> Simulation<'a> {
 
         // Controller processes, role-major.
         let mut procs = Vec::new();
+        let mut proc_keys = Vec::new();
         let mut chains = Vec::new();
         let mut supervisors = Vec::new();
         // pid lookup: (role_row, node, process name) → pid.
@@ -230,6 +261,7 @@ impl<'a> Simulation<'a> {
                 for p in &role.processes {
                     let pid = procs.len();
                     pid_of.insert((role_row, node, p.name.as_str()), pid);
+                    proc_keys.push((role.name.clone(), node, p.name.clone()));
                     if p.is_supervisor {
                         sup_pid = pid;
                     }
@@ -283,6 +315,11 @@ impl<'a> Simulation<'a> {
                 fail_factor: p.downtime_factor,
             })
             .collect();
+        let vproc_keys: Vec<String> = spec
+            .per_host_roles()
+            .flat_map(|r| r.processes.iter())
+            .map(|p| p.name.clone())
+            .collect();
 
         Ok(Simulation {
             config,
@@ -292,6 +329,8 @@ impl<'a> Simulation<'a> {
             vm_host,
             chains,
             procs,
+            proc_keys,
+            vproc_keys,
             supervisors,
             cp_reqs,
             dp_reqs,
@@ -303,13 +342,200 @@ impl<'a> Simulation<'a> {
     /// Runs the simulation with the given RNG seed.
     #[must_use]
     pub fn run(&self, seed: u64) -> SimResult {
-        let mut state = RunState::new(self, seed);
+        let empty = InjectionPlan::empty();
+        let mut state = RunState::new(self, seed, &empty, false);
         state.execute(self)
+    }
+
+    /// Runs the simulation with a fault-injection plan merged into the
+    /// organic event stream, recording an [`AttributionLedger`] into
+    /// [`SimResult::ledger`].
+    ///
+    /// With an **empty** plan the returned result is identical to
+    /// [`Simulation::run`] for the same seed, except that `ledger` is
+    /// `Some` (recording the organic outages).
+    #[must_use]
+    pub fn run_injected(&self, seed: u64, plan: &InjectionPlan) -> SimResult {
+        let mut state = RunState::new(self, seed, plan, true);
+        state.execute(self)
+    }
+
+    /// The validated configuration this simulation runs with.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Number of controller nodes per role.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of racks in the topology.
+    #[must_use]
+    pub fn rack_count(&self) -> usize {
+        self.rack_count
+    }
+
+    /// Number of hosts in the topology.
+    #[must_use]
+    pub fn host_count(&self) -> usize {
+        self.host_rack.len()
+    }
+
+    /// Number of VMs in the topology.
+    #[must_use]
+    pub fn vm_count(&self) -> usize {
+        self.vm_host.len()
+    }
+
+    /// Number of controller process instances (role-major pids).
+    #[must_use]
+    pub fn proc_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Number of distinct vRouter processes per compute host.
+    #[must_use]
+    pub fn vproc_count(&self) -> usize {
+        self.vprocs.len()
+    }
+
+    /// Resolves a controller process by `(role, node, process)` names to
+    /// its pid (the index used by [`InjectTarget::Proc`]).
+    #[must_use]
+    pub fn proc_index(&self, role: &str, node: usize, process: &str) -> Option<usize> {
+        self.proc_keys
+            .iter()
+            .position(|(r, n, p)| r == role && *n == node && p == process)
+    }
+
+    /// Resolves a vRouter process name to its per-host index (the second
+    /// component of [`InjectTarget::VProc`]).
+    #[must_use]
+    pub fn vproc_index(&self, process: &str) -> Option<usize> {
+        self.vproc_keys.iter().position(|p| p == process)
+    }
+
+    /// Number of control-plane quorum requirements.
+    #[must_use]
+    pub fn cp_requirement_count(&self) -> usize {
+        self.cp_reqs.len()
+    }
+
+    /// How many member blocks requirement `req` needs up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `req` is out of range (see
+    /// [`Simulation::cp_requirement_count`]).
+    #[must_use]
+    pub fn cp_required(&self, req: usize) -> usize {
+        self.cp_reqs[req].required
+    }
+
+    /// The control-plane member blocks `(requirement, node)` that are
+    /// taken down whenever `target` is down — via the hardware chain for
+    /// rack/host/VM targets, via membership (including §VI.A supervisor
+    /// coupling) for process targets. Used by the campaign audit to spot
+    /// maintenance windows that break a quorum (SA022).
+    #[must_use]
+    pub fn cp_blocks_taken_down(&self, target: InjectTarget) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (ri, req) in self.cp_reqs.iter().enumerate() {
+            for node in 0..self.nodes {
+                let down = req.members[node].iter().any(|&pid| {
+                    let info = &self.procs[pid];
+                    let row = info.role_row * self.nodes + info.node;
+                    let (rack, host, vm) = self.chains[row];
+                    match target {
+                        InjectTarget::Rack(r) => rack == r,
+                        InjectTarget::Host(h) => host == h,
+                        InjectTarget::Vm(v) => vm == v,
+                        InjectTarget::Proc(p) => {
+                            pid == p
+                                || (self.config.scenario == Scenario::SupervisorRequired
+                                    && self.supervisors[row] == p)
+                        }
+                        InjectTarget::VProc(..) => false,
+                    }
+                });
+                if down {
+                    out.push((ri, node));
+                }
+            }
+        }
+        out
+    }
+
+    // --- Flat element indexing (racks | hosts | vms | procs | vprocs) ---
+
+    fn elem_count(&self) -> usize {
+        self.rack_count
+            + self.host_rack.len()
+            + self.vm_host.len()
+            + self.procs.len()
+            + self.config.compute_hosts * self.vprocs.len()
+    }
+
+    /// Flat element index of an event's target, or `None` for events not
+    /// tied to one element's failure/repair cycle.
+    fn elem_of(&self, kind: EventKind) -> Option<usize> {
+        let (r, h, v, p) = (
+            self.rack_count,
+            self.host_rack.len(),
+            self.vm_host.len(),
+            self.procs.len(),
+        );
+        Some(match kind {
+            EventKind::RackFail(i) | EventKind::RackRepair(i) => i,
+            EventKind::HostFail(i) | EventKind::HostRepair(i) => r + i,
+            EventKind::VmFail(i) | EventKind::VmRepair(i) => r + h + i,
+            EventKind::ProcFail(i) | EventKind::ProcRepair(i) => r + h + v + i,
+            EventKind::VProcFail(host, idx) | EventKind::VProcRepair(host, idx) => {
+                r + h + v + p + host * self.vprocs.len() + idx
+            }
+            EventKind::Rediscover(_) | EventKind::Injected(_) | EventKind::MaintEnd(_) => {
+                return None
+            }
+        })
+    }
+
+    fn elem_of_target(&self, target: InjectTarget) -> usize {
+        let (r, h, v, p) = (
+            self.rack_count,
+            self.host_rack.len(),
+            self.vm_host.len(),
+            self.procs.len(),
+        );
+        match target {
+            InjectTarget::Rack(i) => i,
+            InjectTarget::Host(i) => r + i,
+            InjectTarget::Vm(i) => r + h + i,
+            InjectTarget::Proc(i) => r + h + v + i,
+            InjectTarget::VProc(host, idx) => r + h + v + p + host * self.vprocs.len() + idx,
+        }
     }
 }
 
+/// A hardware repair waiting for a free crew.
+#[derive(Debug, Clone, Copy)]
+struct QueuedRepair {
+    fail_time: f64,
+    /// Arrival order, tie-break within a discipline class.
+    order: u64,
+    /// Priority class: racks (0) before hosts (1) before VMs (2).
+    rank: u8,
+    elem: usize,
+    kind: EventKind,
+    /// Service duration, sampled at failure time (keeps the RNG draw
+    /// order independent of crew contention).
+    duration: f64,
+}
+
 /// Mutable per-run state.
-struct RunState {
+struct RunState<'p> {
     rng: SmallRng,
     queue: BinaryHeap<TimedEvent>,
     seq: u64,
@@ -322,10 +548,39 @@ struct RunState {
     connections: Vec<[usize; 2]>,
     rediscovery_pending: Vec<bool>,
     events: u64,
+    // --- Injection state (inert for an empty plan) ---
+    plan: &'p InjectionPlan,
+    /// Per-element generation counters; bumped by injections to cancel
+    /// stale pending events.
+    epochs: Vec<u32>,
+    /// Per-element maintenance-window end (0 = not under maintenance).
+    maint_until: Vec<f64>,
+    crew_busy: usize,
+    crew_order: u64,
+    crew_queue: Vec<QueuedRepair>,
+    /// Whether the element's in-flight repair holds a crew.
+    crew_held: Vec<bool>,
+    /// Armed latent fault (injection id) per controller pid.
+    latent_armed: Vec<Option<usize>>,
+    /// Whether the plan contains latent faults (reveal tracking enabled).
+    track_latents: bool,
+    /// Up-block count per CP requirement after the previous event.
+    cp_req_up: Vec<usize>,
+    /// Causes that took an element down during the current event.
+    downs_this_event: Vec<Cause>,
+    /// Cause of the event currently being applied.
+    event_cause: Cause,
+    /// Cause blamed for each compute host's current DP-down period.
+    dp_down_cause: Vec<Cause>,
+    injected_count: u64,
+    revealed_count: u64,
+    open_root: Cause,
+    open_contrib: Vec<Cause>,
+    ledger: Option<AttributionLedger>,
 }
 
-impl RunState {
-    fn new(sim: &Simulation<'_>, seed: u64) -> Self {
+impl<'p> RunState<'p> {
+    fn new(sim: &Simulation<'_>, seed: u64, plan: &'p InjectionPlan, record: bool) -> Self {
         let cfg = &sim.config;
         let mut state = RunState {
             rng: SmallRng::seed_from_u64(seed),
@@ -341,29 +596,55 @@ impl RunState {
                 .collect(),
             rediscovery_pending: vec![false; cfg.compute_hosts],
             events: 0,
+            plan,
+            epochs: vec![0; sim.elem_count()],
+            maint_until: vec![0.0; sim.elem_count()],
+            crew_busy: 0,
+            crew_order: 0,
+            crew_queue: Vec::new(),
+            crew_held: vec![false; sim.elem_count()],
+            latent_armed: vec![None; sim.procs.len()],
+            track_latents: plan
+                .events
+                .iter()
+                .any(|e| matches!(e.action, InjectAction::Latent)),
+            cp_req_up: vec![0; sim.cp_reqs.len()],
+            downs_this_event: Vec::new(),
+            event_cause: Cause::Organic,
+            dp_down_cause: vec![Cause::Organic; cfg.compute_hosts],
+            injected_count: 0,
+            revealed_count: 0,
+            open_root: Cause::Organic,
+            open_contrib: Vec::new(),
+            ledger: record.then(|| AttributionLedger::new(plan.labels.len())),
         };
         // Seed initial failure events.
         for i in 0..sim.rack_count {
             let t = state.exp(cfg.rack.mtbf);
-            state.push(t, EventKind::RackFail(i));
+            state.push(sim, t, EventKind::RackFail(i));
         }
         for i in 0..sim.host_rack.len() {
             let t = state.exp(cfg.host.mtbf);
-            state.push(t, EventKind::HostFail(i));
+            state.push(sim, t, EventKind::HostFail(i));
         }
         for i in 0..sim.vm_host.len() {
             let t = state.exp(cfg.vm.mtbf);
-            state.push(t, EventKind::VmFail(i));
+            state.push(sim, t, EventKind::VmFail(i));
         }
         for pid in 0..sim.procs.len() {
             let t = state.exp(cfg.process_mtbf / sim.procs[pid].fail_factor.max(1e-12));
-            state.push(t, EventKind::ProcFail(pid));
+            state.push(sim, t, EventKind::ProcFail(pid));
         }
         for host in 0..cfg.compute_hosts {
             for idx in 0..sim.vprocs.len() {
                 let t = state.exp(cfg.process_mtbf / sim.vprocs[idx].fail_factor.max(1e-12));
-                state.push(t, EventKind::VProcFail(host, idx));
+                state.push(sim, t, EventKind::VProcFail(host, idx));
             }
+        }
+        // Merge the planned injection stream (time-sorted by the compiler;
+        // same-time ties resolve by push order via `seq`).
+        for (i, ev) in plan.events.iter().enumerate() {
+            state.push(sim, ev.time, EventKind::Injected(i));
         }
         state
     }
@@ -385,13 +666,97 @@ impl RunState {
         }
     }
 
-    fn push(&mut self, time: f64, kind: EventKind) {
+    fn push(&mut self, sim: &Simulation<'_>, time: f64, kind: EventKind) {
         self.seq += 1;
+        let epoch = sim.elem_of(kind).map_or(EPOCH_ANY, |e| self.epochs[e]);
         self.queue.push(TimedEvent {
             time,
             seq: self.seq,
+            epoch,
             kind,
         });
+    }
+
+    /// Records that the current event took an element down (for outage
+    /// attribution).
+    fn note_down(&mut self) {
+        let cause = self.event_cause;
+        self.downs_this_event.push(cause);
+    }
+
+    /// Schedules a hardware repair, subject to the finite crew pool if one
+    /// is configured. The duration is always sampled by the caller first,
+    /// so crew contention never changes the RNG draw order.
+    fn schedule_hw_repair(
+        &mut self,
+        sim: &Simulation<'_>,
+        elem: usize,
+        repair_kind: EventKind,
+        duration: f64,
+        now: f64,
+    ) {
+        let Some(pool) = self.plan.crews else {
+            self.push(sim, now + duration, repair_kind);
+            return;
+        };
+        if self.crew_busy < pool.crews {
+            self.crew_busy += 1;
+            self.crew_held[elem] = true;
+            self.push(sim, now + duration, repair_kind);
+        } else {
+            self.crew_order += 1;
+            let rank = match repair_kind {
+                EventKind::RackRepair(_) => 0,
+                EventKind::HostRepair(_) => 1,
+                _ => 2,
+            };
+            self.crew_queue.push(QueuedRepair {
+                fail_time: now,
+                order: self.crew_order,
+                rank,
+                elem,
+                kind: repair_kind,
+                duration,
+            });
+        }
+    }
+
+    /// Releases the crew held by `elem` (if any) and starts the next
+    /// queued repair.
+    fn release_crew(&mut self, sim: &Simulation<'_>, elem: usize, now: f64) {
+        if !self.crew_held[elem] {
+            return;
+        }
+        self.crew_held[elem] = false;
+        self.crew_busy -= 1;
+        self.dequeue_crew(sim, now);
+    }
+
+    fn dequeue_crew(&mut self, sim: &Simulation<'_>, now: f64) {
+        let Some(pool) = self.plan.crews else { return };
+        if self.crew_busy >= pool.crews || self.crew_queue.is_empty() {
+            return;
+        }
+        let key = |q: &QueuedRepair| match pool.discipline {
+            crate::injection::CrewDiscipline::Fifo => (0u8, q.fail_time, q.order),
+            crate::injection::CrewDiscipline::Priority => (q.rank, q.fail_time, q.order),
+        };
+        let best = self
+            .crew_queue
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let (ra, ta, oa) = key(a);
+                let (rb, tb, ob) = key(b);
+                ra.cmp(&rb).then(ta.total_cmp(&tb)).then(oa.cmp(&ob))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty queue");
+        let q = self.crew_queue.swap_remove(best);
+        self.crew_busy += 1;
+        self.crew_held[q.elem] = true;
+        // Service starts now; the queueing delay stretches effective MTTR.
+        self.push(sim, now + q.duration, q.kind);
     }
 
     /// Restart time for a controller process at the moment of its failure.
@@ -552,7 +917,7 @@ impl RunState {
                 (0..sim.nodes).any(|n| node_up[n] && !self.connections[host].contains(&n));
             if dead_connection && replacement_exists {
                 self.rediscovery_pending[host] = true;
-                self.push(now + rediscovery_hours, EventKind::Rediscover(host));
+                self.push(sim, now + rediscovery_hours, EventKind::Rediscover(host));
             }
         }
     }
@@ -594,60 +959,274 @@ impl RunState {
         match kind {
             EventKind::RackFail(i) => {
                 self.rack_up[i] = false;
+                self.note_down();
                 let t = self.repair(cfg.repair_shape, cfg.rack.mttr);
-                self.push(now + t, EventKind::RackRepair(i));
+                let elem = sim.elem_of_target(InjectTarget::Rack(i));
+                self.schedule_hw_repair(sim, elem, EventKind::RackRepair(i), t, now);
             }
             EventKind::RackRepair(i) => {
                 self.rack_up[i] = true;
                 let t = self.exp(cfg.rack.mtbf);
-                self.push(now + t, EventKind::RackFail(i));
+                self.push(sim, now + t, EventKind::RackFail(i));
+                self.release_crew(sim, sim.elem_of_target(InjectTarget::Rack(i)), now);
             }
             EventKind::HostFail(i) => {
                 self.host_up[i] = false;
+                self.note_down();
                 let t = self.repair(cfg.repair_shape, cfg.host.mttr);
-                self.push(now + t, EventKind::HostRepair(i));
+                let elem = sim.elem_of_target(InjectTarget::Host(i));
+                self.schedule_hw_repair(sim, elem, EventKind::HostRepair(i), t, now);
             }
             EventKind::HostRepair(i) => {
                 self.host_up[i] = true;
                 let t = self.exp(cfg.host.mtbf);
-                self.push(now + t, EventKind::HostFail(i));
+                self.push(sim, now + t, EventKind::HostFail(i));
+                self.release_crew(sim, sim.elem_of_target(InjectTarget::Host(i)), now);
             }
             EventKind::VmFail(i) => {
                 self.vm_up[i] = false;
+                self.note_down();
                 let t = self.repair(cfg.repair_shape, cfg.vm.mttr);
-                self.push(now + t, EventKind::VmRepair(i));
+                let elem = sim.elem_of_target(InjectTarget::Vm(i));
+                self.schedule_hw_repair(sim, elem, EventKind::VmRepair(i), t, now);
             }
             EventKind::VmRepair(i) => {
                 self.vm_up[i] = true;
                 let t = self.exp(cfg.vm.mtbf);
-                self.push(now + t, EventKind::VmFail(i));
+                self.push(sim, now + t, EventKind::VmFail(i));
+                self.release_crew(sim, sim.elem_of_target(InjectTarget::Vm(i)), now);
             }
             EventKind::ProcFail(pid) => {
                 self.proc_up[pid] = false;
+                self.note_down();
                 let t = self.proc_restart_time(sim, pid);
-                self.push(now + t, EventKind::ProcRepair(pid));
+                self.push(sim, now + t, EventKind::ProcRepair(pid));
             }
             EventKind::ProcRepair(pid) => {
                 self.proc_up[pid] = true;
                 let t = self.exp(cfg.process_mtbf / sim.procs[pid].fail_factor.max(1e-12));
-                self.push(now + t, EventKind::ProcFail(pid));
+                self.push(sim, now + t, EventKind::ProcFail(pid));
             }
             EventKind::VProcFail(host, idx) => {
                 self.vproc_up[host][idx] = false;
+                self.note_down();
                 let t = self.vproc_restart_time(sim, host, idx);
-                self.push(now + t, EventKind::VProcRepair(host, idx));
+                self.push(sim, now + t, EventKind::VProcRepair(host, idx));
             }
             EventKind::VProcRepair(host, idx) => {
                 self.vproc_up[host][idx] = true;
                 let t = self.exp(cfg.process_mtbf / sim.vprocs[idx].fail_factor.max(1e-12));
-                self.push(now + t, EventKind::VProcFail(host, idx));
+                self.push(sim, now + t, EventKind::VProcFail(host, idx));
             }
             EventKind::Rediscover(host) => {
                 self.rediscovery_pending[host] = false;
                 self.rediscover(sim, host);
             }
+            EventKind::Injected(i) => self.apply_injected(sim, i, now),
+            EventKind::MaintEnd(elem) => {
+                // Skip superseded window ends (overlaps merge to the
+                // latest end) and duplicates after the window closed.
+                if self.maint_until[elem] > 0.0 && now + 1e-9 >= self.maint_until[elem] {
+                    self.maint_until[elem] = 0.0;
+                    self.restore_elem(sim, elem, now);
+                }
+            }
         }
         self.maybe_schedule_rediscovery(sim, now);
+    }
+
+    /// Applies planned-injection occurrence `i` of the plan.
+    fn apply_injected(&mut self, sim: &Simulation<'_>, i: usize, now: f64) {
+        let ev = self.plan.events[i];
+        let cfg = &sim.config;
+        let elem = sim.elem_of_target(ev.target);
+        match ev.action {
+            InjectAction::Fail { repair_hours } => {
+                // A forced failure of an already-down element is a no-op.
+                if !self.target_up(ev.target) {
+                    return;
+                }
+                self.set_target_down(ev.target);
+                self.note_down();
+                // Cancel the pending organic failure clock; the repair we
+                // schedule below carries the new epoch.
+                self.epochs[elem] = self.epochs[elem].wrapping_add(1);
+                match ev.target {
+                    InjectTarget::Rack(r) => {
+                        let t = match repair_hours {
+                            Some(t) => t,
+                            None => self.repair(cfg.repair_shape, cfg.rack.mttr),
+                        };
+                        self.schedule_hw_repair(sim, elem, EventKind::RackRepair(r), t, now);
+                    }
+                    InjectTarget::Host(h) => {
+                        let t = match repair_hours {
+                            Some(t) => t,
+                            None => self.repair(cfg.repair_shape, cfg.host.mttr),
+                        };
+                        self.schedule_hw_repair(sim, elem, EventKind::HostRepair(h), t, now);
+                    }
+                    InjectTarget::Vm(v) => {
+                        let t = match repair_hours {
+                            Some(t) => t,
+                            None => self.repair(cfg.repair_shape, cfg.vm.mttr),
+                        };
+                        self.schedule_hw_repair(sim, elem, EventKind::VmRepair(v), t, now);
+                    }
+                    InjectTarget::Proc(pid) => {
+                        let t = match repair_hours {
+                            Some(t) => t,
+                            None => self.proc_restart_time(sim, pid),
+                        };
+                        self.push(sim, now + t, EventKind::ProcRepair(pid));
+                    }
+                    InjectTarget::VProc(host, idx) => {
+                        let t = match repair_hours {
+                            Some(t) => t,
+                            None => self.vproc_restart_time(sim, host, idx),
+                        };
+                        self.push(sim, now + t, EventKind::VProcRepair(host, idx));
+                    }
+                }
+                self.injected_count += 1;
+            }
+            InjectAction::Maintenance { duration_hours } => {
+                if self.target_up(ev.target) {
+                    self.set_target_down(ev.target);
+                    self.note_down();
+                }
+                // Cancel whatever was pending (organic fail or an
+                // in-flight repair) — the window owns the element now.
+                self.epochs[elem] = self.epochs[elem].wrapping_add(1);
+                if self.crew_held[elem] {
+                    self.release_crew(sim, elem, now);
+                } else {
+                    self.crew_queue.retain(|q| q.elem != elem);
+                }
+                let end = (now + duration_hours).max(self.maint_until[elem]);
+                self.maint_until[elem] = end;
+                self.push(sim, end, EventKind::MaintEnd(elem));
+                self.injected_count += 1;
+            }
+            InjectAction::Latent => {
+                if let InjectTarget::Proc(pid) = ev.target {
+                    self.latent_armed[pid] = Some(ev.injection);
+                    self.injected_count += 1;
+                }
+            }
+        }
+    }
+
+    fn target_up(&self, target: InjectTarget) -> bool {
+        match target {
+            InjectTarget::Rack(i) => self.rack_up[i],
+            InjectTarget::Host(i) => self.host_up[i],
+            InjectTarget::Vm(i) => self.vm_up[i],
+            InjectTarget::Proc(i) => self.proc_up[i],
+            InjectTarget::VProc(host, idx) => self.vproc_up[host][idx],
+        }
+    }
+
+    fn set_target_down(&mut self, target: InjectTarget) {
+        match target {
+            InjectTarget::Rack(i) => self.rack_up[i] = false,
+            InjectTarget::Host(i) => self.host_up[i] = false,
+            InjectTarget::Vm(i) => self.vm_up[i] = false,
+            InjectTarget::Proc(i) => self.proc_up[i] = false,
+            InjectTarget::VProc(host, idx) => self.vproc_up[host][idx] = false,
+        }
+    }
+
+    /// Ends a maintenance window: the element comes back repaired and its
+    /// organic failure clock restarts fresh.
+    fn restore_elem(&mut self, sim: &Simulation<'_>, elem: usize, now: f64) {
+        let cfg = &sim.config;
+        let (r, h, v, p) = (
+            sim.rack_count,
+            sim.host_rack.len(),
+            sim.vm_host.len(),
+            sim.procs.len(),
+        );
+        if elem < r {
+            self.rack_up[elem] = true;
+            let t = self.exp(cfg.rack.mtbf);
+            self.push(sim, now + t, EventKind::RackFail(elem));
+        } else if elem < r + h {
+            let i = elem - r;
+            self.host_up[i] = true;
+            let t = self.exp(cfg.host.mtbf);
+            self.push(sim, now + t, EventKind::HostFail(i));
+        } else if elem < r + h + v {
+            let i = elem - r - h;
+            self.vm_up[i] = true;
+            let t = self.exp(cfg.vm.mtbf);
+            self.push(sim, now + t, EventKind::VmFail(i));
+        } else if elem < r + h + v + p {
+            let pid = elem - r - h - v;
+            self.proc_up[pid] = true;
+            let t = self.exp(cfg.process_mtbf / sim.procs[pid].fail_factor.max(1e-12));
+            self.push(sim, now + t, EventKind::ProcFail(pid));
+        } else {
+            let off = elem - r - h - v - p;
+            let host = off / sim.vprocs.len();
+            let idx = off % sim.vprocs.len();
+            self.vproc_up[host][idx] = true;
+            let t = self.exp(cfg.process_mtbf / sim.vprocs[idx].fail_factor.max(1e-12));
+            self.push(sim, now + t, EventKind::VProcFail(host, idx));
+        }
+    }
+
+    /// Reveals armed latent faults after a failover: whenever a CP
+    /// requirement's up-block count decreased this event, every armed
+    /// latent process in a still-up block of that requirement is
+    /// discovered broken and starts a manual-time restart. Revealing may
+    /// cascade, so this loops to a fixpoint.
+    fn reveal_latents(&mut self, sim: &Simulation<'_>, now: f64) {
+        let counts = |state: &Self| -> Vec<usize> {
+            sim.cp_reqs
+                .iter()
+                .map(|req| {
+                    (0..sim.nodes)
+                        .filter(|&n| state.block_up(sim, req, n))
+                        .count()
+                })
+                .collect()
+        };
+        loop {
+            let after: Vec<usize> = counts(self);
+            let mut revealed = false;
+            for (ri, req) in sim.cp_reqs.iter().enumerate() {
+                if after[ri] >= self.cp_req_up[ri] {
+                    continue;
+                }
+                for node in 0..sim.nodes {
+                    if !self.block_up(sim, req, node) {
+                        continue;
+                    }
+                    for &pid in &req.members[node] {
+                        let Some(inj) = self.latent_armed[pid] else {
+                            continue;
+                        };
+                        if !self.proc_up[pid] {
+                            continue;
+                        }
+                        self.latent_armed[pid] = None;
+                        self.proc_up[pid] = false;
+                        let elem = sim.elem_of_target(InjectTarget::Proc(pid));
+                        self.epochs[elem] = self.epochs[elem].wrapping_add(1);
+                        let t = self.repair(sim.config.repair_shape, sim.config.manual_restart);
+                        self.push(sim, now + t, EventKind::ProcRepair(pid));
+                        self.downs_this_event.push(Cause::Injection(inj));
+                        self.revealed_count += 1;
+                        revealed = true;
+                    }
+                }
+            }
+            self.cp_req_up = counts(self);
+            if !revealed {
+                break;
+            }
+        }
     }
 
     fn execute(&mut self, sim: &Simulation<'_>) -> SimResult {
@@ -697,9 +1276,29 @@ impl RunState {
             }
         };
 
+        if self.track_latents {
+            self.cp_req_up = sim
+                .cp_reqs
+                .iter()
+                .map(|req| {
+                    (0..sim.nodes)
+                        .filter(|&n| self.block_up(sim, req, n))
+                        .count()
+                })
+                .collect();
+        }
+
         while let Some(event) = self.queue.pop() {
             if event.time >= horizon {
                 break;
+            }
+            // Drop events cancelled by an injection (stale epoch). These
+            // never exist without injections, so the organic path is
+            // untouched.
+            if let Some(elem) = sim.elem_of(event.kind) {
+                if event.epoch != self.epochs[elem] {
+                    continue;
+                }
             }
             let dp_up_count = dp_state.iter().filter(|&&u| u).count() as f64;
             accumulate(
@@ -710,12 +1309,38 @@ impl RunState {
                 cp_state,
                 dp_up_count,
             );
+            self.accumulate_dp_ledger(now, event.time, &dp_state, warmup, horizon);
             now = event.time;
             self.events += 1;
+            self.downs_this_event.clear();
+            self.event_cause = match event.kind {
+                EventKind::Injected(i) => Cause::Injection(self.plan.events[i].injection),
+                _ => Cause::Organic,
+            };
             self.apply(sim, event.kind, now);
+            if self.track_latents {
+                self.reveal_latents(sim, now);
+            }
             let cp_now = self.cp_up(sim);
             if cp_state && !cp_now && now >= warmup {
                 cp_down_since = Some(now);
+                if self.ledger.is_some() {
+                    self.open_root = self
+                        .downs_this_event
+                        .last()
+                        .copied()
+                        .unwrap_or(self.event_cause);
+                    self.open_contrib.clear();
+                    for i in 0..self.downs_this_event.len() {
+                        let c = self.downs_this_event[i];
+                        if !self.open_contrib.contains(&c) {
+                            self.open_contrib.push(c);
+                        }
+                    }
+                    if self.open_contrib.is_empty() {
+                        self.open_contrib.push(self.open_root);
+                    }
+                }
             } else if !cp_state && cp_now {
                 if let Some(start) = cp_down_since.take() {
                     cp_outage_count += 1;
@@ -723,11 +1348,38 @@ impl RunState {
                     if cfg.record_outages {
                         cp_outage_durations.push(now - start);
                     }
+                    let root = self.open_root;
+                    let contributors = std::mem::take(&mut self.open_contrib);
+                    if let Some(ledger) = self.ledger.as_mut() {
+                        ledger.cp_outages.push(OutageRecord {
+                            start,
+                            end: now,
+                            root_cause: root,
+                            contributors,
+                        });
+                    }
+                }
+            } else if !cp_state && cp_down_since.is_some() && self.ledger.is_some() {
+                // The outage persists; anything that went down during this
+                // event contributed to keeping it open.
+                for i in 0..self.downs_this_event.len() {
+                    let c = self.downs_this_event[i];
+                    if !self.open_contrib.contains(&c) {
+                        self.open_contrib.push(c);
+                    }
                 }
             }
             cp_state = cp_now;
             for (h, state) in dp_state.iter_mut().enumerate() {
-                *state = self.host_dp_up(sim, h);
+                let up = self.host_dp_up(sim, h);
+                if self.ledger.is_some() && *state && !up {
+                    self.dp_down_cause[h] = self
+                        .downs_this_event
+                        .last()
+                        .copied()
+                        .unwrap_or(self.event_cause);
+                }
+                *state = up;
             }
         }
         // Tail to the horizon.
@@ -740,6 +1392,7 @@ impl RunState {
             cp_state,
             dp_up_count,
         );
+        self.accumulate_dp_ledger(now, horizon, &dp_state, warmup, horizon);
 
         // An outage still open at the horizon counts, truncated.
         if let Some(start) = cp_down_since.take() {
@@ -747,6 +1400,16 @@ impl RunState {
             cp_outage_hours += horizon - start;
             if cfg.record_outages {
                 cp_outage_durations.push(horizon - start);
+            }
+            let root = self.open_root;
+            let contributors = std::mem::take(&mut self.open_contrib);
+            if let Some(ledger) = self.ledger.as_mut() {
+                ledger.cp_outages.push(OutageRecord {
+                    start,
+                    end: horizon,
+                    root_cause: root,
+                    contributors,
+                });
             }
         }
         cp_outage_durations.sort_by(f64::total_cmp);
@@ -774,6 +1437,45 @@ impl RunState {
             cp_outage_durations,
             events: self.events,
             simulated_hours: horizon,
+            ledger: {
+                let injected = self.injected_count;
+                let revealed = self.revealed_count;
+                self.ledger.take().map(|mut l| {
+                    l.injected_events = injected;
+                    l.revealed_latents = revealed;
+                    l
+                })
+            },
+        }
+    }
+
+    /// Accumulates each down compute host's downtime into the ledger's
+    /// per-cause host-hours, clipped to the measured window.
+    fn accumulate_dp_ledger(
+        &mut self,
+        from: f64,
+        to: f64,
+        dp_state: &[bool],
+        warmup: f64,
+        horizon: f64,
+    ) {
+        let Some(ledger) = self.ledger.as_mut() else {
+            return;
+        };
+        let lo = from.max(warmup);
+        let hi = to.min(horizon);
+        if hi <= lo {
+            return;
+        }
+        for (h, up) in dp_state.iter().enumerate() {
+            if *up {
+                continue;
+            }
+            let slot = self.dp_down_cause[h].slot();
+            if slot >= ledger.dp_down_host_hours.len() {
+                ledger.dp_down_host_hours.resize(slot + 1, 0.0);
+            }
+            ledger.dp_down_host_hours[slot] += hi - lo;
         }
     }
 }
@@ -1076,6 +1778,239 @@ mod tests {
             .run(2);
         assert!(r.cp_outage_durations.is_empty());
         assert!(r.cp_outage_count > 0);
+    }
+
+    #[test]
+    fn same_time_events_resolve_by_seq() {
+        // Two events at the same timestamp must pop in `seq` order — the
+        // tie-break that makes Rediscover scheduling deterministic when a
+        // rediscovery lands exactly on another transition.
+        let mut heap = BinaryHeap::new();
+        heap.push(TimedEvent {
+            time: 5.0,
+            seq: 2,
+            epoch: EPOCH_ANY,
+            kind: EventKind::Rediscover(1),
+        });
+        heap.push(TimedEvent {
+            time: 5.0,
+            seq: 1,
+            epoch: EPOCH_ANY,
+            kind: EventKind::Rediscover(0),
+        });
+        heap.push(TimedEvent {
+            time: 4.0,
+            seq: 3,
+            epoch: 0,
+            kind: EventKind::RackFail(0),
+        });
+        let order: Vec<(u64, EventKind)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.seq, e.kind))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (3, EventKind::RackFail(0)),
+                (1, EventKind::Rediscover(0)),
+                (2, EventKind::Rediscover(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_plan_matches_plain_run() {
+        let s = spec();
+        let topo = Topology::large(&s);
+        let mut cfg = fast_config(Scenario::SupervisorRequired);
+        cfg.horizon_hours = 20_000.0;
+        let sim = Simulation::try_new(&s, &topo, cfg).expect("valid simulation");
+        for seed in [0, 7, 42] {
+            let plain = sim.run(seed);
+            let mut injected = sim.run_injected(seed, &crate::InjectionPlan::empty());
+            let ledger = injected
+                .ledger
+                .take()
+                .expect("injected run records a ledger");
+            assert!(plain.ledger.is_none());
+            // Ledger aside, the result is identical (field-wise to dodge
+            // NaN != NaN in empty outage stats).
+            assert_eq!(plain.events, injected.events);
+            assert_eq!(plain.cp_availability, injected.cp_availability);
+            assert_eq!(plain.dp_availability, injected.dp_availability);
+            assert_eq!(plain.cp_outage_count, injected.cp_outage_count);
+            assert_eq!(plain.cp_estimate, injected.cp_estimate);
+            assert_eq!(plain.dp_estimate, injected.dp_estimate);
+            // And the organic ledger accounts for every outage-hour.
+            assert_eq!(ledger.cp_outages.len() as u64, plain.cp_outage_count);
+            if plain.cp_outage_count > 0 {
+                let mean = ledger.cp_outage_hours() / plain.cp_outage_count as f64;
+                assert!((mean - plain.cp_outage_mean_hours).abs() < 1e-9);
+            }
+            assert_eq!(ledger.injected_events, 0);
+            assert!(ledger
+                .cp_outages
+                .iter()
+                .all(|o| o.root_cause == crate::Cause::Organic));
+        }
+    }
+
+    #[test]
+    fn injected_rack_failure_shows_in_ledger() {
+        let s = spec();
+        let topo = Topology::small(&s);
+        // Paper-scale rates: organically the single rack essentially never
+        // fails inside a short horizon, so the injected outage dominates.
+        let mut cfg = SimConfig::paper_defaults(Scenario::SupervisorNotRequired);
+        cfg.horizon_hours = 5_000.0;
+        cfg.compute_hosts = 2;
+        let sim = Simulation::try_new(&s, &topo, cfg).expect("valid simulation");
+        let plan = crate::InjectionPlan {
+            labels: vec!["kill-rack0".into()],
+            events: vec![crate::PlannedEvent {
+                time: 3_000.0,
+                injection: 0,
+                target: crate::InjectTarget::Rack(0),
+                action: crate::InjectAction::Fail {
+                    repair_hours: Some(48.0),
+                },
+            }],
+            crews: None,
+        };
+        let r = sim.run_injected(11, &plan);
+        let ledger = r.ledger.expect("ledger recorded");
+        assert_eq!(ledger.injected_events, 1);
+        // The rack kill takes the whole Small topology's CP down for 48 h.
+        let injected_hours: f64 = ledger
+            .cp_outages
+            .iter()
+            .filter(|o| o.root_cause == crate::Cause::Injection(0))
+            .map(|o| o.duration())
+            .sum();
+        assert!(
+            (injected_hours - 48.0).abs() < 1e-6,
+            "injected_hours={injected_hours}"
+        );
+        // 100% accounting: ledger hours equal the reported outage stats.
+        let total = r.cp_outage_mean_hours * r.cp_outage_count as f64;
+        assert!((ledger.cp_outage_hours() - total).abs() < 1e-9);
+        // DP downtime also blames the injection.
+        assert!(ledger.dp_down_host_hours[crate::Cause::Injection(0).slot()] > 40.0);
+    }
+
+    #[test]
+    fn maintenance_window_suppresses_repair() {
+        let s = spec();
+        let topo = Topology::small(&s);
+        let mut cfg = SimConfig::paper_defaults(Scenario::SupervisorNotRequired);
+        cfg.horizon_hours = 5_000.0;
+        cfg.compute_hosts = 2;
+        let sim = Simulation::try_new(&s, &topo, cfg).expect("valid simulation");
+        let plan = crate::InjectionPlan {
+            labels: vec!["maint-host0".into()],
+            events: vec![crate::PlannedEvent {
+                time: 2_000.0,
+                injection: 0,
+                target: crate::InjectTarget::Host(0),
+                action: crate::InjectAction::Maintenance {
+                    duration_hours: 100.0,
+                },
+            }],
+            crews: None,
+        };
+        let r = sim.run_injected(3, &plan);
+        let ledger = r.ledger.expect("ledger recorded");
+        // Small puts all three nodes on one host's VMs? No — three hosts,
+        // one rack. Host 0 down for 100 h costs one of three nodes: CP
+        // (2-of-3 quorums) survives, DP host-hours record the window's
+        // collateral only if a second failure lands inside it. The window
+        // itself must at least be applied.
+        assert_eq!(ledger.injected_events, 1);
+        // Events kept flowing after the window (engine didn't wedge).
+        assert!(r.events > 100);
+        // CP outage accounting still closes exactly.
+        let total = if r.cp_outage_count > 0 {
+            r.cp_outage_mean_hours * r.cp_outage_count as f64
+        } else {
+            0.0
+        };
+        assert!((ledger.cp_outage_hours() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_crew_stretches_concurrent_repairs() {
+        let s = spec();
+        let topo = Topology::large(&s);
+        // Hardware-heavy regime: hosts fail often and take long to repair,
+        // so a single crew must queue concurrent repairs.
+        let mut cfg = fast_config(Scenario::SupervisorNotRequired);
+        cfg.horizon_hours = 50_000.0;
+        cfg.host = crate::ElementRates {
+            mtbf: 500.0,
+            mttr: 50.0,
+        };
+        let sim = Simulation::try_new(&s, &topo, cfg).expect("valid simulation");
+        let unlimited = sim.run_injected(21, &crate::InjectionPlan::empty());
+        let one_crew = sim.run_injected(
+            21,
+            &crate::InjectionPlan {
+                crews: Some(crate::CrewPool {
+                    crews: 1,
+                    discipline: crate::CrewDiscipline::Fifo,
+                }),
+                ..crate::InjectionPlan::empty()
+            },
+        );
+        // With 12 hosts at 10% unavailability each, one crew is saturated:
+        // availability must drop measurably versus unlimited crews.
+        assert!(
+            one_crew.dp_availability < unlimited.dp_availability - 0.01,
+            "one_crew={} unlimited={}",
+            one_crew.dp_availability,
+            unlimited.dp_availability
+        );
+    }
+
+    #[test]
+    fn latent_fault_revealed_on_failover() {
+        let s = spec();
+        let topo = Topology::small(&s);
+        let mut cfg = SimConfig::paper_defaults(Scenario::SupervisorNotRequired);
+        cfg.horizon_hours = 5_000.0;
+        cfg.compute_hosts = 2;
+        let sim = Simulation::try_new(&s, &topo, cfg).expect("valid simulation");
+        // Find a Control-role process on node 2 to arm, then take node 0's
+        // VM down: the quorum count drops, the failover reveals the latent.
+        let pid = (0..sim.proc_count())
+            .find(|&p| {
+                sim.cp_blocks_taken_down(InjectTarget::Proc(p))
+                    .iter()
+                    .any(|&(_, node)| node == 2)
+            })
+            .expect("a CP process on node 2");
+        let plan = crate::InjectionPlan {
+            labels: vec!["latent-n2".into(), "kill-vm0".into()],
+            events: vec![
+                crate::PlannedEvent {
+                    time: 1_000.0,
+                    injection: 0,
+                    target: crate::InjectTarget::Proc(pid),
+                    action: crate::InjectAction::Latent,
+                },
+                crate::PlannedEvent {
+                    time: 2_000.0,
+                    injection: 1,
+                    target: crate::InjectTarget::Vm(0),
+                    action: crate::InjectAction::Fail {
+                        repair_hours: Some(10.0),
+                    },
+                },
+            ],
+            crews: None,
+        };
+        let r = sim.run_injected(13, &plan);
+        let ledger = r.ledger.expect("ledger recorded");
+        assert_eq!(ledger.injected_events, 2);
+        assert_eq!(ledger.revealed_latents, 1, "latent must fire on failover");
     }
 
     #[test]

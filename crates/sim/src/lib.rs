@@ -43,6 +43,7 @@
 
 mod config;
 mod engine;
+mod injection;
 mod replicate;
 mod stats;
 
@@ -51,5 +52,9 @@ pub use config::{
     SimConfigBuilder,
 };
 pub use engine::{SimBuildError, SimResult, Simulation};
+pub use injection::{
+    AttributionLedger, Cause, CrewDiscipline, CrewPool, InjectAction, InjectTarget, InjectionPlan,
+    OutageRecord, PlannedEvent,
+};
 pub use replicate::{replicate, ReplicatedResult};
 pub use stats::{percentile, Estimate, Welford};

@@ -1,0 +1,533 @@
+//! Pins the chaos refactor to the pre-chaos engine: with an empty campaign
+//! and a fixed seed the DES must be byte-identical to the engine as it was
+//! before the injection hook existed.
+//!
+//! The `GOLDEN` table below was captured from the engine at commit
+//! `fcda298` (the last pre-chaos revision) with the exact configuration in
+//! `golden_config()`: 16 seeds × {Small, Medium, Large}. Any drift in event
+//! counts or availabilities — even in the last bit — means the injection
+//! hook perturbed the organic path (an extra RNG draw, an extra heap push,
+//! a reordered tie-break) and is a regression.
+
+use sdnav_core::{ControllerSpec, Scenario, Topology};
+use sdnav_sim::{InjectionPlan, SimConfig, Simulation};
+
+/// The exact configuration the golden rows were captured with.
+fn golden_config() -> SimConfig {
+    let mut config = SimConfig::paper_defaults(Scenario::SupervisorRequired).accelerated(200.0);
+    config.horizon_hours = 8_000.0;
+    config.compute_hosts = 2;
+    config
+}
+
+/// `(topology, seed, events, cp_availability, dp_availability,
+/// cp_outage_count, cp_outage_mean_hours)` from the pre-chaos engine.
+#[allow(clippy::excessive_precision)]
+const GOLDEN: &[(&str, u64, u64, f64, f64, u64, f64)] = &[
+    (
+        "Small",
+        0,
+        60960,
+        0.9258585200268408,
+        0.9534958486963848,
+        1832,
+        0.3075738252161624,
+    ),
+    (
+        "Small",
+        1,
+        61204,
+        0.9258179028598482,
+        0.9508400388706914,
+        1839,
+        0.30657092890981763,
+    ),
+    (
+        "Small",
+        2,
+        61282,
+        0.9208320718878703,
+        0.9522578930796227,
+        1767,
+        0.34050721768658015,
+    ),
+    (
+        "Small",
+        3,
+        60946,
+        0.913601800020599,
+        0.9432921838900225,
+        1804,
+        0.36398354758505946,
+    ),
+    (
+        "Small",
+        4,
+        60697,
+        0.9258619380840933,
+        0.9553201795185636,
+        1788,
+        0.31512822738304835,
+    ),
+    (
+        "Small",
+        5,
+        61181,
+        0.922178992961952,
+        0.9502351732632108,
+        1799,
+        0.3287602298438935,
+    ),
+    (
+        "Small",
+        6,
+        61015,
+        0.9248021615493917,
+        0.9540458043740102,
+        1767,
+        0.3234315632284225,
+    ),
+    (
+        "Small",
+        7,
+        60757,
+        0.9112138721469197,
+        0.941863796129541,
+        1894,
+        0.3562695732224972,
+    ),
+    (
+        "Small",
+        8,
+        60560,
+        0.9241781527370254,
+        0.9508608609496502,
+        1776,
+        0.32446285990912566,
+    ),
+    (
+        "Small",
+        9,
+        61830,
+        0.9215524229391285,
+        0.9513046172394191,
+        1870,
+        0.3188243773596915,
+    ),
+    (
+        "Small",
+        10,
+        60972,
+        0.9303424375856728,
+        0.9485797754711663,
+        1759,
+        0.30096502237003203,
+    ),
+    (
+        "Small",
+        11,
+        60452,
+        0.9119310949282082,
+        0.9506023077306169,
+        1868,
+        0.3583103204205658,
+    ),
+    (
+        "Small",
+        12,
+        60901,
+        0.9248294534958796,
+        0.948996302849436,
+        1807,
+        0.31615725148384977,
+    ),
+    (
+        "Small",
+        13,
+        60506,
+        0.919155352466381,
+        0.9463064028687638,
+        1832,
+        0.33538172557614854,
+    ),
+    (
+        "Small",
+        14,
+        61005,
+        0.9261767628039678,
+        0.95058056343681,
+        1824,
+        0.3075968216501337,
+    ),
+    (
+        "Small",
+        15,
+        60607,
+        0.9139568202108634,
+        0.9440637501130347,
+        1854,
+        0.3527120638605385,
+    ),
+    (
+        "Medium",
+        0,
+        80874,
+        0.9234938360976802,
+        0.9510615138502395,
+        1821,
+        0.31930084879606313,
+    ),
+    (
+        "Medium",
+        1,
+        81000,
+        0.9258444992821154,
+        0.9521142394496975,
+        1862,
+        0.3026755131342231,
+    ),
+    (
+        "Medium",
+        2,
+        80233,
+        0.9233492626580475,
+        0.9520320960997657,
+        1832,
+        0.3179834081871397,
+    ),
+    (
+        "Medium",
+        3,
+        79959,
+        0.9220247796506775,
+        0.9499478969972073,
+        1805,
+        0.32831671726030465,
+    ),
+    (
+        "Medium",
+        4,
+        81313,
+        0.9240712279618821,
+        0.9509236100185847,
+        1861,
+        0.3100798858085422,
+    ),
+    (
+        "Medium",
+        5,
+        80095,
+        0.931154890556812,
+        0.9511445417957555,
+        1804,
+        0.29003482913981565,
+    ),
+    (
+        "Medium",
+        6,
+        80477,
+        0.9263506365856145,
+        0.9495385894355183,
+        1797,
+        0.31148311738972084,
+    ),
+    (
+        "Medium",
+        7,
+        80657,
+        0.9015389276210405,
+        0.950834796602502,
+        1896,
+        0.3936519886185402,
+    ),
+    (
+        "Medium",
+        8,
+        80732,
+        0.9272620255488739,
+        0.9536688378492965,
+        1836,
+        0.30109401188919305,
+    ),
+    (
+        "Medium",
+        9,
+        81080,
+        0.9165373182376968,
+        0.9521345222042292,
+        1981,
+        0.3202000915666353,
+    ),
+    (
+        "Medium",
+        10,
+        81369,
+        0.9289623459681101,
+        0.951441939850165,
+        1810,
+        0.29827965228859865,
+    ),
+    (
+        "Medium",
+        11,
+        81613,
+        0.9245989448345835,
+        0.951955581921051,
+        1841,
+        0.31124811633923777,
+    ),
+    (
+        "Medium",
+        12,
+        80730,
+        0.9240350173282861,
+        0.9564314386327085,
+        1797,
+        0.32127649877853465,
+    ),
+    (
+        "Medium",
+        13,
+        80174,
+        0.9234630619442571,
+        0.9530092437543314,
+        1851,
+        0.31425214976966315,
+    ),
+    (
+        "Medium",
+        14,
+        81231,
+        0.917184846756234,
+        0.9498765402598173,
+        1920,
+        0.32780998158990715,
+    ),
+    (
+        "Medium",
+        15,
+        81076,
+        0.9107925034081799,
+        0.9491005131147159,
+        1847,
+        0.36706928754619994,
+    ),
+    (
+        "Large",
+        0,
+        81990,
+        0.923743552861773,
+        0.9523309124897612,
+        1962,
+        0.2953868492612259,
+    ),
+    (
+        "Large",
+        1,
+        81555,
+        0.9174293970495828,
+        0.9489727518029099,
+        1945,
+        0.32264091641294046,
+    ),
+    (
+        "Large",
+        2,
+        81808,
+        0.9225782384392899,
+        0.9512260562063177,
+        1892,
+        0.3109965052121546,
+    ),
+    (
+        "Large",
+        3,
+        81498,
+        0.9238874123535284,
+        0.9510952539532953,
+        1883,
+        0.3071989729756678,
+    ),
+    (
+        "Large",
+        4,
+        81593,
+        0.9074310363266083,
+        0.9524703843736013,
+        2067,
+        0.34036000189539345,
+    ),
+    (
+        "Large",
+        5,
+        81349,
+        0.9299706785344897,
+        0.9537482427640441,
+        1799,
+        0.29584371491822065,
+    ),
+    (
+        "Large",
+        6,
+        81587,
+        0.9279260208929865,
+        0.9511862752986773,
+        1739,
+        0.31498691271610174,
+    ),
+    (
+        "Large",
+        7,
+        81238,
+        0.9253586835421592,
+        0.9518354776782548,
+        1925,
+        0.29468779484654084,
+    ),
+    (
+        "Large",
+        8,
+        80856,
+        0.9254012065968432,
+        0.9494496968832191,
+        1895,
+        0.299182495970443,
+    ),
+    (
+        "Large",
+        9,
+        82579,
+        0.9160683324862589,
+        0.9539932773919555,
+        1961,
+        0.3252833621134283,
+    ),
+    (
+        "Large",
+        10,
+        81486,
+        0.9287431234109691,
+        0.9584997904458789,
+        1869,
+        0.28975508939359895,
+    ),
+    (
+        "Large",
+        11,
+        82137,
+        0.916166464116602,
+        0.9520657308031872,
+        2055,
+        0.31004130059066903,
+    ),
+    (
+        "Large",
+        12,
+        81089,
+        0.9203329366800354,
+        0.9526410276728058,
+        1898,
+        0.3190040470135561,
+    ),
+    (
+        "Large",
+        13,
+        81304,
+        0.9092841686149888,
+        0.9475522021456015,
+        1908,
+        0.36134188601996037,
+    ),
+    (
+        "Large",
+        14,
+        81159,
+        0.9268902616648497,
+        0.9516385317213706,
+        1833,
+        0.3031282113186815,
+    ),
+    (
+        "Large",
+        15,
+        81019,
+        0.9211003877678617,
+        0.9515282644804058,
+        1869,
+        0.3208330941488763,
+    ),
+];
+
+fn topo_by_name(spec: &ControllerSpec, name: &str) -> Topology {
+    match name {
+        "Small" => Topology::small(spec),
+        "Medium" => Topology::medium(spec),
+        "Large" => Topology::large(spec),
+        other => panic!("unknown golden topology {other}"),
+    }
+}
+
+#[test]
+fn matches_pre_chaos_engine_bit_for_bit() {
+    let spec = ControllerSpec::opencontrail_3x();
+    let config = golden_config();
+    for name in ["Small", "Medium", "Large"] {
+        let topo = topo_by_name(&spec, name);
+        let sim = Simulation::try_new(&spec, &topo, config).expect("valid simulation");
+        for &(n, seed, events, cp, dp, outages, mean) in GOLDEN.iter().filter(|g| g.0 == name) {
+            assert_eq!(n, name);
+            let r = sim.run(seed);
+            assert_eq!(r.events, events, "{name} seed {seed}: event count drifted");
+            assert_eq!(
+                r.cp_availability.to_bits(),
+                cp.to_bits(),
+                "{name} seed {seed}: cp_availability drifted ({} vs {cp})",
+                r.cp_availability
+            );
+            assert_eq!(
+                r.dp_availability.to_bits(),
+                dp.to_bits(),
+                "{name} seed {seed}: dp_availability drifted ({} vs {dp})",
+                r.dp_availability
+            );
+            assert_eq!(r.cp_outage_count, outages, "{name} seed {seed}");
+            assert_eq!(
+                r.cp_outage_mean_hours.to_bits(),
+                mean.to_bits(),
+                "{name} seed {seed}: outage mean drifted"
+            );
+            assert!(r.ledger.is_none(), "plain run must not carry a ledger");
+        }
+    }
+}
+
+#[test]
+fn empty_campaign_is_byte_identical_across_seeds() {
+    let spec = ControllerSpec::opencontrail_3x();
+    let config = golden_config();
+    for name in ["Small", "Medium", "Large"] {
+        let topo = topo_by_name(&spec, name);
+        let sim = Simulation::try_new(&spec, &topo, config).expect("valid simulation");
+        for seed in 0..16u64 {
+            let plain = sim.run(seed);
+            let mut injected = sim.run_injected(seed, &InjectionPlan::empty());
+            let ledger = injected
+                .ledger
+                .take()
+                .expect("injected run records a ledger");
+            // Strip the ledger, then require full bit-level equality of
+            // every float via the derived PartialEq (no NaNs occur at this
+            // outage-heavy configuration — every run sees outages).
+            assert!(plain.cp_outage_count > 0, "golden config must see outages");
+            assert_eq!(plain, injected, "{name} seed {seed}");
+            // The organic ledger's records must account for 100% of the
+            // reported CP outage-hours.
+            let reported = plain.cp_outage_mean_hours * plain.cp_outage_count as f64;
+            assert!(
+                (ledger.cp_outage_hours() - reported).abs() < 1e-9,
+                "{name} seed {seed}: ledger {} vs reported {reported}",
+                ledger.cp_outage_hours()
+            );
+        }
+    }
+}

@@ -5,16 +5,36 @@
 //! containing `.topo.` decode as a deployment topology and are audited
 //! against the bundled spec (as `sdnav lint --topology` does); files
 //! containing `.set.` decode as a sweep grid of specs (as `--spec-set`
-//! does); everything else decodes as a controller spec and runs through the
+//! does); files containing `.campaign.` decode as a chaos campaign and are
+//! audited against the bundled Small deployment (as `--campaign` does);
+//! everything else decodes as a controller spec and runs through the
 //! same full pass as `sdnav lint`. Fixtures prefixed `clean_` are the
 //! opposite: well-annotated models that must audit without findings.
 
-use sdnav_audit::{audit_block, audit_model, audit_spec_set, audit_topology, AuditReport};
+use sdnav_audit::{
+    audit_block, audit_campaign, audit_model, audit_spec_set, audit_topology, AuditReport,
+};
 use sdnav_blocks::Block;
-use sdnav_core::{ControllerSpec, Topology};
+use sdnav_core::{ControllerSpec, Scenario, Topology};
+use sdnav_sim::{SimConfig, Simulation};
 
 fn audit_fixture(name: &str, text: &str) -> AuditReport {
-    if name.contains(".block.") {
+    if name.contains(".campaign.") {
+        let campaign: sdnav_chaos::ChaosSpec =
+            sdnav_json::from_str(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        // Campaigns lint against the bundled Small deployment with the
+        // CLI's `lint --campaign` defaults (100 000 h horizon).
+        let spec = ControllerSpec::opencontrail_3x();
+        let topo = Topology::small(&spec);
+        let config = SimConfig::builder(Scenario::SupervisorNotRequired)
+            .horizon_hours(100_000.0)
+            .accelerate(100.0)
+            .compute_hosts(3)
+            .build()
+            .expect("valid lint-reference config");
+        let sim = Simulation::try_new(&spec, &topo, config).expect("valid lint-reference sim");
+        audit_campaign(&campaign, &sim)
+    } else if name.contains(".block.") {
         let block: Block = sdnav_json::from_str(text).unwrap_or_else(|e| panic!("{name}: {e}"));
         audit_block(&block, "rbd")
     } else if name.contains(".topo.") {
@@ -70,10 +90,10 @@ fn every_fixture_is_flagged_with_its_expected_code() {
         seeded += 1;
     }
     assert!(
-        seeded >= 17,
-        "expected at least 17 seeded fixtures, found {seeded}"
+        seeded >= 21,
+        "expected at least 21 seeded fixtures, found {seeded}"
     );
-    assert!(clean >= 1, "expected at least 1 clean_ fixture");
+    assert!(clean >= 2, "expected at least 2 clean_ fixtures");
 }
 
 #[test]
