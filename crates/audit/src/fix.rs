@@ -5,11 +5,19 @@
 //!
 //! * **SA002** — duplicate role/process names: later duplicates get a
 //!   deterministic `-2`, `-3`, … suffix;
+//! * **SA005** — a role with auto-restart processes but no supervisor gets
+//!   a manual-restart `supervisor` process inserted (required in neither
+//!   plane, so the analytic models see exactly the §III semantics the
+//!   auto-restart processes already assumed);
 //! * **SA014** — a bare MTBF plausible only as a FIT count is normalized
 //!   to hours (`1e9 / value`) and annotated;
 //! * **SA006** — `k`-of-`n` with `k = n` becomes the equivalent series
 //!   block, and trivially-up children (`0`-of-`n` groups, empty series)
 //!   are dropped from series parents where removal is an identity.
+//!
+//! The SA005 *error* case (several supervisors in one role) is not
+//! auto-fixable: the tool cannot know which process is the real
+//! supervisor.
 //!
 //! Fixers are pure: they return the rewritten artifact plus a [`FixPlan`]
 //! describing every edit, and applying a fixer to its own output yields an
@@ -19,12 +27,12 @@
 use std::collections::BTreeSet;
 
 use sdnav_blocks::Block;
-use sdnav_core::{ControllerSpec, Quantity, SpecRates, Unit};
+use sdnav_core::{ControllerSpec, ProcessSpec, Quantity, RestartMode, SpecRates, Unit};
 
 use crate::units::{fit_slip_hours, TimeKind};
 
 /// Diagnostic codes `fix_spec`/`fix_block` can rewrite.
-pub const FIXABLE_CODES: &[&str] = &["SA002", "SA006", "SA014"];
+pub const FIXABLE_CODES: &[&str] = &["SA002", "SA005", "SA006", "SA014"];
 
 /// One planned rewrite.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,9 +116,10 @@ fn fix_fit_slips(rates: &mut SpecRates, plan: &mut FixPlan) {
 }
 
 /// Rewrites the auto-fixable spec findings: duplicate role/process names
-/// (SA002) and FIT-for-hours MTBF slips (SA014). Returns the fixed spec
-/// and the edit plan; a spec with nothing fixable comes back unchanged
-/// with an empty plan.
+/// (SA002), auto-restart roles missing a supervisor (SA005, a
+/// manual-restart `supervisor` process is inserted) and FIT-for-hours MTBF
+/// slips (SA014). Returns the fixed spec and the edit plan; a spec with
+/// nothing fixable comes back unchanged with an empty plan.
 #[must_use]
 pub fn fix_spec(spec: &ControllerSpec) -> (ControllerSpec, FixPlan) {
     let mut fixed = spec.clone();
@@ -145,6 +154,34 @@ pub fn fix_spec(spec: &ControllerSpec) -> (ControllerSpec, FixPlan) {
                 proc_names.insert(new.clone());
                 p.name = new;
             }
+        }
+    }
+
+    // SA005 runs after the SA002 dedup so the inserted supervisor's name
+    // is checked against the final, unique process names.
+    for role in &mut fixed.roles {
+        let has_auto = role
+            .processes
+            .iter()
+            .any(|p| p.restart == RestartMode::Auto && !p.is_supervisor);
+        let has_supervisor = role.processes.iter().any(|p| p.is_supervisor);
+        if has_auto && !has_supervisor {
+            let taken: BTreeSet<String> = role.processes.iter().map(|p| p.name.clone()).collect();
+            let name = if taken.contains("supervisor") {
+                dedup_name("supervisor", &taken)
+            } else {
+                "supervisor".to_owned()
+            };
+            plan.edits.push(FixEdit {
+                code: "SA005",
+                path: format!("spec/roles/{}", role.name),
+                detail: format!(
+                    "auto-restart processes without a supervisor -> \
+                     inserted manual-restart process {name:?} (is_supervisor)"
+                ),
+            });
+            role.processes
+                .push(ProcessSpec::new(name, RestartMode::Manual).supervisor());
         }
     }
 
@@ -272,6 +309,72 @@ mod tests {
         let (again, plan2) = fix_spec(&fixed);
         assert!(plan2.is_empty());
         assert_eq!(again, fixed);
+    }
+
+    #[test]
+    fn sa005_missing_supervisor_inserted_and_relints_clean() {
+        use sdnav_core::{RoleScope, RoleSpec};
+        let spec = ControllerSpec {
+            name: "X".into(),
+            nodes: 3,
+            roles: vec![RoleSpec::new(
+                "Analytics",
+                RoleScope::Controller,
+                vec![ProcessSpec::new("collector", RestartMode::Auto).cp(1)],
+            )],
+            rates: None,
+        };
+        assert!(audit_spec(&spec).has_code("SA005"));
+
+        let (fixed, plan) = fix_spec(&spec);
+        assert_eq!(plan.edits.len(), 1);
+        assert_eq!(plan.edits[0].code, "SA005");
+        assert!(plan.edits[0].detail.contains("supervisor"));
+        let inserted = fixed.roles[0].supervisor().expect("supervisor inserted");
+        assert_eq!(inserted.name, "supervisor");
+        assert_eq!(inserted.restart, RestartMode::Manual);
+        assert_eq!(inserted.cp_required, 0);
+        assert_eq!(inserted.dp_required, 0);
+        assert!(!audit_spec(&fixed).has_code("SA005"));
+        // Fixing again is a no-op.
+        let (again, plan2) = fix_spec(&fixed);
+        assert!(plan2.is_empty());
+        assert_eq!(again, fixed);
+    }
+
+    #[test]
+    fn sa005_inserted_supervisor_name_avoids_collisions() {
+        use sdnav_core::{RoleScope, RoleSpec};
+        let spec = ControllerSpec {
+            name: "X".into(),
+            nodes: 3,
+            roles: vec![RoleSpec::new(
+                "Analytics",
+                RoleScope::Controller,
+                vec![
+                    ProcessSpec::new("collector", RestartMode::Auto).cp(1),
+                    // Named like a supervisor but not marked as one.
+                    ProcessSpec::new("supervisor", RestartMode::Manual),
+                ],
+            )],
+            rates: None,
+        };
+        let (fixed, plan) = fix_spec(&spec);
+        assert_eq!(plan.edits.len(), 1);
+        let inserted = fixed.roles[0].supervisor().expect("supervisor inserted");
+        assert_eq!(inserted.name, "supervisor-2");
+        assert!(!audit_spec(&fixed).has_code("SA005"));
+        assert!(!audit_spec(&fixed).has_code("SA002"));
+    }
+
+    #[test]
+    fn sa005_multiple_supervisors_not_auto_fixed() {
+        let mut spec = ControllerSpec::opencontrail_3x();
+        spec.roles[0].processes[0].is_supervisor = true;
+        assert!(audit_spec(&spec).has_errors());
+        let (fixed, plan) = fix_spec(&spec);
+        assert!(plan.is_empty());
+        assert_eq!(fixed, spec);
     }
 
     #[test]

@@ -25,11 +25,18 @@
 //!
 //! The run also cross-checks the attribution ledger against the engine's
 //! own outage statistics: the ledger must account for 100% of the
-//! reported CP outage-hours in every replication.
+//! reported CP outage-hours in every replication, and the per-host DP
+//! outage *windows* must reproduce the per-cause DP host-hours they
+//! aggregate into.
+//!
+//! Replications execute on the supervised work-stealing pool
+//! ([`sdnav_grid::run_supervised`]): a panicking replication is retried
+//! with backoff and quarantined instead of killing the whole experiment.
 
 use sdnav_bench::{header, spec};
 use sdnav_chaos::{ChaosSpec, InjectionKind, InjectionSpec, TargetRef};
 use sdnav_core::{HostId, Scenario, Topology};
+use sdnav_grid::{run_supervised, Cell, CellMeta, RetryPolicy};
 use sdnav_sim::{SimConfig, Simulation, Welford};
 
 const HORIZON_HOURS: f64 = 20_000.0;
@@ -88,6 +95,9 @@ struct TopoResult {
     /// Largest gap between the ledger's outage-hours and the engine's own
     /// `mean × count` across the replications.
     max_ledger_gap: f64,
+    /// Largest per-cause gap between the summed DP outage windows and the
+    /// ledger's aggregated DP host-hours across the replications.
+    max_window_gap: f64,
 }
 
 fn run_topology(topo: &Topology, name: &'static str) -> TopoResult {
@@ -99,30 +109,65 @@ fn run_topology(topo: &Topology, name: &'static str) -> TopoResult {
         .build()
         .expect("valid chaos bench config");
     let sim = Simulation::try_new(&s, topo, config).expect("valid simulation");
-    let mut campaign = rack_ccf_campaign(topo);
+    let campaign = rack_ccf_campaign(topo);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let reps: Vec<usize> = (0..REPLICATIONS).collect();
+    // Replications are independent; results are folded in item order below,
+    // so the supervised pool keeps the output thread-count invariant.
+    let run = run_supervised(
+        threads,
+        &reps,
+        RetryPolicy::default(),
+        |_, &r| CellMeta {
+            label: format!("{name} replication {r}"),
+            seed: 1000 + r as u64,
+        },
+        |_, &r| {
+            // Re-seed so cascade outcomes are resampled each replication.
+            let mut campaign = campaign.clone();
+            campaign.seed = 11 + r as u64;
+            let plan = sdnav_chaos::compile(&campaign, &sim).expect("campaign compiles");
+            let result = sim.run_injected(1000 + r as u64, &plan);
+            let ledger = result
+                .ledger
+                .as_ref()
+                .expect("injected runs carry a ledger");
+            let reported = if result.cp_outage_count == 0 {
+                0.0
+            } else {
+                result.cp_outage_mean_hours * result.cp_outage_count as f64
+            };
+            let ledger_gap = (ledger.cp_outage_hours() - reported).abs();
+            let window_gap = ledger
+                .dp_window_hours_by_cause()
+                .iter()
+                .zip(&ledger.dp_down_host_hours)
+                .fold(0.0_f64, |acc, (w, h)| acc.max((w - h).abs()));
+            (result.cp_availability, ledger_gap, window_gap)
+        },
+    );
     let mut cp = Welford::new();
     let mut max_ledger_gap: f64 = 0.0;
-    for r in 0..REPLICATIONS {
-        // Re-seed so cascade outcomes are resampled each replication.
-        campaign.seed = 11 + r as u64;
-        let plan = sdnav_chaos::compile(&campaign, &sim).expect("campaign compiles");
-        let result = sim.run_injected(1000 + r as u64, &plan);
-        cp.push(result.cp_availability);
-        let ledger = result
-            .ledger
-            .as_ref()
-            .expect("injected runs carry a ledger");
-        let reported = if result.cp_outage_count == 0 {
-            0.0
-        } else {
-            result.cp_outage_mean_hours * result.cp_outage_count as f64
-        };
-        max_ledger_gap = max_ledger_gap.max((ledger.cp_outage_hours() - reported).abs());
+    let mut max_window_gap: f64 = 0.0;
+    for cell in run.cells {
+        match cell {
+            Cell::Done((availability, ledger_gap, window_gap)) => {
+                cp.push(availability);
+                max_ledger_gap = max_ledger_gap.max(ledger_gap);
+                max_window_gap = max_window_gap.max(window_gap);
+            }
+            // The bench asserts claims over all replications; a replication
+            // that still panics after its retries invalidates them.
+            Cell::Quarantined(record) => {
+                panic!("replication quarantined: {record:?}")
+            }
+        }
     }
     TopoResult {
         name,
         cp,
         max_ledger_gap,
+        max_window_gap,
     }
 }
 
@@ -160,6 +205,9 @@ fn main() {
     let ledger_gap = results
         .iter()
         .fold(0.0_f64, |acc, r| acc.max(r.max_ledger_gap));
+    let window_gap = results
+        .iter()
+        .fold(0.0_f64, |acc, r| acc.max(r.max_window_gap));
 
     println!("\nQualitative conclusions:");
     println!(
@@ -189,4 +237,13 @@ fn main() {
         }
     );
     println!("    (max |ledger − engine| across runs = {ledger_gap:.2e} h)");
+    println!(
+        "  'per-cause DP outage windows reproduce the DP host-hours': {}",
+        if window_gap < 1e-6 {
+            "CONFIRMED"
+        } else {
+            "NOT CONFIRMED"
+        }
+    );
+    println!("    (max per-cause |Σ windows − ledger| across runs = {window_gap:.2e} h)");
 }

@@ -1,0 +1,306 @@
+//! Compact digests of chaos reports for golden-file diffing.
+//!
+//! A full `sdnav-chaos-report/v1` document carries the complete outage
+//! timeline and per-host DP windows — tens of thousands of lines for a
+//! long campaign, which is hostile to code review and to CI diffs. A
+//! **digest** keeps every scalar field verbatim but replaces each large
+//! array with a fixed-size summary: its row count, the SHA-256 of its
+//! compact JSON serialization, and the first and last rows. Any change to
+//! any row still flips the hash, so a digest diff is as strict as a full
+//! diff while staying a few dozen lines.
+
+use sdnav_json::Json;
+
+/// Schema tag of a digested report.
+pub const DIGEST_SCHEMA: &str = "sdnav-chaos-digest/v1";
+
+/// Arrays at or below this length are kept verbatim; longer ones are
+/// summarized. Four keeps `by_cause` (one row per cause) readable for
+/// typical campaigns while collapsing outage timelines.
+pub const DIGEST_ARRAY_KEEP: usize = 4;
+
+const K: [u32; 64] = [
+    0x428a_2f98,
+    0x7137_4491,
+    0xb5c0_fbcf,
+    0xe9b5_dba5,
+    0x3956_c25b,
+    0x59f1_11f1,
+    0x923f_82a4,
+    0xab1c_5ed5,
+    0xd807_aa98,
+    0x1283_5b01,
+    0x2431_85be,
+    0x550c_7dc3,
+    0x72be_5d74,
+    0x80de_b1fe,
+    0x9bdc_06a7,
+    0xc19b_f174,
+    0xe49b_69c1,
+    0xefbe_4786,
+    0x0fc1_9dc6,
+    0x240c_a1cc,
+    0x2de9_2c6f,
+    0x4a74_84aa,
+    0x5cb0_a9dc,
+    0x76f9_88da,
+    0x983e_5152,
+    0xa831_c66d,
+    0xb003_27c8,
+    0xbf59_7fc7,
+    0xc6e0_0bf3,
+    0xd5a7_9147,
+    0x06ca_6351,
+    0x1429_2967,
+    0x27b7_0a85,
+    0x2e1b_2138,
+    0x4d2c_6dfc,
+    0x5338_0d13,
+    0x650a_7354,
+    0x766a_0abb,
+    0x81c2_c92e,
+    0x9272_2c85,
+    0xa2bf_e8a1,
+    0xa81a_664b,
+    0xc24b_8b70,
+    0xc76c_51a3,
+    0xd192_e819,
+    0xd699_0624,
+    0xf40e_3585,
+    0x106a_a070,
+    0x19a4_c116,
+    0x1e37_6c08,
+    0x2748_774c,
+    0x34b0_bcb5,
+    0x391c_0cb3,
+    0x4ed8_aa4a,
+    0x5b9c_ca4f,
+    0x682e_6ff3,
+    0x748f_82ee,
+    0x78a5_636f,
+    0x84c8_7814,
+    0x8cc7_0208,
+    0x90be_fffa,
+    0xa450_6ceb,
+    0xbef9_a3f7,
+    0xc671_78f2,
+];
+
+/// SHA-256 of `bytes` as a lowercase hex string (FIPS 180-4).
+#[must_use]
+pub fn sha256_hex(bytes: &[u8]) -> String {
+    let mut h: [u32; 8] = [
+        0x6a09_e667,
+        0xbb67_ae85,
+        0x3c6e_f372,
+        0xa54f_f53a,
+        0x510e_527f,
+        0x9b05_688c,
+        0x1f83_d9ab,
+        0x5be0_cd19,
+    ];
+    let mut msg = bytes.to_vec();
+    let bit_len = (bytes.len() as u64).wrapping_mul(8);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+    let mut w = [0u32; 64];
+    for block in msg.chunks_exact(64) {
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+        h[5] = h[5].wrapping_add(f);
+        h[6] = h[6].wrapping_add(g);
+        h[7] = h[7].wrapping_add(hh);
+    }
+    let mut hex = String::with_capacity(64);
+    for word in h {
+        for byte in word.to_be_bytes() {
+            hex.push(char::from_digit(u32::from(byte >> 4), 16).unwrap());
+            hex.push(char::from_digit(u32::from(byte & 0xf), 16).unwrap());
+        }
+    }
+    hex
+}
+
+fn digest_value(value: &Json) -> Json {
+    match value {
+        Json::Arr(items) if items.len() > DIGEST_ARRAY_KEEP => Json::obj(vec![
+            ("rows", Json::Num(items.len() as f64)),
+            (
+                "sha256",
+                Json::str(sha256_hex(Json::Arr(items.clone()).to_compact().as_bytes())),
+            ),
+            ("first", digest_value(&items[0])),
+            ("last", digest_value(&items[items.len() - 1])),
+        ]),
+        Json::Arr(items) => Json::Arr(items.iter().map(digest_value).collect()),
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .map(|(k, v)| (k.clone(), digest_value(v)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Digests a chaos report: scalars are kept verbatim, every array longer
+/// than [`DIGEST_ARRAY_KEEP`] rows is replaced with
+/// `{rows, sha256, first, last}`, and the top-level `schema` becomes
+/// [`DIGEST_SCHEMA`] with the original tag preserved as `source_schema`.
+///
+/// The transformation is content-addressed: two reports digest equal iff
+/// the digested structure (including every summarized array's hash) is
+/// equal, so a digest diff detects any change a full diff would.
+#[must_use]
+pub fn digest_report(report: &Json) -> Json {
+    match digest_value(report) {
+        Json::Obj(fields) => {
+            let mut out = Vec::with_capacity(fields.len() + 1);
+            for (key, value) in fields {
+                if key == "schema" {
+                    out.push(("schema".to_owned(), Json::str(DIGEST_SCHEMA)));
+                    out.push(("source_schema".to_owned(), value));
+                } else {
+                    out.push((key, value));
+                }
+            }
+            Json::Obj(out)
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256_matches_known_vectors() {
+        assert_eq!(
+            sha256_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        // Two-block message: exercises padding across a block boundary.
+        assert_eq!(
+            sha256_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn digest_rewrites_schema_and_collapses_long_arrays() {
+        let rows: Vec<Json> = (0..10).map(|i| Json::Num(f64::from(i))).collect();
+        let report = Json::obj(vec![
+            ("schema", Json::str("sdnav-chaos-report/v1")),
+            ("campaign", Json::str("demo")),
+            ("timeline", Json::Arr(rows.clone())),
+            ("short", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+        ]);
+        let digest = digest_report(&report);
+        assert_eq!(
+            digest.get("schema").and_then(|s| s.as_str().ok()),
+            Some(DIGEST_SCHEMA)
+        );
+        assert_eq!(
+            digest.get("source_schema").and_then(|s| s.as_str().ok()),
+            Some("sdnav-chaos-report/v1")
+        );
+        let timeline = digest.get("timeline").expect("timeline summary");
+        assert_eq!(timeline.get("rows").unwrap().to_compact(), "10".to_owned());
+        assert_eq!(
+            timeline.get("sha256").and_then(|s| s.as_str().ok()),
+            Some(sha256_hex(Json::Arr(rows).to_compact().as_bytes()).as_str())
+        );
+        assert!(timeline.get("first").is_some());
+        assert!(timeline.get("last").is_some());
+        // Short arrays stay verbatim.
+        assert_eq!(
+            digest.get("short").unwrap().to_compact(),
+            "[1,2]".to_owned()
+        );
+    }
+
+    #[test]
+    fn digest_collapses_nested_arrays() {
+        let inner: Vec<Json> = (0..6).map(|i| Json::Num(f64::from(i))).collect();
+        let report = Json::obj(vec![
+            ("schema", Json::str("sdnav-chaos-report/v1")),
+            (
+                "ledger",
+                Json::obj(vec![("outages", Json::Arr(inner.clone()))]),
+            ),
+        ]);
+        let digest = digest_report(&report);
+        let outages = digest
+            .get("ledger")
+            .and_then(|l| l.get("outages"))
+            .expect("outages summary");
+        assert!(outages.get("sha256").is_some());
+        assert_eq!(outages.get("rows").unwrap().to_compact(), "6".to_owned());
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_hash_flips_on_any_row() {
+        let rows: Vec<Json> = (0..8).map(|i| Json::Num(f64::from(i))).collect();
+        let mut changed = rows.clone();
+        changed[3] = Json::Num(99.0);
+        let report = |r: Vec<Json>| {
+            Json::obj(vec![
+                ("schema", Json::str("sdnav-chaos-report/v1")),
+                ("timeline", Json::Arr(r)),
+            ])
+        };
+        let a = digest_report(&report(rows.clone())).to_compact();
+        let b = digest_report(&report(rows)).to_compact();
+        let c = digest_report(&report(changed)).to_compact();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -49,6 +49,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod digest;
+
+pub use digest::{digest_report, sha256_hex, DIGEST_ARRAY_KEEP, DIGEST_SCHEMA};
+
 use std::error::Error;
 use std::fmt;
 
@@ -924,6 +928,18 @@ pub fn report(spec: &ChaosSpec, result: &SimResult) -> Json {
             ])
         })
         .collect();
+    let dp_windows: Vec<Json> = ledger
+        .dp_windows
+        .iter()
+        .map(|w| {
+            Json::obj(vec![
+                ("host", w.host.to_json()),
+                ("start", w.start.to_json()),
+                ("end", w.end.to_json()),
+                ("cause", Json::str(cause_name(spec, w.cause))),
+            ])
+        })
+        .collect();
     Json::obj(vec![
         ("schema", Json::str("sdnav-chaos-report/v1")),
         ("campaign", Json::str(spec.name.clone())),
@@ -955,6 +971,7 @@ pub fn report(spec: &ChaosSpec, result: &SimResult) -> Json {
                 ("cp_outage_hours_total", ledger.cp_outage_hours().to_json()),
                 ("by_cause", Json::Arr(by_cause)),
                 ("outages", Json::Arr(outages)),
+                ("dp_windows", Json::Arr(dp_windows)),
             ]),
         ),
     ])
@@ -1204,9 +1221,33 @@ mod tests {
         assert!(text.contains("\"sdnav-chaos-report/v1\""));
         assert!(text.contains("\"rack0\""));
         assert!(text.contains("\"organic\""));
+        // The ledger surfaces the per-host DP outage windows, including
+        // windows opened by the injection.
+        let windows = rendered
+            .get("ledger")
+            .and_then(|l| l.get("dp_windows"))
+            .expect("dp_windows in report");
+        match windows {
+            Json::Arr(rows) => {
+                assert!(!rows.is_empty(), "rack kill opens DP windows");
+                assert!(rows
+                    .iter()
+                    .any(|w| w.get("cause").and_then(|c| c.as_str().ok()) == Some("rack0")));
+            }
+            other => panic!("dp_windows should be an array, got {other:?}"),
+        }
         // Report is deterministic.
         let again = report(&c, &sim.run_injected(7, &plan));
         assert_eq!(text, again.to_compact());
+        // Digesting collapses the timeline arrays but keeps scalars.
+        let digest = digest_report(&rendered);
+        let dtext = digest.to_compact();
+        assert!(dtext.contains("\"sdnav-chaos-digest/v1\""));
+        assert!(dtext.contains("\"source_schema\":\"sdnav-chaos-report/v1\""));
+        assert_eq!(
+            digest.get("cp_availability").map(Json::to_compact),
+            rendered.get("cp_availability").map(Json::to_compact),
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! failure-mode and availability analysis (ISPASS 2019 reproduction).
 
 mod args;
+mod signals;
 
 use std::process::ExitCode;
 
@@ -9,7 +10,7 @@ use args::Args;
 use sdnav_core::{ControllerSpec, HwModel, HwParams, Plane, Scenario, SwModel, SwParams, Topology};
 use sdnav_fmea::{derive_table1, dominant_modes, enumerate_filtered, Deployment, ElementKind};
 use sdnav_grid::plan::Figure;
-use sdnav_grid::{GridResults, GridSpec, SimRow};
+use sdnav_grid::{GridResults, GridSpec, RetryPolicy, SimRow, SuperviseOptions};
 use sdnav_report::{minutes_per_year, Chart, Series, Table};
 use sdnav_sim::{replicate, SimConfig};
 
@@ -29,13 +30,24 @@ COMMANDS:
   sweep [--figures F,..] [--points N] [--replications R] [--threads T]
         [--seed S] [--horizon H] [--accelerate F] [--compute-hosts N]
         [--campaign FILE] [--crews N,..] [--ccf P,..]
-        [--format json] [--out FILE]
+        [--checkpoint FILE] [--resume] [--retries N] [--backoff-ms MS]
+        [--quarantine-out FILE] [--format json] [--out FILE]
                               batch-evaluate a whole scenario grid (figures
                               and optional simulation cells) in parallel;
                               --campaign adds chaos cells sweeping the
                               campaign over crew-count × common-cause
                               probability axes (default 1,2,3,4 ×
-                              0,0.25,0.5,0.75,1); run metrics go to stderr
+                              0,0.25,0.5,0.75,1); run metrics go to stderr.
+                              Cells run supervised: a panicking cell is
+                              retried --retries times with exponential
+                              backoff then quarantined (report to
+                              --quarantine-out or stderr) without killing
+                              the sweep. --checkpoint journals finished
+                              cells to an fsync'd WAL; --resume replays it
+                              and recomputes only the rest, byte-identical
+                              to an uninterrupted run. SIGINT/SIGTERM drain
+                              in-flight cells, seal the WAL and emit the
+                              partial results with an `incomplete` marker
   fmea [--order N] [--scenario S] [--layout L] [--sw-only]
                               enumerate minimal failure modes
   importance [--scenario S] [--layout L]
@@ -52,13 +64,17 @@ COMMANDS:
   spec [--out FILE]           dump the OpenContrail 3.x spec as JSON
   chaos run --campaign FILE [--layout L] [--scenario S] [--seed S]
             [--horizon H] [--accelerate F] [--compute-hosts N]
-            [--format json] [--out FILE]
+            [--format json|digest] [--out FILE]
                               run a declarative fault-injection campaign
                               (scheduled faults, common-cause groups,
                               maintenance windows, crew pools, latent
                               faults) and print the outage-attribution
                               ledger; --format json emits the
                               deterministic sdnav-chaos-report/v1 document
+                              and --format digest the compact
+                              sdnav-chaos-digest/v1 summary (per-array
+                              SHA-256 + first/last rows) used for golden
+                              diffing in CI
   lint [--format json|sarif] [--deny-warnings] [--topology FILE]
        [--block FILE] [--spec-set FILE] [--campaign FILE]
        [--fix] [--dry-run]
@@ -80,16 +96,21 @@ COMMON OPTIONS:
   --layout small|medium|large (default: small)
   --scenario required|not-required (default: not-required)
 
-EXIT CODES: 0 success, 1 analysis/input failure, 2 usage error
+EXIT CODES: 0 success, 1 analysis/input failure, 2 usage error,
+            3 partial results (sweep interrupted or cells quarantined)
 ";
 
 /// How a run failed, mapped onto the process exit code: bad invocations
 /// (unknown commands, malformed option values) exit 2; well-formed requests
-/// that fail (unreadable files, invalid models, lint findings) exit 1.
+/// that fail (unreadable files, invalid models, lint findings) exit 1; a
+/// supervised sweep that still emitted (partial) results — interrupted by
+/// SIGINT/SIGTERM, or with cells quarantined after their retry budget —
+/// exits 3 so callers can distinguish "resume me" from "broken".
 #[derive(Debug)]
 enum CliError {
     Usage(String),
     Failure(String),
+    Partial(String),
 }
 
 impl CliError {
@@ -97,12 +118,13 @@ impl CliError {
         match self {
             CliError::Usage(_) => ExitCode::from(2),
             CliError::Failure(_) => ExitCode::from(1),
+            CliError::Partial(_) => ExitCode::from(3),
         }
     }
 
     fn message(&self) -> &str {
         match self {
-            CliError::Usage(m) | CliError::Failure(m) => m,
+            CliError::Usage(m) | CliError::Failure(m) | CliError::Partial(m) => m,
         }
     }
 }
@@ -127,7 +149,11 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {}", e.message());
+            if matches!(e, CliError::Partial(_)) {
+                eprintln!("partial: {}", e.message());
+            } else {
+                eprintln!("error: {}", e.message());
+            }
             if matches!(e, CliError::Usage(_)) {
                 eprintln!("try `sdnav help`");
             }
@@ -542,7 +568,29 @@ fn sweep(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     }
     let grid = builder.build().map_err(|e| failure(e.to_string()))?;
 
-    let outcome = sdnav_grid::evaluate(spec, &grid).map_err(|e| failure(e.to_string()))?;
+    let checkpoint = args.get("checkpoint").map(std::path::PathBuf::from);
+    if args.has_flag("resume") && checkpoint.is_none() {
+        return Err(usage("--resume requires --checkpoint <file>"));
+    }
+    let retries = args.get_usize("retries", 2).map_err(usage)?;
+    let retry = RetryPolicy {
+        max_retries: u32::try_from(retries)
+            .map_err(|_| usage(format!("--retries is out of range, got {retries}")))?,
+        backoff_base_ms: args.get_usize("backoff-ms", 50).map_err(usage)? as u64,
+    };
+    let inject_panic = optional_usize(args, "inject-panic")?;
+    let cancel_after_cells = optional_usize(args, "cancel-after-cells")?;
+    signals::install();
+    let opts = SuperviseOptions {
+        retry,
+        checkpoint: checkpoint.as_deref(),
+        resume: args.has_flag("resume"),
+        shutdown: Some(&signals::SHUTDOWN),
+        inject_panic,
+        cancel_after_cells,
+    };
+    let outcome =
+        sdnav_grid::evaluate_supervised(spec, &grid, &opts).map_err(|e| failure(e.to_string()))?;
 
     // Results (reproducible) go to stdout / --out; metrics (run-varying
     // timings) go to stderr so byte-comparing two runs' outputs works.
@@ -585,7 +633,47 @@ fn sweep(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
             eprint!("{}", outcome.metrics.render());
         }
     }
+
+    if !outcome.quarantine.is_empty() {
+        let json = sdnav_json::to_string_pretty(&outcome.quarantine);
+        match args.get("quarantine-out") {
+            Some(path) => {
+                std::fs::write(path, format!("{json}\n"))
+                    .map_err(|e| failure(format!("cannot write {path}: {e}")))?;
+                eprintln!("wrote quarantine report to {path}");
+            }
+            None => eprintln!("{json}"),
+        }
+    }
+    if outcome.interrupted || !outcome.quarantine.is_empty() {
+        let mut reasons = Vec::new();
+        if outcome.interrupted {
+            reasons.push(
+                "sweep interrupted before every cell ran \
+                 (resume with --checkpoint <file> --resume)"
+                    .to_owned(),
+            );
+        }
+        if !outcome.quarantine.is_empty() {
+            reasons.push(format!(
+                "{} cell(s) quarantined after exhausting retries",
+                outcome.quarantine.len()
+            ));
+        }
+        return Err(CliError::Partial(reasons.join("; ")));
+    }
     Ok(())
+}
+
+/// An optional `--key N` integer (absent stays `None`).
+fn optional_usize(args: &Args, key: &str) -> Result<Option<usize>, CliError> {
+    match args.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| usage(format!("--{key} expects an integer, got {v:?}"))),
+    }
 }
 
 fn fmea(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
@@ -824,8 +912,12 @@ fn chaos(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     let report = sdnav_chaos::report(&campaign, &result);
 
     match args.get("format") {
-        Some("json") => {
-            let json = report.to_pretty();
+        Some(format @ ("json" | "digest")) => {
+            let json = if format == "digest" {
+                sdnav_chaos::digest_report(&report).to_pretty()
+            } else {
+                report.to_pretty()
+            };
             match args.get("out") {
                 Some(out) => {
                     std::fs::write(out, format!("{json}\n"))
@@ -835,7 +927,11 @@ fn chaos(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
                 None => println!("{json}"),
             }
         }
-        Some(other) => return Err(usage(format!("--format must be `json`, got {other:?}"))),
+        Some(other) => {
+            return Err(usage(format!(
+                "--format must be `json` or `digest`, got {other:?}"
+            )))
+        }
         None => {
             let ledger = result.ledger.as_ref().expect("injected run has a ledger");
             println!(

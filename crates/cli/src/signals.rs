@@ -1,0 +1,52 @@
+//! Graceful-shutdown signal handling for long sweeps.
+//!
+//! `install` registers SIGINT/SIGTERM handlers that only set a process-wide
+//! [`AtomicBool`] — the one async-signal-safe thing a handler may do. The
+//! supervised grid executor polls the flag between cells: in-flight cells
+//! drain, the checkpoint WAL is sealed, and the partial results are still
+//! emitted (with the `incomplete` marker and exit code 3) instead of the
+//! default die-mid-write behavior.
+
+use std::sync::atomic::AtomicBool;
+
+/// Set by the signal handler; polled by the supervised executor.
+pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    /// POSIX `sighandler_t`. The return value (the previous handler) is
+    /// pointer-sized; we never inspect it.
+    type Handler = extern "C" fn(i32);
+
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Atomics are async-signal-safe; nothing else here is allowed to
+        // allocate, lock or print.
+        super::SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Routes SIGINT/SIGTERM into [`SHUTDOWN`] (no-op off Unix).
+pub fn install() {
+    imp::install();
+}

@@ -596,6 +596,214 @@ fn sweep_campaign_json_is_valid_and_parseable() {
     assert_eq!(sdnav_code(&["sweep", "--ccf", "0.5"]), 2);
 }
 
+/// Scratch path unique to this test binary run.
+fn scratch_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("sdnav-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}_{name}", std::process::id()))
+}
+
+/// The small supervised-sweep workload shared by the robustness tests.
+const SMALL_SWEEP: &[&str] = &[
+    "sweep",
+    "--figures",
+    "fig4",
+    "--points",
+    "2",
+    "--replications",
+    "1",
+    "--horizon",
+    "2000",
+    "--accelerate",
+    "500",
+    "--format",
+    "json",
+];
+
+#[test]
+fn sweep_quarantines_injected_panic_and_exits_partial() {
+    let partial = scratch_path("quarantine_partial.json");
+    let quarantine = scratch_path("quarantine_report.json");
+    let out = sdnav_raw(
+        &[
+            SMALL_SWEEP,
+            &[
+                "--inject-panic",
+                "1",
+                "--retries",
+                "1",
+                "--backoff-ms",
+                "1",
+                "--out",
+                partial.to_str().unwrap(),
+                "--quarantine-out",
+                quarantine.to_str().unwrap(),
+            ],
+        ]
+        .concat(),
+    );
+    // Partial success: quarantined cells ⇒ documented exit code 3.
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("partial:"), "{stderr}");
+    assert!(stderr.contains("quarantined"), "{stderr}");
+
+    // The rest of the grid still produced results, marked incomplete.
+    let results = std::fs::read_to_string(&partial).unwrap();
+    assert!(results.contains("\"incomplete\": true"), "{results}");
+    assert!(results.contains("sdnav-sweep-results/v1"));
+
+    // The quarantine report names the cell, its seed, and the panic.
+    let report = std::fs::read_to_string(&quarantine).unwrap();
+    assert!(
+        report.contains("\"schema\": \"sdnav-quarantine/v1\""),
+        "{report}"
+    );
+    assert!(report.contains("injected panic"), "{report}");
+    assert!(report.contains("\"attempts\": 2"), "1 attempt + 1 retry");
+    for p in [partial, quarantine] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn sweep_checkpoint_resume_is_byte_identical_across_threads() {
+    let wal = scratch_path("resume.wal");
+    std::fs::remove_file(&wal).ok();
+    let golden = sdnav_raw(SMALL_SWEEP);
+    assert!(golden.status.success());
+
+    // Interrupt after one fresh cell on one thread...
+    let partial = sdnav_raw(
+        &[
+            SMALL_SWEEP,
+            &[
+                "--threads",
+                "1",
+                "--checkpoint",
+                wal.to_str().unwrap(),
+                "--cancel-after-cells",
+                "1",
+            ],
+        ]
+        .concat(),
+    );
+    assert_eq!(partial.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&partial.stderr);
+    assert!(stderr.contains("resume with --checkpoint"), "{stderr}");
+    assert!(
+        String::from_utf8_lossy(&partial.stdout).contains("\"incomplete\": true"),
+        "partial results must carry the incomplete marker"
+    );
+
+    // ...and resume on four: byte-identical to the uninterrupted run.
+    let resumed = sdnav_raw(
+        &[
+            SMALL_SWEEP,
+            &[
+                "--threads",
+                "4",
+                "--checkpoint",
+                wal.to_str().unwrap(),
+                "--resume",
+            ],
+        ]
+        .concat(),
+    );
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(resumed.stdout, golden.stdout);
+    assert!(
+        String::from_utf8_lossy(&resumed.stderr).contains("\"restored\""),
+        "metrics must report replayed cells"
+    );
+    std::fs::remove_file(&wal).ok();
+}
+
+#[test]
+fn sweep_supervision_flags_are_usage_checked() {
+    assert_eq!(sdnav_code(&["sweep", "--resume"]), 2);
+    assert_eq!(sdnav_code(&["sweep", "--retries", "-1"]), 2);
+    assert_eq!(sdnav_code(&["sweep", "--inject-panic", "abc"]), 2);
+}
+
+#[cfg(unix)]
+#[test]
+fn sweep_sigint_drains_seals_wal_and_exits_partial() {
+    let wal = scratch_path("sigint.wal");
+    let out_file = scratch_path("sigint_partial.json");
+    std::fs::remove_file(&wal).ok();
+    // A workload long enough that SIGINT lands mid-run even on fast hosts.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sdnav"))
+        .args([
+            "sweep",
+            "--points",
+            "5",
+            "--replications",
+            "6",
+            "--horizon",
+            "50000",
+            "--accelerate",
+            "100",
+            "--threads",
+            "2",
+            "--format",
+            "json",
+            "--checkpoint",
+            wal.to_str().unwrap(),
+            "--out",
+            out_file.to_str().unwrap(),
+        ])
+        .spawn()
+        .expect("binary spawns");
+    std::thread::sleep(std::time::Duration::from_millis(1500));
+    let interrupted = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("kill runs")
+        .success();
+    assert!(interrupted, "SIGINT delivery failed");
+    let status = child.wait().expect("child exits");
+    // Graceful shutdown: partial-success exit, sealed WAL, partial output
+    // with the incomplete marker.
+    assert_eq!(status.code(), Some(3), "expected partial-success exit");
+    assert!(wal.metadata().map(|m| m.len() > 0).unwrap_or(false));
+    let results = std::fs::read_to_string(&out_file).unwrap();
+    assert!(results.contains("\"incomplete\": true"), "{results}");
+    std::fs::remove_file(&wal).ok();
+    std::fs::remove_file(&out_file).ok();
+}
+
+#[test]
+fn chaos_digest_format_summarizes_report() {
+    let (ok, stdout, stderr) = sdnav(&[
+        "chaos",
+        "run",
+        "--campaign",
+        &fixture("clean_rack_fail.campaign.json"),
+        "--horizon",
+        "100",
+        "--accelerate",
+        "1",
+        "--format",
+        "digest",
+    ]);
+    assert!(ok, "{stdout}{stderr}");
+    let digest = sdnav_json::Json::parse(&stdout).expect("digest must be valid JSON");
+    assert_eq!(
+        digest.field("schema").unwrap().as_str().unwrap(),
+        "sdnav-chaos-digest/v1"
+    );
+    assert_eq!(
+        digest.field("source_schema").unwrap().as_str().unwrap(),
+        "sdnav-chaos-report/v1"
+    );
+    assert_eq!(sdnav_code(&["chaos", "run", "--format", "yaml"]), 2);
+}
+
 #[test]
 fn simulate_smoke() {
     let (ok, stdout, _) = sdnav(&[

@@ -50,14 +50,23 @@ use sdnav_json::{Json, ToJson};
 use sdnav_sim::{ConfigError, Estimate, SimBuildError, SimConfig, Simulation, Welford};
 
 pub mod cache;
+pub mod checkpoint;
 pub mod metrics;
 pub mod plan;
 pub mod pool;
+pub mod quarantine;
+pub mod supervise;
 
 use cache::{SubModelCache, SubModelKey};
 use metrics::{RunMetrics, StageTimings};
 use plan::{item_seed, plan_chaos_items, plan_items, Figure, SimTopology, WorkItem};
 use sdnav_chaos::{ChaosSpec, CrewDiscipline, CrewSpec, InjectionKind};
+
+pub use quarantine::{QuarantineRecord, QuarantineReport};
+pub use supervise::{
+    evaluate_supervised, run_supervised, Cell, CellMeta, RetryPolicy, SuperviseOptions,
+    SupervisedOutcome, SupervisedRun,
+};
 
 /// What a grid run should cover. Build one with [`GridSpec::builder`].
 #[derive(Debug, Clone, PartialEq)]
@@ -254,6 +263,9 @@ pub enum GridError {
     /// The chaos campaign failed to compile against a grid cell's
     /// simulation (message from [`sdnav_chaos::CompileError`]).
     Campaign(String),
+    /// The checkpoint WAL could not be written, replayed, or matched
+    /// against this run's identity (see [`checkpoint`]).
+    Checkpoint(String),
 }
 
 impl fmt::Display for GridError {
@@ -264,6 +276,7 @@ impl fmt::Display for GridError {
             GridError::Config(e) => write!(f, "invalid simulation config: {e}"),
             GridError::Sim(e) => write!(f, "cannot build simulation: {e}"),
             GridError::Campaign(e) => write!(f, "cannot compile chaos campaign: {e}"),
+            GridError::Checkpoint(e) => write!(f, "{e}"),
         }
     }
 }
@@ -404,14 +417,24 @@ pub struct GridResults {
     /// Chaos-campaign cells (empty when no campaign was set). Additive to
     /// the `sdnav-sweep-results/v1` schema.
     pub chaos: Vec<ChaosRow>,
+    /// Whether the run stopped short (graceful shutdown) or quarantined
+    /// cells, leaving rows missing. Complete runs leave this `false` and
+    /// omit the marker from the JSON, so complete output is byte-identical
+    /// to what the unsupervised evaluator emits.
+    pub incomplete: bool,
 }
 
 impl ToJson for GridResults {
     fn to_json(&self) -> Json {
         let rows = |items: &[Fig3Row]| Json::Arr(items.iter().map(ToJson::to_json).collect());
         let sw_rows = |items: &[SwSweepRow]| Json::Arr(items.iter().map(ToJson::to_json).collect());
-        Json::obj(vec![
-            ("schema", Json::str("sdnav-sweep-results/v1")),
+        let mut fields = vec![("schema", Json::str("sdnav-sweep-results/v1"))];
+        if self.incomplete {
+            // Additive marker: only partial output carries it, so complete
+            // runs stay byte-compatible with pre-supervision consumers.
+            fields.push(("incomplete", Json::Bool(true)));
+        }
+        fields.extend(vec![
             ("fig3", rows(&self.fig3)),
             ("fig4", sw_rows(&self.fig4)),
             ("fig5", sw_rows(&self.fig5)),
@@ -423,7 +446,8 @@ impl ToJson for GridResults {
                 "chaos",
                 Json::Arr(self.chaos.iter().map(ToJson::to_json).collect()),
             ),
-        ])
+        ]);
+        Json::obj(fields)
     }
 }
 
@@ -438,6 +462,7 @@ pub struct GridOutcome {
 }
 
 /// Per-item output, folded back into [`GridResults`] in plan order.
+#[derive(Debug)]
 enum ItemOutput {
     Fig3(Fig3Row),
     Sw(Figure, SwSweepRow),
@@ -686,25 +711,18 @@ impl EvalCtx<'_> {
     }
 }
 
-/// Evaluates a grid: plans the items, executes them on the pool, and
-/// aggregates results in plan order.
-///
-/// # Errors
-///
-/// Returns the first [`GridError`] encountered (in plan order, regardless
-/// of execution order).
-pub fn evaluate(spec: &ControllerSpec, grid: &GridSpec) -> Result<GridOutcome, GridError> {
-    let threads = if grid.threads == 0 {
+/// Resolves the worker-thread count (0 = one per available CPU).
+fn resolve_threads(grid: &GridSpec) -> usize {
+    if grid.threads == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
         grid.threads
-    };
+    }
+}
 
-    let plan_start = Instant::now();
-    let hw_base = HwParams::paper_defaults();
-    let sw_base = SwParams::paper_defaults();
-    hw_base.try_validate()?;
-    sw_base.try_validate()?;
+/// Expands the grid into the canonical work-item order (figures, sim
+/// cells, then chaos cells).
+fn build_items(grid: &GridSpec) -> Vec<WorkItem> {
     let mut items = plan_items(&grid.figures, grid.points, grid.replications);
     if grid.chaos_campaign.is_some() {
         items.extend(plan_chaos_items(
@@ -712,8 +730,21 @@ pub fn evaluate(spec: &ControllerSpec, grid: &GridSpec) -> Result<GridOutcome, G
             &grid.chaos_ccf_probabilities,
         ));
     }
-    let cache = SubModelCache::new();
-    let ctx = EvalCtx {
+    items
+}
+
+/// Validates the base parameter sets and assembles the shared evaluation
+/// context.
+fn build_ctx<'a>(
+    spec: &'a ControllerSpec,
+    grid: &'a GridSpec,
+    cache: &'a SubModelCache,
+) -> Result<EvalCtx<'a>, GridError> {
+    let hw_base = HwParams::paper_defaults();
+    let sw_base = SwParams::paper_defaults();
+    hw_base.try_validate()?;
+    sw_base.try_validate()?;
+    Ok(EvalCtx {
         spec,
         small: Topology::small(spec),
         medium: Topology::medium(spec),
@@ -721,8 +752,47 @@ pub fn evaluate(spec: &ControllerSpec, grid: &GridSpec) -> Result<GridOutcome, G
         hw_base,
         sw_base,
         grid,
-        cache: &cache,
-    };
+        cache,
+    })
+}
+
+/// Folds one item output into the result tables (outputs must arrive in
+/// plan order).
+fn fold_output(results: &mut GridResults, sim_events: &mut u64, output: ItemOutput) {
+    match output {
+        ItemOutput::Fig3(row) => results.fig3.push(row),
+        ItemOutput::Sw(Figure::Fig4, row) => results.fig4.push(row),
+        ItemOutput::Sw(_, row) => results.fig5.push(row),
+        ItemOutput::Sim(row) => {
+            *sim_events += row.events;
+            results.sim.push(row);
+        }
+        ItemOutput::Chaos(row) => {
+            *sim_events += row.events;
+            results.chaos.push(row);
+        }
+    }
+}
+
+/// Evaluates a grid: plans the items, executes them on the pool, and
+/// aggregates results in plan order.
+///
+/// This is the plain complete-or-error evaluator: a panicking item unwinds
+/// through the pool. Long-running or interruption-tolerant callers should
+/// use [`evaluate_supervised`] instead, which isolates panics, journals a
+/// checkpoint, and emits partial results on shutdown.
+///
+/// # Errors
+///
+/// Returns the first [`GridError`] encountered (in plan order, regardless
+/// of execution order).
+pub fn evaluate(spec: &ControllerSpec, grid: &GridSpec) -> Result<GridOutcome, GridError> {
+    let threads = resolve_threads(grid);
+
+    let plan_start = Instant::now();
+    let items = build_items(grid);
+    let cache = SubModelCache::new();
+    let ctx = build_ctx(spec, grid, &cache)?;
     let plan_ms = plan_start.elapsed().as_secs_f64() * 1e3;
 
     let execute_start = Instant::now();
@@ -733,19 +803,7 @@ pub fn evaluate(spec: &ControllerSpec, grid: &GridSpec) -> Result<GridOutcome, G
     let mut results = GridResults::default();
     let mut sim_events = 0u64;
     for output in outputs {
-        match output? {
-            ItemOutput::Fig3(row) => results.fig3.push(row),
-            ItemOutput::Sw(Figure::Fig4, row) => results.fig4.push(row),
-            ItemOutput::Sw(_, row) => results.fig5.push(row),
-            ItemOutput::Sim(row) => {
-                sim_events += row.events;
-                results.sim.push(row);
-            }
-            ItemOutput::Chaos(row) => {
-                sim_events += row.events;
-                results.chaos.push(row);
-            }
-        }
+        fold_output(&mut results, &mut sim_events, output?);
     }
     let aggregate_ms = aggregate_start.elapsed().as_secs_f64() * 1e3;
 
@@ -772,6 +830,9 @@ pub fn evaluate(spec: &ControllerSpec, grid: &GridSpec) -> Result<GridOutcome, G
                 .map(|row| row.replications as u64)
                 .sum::<u64>(),
         sim_events,
+        retries: 0,
+        quarantined: 0,
+        restored: 0,
     };
     Ok(GridOutcome { results, metrics })
 }

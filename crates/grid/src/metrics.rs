@@ -47,6 +47,12 @@ pub struct RunMetrics {
     pub sim_replications: u64,
     /// Total simulation events processed.
     pub sim_events: u64,
+    /// Panicked item attempts that were retried by the supervisor.
+    pub retries: u64,
+    /// Items quarantined after exhausting their retry budget.
+    pub quarantined: u64,
+    /// Items restored from the checkpoint WAL instead of recomputed.
+    pub restored: u64,
 }
 
 impl RunMetrics {
@@ -62,7 +68,8 @@ impl RunMetrics {
              stage aggregate  : {:.2} ms\n  \
              cache            : {} hits / {} misses\n  \
              steals           : {}\n  \
-             sim              : {} replications, {} events\n",
+             sim              : {} replications, {} events\n  \
+             supervision      : {} retries, {} quarantined, {} restored\n",
             self.threads,
             self.items,
             self.items_per_sec,
@@ -74,6 +81,9 @@ impl RunMetrics {
             self.steals,
             self.sim_replications,
             self.sim_events,
+            self.retries,
+            self.quarantined,
+            self.restored,
         )
     }
 }
@@ -109,6 +119,14 @@ impl ToJson for RunMetrics {
                     ("events", Json::Num(self.sim_events as f64)),
                 ]),
             ),
+            (
+                "supervision",
+                Json::obj(vec![
+                    ("retries", Json::Num(self.retries as f64)),
+                    ("quarantined", Json::Num(self.quarantined as f64)),
+                    ("restored", Json::Num(self.restored as f64)),
+                ]),
+            ),
         ])
     }
 }
@@ -132,6 +150,9 @@ mod tests {
             steals: 3,
             sim_replications: 40,
             sim_events: 123_456,
+            retries: 2,
+            quarantined: 1,
+            restored: 5,
         }
     }
 
@@ -145,6 +166,9 @@ mod tests {
             "88 misses",
             "steals",
             "replications",
+            "2 retries",
+            "1 quarantined",
+            "5 restored",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

@@ -1,0 +1,109 @@
+//! Structured quarantine reporting for supervised execution.
+//!
+//! A work item whose evaluation panics is retried (see
+//! [`crate::supervise::RetryPolicy`]); once the retry budget is exhausted
+//! the item is *quarantined* — recorded here with enough identity (plan
+//! index, human label, derived seed) to replay it in isolation — and the
+//! pool keeps running. The report serializes as `sdnav-quarantine/v1`.
+
+use sdnav_json::{Json, ToJson};
+
+/// One work item that exhausted its retry budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// Position of the item in the canonical plan order.
+    pub index: usize,
+    /// Human-readable identity of the item (its grid coordinates).
+    pub label: String,
+    /// The identity-derived RNG seed the item ran with, for replay.
+    pub seed: u64,
+    /// Total execution attempts, including the first.
+    pub attempts: u32,
+    /// Panic payload of the final attempt (when it was a string).
+    pub panic_message: String,
+}
+
+impl ToJson for QuarantineRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("index", Json::Num(self.index as f64)),
+            ("item", Json::str(&self.label)),
+            // Seeds use the full u64 range; serialize as a decimal string
+            // so the f64-backed JSON layer cannot round them.
+            ("seed", Json::str(self.seed.to_string())),
+            ("attempts", Json::Num(f64::from(self.attempts))),
+            ("panic_message", Json::str(&self.panic_message)),
+        ])
+    }
+}
+
+/// Every quarantined item of one supervised run.
+///
+/// Serialized as `sdnav-quarantine/v1`. An empty report means the run
+/// needed no quarantine at all (it is still produced, so callers can gate
+/// on [`QuarantineReport::is_empty`] rather than an `Option`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Quarantined items in plan order.
+    pub records: Vec<QuarantineRecord>,
+}
+
+impl QuarantineReport {
+    /// Whether no item was quarantined.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of quarantined items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+}
+
+impl ToJson for QuarantineReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str("sdnav-quarantine/v1")),
+            ("quarantined", Json::Num(self.records.len() as f64)),
+            (
+                "cells",
+                Json::Arr(self.records.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_schema_and_records() {
+        let report = QuarantineReport {
+            records: vec![QuarantineRecord {
+                index: 3,
+                label: "sim x=0 Small supervisor".into(),
+                seed: u64::MAX,
+                attempts: 3,
+                panic_message: "boom".into(),
+            }],
+        };
+        assert!(!report.is_empty());
+        assert_eq!(report.len(), 1);
+        let json = sdnav_json::to_string(&report);
+        assert!(json.contains("sdnav-quarantine/v1"));
+        assert!(json.contains("\"attempts\":3"));
+        // u64::MAX survives as a decimal string, not a rounded float.
+        assert!(json.contains("\"18446744073709551615\""));
+    }
+
+    #[test]
+    fn empty_report_is_empty() {
+        let report = QuarantineReport::default();
+        assert!(report.is_empty());
+        assert_eq!(report.len(), 0);
+        assert!(sdnav_json::to_string(&report).contains("\"quarantined\":0"));
+    }
+}

@@ -1,0 +1,556 @@
+//! Supervised execution: panic isolation, retry with backoff, quarantine,
+//! checkpoint/resume, and graceful-shutdown partial results.
+//!
+//! The paper's §VI argues that a supervised process barely dents
+//! availability while an unsupervised one dominates downtime. The same
+//! holds for the analysis machinery itself: one panicking grid cell (or an
+//! interrupted CI job) must not throw away hours of Monte-Carlo work. This
+//! module wraps the work-stealing pool ([`crate::pool`]) in a supervisor:
+//!
+//! * every work item runs under [`std::panic::catch_unwind`];
+//! * a panicking item is retried with bounded exponential backoff
+//!   ([`RetryPolicy`]) and, once the budget is spent, quarantined into a
+//!   structured [`QuarantineReport`] instead of killing the pool;
+//! * completed cell outputs are journaled to an fsync'd checkpoint WAL
+//!   ([`crate::checkpoint`]) so a killed run resumes without recomputing;
+//! * a shutdown flag (wired to SIGINT/SIGTERM by the CLI) drains in-flight
+//!   cells, seals the WAL, and still emits the partial results.
+//!
+//! Because per-item seeds are identity-derived ([`crate::plan::item_seed`]),
+//! a resumed run is byte-identical to an uninterrupted one.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use sdnav_core::ControllerSpec;
+
+use crate::cache::SubModelCache;
+use crate::checkpoint::{fingerprint, CheckpointWal};
+use crate::metrics::{RunMetrics, StageTimings};
+use crate::plan::item_seed;
+use crate::quarantine::{QuarantineRecord, QuarantineReport};
+use crate::{pool, GridError, GridResults, GridSpec, ItemOutput};
+
+/// Bounded exponential backoff between retries of a panicked item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (0 = quarantine immediately).
+    pub max_retries: u32,
+    /// Sleep before retry `n` is `backoff_base_ms << (n - 1)` milliseconds.
+    pub backoff_base_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_base_ms: 50,
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn backoff_ms(&self, completed_attempts: u32) -> u64 {
+        // Shift capped so a generous retry budget cannot overflow.
+        self.backoff_base_ms
+            .saturating_mul(1u64 << completed_attempts.min(16))
+    }
+}
+
+/// Identity attached to a quarantined item (see [`run_supervised`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellMeta {
+    /// Human-readable identity (grid coordinates, replication tag, …).
+    pub label: String,
+    /// RNG seed the item ran with, for replay in isolation.
+    pub seed: u64,
+}
+
+/// Outcome of one supervised work item.
+#[derive(Debug)]
+pub enum Cell<T> {
+    /// The item completed (possibly after retries).
+    Done(T),
+    /// The item panicked past its retry budget and was quarantined.
+    Quarantined(QuarantineRecord),
+}
+
+/// Everything [`run_supervised`] reports back.
+#[derive(Debug)]
+pub struct SupervisedRun<T> {
+    /// Per-item outcomes in item order.
+    pub cells: Vec<Cell<T>>,
+    /// Pool execution counters.
+    pub stats: pool::PoolStats,
+    /// Retries performed across all items.
+    pub retries: u64,
+}
+
+/// Extracts a displayable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs `f` over every item on the work-stealing pool with panic
+/// supervision: a panicking item is retried per `policy` and finally
+/// quarantined (with the identity `meta` reports) instead of unwinding
+/// through the pool. Results keep item order, so supervised execution is
+/// as thread-count-independent as the unsupervised pool.
+pub fn run_supervised<I, T, M, F>(
+    threads: usize,
+    items: &[I],
+    policy: RetryPolicy,
+    meta: M,
+    f: F,
+) -> SupervisedRun<T>
+where
+    I: Sync,
+    T: Send,
+    M: Fn(usize, &I) -> CellMeta + Sync,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let retries = AtomicU64::new(0);
+    let (cells, stats) = pool::execute(threads, items, |index, item| {
+        let mut attempts: u32 = 0;
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| f(index, item))) {
+                Ok(value) => return Cell::Done(value),
+                Err(payload) => {
+                    attempts += 1;
+                    let message = panic_message(payload.as_ref());
+                    if attempts > policy.max_retries {
+                        let CellMeta { label, seed } = meta(index, item);
+                        return Cell::Quarantined(QuarantineRecord {
+                            index,
+                            label,
+                            seed,
+                            attempts,
+                            panic_message: message,
+                        });
+                    }
+                    retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(policy.backoff_ms(attempts - 1)));
+                }
+            }
+        }
+    });
+    SupervisedRun {
+        cells,
+        stats,
+        retries: retries.into_inner(),
+    }
+}
+
+/// Options for [`evaluate_supervised`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SuperviseOptions<'a> {
+    /// Retry/backoff budget for panicking items.
+    pub retry: RetryPolicy,
+    /// Journal completed cells to this WAL path.
+    pub checkpoint: Option<&'a std::path::Path>,
+    /// Replay journaled cells from the WAL before executing the rest.
+    pub resume: bool,
+    /// Externally owned shutdown flag (the CLI wires SIGINT/SIGTERM to
+    /// it). Once set, not-yet-started cells are skipped; in-flight cells
+    /// drain normally.
+    pub shutdown: Option<&'a AtomicBool>,
+    /// Test/CI hook: the item at this plan index panics on every attempt.
+    pub inject_panic: Option<usize>,
+    /// Test/CI hook: request shutdown after this many freshly computed
+    /// cells, simulating an interrupt at a deterministic point.
+    pub cancel_after_cells: Option<usize>,
+}
+
+/// What a supervised grid run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedOutcome {
+    /// Aggregated results; [`GridResults::incomplete`] is set when any
+    /// cell was skipped (shutdown) or quarantined.
+    pub results: GridResults,
+    /// Run metrics, including supervision counters.
+    pub metrics: RunMetrics,
+    /// Quarantined cells (empty on a clean run).
+    pub quarantine: QuarantineReport,
+    /// Whether a shutdown request cut the run short.
+    pub interrupted: bool,
+}
+
+/// What the supervising closure reports per cell.
+enum EvalCell {
+    /// Freshly computed (journaled to the WAL when one is open).
+    Fresh(Result<ItemOutput, GridError>),
+    /// Replayed from the checkpoint WAL; not recomputed or re-journaled.
+    Restored(ItemOutput),
+    /// Skipped because shutdown was requested before the cell started.
+    Skipped,
+}
+
+/// Evaluates a grid under supervision (see the module docs). This is the
+/// path `sdnav sweep` runs on; [`crate::evaluate`] remains the plain
+/// complete-or-error evaluator for embedders that want panics to
+/// propagate.
+///
+/// # Errors
+///
+/// Returns the first [`GridError`] in plan order — model errors are
+/// deterministic, so unlike panics they are not retried — or a
+/// [`GridError::Checkpoint`] if the WAL cannot be written or replayed.
+pub fn evaluate_supervised(
+    spec: &ControllerSpec,
+    grid: &GridSpec,
+    opts: &SuperviseOptions<'_>,
+) -> Result<SupervisedOutcome, GridError> {
+    let threads = crate::resolve_threads(grid);
+
+    let plan_start = Instant::now();
+    let items = crate::build_items(grid);
+    let cache = SubModelCache::new();
+    let ctx = crate::build_ctx(spec, grid, &cache)?;
+
+    let mut restored_cells: Vec<Option<ItemOutput>> = Vec::new();
+    restored_cells.resize_with(items.len(), || None);
+    let mut wal = None;
+    if let Some(path) = opts.checkpoint {
+        let stamp = fingerprint(spec, grid);
+        if opts.resume {
+            let (handle, journaled) = CheckpointWal::resume(path, stamp)?;
+            for (index, output) in journaled {
+                if index < items.len() {
+                    restored_cells[index] = Some(output);
+                }
+            }
+            wal = Some(handle);
+        } else {
+            wal = Some(CheckpointWal::create(path, stamp)?);
+        }
+    }
+    let restored_count = restored_cells.iter().filter(|c| c.is_some()).count();
+    let restored: Vec<Mutex<Option<ItemOutput>>> =
+        restored_cells.into_iter().map(Mutex::new).collect();
+    let wal = wal.map(Mutex::new);
+    let fresh_done = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
+    let plan_ms = plan_start.elapsed().as_secs_f64() * 1e3;
+
+    let shutting_down = || {
+        cancelled.load(Ordering::Relaxed)
+            || opts
+                .shutdown
+                .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    };
+
+    let execute_start = Instant::now();
+    let run = run_supervised(
+        threads,
+        &items,
+        opts.retry,
+        |index, item| CellMeta {
+            label: format!("item {index}: {item:?}"),
+            seed: item_seed(grid.seed, item),
+        },
+        |index, item| {
+            if let Some(output) = restored[index].lock().expect("restored slot lock").take() {
+                return EvalCell::Restored(output);
+            }
+            if shutting_down() {
+                return EvalCell::Skipped;
+            }
+            if opts.inject_panic == Some(index) {
+                panic!("injected panic in work item {index}");
+            }
+            let result = ctx.eval(item);
+            if let (Ok(output), Some(wal)) = (&result, &wal) {
+                if let Err(e) = wal.lock().expect("wal lock").append_cell(index, output) {
+                    return EvalCell::Fresh(Err(e));
+                }
+            }
+            if result.is_ok() {
+                let done = fresh_done.fetch_add(1, Ordering::SeqCst) + 1;
+                if opts.cancel_after_cells.is_some_and(|k| done >= k) {
+                    cancelled.store(true, Ordering::SeqCst);
+                }
+            }
+            EvalCell::Fresh(result)
+        },
+    );
+    let execute_ms = execute_start.elapsed().as_secs_f64() * 1e3;
+
+    let aggregate_start = Instant::now();
+    let mut results = GridResults::default();
+    let mut sim_events = 0u64;
+    let mut quarantine = QuarantineReport::default();
+    let mut skipped = 0usize;
+    let mut journaled_cells = 0u64;
+    let mut first_error = None;
+    for cell in run.cells {
+        match cell {
+            Cell::Done(EvalCell::Fresh(Ok(output))) | Cell::Done(EvalCell::Restored(output)) => {
+                journaled_cells += 1;
+                crate::fold_output(&mut results, &mut sim_events, output);
+            }
+            Cell::Done(EvalCell::Fresh(Err(e))) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+            Cell::Done(EvalCell::Skipped) => skipped += 1,
+            Cell::Quarantined(record) => quarantine.records.push(record),
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    let interrupted = skipped > 0;
+    results.incomplete = interrupted || !quarantine.is_empty();
+
+    if let Some(wal) = wal {
+        let reason = if interrupted {
+            "interrupted"
+        } else if quarantine.is_empty() {
+            "complete"
+        } else {
+            "partial"
+        };
+        wal.into_inner()
+            .expect("wal lock")
+            .seal(reason, journaled_cells)?;
+    }
+    let aggregate_ms = aggregate_start.elapsed().as_secs_f64() * 1e3;
+
+    let metrics = RunMetrics {
+        threads: run.stats.workers,
+        items: items.len(),
+        stages: StageTimings {
+            plan_ms,
+            execute_ms,
+            aggregate_ms,
+        },
+        items_per_sec: if execute_ms > 0.0 {
+            items.len() as f64 / (execute_ms / 1e3)
+        } else {
+            0.0
+        },
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        steals: run.stats.steals,
+        sim_replications: (results.sim.len() * grid.replications) as u64
+            + results
+                .chaos
+                .iter()
+                .map(|row| row.replications as u64)
+                .sum::<u64>(),
+        sim_events,
+        retries: run.retries,
+        quarantined: quarantine.len() as u64,
+        restored: restored_count as u64,
+    };
+
+    Ok(SupervisedOutcome {
+        results,
+        metrics,
+        quarantine,
+        interrupted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Figure;
+    use std::path::PathBuf;
+
+    fn spec() -> ControllerSpec {
+        ControllerSpec::opencontrail_3x()
+    }
+
+    fn small_grid(threads: usize) -> GridSpec {
+        GridSpec::builder()
+            .figures(&[Figure::Fig4])
+            .points(2)
+            .replications(1)
+            .threads(threads)
+            .sim_horizon_hours(2_000.0)
+            .sim_accelerate(500.0)
+            .sim_compute_hosts(2)
+            .build()
+            .unwrap()
+    }
+
+    fn fast_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_base_ms: 1,
+        }
+    }
+
+    fn temp_wal(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "sdnav-supervise-{tag}-{}-{:?}.wal",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn supervised_matches_plain_evaluate_byte_for_byte() {
+        let s = spec();
+        let grid = small_grid(2);
+        let plain = crate::evaluate(&s, &grid).unwrap();
+        let supervised = evaluate_supervised(&s, &grid, &SuperviseOptions::default()).unwrap();
+        assert_eq!(
+            sdnav_json::to_string(&supervised.results),
+            sdnav_json::to_string(&plain.results)
+        );
+        assert!(!supervised.interrupted);
+        assert!(supervised.quarantine.is_empty());
+        assert_eq!(supervised.metrics.retries, 0);
+    }
+
+    #[test]
+    fn panicking_item_is_retried_then_quarantined_without_killing_pool() {
+        let s = spec();
+        let grid = small_grid(2);
+        let opts = SuperviseOptions {
+            retry: fast_retry(),
+            inject_panic: Some(1),
+            ..SuperviseOptions::default()
+        };
+        let outcome = evaluate_supervised(&s, &grid, &opts).unwrap();
+        // 2 fig4 + 8 sim cells planned; all but the quarantined fig4 cell
+        // completed.
+        assert_eq!(outcome.results.fig4.len(), 1);
+        assert_eq!(outcome.results.sim.len(), 8);
+        assert_eq!(outcome.quarantine.len(), 1);
+        let record = &outcome.quarantine.records[0];
+        assert_eq!(record.index, 1);
+        assert_eq!(record.attempts, 3, "first attempt + 2 retries");
+        assert!(record.panic_message.contains("injected panic"));
+        assert_eq!(outcome.metrics.retries, 2);
+        assert_eq!(outcome.metrics.quarantined, 1);
+        assert!(outcome.results.incomplete);
+        assert!(!outcome.interrupted, "quarantine is not an interrupt");
+        let json = sdnav_json::to_string(&outcome.results);
+        assert!(json.contains("\"incomplete\":true"));
+    }
+
+    #[test]
+    fn shutdown_flag_skips_remaining_cells_and_marks_incomplete() {
+        let s = spec();
+        let grid = small_grid(1);
+        let flag = AtomicBool::new(true); // Shutdown requested before start.
+        let opts = SuperviseOptions {
+            shutdown: Some(&flag),
+            ..SuperviseOptions::default()
+        };
+        let outcome = evaluate_supervised(&s, &grid, &opts).unwrap();
+        assert!(outcome.interrupted);
+        assert!(outcome.results.incomplete);
+        assert!(outcome.results.fig4.is_empty());
+        assert!(outcome.quarantine.is_empty());
+    }
+
+    #[test]
+    fn cancelled_run_resumes_to_byte_identical_results() {
+        let s = spec();
+        let path = temp_wal("resume");
+        std::fs::remove_file(&path).ok();
+        let reference =
+            sdnav_json::to_string(&crate::evaluate(&s, &small_grid(1)).unwrap().results);
+
+        let grid = small_grid(1);
+        let partial_opts = SuperviseOptions {
+            checkpoint: Some(&path),
+            cancel_after_cells: Some(2),
+            ..SuperviseOptions::default()
+        };
+        let partial = evaluate_supervised(&s, &grid, &partial_opts).unwrap();
+        assert!(partial.interrupted);
+        assert!(partial.results.incomplete);
+
+        // Resume on a different thread count: byte-identical completion.
+        let resumed_opts = SuperviseOptions {
+            checkpoint: Some(&path),
+            resume: true,
+            ..SuperviseOptions::default()
+        };
+        let resumed = evaluate_supervised(&s, &small_grid(4), &resumed_opts).unwrap();
+        assert!(!resumed.interrupted);
+        assert!(resumed.metrics.restored >= 2);
+        assert_eq!(sdnav_json::to_string(&resumed.results), reference);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_with_changed_grid_is_refused() {
+        let s = spec();
+        let path = temp_wal("refuse");
+        std::fs::remove_file(&path).ok();
+        let opts = SuperviseOptions {
+            checkpoint: Some(&path),
+            ..SuperviseOptions::default()
+        };
+        evaluate_supervised(&s, &small_grid(1), &opts).unwrap();
+
+        let mut reseeded = small_grid(1);
+        reseeded.seed = 999;
+        let resume_opts = SuperviseOptions {
+            checkpoint: Some(&path),
+            resume: true,
+            ..SuperviseOptions::default()
+        };
+        let err = evaluate_supervised(&s, &reseeded, &resume_opts).unwrap_err();
+        assert!(matches!(err, GridError::Checkpoint(_)), "got {err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_supervised_keeps_item_order_and_counts_retries() {
+        let items: Vec<usize> = (0..16).collect();
+        let policy = RetryPolicy {
+            max_retries: 1,
+            backoff_base_ms: 0,
+        };
+        let attempts = AtomicU64::new(0);
+        let run = run_supervised(
+            4,
+            &items,
+            policy,
+            |index, _| CellMeta {
+                label: format!("item {index}"),
+                seed: index as u64,
+            },
+            |_, &item| {
+                if item == 5 {
+                    // Panics on the first attempt only: the retry succeeds.
+                    if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                        panic!("transient");
+                    }
+                }
+                if item == 9 {
+                    panic!("permanent");
+                }
+                item * 2
+            },
+        );
+        assert_eq!(run.cells.len(), 16);
+        for (i, cell) in run.cells.iter().enumerate() {
+            match cell {
+                Cell::Done(v) => assert_eq!(*v, i * 2),
+                Cell::Quarantined(record) => {
+                    assert_eq!(i, 9);
+                    assert_eq!(record.attempts, 2);
+                    assert_eq!(record.panic_message, "permanent");
+                }
+            }
+        }
+        assert!(run.retries >= 2, "one transient + one permanent retry");
+    }
+}

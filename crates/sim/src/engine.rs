@@ -9,7 +9,8 @@ use rand::{Rng, SeedableRng};
 use sdnav_core::{ControllerSpec, Plane, RestartMode, Scenario, Topology};
 
 use crate::injection::{
-    AttributionLedger, Cause, InjectAction, InjectTarget, InjectionPlan, OutageRecord,
+    AttributionLedger, Cause, DpWindowRecord, InjectAction, InjectTarget, InjectionPlan,
+    OutageRecord,
 };
 use crate::{ConnectionModel, Estimate, SimConfig};
 
@@ -572,6 +573,9 @@ struct RunState<'p> {
     event_cause: Cause,
     /// Cause blamed for each compute host's current DP-down period.
     dp_down_cause: Vec<Cause>,
+    /// When each compute host's current DP-down period started (unclipped
+    /// event time; clipping to the measured window happens on close).
+    dp_down_since: Vec<Option<f64>>,
     injected_count: u64,
     revealed_count: u64,
     open_root: Cause,
@@ -612,6 +616,7 @@ impl<'p> RunState<'p> {
             downs_this_event: Vec::new(),
             event_cause: Cause::Organic,
             dp_down_cause: vec![Cause::Organic; cfg.compute_hosts],
+            dp_down_since: vec![None; cfg.compute_hosts],
             injected_count: 0,
             revealed_count: 0,
             open_root: Cause::Organic,
@@ -1372,12 +1377,17 @@ impl<'p> RunState<'p> {
             cp_state = cp_now;
             for (h, state) in dp_state.iter_mut().enumerate() {
                 let up = self.host_dp_up(sim, h);
-                if self.ledger.is_some() && *state && !up {
-                    self.dp_down_cause[h] = self
-                        .downs_this_event
-                        .last()
-                        .copied()
-                        .unwrap_or(self.event_cause);
+                if self.ledger.is_some() {
+                    if *state && !up {
+                        self.dp_down_cause[h] = self
+                            .downs_this_event
+                            .last()
+                            .copied()
+                            .unwrap_or(self.event_cause);
+                        self.dp_down_since[h] = Some(now);
+                    } else if !*state && up {
+                        self.close_dp_window(h, now, warmup, horizon);
+                    }
                 }
                 *state = up;
             }
@@ -1393,6 +1403,13 @@ impl<'p> RunState<'p> {
             dp_up_count,
         );
         self.accumulate_dp_ledger(now, horizon, &dp_state, warmup, horizon);
+        // DP windows still open at the horizon close there, truncated —
+        // mirroring the host-hours accumulation above.
+        for (h, &up) in dp_state.iter().enumerate() {
+            if !up {
+                self.close_dp_window(h, horizon, warmup, horizon);
+            }
+        }
 
         // An outage still open at the horizon counts, truncated.
         if let Some(start) = cp_down_since.take() {
@@ -1477,6 +1494,29 @@ impl<'p> RunState<'p> {
             }
             ledger.dp_down_host_hours[slot] += hi - lo;
         }
+    }
+
+    /// Closes host `h`'s open DP-down window at `end` and records it,
+    /// clipped to the measured window (fully-warmup windows are dropped,
+    /// matching the host-hours accumulation).
+    fn close_dp_window(&mut self, h: usize, end: f64, warmup: f64, horizon: f64) {
+        let Some(start) = self.dp_down_since[h].take() else {
+            return;
+        };
+        let Some(ledger) = self.ledger.as_mut() else {
+            return;
+        };
+        let lo = start.max(warmup);
+        let hi = end.min(horizon);
+        if hi <= lo {
+            return;
+        }
+        ledger.dp_windows.push(DpWindowRecord {
+            host: h,
+            start: lo,
+            end: hi,
+            cause: self.dp_down_cause[h],
+        });
     }
 }
 
@@ -1895,6 +1935,56 @@ mod tests {
         assert!((ledger.cp_outage_hours() - total).abs() < 1e-9);
         // DP downtime also blames the injection.
         assert!(ledger.dp_down_host_hours[crate::Cause::Injection(0).slot()] > 40.0);
+        // And the window records carry the same downtime as individual
+        // start/end/cause spans.
+        assert!(ledger
+            .dp_windows
+            .iter()
+            .any(|w| w.cause == crate::Cause::Injection(0)));
+    }
+
+    #[test]
+    fn dp_windows_account_for_dp_host_hours() {
+        let s = spec();
+        let topo = Topology::small(&s);
+        let mut cfg = SimConfig::paper_defaults(Scenario::SupervisorNotRequired).accelerated(200.0);
+        cfg.horizon_hours = 20_000.0;
+        cfg.compute_hosts = 3;
+        let sim = Simulation::try_new(&s, &topo, cfg).expect("valid simulation");
+        let warmup = cfg.horizon_hours * cfg.warmup_fraction;
+        let plan = crate::InjectionPlan {
+            labels: vec!["kill-rack0".into()],
+            events: vec![crate::PlannedEvent {
+                time: 8_000.0,
+                injection: 0,
+                target: crate::InjectTarget::Rack(0),
+                action: crate::InjectAction::Fail {
+                    repair_hours: Some(96.0),
+                },
+            }],
+            crews: None,
+        };
+        for seed in [1, 2, 3, 4, 5] {
+            let r = sim.run_injected(seed, &plan);
+            let ledger = r.ledger.expect("ledger recorded");
+            assert!(!ledger.dp_windows.is_empty(), "seed {seed} saw no windows");
+            for w in &ledger.dp_windows {
+                assert!(w.host < cfg.compute_hosts);
+                assert!(w.start < w.end, "empty window {w:?}");
+                assert!(w.start >= warmup && w.end <= cfg.horizon_hours);
+            }
+            // Per-cause window sums reproduce the aggregated host-hours
+            // (accumulation order differs, hence the tolerance).
+            let by_window = ledger.dp_window_hours_by_cause();
+            let by_hours = &ledger.dp_down_host_hours;
+            assert_eq!(by_window.len(), by_hours.len());
+            for (slot, (w, h)) in by_window.iter().zip(by_hours).enumerate() {
+                assert!(
+                    (w - h).abs() < 1e-6,
+                    "seed {seed} slot {slot}: windows {w} vs hours {h}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -166,6 +166,33 @@ impl OutageRecord {
     }
 }
 
+/// One per-host data-plane outage window.
+///
+/// Windows are clipped to the measured `[warmup, horizon]` interval, so
+/// summing their durations per cause reproduces
+/// [`AttributionLedger::dp_down_host_hours`] (up to floating-point
+/// accumulation order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpWindowRecord {
+    /// Compute-host index the window belongs to.
+    pub host: usize,
+    /// When the host's data plane went down (hours, clipped to warmup).
+    pub start: f64,
+    /// When it came back (clipped to the horizon if still open).
+    pub end: f64,
+    /// Cause of the transition that took the host down; fixed while the
+    /// host stays down.
+    pub cause: Cause,
+}
+
+impl DpWindowRecord {
+    /// Window length in hours.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
 /// The attribution timeline of one injected run.
 ///
 /// Control-plane outages follow the same window semantics as
@@ -181,6 +208,10 @@ pub struct AttributionLedger {
     /// ([`Cause::slot`]), accumulated over the measured window; a host's
     /// downtime is blamed on the cause of the transition that took it down.
     pub dp_down_host_hours: Vec<f64>,
+    /// Per-host data-plane outage windows (start/end/cause) in close
+    /// order, clipped to the measured window. The same downtime
+    /// `dp_down_host_hours` aggregates, kept as individual records.
+    pub dp_windows: Vec<DpWindowRecord>,
     /// Planned events actually applied (within the horizon).
     pub injected_events: u64,
     /// Latent faults revealed by a failover.
@@ -218,6 +249,22 @@ impl AttributionLedger {
                 hours.resize(slot + 1, 0.0);
             }
             hours[slot] += outage.duration();
+        }
+        hours
+    }
+
+    /// DP window-hours per cause slot, aggregated from [`Self::dp_windows`].
+    /// Equals [`Self::dp_down_host_hours`] up to floating-point
+    /// accumulation order — the cross-check the `claims_chaos` bin runs.
+    #[must_use]
+    pub fn dp_window_hours_by_cause(&self) -> Vec<f64> {
+        let mut hours = vec![0.0; self.dp_down_host_hours.len().max(1)];
+        for window in &self.dp_windows {
+            let slot = window.cause.slot();
+            if slot >= hours.len() {
+                hours.resize(slot + 1, 0.0);
+            }
+            hours[slot] += window.duration();
         }
         hours
     }
@@ -267,5 +314,33 @@ mod tests {
         assert_eq!(by_cause.len(), 3);
         assert!((by_cause[0] - 1.0).abs() < 1e-12);
         assert!((by_cause[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dp_windows_aggregate_per_cause() {
+        let mut ledger = AttributionLedger::new(1);
+        ledger.dp_windows.push(DpWindowRecord {
+            host: 0,
+            start: 5.0,
+            end: 8.0,
+            cause: Cause::Injection(0),
+        });
+        ledger.dp_windows.push(DpWindowRecord {
+            host: 1,
+            start: 6.0,
+            end: 7.5,
+            cause: Cause::Organic,
+        });
+        ledger.dp_windows.push(DpWindowRecord {
+            host: 0,
+            start: 20.0,
+            end: 21.0,
+            cause: Cause::Injection(0),
+        });
+        assert!((ledger.dp_windows[0].duration() - 3.0).abs() < 1e-12);
+        let by_cause = ledger.dp_window_hours_by_cause();
+        assert_eq!(by_cause.len(), 2);
+        assert!((by_cause[0] - 1.5).abs() < 1e-12);
+        assert!((by_cause[1] - 4.0).abs() < 1e-12);
     }
 }

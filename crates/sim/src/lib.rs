@@ -53,8 +53,8 @@ pub use config::{
 };
 pub use engine::{SimBuildError, SimResult, Simulation};
 pub use injection::{
-    AttributionLedger, Cause, CrewDiscipline, CrewPool, InjectAction, InjectTarget, InjectionPlan,
-    OutageRecord, PlannedEvent,
+    AttributionLedger, Cause, CrewDiscipline, CrewPool, DpWindowRecord, InjectAction, InjectTarget,
+    InjectionPlan, OutageRecord, PlannedEvent,
 };
 pub use replicate::{replicate, ReplicatedResult};
 pub use stats::{percentile, Estimate, Welford};

@@ -1,0 +1,99 @@
+//! Cross-crate resume-determinism property: a sweep interrupted after `k`
+//! of its cells and resumed from the checkpoint WAL — possibly on a
+//! different thread count — produces result JSON byte-identical to an
+//! uninterrupted run. Seeding is identity-derived, so which cells were
+//! journaled before the cut must not matter.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use sdnav_core::ControllerSpec;
+use sdnav_grid::plan::Figure;
+use sdnav_grid::{evaluate, evaluate_supervised, GridSpec, SuperviseOptions};
+
+/// Fig. 4 at 2 points plus the simulated cells: 10 plan items, small
+/// enough that every property case stays in the millisecond range.
+fn small_grid(threads: usize) -> GridSpec {
+    GridSpec::builder()
+        .figures(&[Figure::Fig4])
+        .points(2)
+        .replications(1)
+        .threads(threads)
+        .sim_horizon_hours(2_000.0)
+        .sim_accelerate(500.0)
+        .sim_compute_hosts(2)
+        .build()
+        .unwrap()
+}
+
+/// The uninterrupted run's payload, shared across property cases.
+fn reference() -> &'static str {
+    static REFERENCE: OnceLock<String> = OnceLock::new();
+    REFERENCE.get_or_init(|| {
+        let results = evaluate(&ControllerSpec::opencontrail_3x(), &small_grid(1))
+            .unwrap()
+            .results;
+        sdnav_json::to_string(&results)
+    })
+}
+
+fn temp_wal() -> PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "sdnav-resume-prop-{}-{}.wal",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    // Each case runs Monte-Carlo cells twice over; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Kill after `k` of the 10 cells on one thread count, resume on
+    /// another: the resumed payload matches the uninterrupted one byte
+    /// for byte.
+    #[test]
+    fn interrupted_then_resumed_sweep_is_byte_identical(
+        k in 1usize..10,
+        partial_threads in 1usize..5,
+        resume_threads in 1usize..5,
+    ) {
+        let s = ControllerSpec::opencontrail_3x();
+        let path = temp_wal();
+
+        let partial_opts = SuperviseOptions {
+            checkpoint: Some(&path),
+            cancel_after_cells: Some(k),
+            ..SuperviseOptions::default()
+        };
+        // In-flight cells may drain past the cut, so the partial run can
+        // journal anywhere from k to all 10 cells; resume must not care.
+        let partial =
+            evaluate_supervised(&s, &small_grid(partial_threads), &partial_opts).unwrap();
+        prop_assert!(partial.quarantine.is_empty());
+
+        let resume_opts = SuperviseOptions {
+            checkpoint: Some(&path),
+            resume: true,
+            ..SuperviseOptions::default()
+        };
+        let resumed =
+            evaluate_supervised(&s, &small_grid(resume_threads), &resume_opts).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        prop_assert!(!resumed.interrupted);
+        prop_assert!(resumed.quarantine.is_empty());
+        prop_assert!(resumed.metrics.restored >= k as u64);
+        prop_assert_eq!(
+            sdnav_json::to_string(&resumed.results),
+            reference(),
+            "k={} partial_threads={} resume_threads={}",
+            k,
+            partial_threads,
+            resume_threads
+        );
+    }
+}
