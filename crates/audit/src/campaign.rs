@@ -1,35 +1,29 @@
-//! Chaos-campaign lint pass (SA020–SA023).
+//! Chaos-campaign lint pass (SA020–SA023, SA027–SA029).
 //!
 //! Campaigns are authored against a *deployment*, so most campaign defects
 //! are only visible with the compiled simulation in hand: a target name
 //! that does not resolve (SA020), an injection scheduled past the horizon
-//! (SA021), maintenance windows that — alone or overlapping — take a
-//! control-plane quorum below its required member count (SA022), and a
-//! declared crew pool of zero (SA023). Like every other pass in this
-//! crate, the audit collects *all* findings instead of stopping at the
-//! first, and deliberately runs even on campaigns that
+//! (SA021), windows that take a control-plane quorum below its required
+//! member count (SA022/SA028), a declared crew pool of zero (SA023), and
+//! the schedule-interference family (SA027–SA029). Like every other pass
+//! in this crate, the audit collects *all* findings instead of stopping at
+//! the first, and deliberately runs even on campaigns that
 //! [`ChaosSpec::try_validate`] would reject, so seeded fixtures for each
 //! code lint without tripping an earlier gate.
+//!
+//! This pass resolves targets and reports SA020/SA021/SA023 itself; every
+//! window-based check is delegated to [`crate::schedule::audit_schedule`]
+//! over the [`ScheduleIr`] built once per campaign.
 
-use std::collections::BTreeSet;
-
-use sdnav_chaos::{resolve_target, ChaosSpec, InjectionKind, TargetRef, MAX_OCCURRENCES};
+use sdnav_chaos::{resolve_target, ChaosSpec, InjectionKind, TargetRef};
 use sdnav_sim::Simulation;
 
+use crate::ir::ScheduleIr;
+use crate::schedule::audit_schedule;
 use crate::{AuditReport, Diagnostic};
 
-/// One expanded maintenance occurrence, for overlap analysis.
-struct MaintWindow {
-    injection: usize,
-    start: f64,
-    end: f64,
-    /// Distinct `(requirement, node)` CP member blocks the window's target
-    /// takes down.
-    blocks: Vec<(usize, usize)>,
-}
-
 /// Lints a campaign against the deployment it will run on, reporting
-/// SA020–SA023.
+/// SA020–SA023 and SA027–SA029.
 ///
 /// | Code  | Severity | Check |
 /// |-------|----------|-------|
@@ -37,6 +31,9 @@ struct MaintWindow {
 /// | SA021 | warn     | an injection's first occurrence is at or beyond the horizon — it can never fire |
 /// | SA022 | warn     | maintenance windows (alone or overlapping) take a CP quorum below its required member count |
 /// | SA023 | error    | the campaign declares a repair-crew pool of zero crews |
+/// | SA027 | warn     | two injections hold overlapping windows on the same target — the later one is a silent no-op |
+/// | SA028 | warn     | overlapping failure + maintenance windows provably take a CP quorum down |
+/// | SA029 | warn     | schedule provably demands more concurrent hardware repairs than declared crews, or saturates total crew capacity |
 #[must_use]
 pub fn audit_campaign(campaign: &ChaosSpec, sim: &Simulation<'_>) -> AuditReport {
     let mut report = AuditReport::new();
@@ -53,12 +50,10 @@ pub fn audit_campaign(campaign: &ChaosSpec, sim: &Simulation<'_>) -> AuditReport
         }
     }
 
-    let mut windows: Vec<MaintWindow> = Vec::new();
-    for (i, inj) in campaign.injections.iter().enumerate() {
+    for inj in &campaign.injections {
         let path = format!("campaign/injections/{}", inj.label);
         let mut check = |target: &TargetRef| {
-            let resolved = resolve_target(target, sim);
-            if resolved.is_err() {
+            if resolve_target(target, sim).is_err() {
                 report.push(Diagnostic::error(
                     "SA020",
                     &path,
@@ -66,22 +61,20 @@ pub fn audit_campaign(campaign: &ChaosSpec, sim: &Simulation<'_>) -> AuditReport
                     "check the index against the topology (rack/host/vm) or the role, node, and process names against the spec",
                 ));
             }
-            resolved.ok()
         };
-        let resolved_primary = match &inj.kind {
+        match &inj.kind {
             InjectionKind::Fail { target, .. }
             | InjectionKind::Maintenance { target, .. }
             | InjectionKind::Latent { target } => check(target),
             InjectionKind::CommonCause {
                 trigger, members, ..
             } => {
-                let t = check(trigger);
+                check(trigger);
                 for member in members {
                     check(member);
                 }
-                t
             }
-        };
+        }
 
         if inj.at >= horizon && inj.at.is_finite() {
             report.push(Diagnostic::warn(
@@ -94,79 +87,10 @@ pub fn audit_campaign(campaign: &ChaosSpec, sim: &Simulation<'_>) -> AuditReport
                 "move `at` inside the horizon or extend `horizon_hours`",
             ));
         }
-
-        // Expand this injection's maintenance occurrences for the quorum
-        // overlap check. Guard against degenerate `every` values — the
-        // audit must terminate even on campaigns compile() would reject.
-        if let (InjectionKind::Maintenance { duration_hours, .. }, Some(target)) =
-            (&inj.kind, resolved_primary)
-        {
-            if inj.at.is_finite() && duration_hours.is_finite() && *duration_hours > 0.0 {
-                let blocks = sim.cp_blocks_taken_down(target);
-                let step = inj.every.filter(|e| e.is_finite() && *e > 0.0);
-                let mut occurrence = 0usize;
-                loop {
-                    let start = inj.at + occurrence as f64 * step.unwrap_or(0.0);
-                    if start >= horizon || occurrence >= MAX_OCCURRENCES {
-                        break;
-                    }
-                    windows.push(MaintWindow {
-                        injection: i,
-                        start,
-                        end: start + duration_hours,
-                        blocks: blocks.clone(),
-                    });
-                    if step.is_none() {
-                        break;
-                    }
-                    occurrence += 1;
-                }
-            }
-        }
     }
 
-    // SA022: at each window start, union the CP member blocks of every
-    // window active at that instant and test each quorum requirement.
-    // Deduplicate by the set of participating injections so `every`
-    // expansions report once, not per occurrence.
-    let mut reported: BTreeSet<Vec<usize>> = BTreeSet::new();
-    for w in &windows {
-        let active: Vec<&MaintWindow> = windows
-            .iter()
-            .filter(|o| o.start <= w.start && w.start < o.end)
-            .collect();
-        let participants: BTreeSet<usize> = active.iter().map(|o| o.injection).collect();
-        let down: BTreeSet<(usize, usize)> = active
-            .iter()
-            .flat_map(|o| o.blocks.iter().copied())
-            .collect();
-        for req in 0..sim.cp_requirement_count() {
-            let members = sim.nodes();
-            let required = sim.cp_required(req);
-            let down_count = down.iter().filter(|(r, _)| *r == req).count();
-            if members - down_count < required {
-                let key: Vec<usize> = participants.iter().copied().collect();
-                if reported.insert(key.clone()) {
-                    let labels: Vec<&str> = key
-                        .iter()
-                        .map(|&i| campaign.injections[i].label.as_str())
-                        .collect();
-                    let path = format!("campaign/injections/{}", labels.join("+"));
-                    report.push(Diagnostic::warn(
-                        "SA022",
-                        path,
-                        format!(
-                            "maintenance window(s) [{}] leave {} of {members} members of a control-plane quorum (requires {required}) — planned downtime takes the control plane out",
-                            labels.join(", "),
-                            members - down_count,
-                        ),
-                        "stagger the windows or shrink the maintenance scope so a quorum majority stays up",
-                    ));
-                }
-                break;
-            }
-        }
-    }
+    let sched = ScheduleIr::build(campaign, sim);
+    report.merge(audit_schedule(campaign, &sched, sim));
 
     report
 }

@@ -9,7 +9,7 @@
 //! *lint* pass — it walks the whole model, collects **every** finding, and
 //! reports each as a structured [`Diagnostic`]:
 //!
-//! * a stable code (`SA001` … `SA023`) that scripts and CI can match on,
+//! * a stable code (`SA001` … `SA032`) that scripts and CI can match on,
 //! * a [`Severity`] (`Error` = the model is wrong, `Warn` = the model is
 //!   suspicious, `Info` = worth knowing),
 //! * the path of the offending element
@@ -43,16 +43,35 @@
 //! | SA021 | warn       | chaos injection scheduled at or beyond the simulation horizon — it can never fire |
 //! | SA022 | warn       | maintenance window(s), alone or overlapping, take a CP quorum below its required member count |
 //! | SA023 | error      | chaos campaign declares a repair-crew pool of zero crews |
+//! | SA024 | warn       | CTMC generator is reducible: multiple closed communicating classes, steady state depends on the initial state |
+//! | SA025 | warn       | CTMC has transient states: probability drains out and never returns |
+//! | SA026 | warn       | CTMC generator is stiff: positive-rate spread above 1e6 |
+//! | SA027 | warn       | two chaos injections hold overlapping windows on the same target — the later one is a silent no-op |
+//! | SA028 | warn       | overlapping failure + maintenance windows provably take a CP quorum down |
+//! | SA029 | warn       | chaos schedule provably starves the repair-crew pool (concurrency or total capacity) |
+//! | SA030 | error      | sweep grid contains bit-identical duplicate work cells |
+//! | SA031 | warn       | dominated chaos crew-count cells: values past the hardware element count are pairwise equivalent |
+//! | SA032 | warn       | predicted sweep cost exceeds the event budget — inspect with `sweep --dry-run` |
 //!
 //! SA013–SA019 come from the unit-inference dataflow pass ([`audit_units`]):
 //! declared units win, bare values are classified by per-field magnitude
 //! bands, and the *resolved* values flow into a derived parameter set, RBD,
 //! CTMCs, and simulator config that are re-audited under
-//! `spec/rates/derived/`. SA020–SA023 come from the chaos-campaign pass
-//! ([`audit_campaign`]), which lints a fault-injection campaign against
-//! the deployment it will run on. [`fix_spec`]/[`fix_block`] rewrite the trivially
+//! `spec/rates/derived/`. SA020–SA023 and SA027–SA029 come from the
+//! chaos-campaign pass ([`audit_campaign`]), which lints a fault-injection
+//! campaign — and its [`ScheduleIr`] of statically provable down-windows —
+//! against the deployment it will run on. SA024–SA026 are the whole-graph
+//! CTMC structural checks ([`audit_ctmc_structure`]); SA030–SA032 are the
+//! sweep-grid checks ([`audit_grid`]), backed by the same static cost
+//! model that powers `sdnav sweep --dry-run` ([`SweepPlan`]).
+//! [`fix_spec`]/[`fix_block`] rewrite the trivially
 //! auto-fixable findings ([`FIXABLE_CODES`]), and [`to_sarif`] renders any
 //! report as SARIF 2.1.0 for CI annotation.
+//!
+//! Whole-study passes share the semantic model IR ([`ModelIr`]): the
+//! topologies, RBDs, parameter sets, simulator configurations, and element
+//! CTMCs are derived **once** per study and every pass walks the same
+//! typed graph instead of re-deriving its own view.
 //!
 //! # Quickstart
 //!
@@ -76,24 +95,33 @@
 #![warn(missing_debug_implementations)]
 
 mod campaign;
+mod cost;
 mod dynamics;
 mod fix;
+mod ir;
 mod rbd;
+mod reach;
 mod sarif;
+mod schedule;
 mod spec;
 mod units;
 
 use std::fmt;
 
-use sdnav_core::{ControllerSpec, Scenario, Topology};
+use sdnav_core::ControllerSpec;
 use sdnav_json::{Json, ToJson};
-use sdnav_sim::SimConfig;
 
 pub use campaign::audit_campaign;
-pub use dynamics::{audit_ctmc, audit_hw_params, audit_sim_config, audit_sw_params};
+pub use cost::{audit_grid, CachePrediction, PlanCell, SweepPlan};
+pub use dynamics::{
+    audit_config_ctmcs, audit_ctmc, audit_hw_params, audit_sim_config, audit_sw_params,
+};
 pub use fix::{fix_block, fix_spec, FixEdit, FixPlan, FIXABLE_CODES};
+pub use ir::{config_element_ctmcs, ElementCtmc, ModelIr, ScheduleIr, ScheduleWindow, WindowKind};
 pub use rbd::{audit_block, cp_rbd, dp_rbd};
+pub use reach::audit_ctmc_structure;
 pub use sarif::{to_sarif, validate_sarif, RULES};
+pub use schedule::audit_schedule;
 pub use spec::{audit_spec, audit_topology};
 pub use units::{audit_spec_set, audit_units};
 
@@ -137,7 +165,7 @@ impl ToJson for Severity {
 /// One finding of the analysis pass.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnostic {
-    /// Stable code (`SA001` … `SA023`), safe to match on in scripts.
+    /// Stable code (`SA001` … `SA032`), safe to match on in scripts.
     pub code: &'static str,
     /// Severity of the finding.
     pub severity: Severity,
@@ -327,35 +355,39 @@ impl ToJson for AuditReport {
 }
 
 /// Full analysis pass over everything derivable from a spec with the
-/// paper's default parameters: the spec itself, the three reference
-/// topologies, the derived control-plane and data-plane RBDs, the
-/// paper-default simulator configurations for both scenarios, and the
-/// two-state failure/repair CTMCs implied by the simulator rates.
+/// paper's default parameters. Builds the semantic model IR once
+/// ([`ModelIr::build`]) and runs every whole-study pass over it via
+/// [`audit_ir`].
 ///
 /// This is what `sdnav lint` runs.
 #[must_use]
 pub fn audit_model(spec: &ControllerSpec) -> AuditReport {
-    let mut report = audit_spec(spec);
-    for topo in [
-        Topology::small(spec),
-        Topology::medium(spec),
-        Topology::large(spec),
-    ] {
-        report.merge(audit_topology(spec, &topo));
+    audit_ir(&ModelIr::build(spec))
+}
+
+/// Runs every whole-study pass over an already-built model IR: the spec
+/// itself, the reference topologies, the derived control-plane and
+/// data-plane RBDs, the parameter sets, both scenarios' simulator
+/// configurations, and — per element CTMC — the per-row generator checks
+/// (SA010) plus the whole-graph structural checks (SA024–SA026).
+#[must_use]
+pub fn audit_ir(ir: &ModelIr<'_>) -> AuditReport {
+    let mut report = audit_spec(ir.spec);
+    for topo in &ir.topologies {
+        report.merge(audit_topology(ir.spec, topo));
     }
-    report.merge(audit_block(&cp_rbd(spec), "rbd/cp"));
-    report.merge(audit_block(&dp_rbd(spec), "rbd/dp"));
-    report.merge(audit_hw_params(&sdnav_core::HwParams::paper_defaults()));
-    report.merge(audit_sw_params(&sdnav_core::SwParams::paper_defaults()));
-    for scenario in [
-        Scenario::SupervisorRequired,
-        Scenario::SupervisorNotRequired,
-    ] {
-        let config = SimConfig::paper_defaults(scenario);
-        report.merge(audit_sim_config(&config));
-        report.merge(dynamics::audit_config_ctmcs(&config));
+    report.merge(audit_block(&ir.cp_rbd, "rbd/cp"));
+    report.merge(audit_block(&ir.dp_rbd, "rbd/dp"));
+    report.merge(audit_hw_params(&ir.hw_params));
+    report.merge(audit_sw_params(&ir.sw_params));
+    for config in &ir.configs {
+        report.merge(audit_sim_config(config));
     }
-    report.merge(audit_units(spec));
+    for element in &ir.element_ctmcs {
+        report.merge(audit_ctmc(&element.ctmc, &element.origin));
+        report.merge(audit_ctmc_structure(&element.ctmc, &element.origin));
+    }
+    report.merge(audit_units(ir.spec));
     report
 }
 

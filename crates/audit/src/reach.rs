@@ -1,0 +1,252 @@
+//! CTMC structural analysis (SA024–SA026): reachability and conditioning
+//! checks that go beyond [`crate::audit_ctmc`]'s per-row sanity.
+//!
+//! SA010 looks at one row at a time (finite rates, row sums, zero exit or
+//! in-rate). A generator can pass all of that and still be structurally
+//! broken: two closed communicating classes make the steady state depend
+//! on the initial distribution (SA024), a transient class drains to zero
+//! and contributes nothing at steady state (SA025), and a rate spread of
+//! many orders of magnitude makes the linear algebra ill-conditioned and
+//! uniformization slow (SA026). These are whole-graph properties, found
+//! here with one Tarjan SCC pass over the positive-rate edge set.
+
+use sdnav_markov::Ctmc;
+
+use crate::{AuditReport, Diagnostic};
+
+/// Rate spread (max/min positive rate) beyond which a chain is flagged as
+/// stiff. The paper's element chains top out near 1e5 (rack MTBF/MTTR), so
+/// an order of magnitude of headroom keeps real models clean.
+const STIFFNESS_RATIO: f64 = 1e6;
+
+/// Strongly connected components of the positive-rate transition graph, by
+/// iterative Tarjan. Returns each state's component id; ids are assigned
+/// in reverse topological order (a component is numbered only after every
+/// component it can reach).
+fn sccs(ctmc: &Ctmc) -> Vec<usize> {
+    let n = ctmc.len();
+    let adj: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| j != i && ctmc.rate(i, j) > 0.0)
+                .collect()
+        })
+        .collect();
+
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNSET; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        // Explicit DFS frame: (state, next child position).
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&(v, child)) = frames.last() {
+            if child == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(child) {
+                frames.last_mut().expect("nonempty frames").1 += 1;
+                if index[w] == UNSET {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    comp
+}
+
+fn list_states(states: &[usize]) -> String {
+    const SHOWN: usize = 6;
+    let head: Vec<String> = states.iter().take(SHOWN).map(usize::to_string).collect();
+    if states.len() > SHOWN {
+        format!("{}, … ({} total)", head.join(", "), states.len())
+    } else {
+        head.join(", ")
+    }
+}
+
+/// Whole-graph structural audit of a CTMC generator rooted at `origin`:
+///
+/// | Code  | Severity | Check |
+/// |-------|----------|-------|
+/// | SA024 | warn     | reducible chain: more than one closed communicating class, so the steady state depends on the initial state |
+/// | SA025 | warn     | transient states: an open communicating class drains to zero and cannot carry steady-state probability |
+/// | SA026 | warn     | stiff generator: positive-rate spread above 1e6, ill-conditioned for GTH and slow for uniformization |
+///
+/// Single-state chains are trivially sound. Non-finite or negative rates
+/// are SA010's job; this pass only follows strictly positive rates.
+#[must_use]
+pub fn audit_ctmc_structure(ctmc: &Ctmc, origin: &str) -> AuditReport {
+    let mut r = AuditReport::new();
+    let n = ctmc.len();
+    if n > 1 {
+        let comp = sccs(ctmc);
+        let comp_count = comp.iter().copied().max().map_or(0, |c| c + 1);
+        // A component is closed iff no positive rate leaves it.
+        let mut closed = vec![true; comp_count];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && ctmc.rate(i, j) > 0.0 && comp[i] != comp[j] {
+                    closed[comp[i]] = false;
+                }
+            }
+        }
+        let closed_count = closed.iter().filter(|&&c| c).count();
+        if closed_count > 1 {
+            let mut reps: Vec<usize> = Vec::new();
+            for (c, _) in closed.iter().enumerate().filter(|(_, &c)| c) {
+                reps.push(comp.iter().position(|&x| x == c).expect("nonempty SCC"));
+            }
+            r.push(Diagnostic::warn(
+                "SA024",
+                origin.to_owned(),
+                format!(
+                    "generator is reducible: {closed_count} closed communicating classes \
+                     (e.g. containing states {}) — the steady state depends on the initial state",
+                    list_states(&reps)
+                ),
+                "add transitions connecting the classes, or model them as separate chains",
+            ));
+        }
+        let transient: Vec<usize> = (0..n).filter(|&i| !closed[comp[i]]).collect();
+        if !transient.is_empty() {
+            r.push(Diagnostic::warn(
+                "SA025",
+                origin.to_owned(),
+                format!(
+                    "state(s) {} are transient: probability drains out and never returns, \
+                     so they carry zero steady-state weight",
+                    list_states(&transient)
+                ),
+                "a repairable availability model should be able to return to every \
+                 modeled state; add the missing repair transitions",
+            ));
+        }
+    }
+
+    let mut min_rate = f64::INFINITY;
+    let mut max_rate: f64 = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            let rate = ctmc.rate(i, j);
+            if i != j && rate > 0.0 && rate.is_finite() {
+                min_rate = min_rate.min(rate);
+                max_rate = max_rate.max(rate);
+            }
+        }
+    }
+    if max_rate > 0.0 && max_rate / min_rate > STIFFNESS_RATIO {
+        r.push(Diagnostic::warn(
+            "SA026",
+            origin.to_owned(),
+            format!(
+                "generator is stiff: rate spread {:.1e} (fastest {max_rate:.3e}/h, \
+                 slowest {min_rate:.3e}/h) exceeds {STIFFNESS_RATIO:.0e}",
+                max_rate / min_rate
+            ),
+            "expect ill-conditioned steady-state solves and slow uniformization; \
+             consider lumping fast transitions or checking the rates for unit slips",
+        ));
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repairable_two_state_is_clean() {
+        let mut c = Ctmc::new(2);
+        c.add_transition(0, 1, 1.0 / 5000.0);
+        c.add_transition(1, 0, 1.0 / 0.1);
+        assert!(audit_ctmc_structure(&c, "ctmc/t").is_clean());
+        assert!(audit_ctmc_structure(&Ctmc::new(1), "ctmc/one").is_clean());
+    }
+
+    #[test]
+    fn sa024_two_disjoint_cycles() {
+        // {0,1} and {2,3} are both closed; SA010's row checks see nothing
+        // (every state has positive exit and in-rate).
+        let mut c = Ctmc::new(4);
+        c.add_transition(0, 1, 1.0);
+        c.add_transition(1, 0, 1.0);
+        c.add_transition(2, 3, 1.0);
+        c.add_transition(3, 2, 1.0);
+        let r = audit_ctmc_structure(&c, "ctmc/t");
+        assert!(r.has_code("SA024"), "{}", r.render());
+        assert!(!r.has_code("SA025"));
+    }
+
+    #[test]
+    fn sa025_transient_trap() {
+        // {0,1} leaks into the closed class {2,3} and never returns; again
+        // invisible to per-row checks.
+        let mut c = Ctmc::new(4);
+        c.add_transition(0, 1, 1.0);
+        c.add_transition(1, 0, 1.0);
+        c.add_transition(0, 2, 0.5);
+        c.add_transition(2, 3, 1.0);
+        c.add_transition(3, 2, 1.0);
+        let r = audit_ctmc_structure(&c, "ctmc/t");
+        assert!(r.has_code("SA025"), "{}", r.render());
+        assert!(!r.has_code("SA024"), "{}", r.render());
+        assert!(r.render().contains("0, 1"));
+    }
+
+    #[test]
+    fn sa026_stiff_generator() {
+        let mut c = Ctmc::new(2);
+        c.add_transition(0, 1, 1e-4);
+        c.add_transition(1, 0, 1e6);
+        let r = audit_ctmc_structure(&c, "ctmc/t");
+        assert!(r.has_code("SA026"), "{}", r.render());
+        // The paper's stiffest element chain (rack, ratio 1e5) stays clean.
+        let mut rack = Ctmc::new(2);
+        rack.add_transition(0, 1, 1.0 / 4_799_952.0);
+        rack.add_transition(1, 0, 1.0 / 48.0);
+        assert!(audit_ctmc_structure(&rack, "ctmc/rack").is_clean());
+    }
+
+    #[test]
+    fn absorbing_chain_is_transient_not_reducible() {
+        let mut c = Ctmc::new(2);
+        c.add_transition(0, 1, 1.0);
+        let r = audit_ctmc_structure(&c, "ctmc/t");
+        assert!(
+            r.has_code("SA025") && !r.has_code("SA024"),
+            "{}",
+            r.render()
+        );
+    }
+}

@@ -5,7 +5,7 @@
 //! lint gate's report annotates findings inline on pull requests. The
 //! emitter maps each [`Diagnostic`](crate::Diagnostic) to a SARIF result
 //! (model paths become logical locations; the linted file, when known,
-//! becomes the physical location) and ships the full SA001–SA023 rule
+//! becomes the physical location) and ships the full SA001–SA032 rule
 //! catalog as `tool.driver.rules` metadata.
 //!
 //! [`validate_sarif`] checks a document against the subset of the 2.1.0
@@ -69,6 +69,27 @@ pub const RULES: &[(&str, &str)] = &[
         "Maintenance window(s) take down a control-plane quorum",
     ),
     ("SA023", "Campaign declares a repair-crew pool of zero"),
+    (
+        "SA024",
+        "CTMC is reducible: multiple closed communicating classes",
+    ),
+    ("SA025", "CTMC has transient states that drain to zero"),
+    ("SA026", "CTMC generator is stiff (rate spread above 1e6)"),
+    (
+        "SA027",
+        "Injections hold overlapping windows on the same target",
+    ),
+    (
+        "SA028",
+        "Failure + maintenance windows provably break a CP quorum",
+    ),
+    ("SA029", "Schedule provably starves the repair-crew pool"),
+    ("SA030", "Sweep grid contains duplicate work cells"),
+    (
+        "SA031",
+        "Dominated chaos crew-count cells measure the same system",
+    ),
+    ("SA032", "Predicted sweep cost exceeds the event budget"),
 ];
 
 fn level(severity: Severity) -> &'static str {
@@ -312,7 +333,7 @@ mod tests {
             .unwrap()
             .as_arr()
             .unwrap();
-        assert_eq!(rules.len(), 23);
+        assert_eq!(rules.len(), 32);
     }
 
     #[test]

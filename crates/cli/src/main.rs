@@ -31,7 +31,7 @@ COMMANDS:
         [--seed S] [--horizon H] [--accelerate F] [--compute-hosts N]
         [--campaign FILE] [--crews N,..] [--ccf P,..]
         [--checkpoint FILE] [--resume] [--retries N] [--backoff-ms MS]
-        [--quarantine-out FILE] [--format json] [--out FILE]
+        [--quarantine-out FILE] [--format json] [--out FILE] [--dry-run]
                               batch-evaluate a whole scenario grid (figures
                               and optional simulation cells) in parallel;
                               --campaign adds chaos cells sweeping the
@@ -47,7 +47,12 @@ COMMANDS:
                               and recomputes only the rest, byte-identical
                               to an uninterrupted run. SIGINT/SIGTERM drain
                               in-flight cells, seal the WAL and emit the
-                              partial results with an `incomplete` marker
+                              partial results with an `incomplete` marker.
+                              --dry-run evaluates nothing: it prints the
+                              static sdnav-sweep-plan/v1 cost prediction
+                              (per-cell cost units, predicted cache hit
+                              rate, skippable cells) and any SA030-SA032
+                              grid findings, then exits
   fmea [--order N] [--scenario S] [--layout L] [--sw-only]
                               enumerate minimal failure modes
   importance [--scenario S] [--layout L]
@@ -77,17 +82,21 @@ COMMANDS:
                               diffing in CI
   lint [--format json|sarif] [--deny-warnings] [--topology FILE]
        [--block FILE] [--spec-set FILE] [--campaign FILE]
-       [--fix] [--dry-run]
-                              statically audit the model (SA001..SA023);
+       [--ctmc FILE] [--grid FILE] [--fix] [--dry-run]
+                              statically audit the model (SA001..SA032);
                               accepts broken specs via --spec, standalone
                               RBD JSON via --block, sweep-grid spec arrays
                               via --spec-set, user topology JSON via
-                              --topology, and chaos campaigns via
-                              --campaign (SA020..SA023, linted against the
-                              built-in deployment at --layout/--scenario);
-                              --fix rewrites auto-fixable findings in
-                              place (--dry-run prints the edit plan
-                              without writing)
+                              --topology, chaos campaigns via --campaign
+                              (SA020..SA023 and SA027..SA029, linted
+                              against the built-in deployment at
+                              --layout/--scenario), CTMC generators via
+                              --ctmc (SA010 + structural SA024..SA026),
+                              and sweep-grid specs via --grid
+                              (SA030..SA032); --fix rewrites auto-fixable
+                              findings in place (--dry-run prints the edit
+                              plan without writing and exits 1 if any edit
+                              is pending)
   help                        show this help
 
 COMMON OPTIONS:
@@ -568,6 +577,33 @@ fn sweep(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     }
     let grid = builder.build().map_err(|e| failure(e.to_string()))?;
 
+    if args.has_flag("dry-run") {
+        // Static cost prediction only: print the sdnav-sweep-plan/v1
+        // document (stdout / --out) and any SA030-SA032 grid findings
+        // (stderr), without evaluating a single cell.
+        let plan = sdnav_audit::SweepPlan::predict(spec, &grid);
+        let json = sdnav_json::to_string_pretty(&plan);
+        match args.get("out") {
+            Some(path) => {
+                std::fs::write(path, format!("{json}\n"))
+                    .map_err(|e| failure(format!("cannot write {path}: {e}")))?;
+                eprintln!("wrote {path}");
+            }
+            None => println!("{json}"),
+        }
+        let findings = sdnav_audit::audit_grid(spec, &grid);
+        if !findings.is_clean() {
+            eprint!("{}", findings.render());
+        }
+        if findings.has_errors() {
+            return Err(failure(format!(
+                "grid audit found {} error(s)",
+                findings.error_count()
+            )));
+        }
+        return Ok(());
+    }
+
     let checkpoint = args.get("checkpoint").map(std::path::PathBuf::from);
     if args.has_flag("resume") && checkpoint.is_none() {
         return Err(usage("--resume requires --checkpoint <file>"));
@@ -989,6 +1025,8 @@ enum LintTarget {
     Block(sdnav_blocks::Block),
     Set(Vec<ControllerSpec>),
     Campaign(sdnav_chaos::ChaosSpec),
+    Ctmc(sdnav_markov::Ctmc),
+    Grid(Box<GridSpec>),
 }
 
 fn read_json<T: sdnav_json::FromJson>(path: &str) -> Result<T, CliError> {
@@ -1011,10 +1049,12 @@ fn lint(args: &Args) -> Result<(), CliError> {
         args.get("block"),
         args.get("spec-set"),
         args.get("campaign"),
+        args.get("ctmc"),
+        args.get("grid"),
     ];
     if selectors.iter().flatten().count() > 1 {
         return Err(usage(
-            "--spec, --block, --spec-set and --campaign are mutually exclusive",
+            "--spec, --block, --spec-set, --campaign, --ctmc and --grid are mutually exclusive",
         ));
     }
     let (target, path) = if let Some(path) = args.get("block") {
@@ -1023,6 +1063,10 @@ fn lint(args: &Args) -> Result<(), CliError> {
         (LintTarget::Set(read_json(path)?), Some(path))
     } else if let Some(path) = args.get("campaign") {
         (LintTarget::Campaign(read_json(path)?), Some(path))
+    } else if let Some(path) = args.get("ctmc") {
+        (LintTarget::Ctmc(read_json(path)?), Some(path))
+    } else if let Some(path) = args.get("grid") {
+        (LintTarget::Grid(Box::new(read_json(path)?)), Some(path))
     } else if let Some(path) = args.get("spec") {
         (LintTarget::Spec(Box::new(read_json(path)?)), Some(path))
     } else {
@@ -1037,7 +1081,15 @@ fn lint(args: &Args) -> Result<(), CliError> {
     if dry_run && !fix {
         return Err(usage("--dry-run only makes sense with --fix"));
     }
-    if fix && matches!(target, LintTarget::Set(_) | LintTarget::Campaign(_)) {
+    if fix
+        && matches!(
+            target,
+            LintTarget::Set(_)
+                | LintTarget::Campaign(_)
+                | LintTarget::Ctmc(_)
+                | LintTarget::Grid(_)
+        )
+    {
         return Err(usage("--fix supports a single --spec or --block"));
     }
     if fix && args.get("topology").is_some() {
@@ -1067,10 +1119,20 @@ fn lint(args: &Args) -> Result<(), CliError> {
                     .map_err(|e| failure(e.to_string()))?;
                 Ok(sdnav_audit::audit_campaign(campaign, &sim))
             }
+            LintTarget::Ctmc(ctmc) => {
+                let mut report = sdnav_audit::audit_ctmc(ctmc, "ctmc");
+                report.merge(sdnav_audit::audit_ctmc_structure(ctmc, "ctmc"));
+                Ok(report)
+            }
+            LintTarget::Grid(grid) => Ok(sdnav_audit::audit_grid(
+                &ControllerSpec::opencontrail_3x(),
+                grid,
+            )),
         }
     };
 
     let mut report = audit(&target)?;
+    let mut pending_fixes = 0usize;
     if fix {
         let (fixed, plan) = match &target {
             LintTarget::Spec(spec) => {
@@ -1081,9 +1143,15 @@ fn lint(args: &Args) -> Result<(), CliError> {
                 let (block, plan) = sdnav_audit::fix_block(block);
                 (LintTarget::Block(block), plan)
             }
-            LintTarget::Set(_) | LintTarget::Campaign(_) => unreachable!("rejected above"),
+            LintTarget::Set(_)
+            | LintTarget::Campaign(_)
+            | LintTarget::Ctmc(_)
+            | LintTarget::Grid(_) => unreachable!("rejected above"),
         };
         print!("{}", plan.render());
+        if dry_run {
+            pending_fixes = plan.edits.len();
+        }
         if !dry_run && !plan.is_empty() {
             let path = path.ok_or_else(|| {
                 usage("--fix needs a file to rewrite; pass --spec FILE or --block FILE")
@@ -1091,7 +1159,10 @@ fn lint(args: &Args) -> Result<(), CliError> {
             let json = match &fixed {
                 LintTarget::Spec(spec) => sdnav_json::to_string_pretty(spec.as_ref()),
                 LintTarget::Block(block) => sdnav_json::to_string_pretty(block),
-                LintTarget::Set(_) | LintTarget::Campaign(_) => unreachable!("rejected above"),
+                LintTarget::Set(_)
+                | LintTarget::Campaign(_)
+                | LintTarget::Ctmc(_)
+                | LintTarget::Grid(_) => unreachable!("rejected above"),
             };
             write_atomic(path, &format!("{json}\n"))?;
             eprintln!("fix: rewrote {path}");
@@ -1109,6 +1180,13 @@ fn lint(args: &Args) -> Result<(), CliError> {
             )))
         }
         None => print!("{}", report.render()),
+    }
+    if pending_fixes > 0 {
+        // `--fix --dry-run` is a gate: a nonzero exit means re-running
+        // without --dry-run would rewrite the file.
+        return Err(failure(format!(
+            "{pending_fixes} auto-fixable finding(s) pending (--fix --dry-run)"
+        )));
     }
     if report.has_errors() {
         return Err(failure(format!(

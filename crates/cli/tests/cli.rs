@@ -364,17 +364,93 @@ fn lint_fix_rewrites_and_relints_clean() {
 }
 
 #[test]
-fn lint_fix_dry_run_leaves_file_byte_identical() {
+fn lint_fix_dry_run_leaves_file_byte_identical_and_gates() {
     let path = scratch_copy("sa014_fit_magnitude_slip.json", "dry");
     let path = path.to_str().unwrap();
     let before = std::fs::read(path).unwrap();
-    let (ok, stdout, _) = sdnav(&["lint", "--fix", "--dry-run", "--spec", path]);
-    assert!(ok, "{stdout}");
+    let out = sdnav_raw(&["lint", "--fix", "--dry-run", "--spec", path]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // Pending fixes make --fix --dry-run exit nonzero, so CI can use it
+    // as a "would anything change?" gate.
+    assert_eq!(out.status.code(), Some(1), "{stdout}{stderr}");
+    assert!(
+        stderr.contains("auto-fixable finding(s) pending"),
+        "{stderr}"
+    );
     assert!(stdout.contains("fix[SA014]"), "plan must be printed");
     assert_eq!(
         before,
         std::fs::read(path).unwrap(),
         "--dry-run must not write"
+    );
+}
+
+#[test]
+fn lint_fix_dry_run_clean_spec_exits_zero() {
+    let path = scratch_copy("clean_fit_annotated.json", "drygate");
+    let path = path.to_str().unwrap();
+    let (ok, _, stderr) = sdnav(&["lint", "--fix", "--dry-run", "--spec", path]);
+    assert!(ok, "nothing to fix must exit 0: {stderr}");
+}
+
+#[test]
+fn lint_ctmc_runs_structural_passes() {
+    let (ok, stdout, _) = sdnav(&["lint", "--ctmc", &fixture("sa025_transient_trap.ctmc.json")]);
+    assert!(ok, "warnings alone must not fail lint");
+    assert!(stdout.contains("SA025"), "{stdout}");
+    assert_eq!(
+        sdnav_code(&[
+            "lint",
+            "--ctmc",
+            &fixture("sa025_transient_trap.ctmc.json"),
+            "--deny-warnings",
+        ]),
+        1
+    );
+    let (ok, _, _) = sdnav(&["lint", "--ctmc", &fixture("clean_repairable.ctmc.json")]);
+    assert!(ok);
+}
+
+#[test]
+fn lint_grid_flags_duplicate_cells() {
+    let (ok, stdout, _) = sdnav(&[
+        "lint",
+        "--grid",
+        &fixture("sa030_duplicate_cells.grid.json"),
+    ]);
+    assert!(!ok, "SA030 is an error");
+    assert!(stdout.contains("SA030"), "{stdout}");
+    let (ok, _, stderr) = sdnav(&["lint", "--grid", &fixture("clean_smoke.grid.json")]);
+    assert!(ok, "{stderr}");
+}
+
+#[test]
+fn sweep_dry_run_emits_plan_without_running() {
+    let (ok, stdout, stderr) = sdnav(&[
+        "sweep",
+        "--dry-run",
+        "--figures",
+        "fig4,fig5",
+        "--points",
+        "5",
+        "--replications",
+        "3",
+    ]);
+    assert!(ok, "{stderr}");
+    let plan = sdnav_json::Json::parse(&stdout).expect("plan is JSON");
+    assert_eq!(
+        plan.get("schema").and_then(|s| s.as_str().ok()),
+        Some("sdnav-sweep-plan/v1")
+    );
+    // fig4 and fig5 share all four cache keys per x point, so the static
+    // model predicts exactly half the lookups hit.
+    let cache = plan.get("predicted_cache").expect("predicted_cache");
+    let hit_rate = cache.get("hit_rate").unwrap().as_f64().unwrap();
+    assert!((hit_rate - 0.5).abs() < 1e-12, "hit_rate = {hit_rate}");
+    assert!(
+        stderr.is_empty(),
+        "clean grid must audit silently: {stderr}"
     );
 }
 

@@ -32,21 +32,6 @@ pub struct HwModel<'a> {
 }
 
 impl<'a> HwModel<'a> {
-    /// Builds the model.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `params` are out of range or `topology` is invalid for
-    /// `spec`. Use [`HwModel::try_new`] for a recoverable check.
-    #[must_use]
-    #[deprecated(since = "0.1.0", note = "use `HwModel::try_new` and handle the error")]
-    pub fn new(spec: &'a ControllerSpec, topology: &Topology, params: HwParams) -> Self {
-        match Self::try_new(spec, topology, params) {
-            Ok(model) => model,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// Builds the model, validating the parameters first.
     ///
     /// # Errors

@@ -94,18 +94,6 @@ impl HwParams {
         try_unit(self.a_r, "a_r")?;
         Ok(())
     }
-
-    /// Validates all fields lie in `[0, 1]`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any availability is out of range.
-    #[deprecated(since = "0.1.0", note = "use `try_validate` and handle the error")]
-    pub fn validate(&self) {
-        if let Err(e) = self.try_validate() {
-            panic!("{e}");
-        }
-    }
 }
 
 impl ToJson for HwParams {
@@ -198,18 +186,6 @@ impl ProcessParams {
         try_unit(self.manual, "manual")?;
         Ok(())
     }
-
-    /// Validates all fields lie in `[0, 1]`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any availability is out of range.
-    #[deprecated(since = "0.1.0", note = "use `try_validate` and handle the error")]
-    pub fn validate(&self) {
-        if let Err(e) = self.try_validate() {
-            panic!("{e}");
-        }
-    }
 }
 
 impl ToJson for ProcessParams {
@@ -284,18 +260,6 @@ impl SwParams {
         try_unit(self.a_h, "a_h")?;
         try_unit(self.a_r, "a_r")?;
         Ok(())
-    }
-
-    /// Validates all fields lie in `[0, 1]`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any availability is out of range.
-    #[deprecated(since = "0.1.0", note = "use `try_validate` and handle the error")]
-    pub fn validate(&self) {
-        if let Err(e) = self.try_validate() {
-            panic!("{e}");
-        }
     }
 }
 

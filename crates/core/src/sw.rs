@@ -52,26 +52,6 @@ pub struct SwModel<'a> {
 }
 
 impl<'a> SwModel<'a> {
-    /// Builds the model.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `params` are out of range or `topology` is invalid for
-    /// `spec`. Use [`SwModel::try_new`] for a recoverable check.
-    #[must_use]
-    #[deprecated(since = "0.1.0", note = "use `SwModel::try_new` and handle the error")]
-    pub fn new(
-        spec: &'a ControllerSpec,
-        topology: &Topology,
-        params: SwParams,
-        scenario: Scenario,
-    ) -> Self {
-        match Self::try_new(spec, topology, params, scenario) {
-            Ok(model) => model,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// Builds the model, validating the parameters first.
     ///
     /// # Errors

@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use sdnav_json::{FromJson, Json, JsonError, ToJson};
+
 use crate::linalg;
 
 /// A finite continuous-time Markov chain, described by its off-diagonal
@@ -316,6 +318,71 @@ impl Ctmc {
     }
 }
 
+impl ToJson for Ctmc {
+    /// Sparse wire format: `{"states": n, "transitions": [{"from", "to",
+    /// "rate"}, …]}` with zero-rate entries omitted.
+    fn to_json(&self) -> Json {
+        let mut transitions = Vec::new();
+        for (from, row) in self.rates.iter().enumerate() {
+            for (to, &rate) in row.iter().enumerate() {
+                if rate != 0.0 {
+                    transitions.push(Json::obj(vec![
+                        ("from", Json::Num(from as f64)),
+                        ("to", Json::Num(to as f64)),
+                        ("rate", Json::Num(rate)),
+                    ]));
+                }
+            }
+        }
+        Json::obj(vec![
+            ("states", Json::Num(self.n as f64)),
+            ("transitions", Json::Arr(transitions)),
+        ])
+    }
+}
+
+impl FromJson for Ctmc {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let n = value
+            .field("states")?
+            .as_usize()
+            .map_err(|e| e.ctx("states"))?;
+        if n == 0 {
+            return Err(JsonError::decode("a CTMC needs at least one state").ctx("states"));
+        }
+        let mut ctmc = Ctmc::new(n);
+        for (i, t) in value
+            .field("transitions")?
+            .as_arr()
+            .map_err(|e| e.ctx("transitions"))?
+            .iter()
+            .enumerate()
+        {
+            let ctx = |e: JsonError| e.ctx(&format!("transitions[{i}]"));
+            let from = t.field("from").map_err(ctx)?.as_usize().map_err(ctx)?;
+            let to = t.field("to").map_err(ctx)?.as_usize().map_err(ctx)?;
+            let rate = t.field("rate").map_err(ctx)?.as_f64().map_err(ctx)?;
+            if from >= n || to >= n {
+                return Err(ctx(JsonError::decode(format!(
+                    "state index out of range (states = {n})"
+                ))));
+            }
+            if from == to {
+                return Err(ctx(JsonError::decode(
+                    "self-transitions have no effect in a CTMC",
+                )));
+            }
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(ctx(JsonError::decode(format!(
+                    "rate must be finite and non-negative, got {rate}"
+                ))));
+            }
+            ctmc.add_transition(from, to, rate);
+        }
+        Ok(ctmc)
+    }
+}
+
 /// Errors from CTMC analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CtmcError {
@@ -561,6 +628,35 @@ mod tests {
     fn rejects_negative_rate() {
         let mut c = Ctmc::new(2);
         c.add_transition(0, 1, -1.0);
+    }
+
+    #[test]
+    fn json_round_trips_and_rejects_malformed() {
+        let c = two_state(1.0 / 5000.0, 10.0);
+        let text = sdnav_json::to_string(&c);
+        let back: Ctmc = sdnav_json::from_str(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.rate(0, 1), c.rate(0, 1));
+        assert_eq!(back.rate(1, 0), c.rate(1, 0));
+
+        for (bad, what) in [
+            (r#"{"states": 0, "transitions": []}"#, "at least one state"),
+            (
+                r#"{"states": 2, "transitions": [{"from": 0, "to": 2, "rate": 1.0}]}"#,
+                "out of range",
+            ),
+            (
+                r#"{"states": 2, "transitions": [{"from": 1, "to": 1, "rate": 1.0}]}"#,
+                "self-transitions",
+            ),
+            (
+                r#"{"states": 2, "transitions": [{"from": 0, "to": 1, "rate": -1.0}]}"#,
+                "non-negative",
+            ),
+        ] {
+            let err = sdnav_json::from_str::<Ctmc>(bad).unwrap_err().to_string();
+            assert!(err.contains(what), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -77,26 +77,6 @@ impl ElementRates {
         })
     }
 
-    /// Rates with a given availability at a fixed MTBF
-    /// (`MTTR = MTBF·(1−A)/A`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `availability` is not in `(0, 1]` or `mtbf` is not
-    /// positive.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `try_from_availability` and handle the error"
-    )]
-    #[must_use]
-    pub fn from_availability(mtbf: f64, availability: f64) -> Self {
-        match Self::try_from_availability(mtbf, availability) {
-            Ok(rates) => rates,
-            Err(ConfigError::BadAvailability(_)) => panic!("availability must be in (0, 1]"),
-            Err(_) => panic!("MTBF must be positive"),
-        }
-    }
-
     /// Shrinks both MTBF and MTTR by `factor`: the steady-state
     /// availability is unchanged but failure/repair cycles run `factor`×
     /// faster. Useful for statistically efficient validation runs when the
@@ -321,18 +301,6 @@ impl SimConfig {
             }
         }
         Ok(())
-    }
-
-    /// Validates the configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics on the first nonsensical value.
-    #[deprecated(since = "0.1.0", note = "use `try_validate` and handle the error")]
-    pub fn validate(&self) {
-        if let Err(e) = self.try_validate() {
-            panic!("{e}");
-        }
     }
 
     /// Starts a builder seeded with [`SimConfig::paper_defaults`] for the
@@ -631,18 +599,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "need at least two batches")]
-    #[allow(deprecated)]
-    fn validate_rejects_single_batch() {
+    fn try_validate_rejects_single_batch() {
         let mut c = SimConfig::paper_defaults(Scenario::SupervisorNotRequired);
         c.batches = 1;
-        c.validate();
+        let e = c.try_validate().unwrap_err();
+        assert!(e.to_string().contains("two batches"), "{e}");
     }
 
     #[test]
-    #[should_panic(expected = "availability must be in (0, 1]")]
-    #[allow(deprecated)]
-    fn from_availability_rejects_zero() {
-        let _ = ElementRates::from_availability(1000.0, 0.0);
+    fn try_from_availability_rejects_zero() {
+        assert_eq!(
+            ElementRates::try_from_availability(1000.0, 0.0),
+            Err(ConfigError::BadAvailability(0.0))
+        );
     }
 }

@@ -201,24 +201,6 @@ impl From<sdnav_core::TopologyError> for SimBuildError {
 }
 
 impl<'a> Simulation<'a> {
-    /// Prepares a simulation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `config` is invalid or `topology` does not fit `spec`.
-    /// Use [`Simulation::try_new`] for a recoverable check.
-    #[must_use]
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Simulation::try_new` and handle the error"
-    )]
-    pub fn new(spec: &'a ControllerSpec, topology: &'a Topology, config: SimConfig) -> Self {
-        match Self::try_new(spec, topology, config) {
-            Ok(sim) => sim,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// Prepares a simulation, validating the config and the topology/spec
     /// fit.
     ///

@@ -7,12 +7,17 @@
 //! containing `.set.` decode as a sweep grid of specs (as `--spec-set`
 //! does); files containing `.campaign.` decode as a chaos campaign and are
 //! audited against the bundled Small deployment (as `--campaign` does);
-//! everything else decodes as a controller spec and runs through the
+//! files containing `.ctmc.` decode as a sparse CTMC generator and get the
+//! per-row plus structural passes (as `--ctmc` does); files containing
+//! `.grid.` decode as a sweep-grid spec and run the whole-grid analysis
+//! (as `--grid` does); everything else decodes as a controller spec and
+//! runs through the
 //! same full pass as `sdnav lint`. Fixtures prefixed `clean_` are the
 //! opposite: well-annotated models that must audit without findings.
 
 use sdnav_audit::{
-    audit_block, audit_campaign, audit_model, audit_spec_set, audit_topology, AuditReport,
+    audit_block, audit_campaign, audit_ctmc, audit_ctmc_structure, audit_grid, audit_model,
+    audit_spec_set, audit_topology, AuditReport,
 };
 use sdnav_blocks::Block;
 use sdnav_core::{ControllerSpec, Scenario, Topology};
@@ -34,6 +39,16 @@ fn audit_fixture(name: &str, text: &str) -> AuditReport {
             .expect("valid lint-reference config");
         let sim = Simulation::try_new(&spec, &topo, config).expect("valid lint-reference sim");
         audit_campaign(&campaign, &sim)
+    } else if name.contains(".ctmc.") {
+        let ctmc: sdnav_markov::Ctmc =
+            sdnav_json::from_str(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut report = audit_ctmc(&ctmc, "ctmc");
+        report.merge(audit_ctmc_structure(&ctmc, "ctmc"));
+        report
+    } else if name.contains(".grid.") {
+        let grid: sdnav_grid::GridSpec =
+            sdnav_json::from_str(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        audit_grid(&ControllerSpec::opencontrail_3x(), &grid)
     } else if name.contains(".block.") {
         let block: Block = sdnav_json::from_str(text).unwrap_or_else(|e| panic!("{name}: {e}"));
         audit_block(&block, "rbd")
@@ -67,6 +82,11 @@ fn every_fixture_is_flagged_with_its_expected_code() {
         let name = path.file_name().unwrap().to_string_lossy().into_owned();
         let text = std::fs::read_to_string(&path).unwrap();
         let report = audit_fixture(&name, &text);
+        // Every fixture report must also round-trip through the SARIF
+        // encoder and pass the offline schema validator.
+        let sarif = sdnav_audit::to_sarif(&report, Some(&name));
+        sdnav_audit::validate_sarif(&sarif)
+            .unwrap_or_else(|e| panic!("{name}: invalid SARIF: {e}"));
         if name.starts_with("clean_") {
             assert!(
                 report.is_clean(),
@@ -90,10 +110,10 @@ fn every_fixture_is_flagged_with_its_expected_code() {
         seeded += 1;
     }
     assert!(
-        seeded >= 21,
-        "expected at least 21 seeded fixtures, found {seeded}"
+        seeded >= 30,
+        "expected at least 30 seeded fixtures, found {seeded}"
     );
-    assert!(clean >= 2, "expected at least 2 clean_ fixtures");
+    assert!(clean >= 4, "expected at least 4 clean_ fixtures");
 }
 
 #[test]
