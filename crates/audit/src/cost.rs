@@ -345,7 +345,7 @@ impl SweepPlan {
 impl ToJson for SweepPlan {
     fn to_json(&self) -> Json {
         Json::obj(vec![
-            ("schema", Json::str("sdnav-sweep-plan/v1")),
+            ("schema", Json::str(sdnav_json::schema::SWEEP_PLAN)),
             ("items", self.cells.len().to_json()),
             (
                 "predicted_cache",

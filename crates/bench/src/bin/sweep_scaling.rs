@@ -44,7 +44,7 @@ struct BenchReport {
 impl ToJson for BenchReport {
     fn to_json(&self) -> Json {
         Json::obj(vec![
-            ("schema", Json::str("sdnav-bench-sweep/v1")),
+            ("schema", Json::str(sdnav_json::schema::BENCH_SWEEP)),
             ("items", Json::Num(self.items as f64)),
             ("threads_1_ms", Json::Num(self.serial_ms)),
             ("threads_4_ms", Json::Num(self.parallel_ms)),

@@ -12,7 +12,7 @@
 use sdnav_json::Json;
 
 /// Schema tag of a digested report.
-pub const DIGEST_SCHEMA: &str = "sdnav-chaos-digest/v1";
+pub const DIGEST_SCHEMA: &str = sdnav_json::schema::CHAOS_DIGEST;
 
 /// Arrays at or below this length are kept verbatim; longer ones are
 /// summarized. Four keeps `by_cause` (one row per cause) readable for

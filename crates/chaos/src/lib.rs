@@ -359,7 +359,26 @@ impl fmt::Display for ChaosError {
 
 impl Error for ChaosError {}
 
+impl From<ChaosError> for sdnav_core::SdnavError {
+    fn from(e: ChaosError) -> Self {
+        sdnav_core::SdnavError::model(e.to_string())
+    }
+}
+
 impl ChaosSpec {
+    /// Starts a builder for a named campaign (seed 0, unlimited crews,
+    /// no injections).
+    pub fn builder(name: impl Into<String>) -> ChaosSpecBuilder {
+        ChaosSpecBuilder {
+            spec: ChaosSpec {
+                name: name.into(),
+                seed: 0,
+                crews: None,
+                injections: Vec::new(),
+            },
+        }
+    }
+
     /// Checks the campaign for internal consistency (labels, times,
     /// probabilities, durations, crew counts).
     ///
@@ -437,6 +456,43 @@ impl ChaosSpec {
             }
         }
         Ok(())
+    }
+}
+
+/// Step-by-step construction of a validated [`ChaosSpec`].
+#[derive(Debug, Clone)]
+#[must_use = "call `.build()` to obtain the validated ChaosSpec"]
+pub struct ChaosSpecBuilder {
+    spec: ChaosSpec,
+}
+
+impl ChaosSpecBuilder {
+    /// Sets the seed for common-cause member draws.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Limits the repair-crew pool.
+    pub fn crews(mut self, crews: CrewSpec) -> Self {
+        self.spec.crews = Some(crews);
+        self
+    }
+
+    /// Appends one injection.
+    pub fn injection(mut self, injection: InjectionSpec) -> Self {
+        self.spec.injections.push(injection);
+        self
+    }
+
+    /// Validates and returns the campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ChaosError`] [`ChaosSpec::try_validate`] finds.
+    pub fn build(self) -> Result<ChaosSpec, ChaosError> {
+        self.spec.try_validate()?;
+        Ok(self.spec)
     }
 }
 
@@ -664,6 +720,12 @@ impl fmt::Display for CompileError {
 }
 
 impl Error for CompileError {}
+
+impl From<CompileError> for sdnav_core::SdnavError {
+    fn from(e: CompileError) -> Self {
+        sdnav_core::SdnavError::model(e.to_string())
+    }
+}
 
 impl From<ChaosError> for CompileError {
     fn from(e: ChaosError) -> Self {
@@ -941,7 +1003,7 @@ pub fn report(spec: &ChaosSpec, result: &SimResult) -> Json {
         })
         .collect();
     Json::obj(vec![
-        ("schema", Json::str("sdnav-chaos-report/v1")),
+        ("schema", Json::str(sdnav_json::schema::CHAOS_REPORT)),
         ("campaign", Json::str(spec.name.clone())),
         ("cp_availability", result.cp_availability.to_json()),
         ("dp_availability", result.dp_availability.to_json()),

@@ -7,7 +7,10 @@ mod signals;
 use std::process::ExitCode;
 
 use args::Args;
-use sdnav_core::{ControllerSpec, HwModel, HwParams, Plane, Scenario, SwModel, SwParams, Topology};
+use sdnav_core::{
+    ControllerSpec, ErrorKind, HwModel, HwParams, Plane, Scenario, SdnavError, SwModel, SwParams,
+    Topology,
+};
 use sdnav_fmea::{derive_table1, dominant_modes, enumerate_filtered, Deployment, ElementKind};
 use sdnav_grid::plan::Figure;
 use sdnav_grid::{GridResults, GridSpec, RetryPolicy, SimRow, SuperviseOptions};
@@ -53,6 +56,18 @@ COMMANDS:
                               (per-cell cost units, predicted cache hit
                               rate, skippable cells) and any SA030-SA032
                               grid findings, then exits
+  serve [--addr HOST:PORT]    run the persistent evaluator service
+                              (default 127.0.0.1:8423; port 0 binds an
+                              ephemeral port, printed to stderr). HTTP/1.1
+                              + JSON: POST /v1/eval evaluates a grid spec
+                              byte-identically to `sweep --format json`,
+                              PATCH /v1/spec edits one rate and
+                              invalidates only dependent cached
+                              sub-models, GET /v1/plan predicts sweep
+                              cost, GET /v1/metrics reports cache
+                              counters, GET /v1/healthz liveness.
+                              SIGINT/SIGTERM drain in-flight requests,
+                              then exit 0
   fmea [--order N] [--scenario S] [--layout L] [--sw-only]
                               enumerate minimal failure modes
   importance [--scenario S] [--layout L]
@@ -109,41 +124,21 @@ EXIT CODES: 0 success, 1 analysis/input failure, 2 usage error,
             3 partial results (sweep interrupted or cells quarantined)
 ";
 
-/// How a run failed, mapped onto the process exit code: bad invocations
-/// (unknown commands, malformed option values) exit 2; well-formed requests
-/// that fail (unreadable files, invalid models, lint findings) exit 1; a
-/// supervised sweep that still emitted (partial) results — interrupted by
-/// SIGINT/SIGTERM, or with cells quarantined after their retry budget —
-/// exits 3 so callers can distinguish "resume me" from "broken".
-#[derive(Debug)]
-enum CliError {
-    Usage(String),
-    Failure(String),
-    Partial(String),
+// How a run fails maps onto the process exit code through the shared
+// `sdnav_core::error` taxonomy (the same one `sdnav serve` maps onto HTTP
+// statuses): bad invocations (unknown commands, malformed option values)
+// exit 2; well-formed requests that fail (unreadable files, invalid
+// models, lint findings) exit 1; a supervised sweep that still emitted
+// (partial) results — interrupted by SIGINT/SIGTERM, or with cells
+// quarantined after their retry budget — exits 3 so callers can
+// distinguish "resume me" from "broken".
+
+fn usage(message: impl Into<String>) -> SdnavError {
+    SdnavError::usage(message)
 }
 
-impl CliError {
-    fn exit_code(&self) -> ExitCode {
-        match self {
-            CliError::Usage(_) => ExitCode::from(2),
-            CliError::Failure(_) => ExitCode::from(1),
-            CliError::Partial(_) => ExitCode::from(3),
-        }
-    }
-
-    fn message(&self) -> &str {
-        match self {
-            CliError::Usage(m) | CliError::Failure(m) | CliError::Partial(m) => m,
-        }
-    }
-}
-
-fn usage(message: impl Into<String>) -> CliError {
-    CliError::Usage(message.into())
-}
-
-fn failure(message: impl Into<String>) -> CliError {
-    CliError::Failure(message.into())
+fn failure(message: impl Into<String>) -> SdnavError {
+    SdnavError::analysis(message)
 }
 
 fn main() -> ExitCode {
@@ -158,20 +153,20 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            if matches!(e, CliError::Partial(_)) {
-                eprintln!("partial: {}", e.message());
+            if e.kind() == ErrorKind::Partial {
+                eprintln!("partial: {e}");
             } else {
-                eprintln!("error: {}", e.message());
+                eprintln!("error: {e}");
             }
-            if matches!(e, CliError::Usage(_)) {
+            if e.kind() == ErrorKind::Usage {
                 eprintln!("try `sdnav help`");
             }
-            e.exit_code()
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run(args: &Args) -> Result<(), CliError> {
+fn run(args: &Args) -> Result<(), SdnavError> {
     // `lint` deliberately bypasses `load_spec`: its whole point is to accept
     // specs that `validate()` would reject and explain what is wrong.
     if args.subcommand() == Some("lint") {
@@ -194,6 +189,7 @@ fn run(args: &Args) -> Result<(), CliError> {
         "fig4" => sw_figure(&spec, args, Figure::Fig4),
         "fig5" => sw_figure(&spec, args, Figure::Fig5),
         "sweep" => sweep(&spec, args),
+        "serve" => serve(&spec, args),
         "fmea" => fmea(&spec, args),
         "importance" => importance(&spec, args),
         "sensitivity" => sensitivity(&spec, args),
@@ -209,7 +205,7 @@ fn run(args: &Args) -> Result<(), CliError> {
     }
 }
 
-fn load_spec(args: &Args) -> Result<ControllerSpec, CliError> {
+fn load_spec(args: &Args) -> Result<ControllerSpec, SdnavError> {
     let mut spec = match args.get("spec") {
         None => ControllerSpec::opencontrail_3x(),
         Some(path) => {
@@ -231,7 +227,7 @@ fn load_spec(args: &Args) -> Result<ControllerSpec, CliError> {
     Ok(spec)
 }
 
-fn scenario(args: &Args) -> Result<Scenario, CliError> {
+fn scenario(args: &Args) -> Result<Scenario, SdnavError> {
     match args.get("scenario").unwrap_or("not-required") {
         "required" => Ok(Scenario::SupervisorRequired),
         "not-required" => Ok(Scenario::SupervisorNotRequired),
@@ -241,7 +237,7 @@ fn scenario(args: &Args) -> Result<Scenario, CliError> {
     }
 }
 
-fn layout(spec: &ControllerSpec, args: &Args) -> Result<Topology, CliError> {
+fn layout(spec: &ControllerSpec, args: &Args) -> Result<Topology, SdnavError> {
     match args.get("layout").unwrap_or("small") {
         "small" => Ok(Topology::small(spec)),
         "medium" => Ok(Topology::medium(spec)),
@@ -252,7 +248,7 @@ fn layout(spec: &ControllerSpec, args: &Args) -> Result<Topology, CliError> {
     }
 }
 
-fn tables(spec: &ControllerSpec) -> Result<(), CliError> {
+fn tables(spec: &ControllerSpec) -> Result<(), SdnavError> {
     println!("Table I — process failure modes (derived behaviorally):\n");
     let mut t1 = Table::new(vec!["Role", "Process", "SDN CP", "Host DP"]);
     for row in derive_table1(spec) {
@@ -284,7 +280,7 @@ fn tables(spec: &ControllerSpec) -> Result<(), CliError> {
     Ok(())
 }
 
-fn topology_cmd(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
+fn topology_cmd(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
     match args.get("layout").unwrap_or("all") {
         "all" => {
             for t in [
@@ -300,7 +296,7 @@ fn topology_cmd(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-fn hw(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
+fn hw(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
     let a_c = args.get_f64("a-c", 0.9995).map_err(usage)?;
     if !(0.0..=1.0).contains(&a_c) {
         return Err(usage(format!(
@@ -327,7 +323,7 @@ fn hw(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-fn sw(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
+fn sw(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
     let scenario = scenario(args)?;
     let params = SwParams::paper_defaults();
     let mut table = Table::new(vec!["topology", "A_CP", "A_SDP", "A_DP", "CP DT", "DP DT"]);
@@ -358,7 +354,7 @@ fn figure_grid(
     spec: &ControllerSpec,
     args: &Args,
     figure: Figure,
-) -> Result<GridResults, CliError> {
+) -> Result<GridResults, SdnavError> {
     let grid = GridSpec::builder()
         .figures(&[figure])
         .points(args.get_usize("points", 21).map_err(usage)?)
@@ -370,7 +366,7 @@ fn figure_grid(
         .results)
 }
 
-fn fig3(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
+fn fig3(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
     let rows = figure_grid(spec, args, Figure::Fig3)?.fig3;
     let table = fig3_table(&rows);
     if args.has_flag("csv") {
@@ -478,7 +474,7 @@ fn chaos_table(rows: &[sdnav_grid::ChaosRow]) -> Table {
     table
 }
 
-fn sw_figure(spec: &ControllerSpec, args: &Args, figure: Figure) -> Result<(), CliError> {
+fn sw_figure(spec: &ControllerSpec, args: &Args, figure: Figure) -> Result<(), SdnavError> {
     let results = figure_grid(spec, args, figure)?;
     let rows = if figure == Figure::Fig4 {
         results.fig4
@@ -520,7 +516,7 @@ fn sw_figure(spec: &ControllerSpec, args: &Args, figure: Figure) -> Result<(), C
     Ok(())
 }
 
-fn sweep(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
+fn sweep(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
     let figures = match args.get("figures") {
         None => vec![Figure::Fig3, Figure::Fig4, Figure::Fig5],
         Some(list) => {
@@ -609,22 +605,24 @@ fn sweep(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
         return Err(usage("--resume requires --checkpoint <file>"));
     }
     let retries = args.get_usize("retries", 2).map_err(usage)?;
-    let retry = RetryPolicy {
-        max_retries: u32::try_from(retries)
-            .map_err(|_| usage(format!("--retries is out of range, got {retries}")))?,
-        backoff_base_ms: args.get_usize("backoff-ms", 50).map_err(usage)? as u64,
-    };
+    let retry = RetryPolicy::builder()
+        .max_retries(
+            u32::try_from(retries)
+                .map_err(|_| usage(format!("--retries is out of range, got {retries}")))?,
+        )
+        .backoff_base_ms(args.get_usize("backoff-ms", 50).map_err(usage)? as u64)
+        .build();
     let inject_panic = optional_usize(args, "inject-panic")?;
     let cancel_after_cells = optional_usize(args, "cancel-after-cells")?;
     signals::install();
-    let opts = SuperviseOptions {
-        retry,
-        checkpoint: checkpoint.as_deref(),
-        resume: args.has_flag("resume"),
-        shutdown: Some(&signals::SHUTDOWN),
-        inject_panic,
-        cancel_after_cells,
-    };
+    let opts = SuperviseOptions::builder()
+        .retry(retry)
+        .checkpoint(checkpoint.as_deref())
+        .resume(args.has_flag("resume"))
+        .shutdown(&signals::SHUTDOWN)
+        .inject_panic(inject_panic)
+        .cancel_after_cells(cancel_after_cells)
+        .build();
     let outcome =
         sdnav_grid::evaluate_supervised(spec, &grid, &opts).map_err(|e| failure(e.to_string()))?;
 
@@ -696,13 +694,13 @@ fn sweep(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
                 outcome.quarantine.len()
             ));
         }
-        return Err(CliError::Partial(reasons.join("; ")));
+        return Err(SdnavError::partial(reasons.join("; ")));
     }
     Ok(())
 }
 
 /// An optional `--key N` integer (absent stays `None`).
-fn optional_usize(args: &Args, key: &str) -> Result<Option<usize>, CliError> {
+fn optional_usize(args: &Args, key: &str) -> Result<Option<usize>, SdnavError> {
     match args.get(key) {
         None => Ok(None),
         Some(v) => v
@@ -712,7 +710,24 @@ fn optional_usize(args: &Args, key: &str) -> Result<Option<usize>, CliError> {
     }
 }
 
-fn fmea(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
+/// `sdnav serve`: run the persistent evaluator service until
+/// SIGINT/SIGTERM, then drain in-flight requests and exit 0.
+fn serve(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8423");
+    let config = sdnav_serve::ServeConfig::builder(spec.clone())
+        .addr(addr)
+        .build()?;
+    let server = sdnav_serve::Server::bind(config)?;
+    signals::install();
+    // The bound address goes to stderr so scripts binding port 0 can
+    // discover the ephemeral port without scraping response bodies.
+    eprintln!("sdnav serve: listening on http://{}", server.local_addr()?);
+    server.run(&signals::SHUTDOWN)?;
+    eprintln!("sdnav serve: drained, shutting down");
+    Ok(())
+}
+
+fn fmea(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
     let order = args.get_usize("order", 2).map_err(usage)?;
     let scenario = scenario(args)?;
     let topo = layout(spec, args)?;
@@ -738,7 +753,7 @@ fn fmea(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-fn importance(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
+fn importance(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
     let scenario = scenario(args)?;
     let topo = layout(spec, args)?;
     let order = args.get_usize("order", 2).map_err(usage)?;
@@ -764,7 +779,7 @@ fn importance(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-fn sensitivity(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
+fn sensitivity(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
     let scenario = scenario(args)?;
     let topo = layout(spec, args)?;
     use sdnav_core::sensitivity::{hw as hw_sens, sw as sw_sens, SwMetric};
@@ -798,7 +813,7 @@ fn sensitivity(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-fn plan(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
+fn plan(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
     use sdnav_core::planner::{cheapest_meeting, evaluate_candidates, pareto_frontier, CostModel};
     let points = evaluate_candidates(spec, SwParams::paper_defaults(), &CostModel::ballpark());
     println!("Pareto frontier (cost vs CP downtime):\n");
@@ -837,7 +852,7 @@ fn plan(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-fn harden(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
+fn harden(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
     let scenario = scenario(args)?;
     let topo = layout(spec, args)?;
     let target = args
@@ -868,7 +883,7 @@ fn harden(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-fn simulate(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
+fn simulate(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
     let scenario = scenario(args)?;
     let topo = layout(spec, args)?;
     let accel = args.get_f64("accelerate", 100.0).map_err(usage)?;
@@ -915,7 +930,7 @@ fn simulate(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
 
 /// Builds the simulation configuration shared by `chaos run` and
 /// `lint --campaign` from the common options.
-fn chaos_config(args: &Args) -> Result<SimConfig, CliError> {
+fn chaos_config(args: &Args) -> Result<SimConfig, SdnavError> {
     SimConfig::builder(scenario(args)?)
         .accelerate(args.get_f64("accelerate", 100.0).map_err(usage)?)
         .horizon_hours(args.get_f64("horizon", 100_000.0).map_err(usage)?)
@@ -924,7 +939,7 @@ fn chaos_config(args: &Args) -> Result<SimConfig, CliError> {
         .map_err(|e| failure(e.to_string()))
 }
 
-fn chaos(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
+fn chaos(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
     match args.action() {
         Some("run") => {}
         Some(other) => return Err(usage(format!("unknown chaos action {other:?}"))),
@@ -1029,7 +1044,7 @@ enum LintTarget {
     Grid(Box<GridSpec>),
 }
 
-fn read_json<T: sdnav_json::FromJson>(path: &str) -> Result<T, CliError> {
+fn read_json<T: sdnav_json::FromJson>(path: &str) -> Result<T, SdnavError> {
     let text =
         std::fs::read_to_string(path).map_err(|e| failure(format!("cannot read {path}: {e}")))?;
     sdnav_json::from_str(&text).map_err(|e| failure(format!("cannot parse {path}: {e}")))
@@ -1037,13 +1052,13 @@ fn read_json<T: sdnav_json::FromJson>(path: &str) -> Result<T, CliError> {
 
 /// Writes via a sibling temp file + rename so an interrupted `--fix` never
 /// leaves a half-written artifact behind.
-fn write_atomic(path: &str, contents: &str) -> Result<(), CliError> {
+fn write_atomic(path: &str, contents: &str) -> Result<(), SdnavError> {
     let tmp = format!("{path}.tmp");
     std::fs::write(&tmp, contents).map_err(|e| failure(format!("cannot write {tmp}: {e}")))?;
     std::fs::rename(&tmp, path).map_err(|e| failure(format!("cannot replace {path}: {e}")))
 }
 
-fn lint(args: &Args) -> Result<(), CliError> {
+fn lint(args: &Args) -> Result<(), SdnavError> {
     let selectors = [
         args.get("spec"),
         args.get("block"),
@@ -1096,7 +1111,7 @@ fn lint(args: &Args) -> Result<(), CliError> {
         return Err(usage("--fix cannot be combined with --topology"));
     }
 
-    let audit = |target: &LintTarget| -> Result<sdnav_audit::AuditReport, CliError> {
+    let audit = |target: &LintTarget| -> Result<sdnav_audit::AuditReport, SdnavError> {
         match target {
             LintTarget::Spec(spec) => {
                 let mut report = sdnav_audit::audit_model(spec);
@@ -1203,7 +1218,7 @@ fn lint(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-fn dump_spec(spec: &ControllerSpec, args: &Args) -> Result<(), CliError> {
+fn dump_spec(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
     let json = sdnav_json::to_string_pretty(spec);
     match args.get("out") {
         Some(path) => {

@@ -897,3 +897,75 @@ fn simulate_smoke() {
     assert!(stdout.contains("CP  simulated"));
     assert!(stdout.contains("analytic"));
 }
+
+/// `sdnav serve` boots, answers over HTTP byte-identically to the
+/// one-shot sweep path, and SIGTERM drains it to a clean exit 0.
+#[cfg(unix)]
+#[test]
+fn serve_answers_http_and_sigterm_drains() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sdnav"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+
+    // The bound (ephemeral) address is announced on stderr.
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let mut banner = String::new();
+    stderr.read_line(&mut banner).expect("read banner");
+    let addr = banner
+        .trim()
+        .rsplit("http://")
+        .next()
+        .expect("banner names the address")
+        .to_owned();
+
+    // One real request/response round-trip, checked for parity against
+    // the CLI sweep path on the same grid.
+    let body = r#"{"points": 3, "replications": 2, "seed": 9}"#;
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect to server");
+    write!(
+        stream,
+        "POST /v1/eval HTTP/1.1\r\nhost: sdnav\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read full response");
+    let (head, http_body) = response.split_once("\r\n\r\n").expect("head/body split");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+
+    let (ok, sweep_stdout, sweep_stderr) = sdnav(&[
+        "sweep",
+        "--points",
+        "3",
+        "--replications",
+        "2",
+        "--seed",
+        "9",
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "{sweep_stderr}");
+    assert_eq!(
+        http_body, sweep_stdout,
+        "serve and sweep must agree byte-for-byte"
+    );
+
+    // SIGTERM: drain and exit 0.
+    let terminated = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs")
+        .success();
+    assert!(terminated, "SIGTERM delivery failed");
+    let status = child.wait().expect("child exits");
+    assert_eq!(status.code(), Some(0), "drained shutdown must exit 0");
+    let mut rest = String::new();
+    stderr.read_to_string(&mut rest).expect("drain stderr");
+    assert!(rest.contains("drained"), "{rest}");
+}

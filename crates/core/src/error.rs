@@ -1,0 +1,262 @@
+//! The unified workspace error: one kind taxonomy, one exit-code mapping,
+//! one HTTP-status mapping.
+//!
+//! Each crate keeps its own precise error enum ([`SpecError`],
+//! [`ParamError`], `GridError`, …) — those carry the structured detail
+//! tests assert on. What used to be ad hoc is the *boundary*: the CLI
+//! mapped errors onto exit codes by hand and `sdnav serve` would have
+//! needed a second hand-written mapping onto HTTP statuses. [`SdnavError`]
+//! is that boundary type: every crate-level error converts into it (via
+//! `From` impls living next to each error type), and both frontends read
+//! the same [`ErrorKind::exit_code`] / [`ErrorKind::http_status`] tables.
+//!
+//! [`SpecError`]: crate::SpecError
+//! [`ParamError`]: crate::ParamError
+
+use std::error::Error;
+use std::fmt;
+
+use sdnav_json::JsonError;
+
+use crate::{ParamError, SpecError, TopologyError};
+
+/// Failure taxonomy shared by the CLI (exit codes) and `sdnav serve`
+/// (HTTP statuses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// The invocation itself is malformed (unknown flag, bad option
+    /// value).
+    Usage,
+    /// Input text could not be parsed or decoded (JSON syntax, shape).
+    Parse,
+    /// The named thing does not exist (unknown route, unknown parameter).
+    NotFound,
+    /// The route exists but not under this HTTP method.
+    Method,
+    /// A well-formed model or spec failed validation.
+    Model,
+    /// A well-formed request failed during analysis/evaluation.
+    Analysis,
+    /// The environment failed us (file I/O, sockets).
+    Io,
+    /// Results were produced but are incomplete (interrupt, quarantine).
+    Partial,
+}
+
+impl ErrorKind {
+    /// The process exit code contract: 0 success, 1 analysis/input
+    /// failure, 2 usage error, 3 partial results.
+    #[must_use]
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ErrorKind::Usage | ErrorKind::Method => 2,
+            ErrorKind::Partial => 3,
+            _ => 1,
+        }
+    }
+
+    /// The HTTP status `sdnav serve` answers with.
+    #[must_use]
+    pub fn http_status(self) -> u16 {
+        match self {
+            ErrorKind::Usage | ErrorKind::Parse => 400,
+            ErrorKind::NotFound => 404,
+            ErrorKind::Method => 405,
+            ErrorKind::Model => 422,
+            ErrorKind::Analysis | ErrorKind::Io => 500,
+            ErrorKind::Partial => 503,
+        }
+    }
+
+    /// Stable lowercase name used in structured error bodies.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Usage => "usage",
+            ErrorKind::Parse => "parse",
+            ErrorKind::NotFound => "not_found",
+            ErrorKind::Method => "method",
+            ErrorKind::Model => "model",
+            ErrorKind::Analysis => "analysis",
+            ErrorKind::Io => "io",
+            ErrorKind::Partial => "partial",
+        }
+    }
+}
+
+/// A classified, displayable workspace error (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SdnavError {
+    kind: ErrorKind,
+    message: String,
+}
+
+impl SdnavError {
+    /// An error of the given kind.
+    #[must_use]
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        SdnavError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// A malformed invocation (exit 2 / HTTP 400).
+    #[must_use]
+    pub fn usage(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Usage, message)
+    }
+
+    /// Unparsable or undecodable input (exit 1 / HTTP 400).
+    #[must_use]
+    pub fn parse(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Parse, message)
+    }
+
+    /// An unknown route or name (exit 1 / HTTP 404).
+    #[must_use]
+    pub fn not_found(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::NotFound, message)
+    }
+
+    /// A known route under the wrong HTTP method (exit 2 / HTTP 405).
+    #[must_use]
+    pub fn method(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Method, message)
+    }
+
+    /// A model/spec validation failure (exit 1 / HTTP 422).
+    #[must_use]
+    pub fn model(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Model, message)
+    }
+
+    /// An evaluation failure (exit 1 / HTTP 500).
+    #[must_use]
+    pub fn analysis(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Analysis, message)
+    }
+
+    /// An environment/I-O failure (exit 1 / HTTP 500).
+    #[must_use]
+    pub fn io(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Io, message)
+    }
+
+    /// Incomplete-but-emitted results (exit 3 / HTTP 503).
+    #[must_use]
+    pub fn partial(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Partial, message)
+    }
+
+    /// The failure class.
+    #[must_use]
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The human-readable message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Shorthand for `self.kind().exit_code()`.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        self.kind.exit_code()
+    }
+
+    /// Shorthand for `self.kind().http_status()`.
+    #[must_use]
+    pub fn http_status(&self) -> u16 {
+        self.kind.http_status()
+    }
+}
+
+impl fmt::Display for SdnavError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for SdnavError {}
+
+impl From<JsonError> for SdnavError {
+    fn from(e: JsonError) -> Self {
+        SdnavError::parse(e.to_string())
+    }
+}
+
+impl From<SpecError> for SdnavError {
+    fn from(e: SpecError) -> Self {
+        SdnavError::model(e.to_string())
+    }
+}
+
+impl From<ParamError> for SdnavError {
+    fn from(e: ParamError) -> Self {
+        SdnavError::model(e.to_string())
+    }
+}
+
+impl From<TopologyError> for SdnavError {
+    fn from(e: TopologyError) -> Self {
+        SdnavError::model(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_follow_the_documented_contract() {
+        assert_eq!(SdnavError::usage("x").exit_code(), 2);
+        assert_eq!(SdnavError::method("x").exit_code(), 2);
+        assert_eq!(SdnavError::partial("x").exit_code(), 3);
+        for e in [
+            SdnavError::parse("x"),
+            SdnavError::not_found("x"),
+            SdnavError::model("x"),
+            SdnavError::analysis("x"),
+            SdnavError::io("x"),
+        ] {
+            assert_eq!(e.exit_code(), 1, "{:?}", e.kind());
+        }
+    }
+
+    #[test]
+    fn http_statuses_partition_by_kind() {
+        assert_eq!(SdnavError::usage("x").http_status(), 400);
+        assert_eq!(SdnavError::parse("x").http_status(), 400);
+        assert_eq!(SdnavError::not_found("x").http_status(), 404);
+        assert_eq!(SdnavError::method("x").http_status(), 405);
+        assert_eq!(SdnavError::model("x").http_status(), 422);
+        assert_eq!(SdnavError::analysis("x").http_status(), 500);
+        assert_eq!(SdnavError::io("x").http_status(), 500);
+        assert_eq!(SdnavError::partial("x").http_status(), 503);
+    }
+
+    #[test]
+    fn core_errors_convert_with_model_kind() {
+        let param = ParamError {
+            field: "a_c",
+            value: 1.5,
+        };
+        let e: SdnavError = param.into();
+        assert_eq!(e.kind(), ErrorKind::Model);
+        assert!(e.to_string().contains("a_c"));
+
+        let json = JsonError::decode("missing field `x`");
+        let e: SdnavError = json.into();
+        assert_eq!(e.kind(), ErrorKind::Parse);
+    }
+
+    #[test]
+    fn kinds_have_stable_names() {
+        assert_eq!(ErrorKind::NotFound.name(), "not_found");
+        assert_eq!(ErrorKind::Usage.name(), "usage");
+    }
+}

@@ -57,6 +57,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod approx;
+pub mod error;
 mod eval;
 mod hw;
 pub mod paper;
@@ -64,17 +65,20 @@ mod params;
 pub mod planner;
 pub mod sensitivity;
 mod spec;
+pub mod state;
 mod sw;
 pub mod sweep;
 mod topology;
 mod units;
 
+pub use error::{ErrorKind, SdnavError};
 pub use hw::HwModel;
 pub use params::{HwParams, ParamError, ProcessParams, SwParams};
 pub use spec::{
     ControllerSpec, Plane, ProcessSpec, QuorumCount, Requirement, RestartCount, RestartMode,
     RoleScope, RoleSpec, SpecError,
 };
+pub use state::{ModelState, PatchEffect};
 pub use sw::{Scenario, SwModel};
 pub use topology::{HostId, RackId, Topology, TopologyError, VmId};
 pub use units::{Quantity, RatePair, SpecRates, Unit, FIT_SCALE};

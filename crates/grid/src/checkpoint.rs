@@ -37,7 +37,7 @@ use crate::plan::{Figure, SimTopology};
 use crate::{ChaosRow, GridError, GridSpec, ItemOutput, SimRow};
 
 /// Schema tag carried by the WAL header record.
-pub const CHECKPOINT_SCHEMA: &str = "sdnav-checkpoint/v1";
+pub const CHECKPOINT_SCHEMA: &str = sdnav_json::schema::CHECKPOINT;
 
 /// Upper bound on a single record payload. Real payloads are a few hundred
 /// bytes; the bound lets replay reject a garbage length field immediately

@@ -44,9 +44,10 @@ use std::time::Instant;
 
 use sdnav_core::sweep::{Fig3Row, SwSweepRow};
 use sdnav_core::{
-    ControllerSpec, HwModel, HwParams, ParamError, Scenario, SwModel, SwParams, Topology,
+    ControllerSpec, HwModel, HwParams, ModelState, ParamError, Scenario, SdnavError, SwModel,
+    SwParams, Topology,
 };
-use sdnav_json::{FromJson, Json, JsonError, ToJson};
+use sdnav_json::{schema, FromJson, Json, JsonError, ToJson};
 use sdnav_sim::{ConfigError, Estimate, SimBuildError, SimConfig, Simulation, Welford};
 
 pub mod cache;
@@ -57,11 +58,12 @@ pub mod pool;
 pub mod quarantine;
 pub mod supervise;
 
-use cache::{SubModelCache, SubModelKey};
+use cache::SubModelKey;
 use metrics::{RunMetrics, StageTimings};
 use plan::{item_seed, plan_chaos_items, plan_items, Figure, SimTopology, WorkItem};
 use sdnav_chaos::{ChaosSpec, CrewDiscipline, CrewSpec, InjectionKind};
 
+pub use cache::EvalGraph;
 pub use quarantine::{QuarantineRecord, QuarantineReport};
 pub use supervise::{
     evaluate_supervised, run_supervised, Cell, CellMeta, RetryPolicy, SuperviseOptions,
@@ -100,6 +102,53 @@ pub struct GridSpec {
 }
 
 impl GridSpec {
+    /// Checks the spec for nonsensical values — the same checks
+    /// [`GridSpecBuilder::build`] applies, exposed separately so grids
+    /// decoded from JSON (which deliberately skip validation for lint
+    /// fixtures) can be gated before evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::Spec`] naming the first nonsensical value.
+    pub fn validate(&self) -> Result<(), GridError> {
+        if self.figures.is_empty() {
+            return Err(GridError::Spec("at least one figure is required"));
+        }
+        if self.points == 0 {
+            return Err(GridError::Spec("points must be at least 1"));
+        }
+        if self.sim_horizon_hours.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(GridError::Spec("simulation horizon must be positive"));
+        }
+        if self.sim_accelerate.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(GridError::Spec("simulation acceleration must be positive"));
+        }
+        if self.sim_compute_hosts == 0 {
+            return Err(GridError::Spec("need at least one simulated compute host"));
+        }
+        if let Some(campaign) = &self.chaos_campaign {
+            if campaign.try_validate().is_err() {
+                return Err(GridError::Spec("chaos campaign fails validation"));
+            }
+            if self.chaos_crew_counts.is_empty() || self.chaos_crew_counts.contains(&0) {
+                return Err(GridError::Spec(
+                    "chaos crew counts must be non-empty and positive",
+                ));
+            }
+            if self.chaos_ccf_probabilities.is_empty()
+                || self
+                    .chaos_ccf_probabilities
+                    .iter()
+                    .any(|p| !(0.0..=1.0).contains(p))
+            {
+                return Err(GridError::Spec(
+                    "chaos probabilities must be non-empty and in [0, 1]",
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Starts a builder with the default grid: all three figures, 21
     /// points, no simulation, seed 7, auto thread count, and accelerated
     /// short-horizon simulation settings suitable for smoke-grade
@@ -278,41 +327,7 @@ impl GridSpecBuilder {
     ///
     /// Returns [`GridError::Spec`] naming the first nonsensical value.
     pub fn build(self) -> Result<GridSpec, GridError> {
-        let s = &self.spec;
-        if s.figures.is_empty() {
-            return Err(GridError::Spec("at least one figure is required"));
-        }
-        if s.points == 0 {
-            return Err(GridError::Spec("points must be at least 1"));
-        }
-        if s.sim_horizon_hours.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-            return Err(GridError::Spec("simulation horizon must be positive"));
-        }
-        if s.sim_accelerate.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-            return Err(GridError::Spec("simulation acceleration must be positive"));
-        }
-        if s.sim_compute_hosts == 0 {
-            return Err(GridError::Spec("need at least one simulated compute host"));
-        }
-        if let Some(campaign) = &s.chaos_campaign {
-            if campaign.try_validate().is_err() {
-                return Err(GridError::Spec("chaos campaign fails validation"));
-            }
-            if s.chaos_crew_counts.is_empty() || s.chaos_crew_counts.contains(&0) {
-                return Err(GridError::Spec(
-                    "chaos crew counts must be non-empty and positive",
-                ));
-            }
-            if s.chaos_ccf_probabilities.is_empty()
-                || s.chaos_ccf_probabilities
-                    .iter()
-                    .any(|p| !(0.0..=1.0).contains(p))
-            {
-                return Err(GridError::Spec(
-                    "chaos probabilities must be non-empty and in [0, 1]",
-                ));
-            }
-        }
+        self.spec.validate()?;
         Ok(self.spec)
     }
 }
@@ -351,6 +366,15 @@ impl fmt::Display for GridError {
 }
 
 impl Error for GridError {}
+
+impl From<GridError> for SdnavError {
+    fn from(e: GridError) -> Self {
+        match &e {
+            GridError::Checkpoint(_) => SdnavError::io(e.to_string()),
+            _ => SdnavError::model(e.to_string()),
+        }
+    }
+}
 
 impl From<ParamError> for GridError {
     fn from(e: ParamError) -> Self {
@@ -497,7 +521,7 @@ impl ToJson for GridResults {
     fn to_json(&self) -> Json {
         let rows = |items: &[Fig3Row]| Json::Arr(items.iter().map(ToJson::to_json).collect());
         let sw_rows = |items: &[SwSweepRow]| Json::Arr(items.iter().map(ToJson::to_json).collect());
-        let mut fields = vec![("schema", Json::str("sdnav-sweep-results/v1"))];
+        let mut fields = vec![("schema", Json::str(schema::SWEEP_RESULTS))];
         if self.incomplete {
             // Additive marker: only partial output carries it, so complete
             // runs stay byte-compatible with pre-supervision consumers.
@@ -547,8 +571,13 @@ struct EvalCtx<'a> {
     large: Topology,
     hw_base: HwParams,
     sw_base: SwParams,
+    /// HW-domain fingerprint ([`ModelState::hw_domain`]) addressing every
+    /// [`SubModelKey::Hw`] entry this run reads.
+    hw_fp: u64,
+    /// SW-domain fingerprint addressing every [`SubModelKey::Sw`] entry.
+    sw_fp: u64,
     grid: &'a GridSpec,
-    cache: &'a SubModelCache,
+    graph: &'a EvalGraph,
 }
 
 impl EvalCtx<'_> {
@@ -564,7 +593,7 @@ impl EvalCtx<'_> {
             supervisor_required: scenario == Scenario::SupervisorRequired,
             x_bits: x.to_bits(),
         };
-        self.cache.get_or_compute(key, || {
+        self.graph.get_or_compute(self.sw_fp, key, || {
             // Figure x = +1 means 10× less downtime → scale by 10^(−x).
             let params = self.sw_base.scale_process_downtime(-x);
             let topo = match which {
@@ -587,7 +616,7 @@ impl EvalCtx<'_> {
                 let key = SubModelKey::Hw {
                     a_c_bits: a_c.to_bits(),
                 };
-                let [small, medium, large] = self.cache.get_or_compute(key, || {
+                let [small, medium, large] = self.graph.get_or_compute(self.hw_fp, key, || {
                     let p = self.hw_base.with_a_c(*a_c);
                     let avail = |topo: &Topology| {
                         HwModel::try_new(self.spec, topo, p)
@@ -803,25 +832,26 @@ fn build_items(grid: &GridSpec) -> Vec<WorkItem> {
 }
 
 /// Validates the base parameter sets and assembles the shared evaluation
-/// context.
+/// context, fingerprinting the state's HW and SW domains.
 fn build_ctx<'a>(
-    spec: &'a ControllerSpec,
+    state: &'a ModelState,
     grid: &'a GridSpec,
-    cache: &'a SubModelCache,
+    graph: &'a EvalGraph,
 ) -> Result<EvalCtx<'a>, GridError> {
-    let hw_base = HwParams::paper_defaults();
-    let sw_base = SwParams::paper_defaults();
-    hw_base.try_validate()?;
-    sw_base.try_validate()?;
+    state.hw.try_validate()?;
+    state.sw.try_validate()?;
+    let spec = &state.spec;
     Ok(EvalCtx {
         spec,
         small: Topology::small(spec),
         medium: Topology::medium(spec),
         large: Topology::large(spec),
-        hw_base,
-        sw_base,
+        hw_base: state.hw,
+        sw_base: state.sw,
+        hw_fp: state.hw_domain(),
+        sw_fp: state.sw_domain(),
         grid,
-        cache,
+        graph,
     })
 }
 
@@ -849,19 +879,49 @@ fn fold_output(results: &mut GridResults, sim_events: &mut u64, output: ItemOutp
 /// This is the plain complete-or-error evaluator: a panicking item unwinds
 /// through the pool. Long-running or interruption-tolerant callers should
 /// use [`evaluate_supervised`] instead, which isolates panics, journals a
-/// checkpoint, and emits partial results on shutdown.
+/// checkpoint, and emits partial results on shutdown. Service callers that
+/// want cross-request memoization use [`evaluate_incremental`] with a
+/// long-lived [`EvalGraph`]; this entry point is the one-shot special
+/// case (paper-default parameters, fresh graph) and produces byte-identical
+/// results to it.
 ///
 /// # Errors
 ///
 /// Returns the first [`GridError`] encountered (in plan order, regardless
 /// of execution order).
 pub fn evaluate(spec: &ControllerSpec, grid: &GridSpec) -> Result<GridOutcome, GridError> {
+    let state = ModelState::paper(spec.clone());
+    let graph = EvalGraph::new();
+    evaluate_incremental(&state, grid, &graph)
+}
+
+/// Evaluates a grid against `state`, memoizing sub-models in `graph`
+/// across calls.
+///
+/// Sub-model entries are addressed by `(domain fingerprint, key)`, so a
+/// graph can be reused across requests and across [`ModelState::patch`]
+/// edits: only sub-models whose domain actually changed recompute, and a
+/// warm evaluation is byte-identical to a cold one at any thread count —
+/// entries key on f64 bit patterns, so a hit can never change a result
+/// byte. Metrics report this run's hit/miss deltas, not the graph's
+/// lifetime totals; concurrent runs sharing one graph would interleave
+/// deltas, so callers serialize evaluations per graph.
+///
+/// # Errors
+///
+/// Returns the first [`GridError`] encountered (in plan order, regardless
+/// of execution order).
+pub fn evaluate_incremental(
+    state: &ModelState,
+    grid: &GridSpec,
+    graph: &EvalGraph,
+) -> Result<GridOutcome, GridError> {
     let threads = resolve_threads(grid);
+    let (hits0, misses0) = (graph.hits(), graph.misses());
 
     let plan_start = Instant::now();
     let items = build_items(grid);
-    let cache = SubModelCache::new();
-    let ctx = build_ctx(spec, grid, &cache)?;
+    let ctx = build_ctx(state, grid, graph)?;
     let plan_ms = plan_start.elapsed().as_secs_f64() * 1e3;
 
     let execute_start = Instant::now();
@@ -889,8 +949,8 @@ pub fn evaluate(spec: &ControllerSpec, grid: &GridSpec) -> Result<GridOutcome, G
         } else {
             0.0
         },
-        cache_hits: cache.hits(),
-        cache_misses: cache.misses(),
+        cache_hits: graph.hits() - hits0,
+        cache_misses: graph.misses() - misses0,
         steals: stats.steals,
         sim_replications: (results.sim.len() * grid.replications) as u64
             + results
@@ -1001,6 +1061,85 @@ mod tests {
         // figure computes them first, the other's 4 lookups all hit.
         assert_eq!(outcome.metrics.cache_misses, 4 * 5);
         assert_eq!(outcome.metrics.cache_hits, 4 * 5);
+    }
+
+    #[test]
+    fn incremental_sw_patch_recomputes_strictly_fewer_sub_models() {
+        let s = spec();
+        let grid = GridSpec::builder().points(5).threads(1).build().unwrap();
+        let graph = EvalGraph::new();
+        let mut state = ModelState::paper(s);
+
+        let cold = evaluate_incremental(&state, &grid, &graph).unwrap();
+        // 5 HW points + 4 (topology, scenario) triples × 5 x-points.
+        assert_eq!(cold.metrics.cache_misses, 5 + 4 * 5);
+
+        state.patch("sw.process.manual", 0.9997).unwrap();
+        let dropped = graph.retain_domains(&[state.hw_domain(), state.sw_domain()]);
+        assert_eq!(dropped, 4 * 5, "only the SW domain entries invalidate");
+
+        let warm = evaluate_incremental(&state, &grid, &graph).unwrap();
+        // Every HW entry survives the patch and hits; only SW recomputes.
+        assert_eq!(warm.metrics.cache_misses, 4 * 5);
+        assert!(warm.metrics.cache_misses < cold.metrics.cache_misses);
+        assert_eq!(warm.results.fig3, cold.results.fig3);
+        assert_ne!(warm.results.fig4, cold.results.fig4);
+    }
+
+    #[test]
+    fn incremental_hw_patch_leaves_sw_entries_live() {
+        let s = spec();
+        let grid = GridSpec::builder().points(3).threads(1).build().unwrap();
+        let graph = EvalGraph::new();
+        let mut state = ModelState::paper(s);
+        evaluate_incremental(&state, &grid, &graph).unwrap();
+
+        state.patch("hw.a_c", 0.999).unwrap();
+        let dropped = graph.retain_domains(&[state.hw_domain(), state.sw_domain()]);
+        assert_eq!(dropped, 3, "only the HW domain entries invalidate");
+
+        let warm = evaluate_incremental(&state, &grid, &graph).unwrap();
+        assert_eq!(warm.metrics.cache_misses, 3);
+        assert_eq!(warm.metrics.cache_hits, 4 * 3 + 4 * 3);
+    }
+
+    #[test]
+    fn warm_incremental_results_match_a_cold_eval_byte_for_byte() {
+        let s = spec();
+        let grid = |threads| {
+            GridSpec::builder()
+                .points(4)
+                .threads(threads)
+                .build()
+                .unwrap()
+        };
+        let graph = EvalGraph::new();
+        let mut state = ModelState::paper(s);
+        evaluate_incremental(&state, &grid(1), &graph).unwrap();
+        state.patch("sw.a_h", 0.9998).unwrap();
+        graph.retain_domains(&[state.hw_domain(), state.sw_domain()]);
+
+        // A cold evaluation of the patched state, fresh graph.
+        let cold = evaluate_incremental(&state, &grid(1), &EvalGraph::new()).unwrap();
+        let reference = sdnav_json::to_string(&cold.results);
+        // Warm evaluations on the shared graph must reproduce it exactly,
+        // at any thread count.
+        for threads in [1, 2, 8] {
+            let warm = evaluate_incremental(&state, &grid(threads), &graph).unwrap();
+            let json = sdnav_json::to_string(&warm.results);
+            assert_eq!(json, reference, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn validate_matches_builder_checks() {
+        let mut grid = GridSpec::builder().build().unwrap();
+        assert!(grid.validate().is_ok());
+        grid.points = 0;
+        assert_eq!(
+            grid.validate().unwrap_err(),
+            GridError::Spec("points must be at least 1")
+        );
     }
 
     #[test]

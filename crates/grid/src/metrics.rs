@@ -91,7 +91,7 @@ impl RunMetrics {
 impl ToJson for RunMetrics {
     fn to_json(&self) -> Json {
         Json::obj(vec![
-            ("schema", Json::str("sdnav-sweep-metrics/v1")),
+            ("schema", Json::str(sdnav_json::schema::SWEEP_METRICS)),
             ("threads", Json::Num(self.threads as f64)),
             ("items", Json::Num(self.items as f64)),
             (

@@ -65,7 +65,7 @@ impl QuarantineReport {
 impl ToJson for QuarantineReport {
     fn to_json(&self) -> Json {
         Json::obj(vec![
-            ("schema", Json::str("sdnav-quarantine/v1")),
+            ("schema", Json::str(sdnav_json::schema::QUARANTINE)),
             ("quarantined", Json::Num(self.records.len() as f64)),
             (
                 "cells",

@@ -24,9 +24,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use sdnav_core::ControllerSpec;
+use sdnav_core::{ControllerSpec, ModelState};
 
-use crate::cache::SubModelCache;
+use crate::cache::EvalGraph;
 use crate::checkpoint::{fingerprint, CheckpointWal};
 use crate::metrics::{RunMetrics, StageTimings};
 use crate::plan::item_seed;
@@ -52,10 +52,45 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// Starts a builder at the default policy (2 retries, 50 ms base).
+    pub fn builder() -> RetryPolicyBuilder {
+        RetryPolicyBuilder {
+            policy: RetryPolicy::default(),
+        }
+    }
+
     fn backoff_ms(&self, completed_attempts: u32) -> u64 {
         // Shift capped so a generous retry budget cannot overflow.
         self.backoff_base_ms
             .saturating_mul(1u64 << completed_attempts.min(16))
+    }
+}
+
+/// Step-by-step construction of a [`RetryPolicy`].
+#[derive(Debug, Clone, Copy)]
+#[must_use = "call `.build()` to obtain the RetryPolicy"]
+pub struct RetryPolicyBuilder {
+    policy: RetryPolicy,
+}
+
+impl RetryPolicyBuilder {
+    /// Sets the retries after the first failed attempt (0 = quarantine
+    /// immediately).
+    pub fn max_retries(mut self, max_retries: u32) -> Self {
+        self.policy.max_retries = max_retries;
+        self
+    }
+
+    /// Sets the base backoff in milliseconds (retry `n` sleeps
+    /// `base << (n - 1)`).
+    pub fn backoff_base_ms(mut self, backoff_base_ms: u64) -> Self {
+        self.policy.backoff_base_ms = backoff_base_ms;
+        self
+    }
+
+    /// Returns the policy (every combination of fields is valid).
+    pub fn build(self) -> RetryPolicy {
+        self.policy
     }
 }
 
@@ -169,6 +204,67 @@ pub struct SuperviseOptions<'a> {
     pub cancel_after_cells: Option<usize>,
 }
 
+impl<'a> SuperviseOptions<'a> {
+    /// Starts a builder at the defaults (default retry policy, no
+    /// checkpoint, no shutdown flag, no test hooks).
+    pub fn builder() -> SuperviseOptionsBuilder<'a> {
+        SuperviseOptionsBuilder {
+            opts: SuperviseOptions::default(),
+        }
+    }
+}
+
+/// Step-by-step construction of [`SuperviseOptions`].
+#[derive(Debug, Clone, Copy)]
+#[must_use = "call `.build()` to obtain the SuperviseOptions"]
+pub struct SuperviseOptionsBuilder<'a> {
+    opts: SuperviseOptions<'a>,
+}
+
+impl<'a> SuperviseOptionsBuilder<'a> {
+    /// Sets the retry/backoff budget for panicking items.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.opts.retry = retry;
+        self
+    }
+
+    /// Journals completed cells to this WAL path (`None` disables the
+    /// checkpoint).
+    pub fn checkpoint(mut self, path: Option<&'a std::path::Path>) -> Self {
+        self.opts.checkpoint = path;
+        self
+    }
+
+    /// Replays journaled cells from the WAL before executing the rest.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.opts.resume = resume;
+        self
+    }
+
+    /// Wires an externally owned shutdown flag (SIGINT/SIGTERM).
+    pub fn shutdown(mut self, flag: &'a AtomicBool) -> Self {
+        self.opts.shutdown = Some(flag);
+        self
+    }
+
+    /// Test/CI hook: the item at this plan index panics on every attempt.
+    pub fn inject_panic(mut self, index: Option<usize>) -> Self {
+        self.opts.inject_panic = index;
+        self
+    }
+
+    /// Test/CI hook: request shutdown after this many fresh cells.
+    pub fn cancel_after_cells(mut self, cells: Option<usize>) -> Self {
+        self.opts.cancel_after_cells = cells;
+        self
+    }
+
+    /// Returns the options (every combination of fields is valid).
+    pub fn build(self) -> SuperviseOptions<'a> {
+        self.opts
+    }
+}
+
 /// What a supervised grid run produces.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SupervisedOutcome {
@@ -212,8 +308,9 @@ pub fn evaluate_supervised(
 
     let plan_start = Instant::now();
     let items = crate::build_items(grid);
-    let cache = SubModelCache::new();
-    let ctx = crate::build_ctx(spec, grid, &cache)?;
+    let state = ModelState::paper(spec.clone());
+    let graph = EvalGraph::new();
+    let ctx = crate::build_ctx(&state, grid, &graph)?;
 
     let mut restored_cells: Vec<Option<ItemOutput>> = Vec::new();
     restored_cells.resize_with(items.len(), || None);
@@ -338,8 +435,8 @@ pub fn evaluate_supervised(
         } else {
             0.0
         },
-        cache_hits: cache.hits(),
-        cache_misses: cache.misses(),
+        cache_hits: graph.hits(),
+        cache_misses: graph.misses(),
         steals: run.stats.steals,
         sim_replications: (results.sim.len() * grid.replications) as u64
             + results

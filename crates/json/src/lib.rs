@@ -12,6 +12,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod schema;
+
+pub use schema::Envelope;
+
 use std::error::Error;
 use std::fmt;
 

@@ -410,6 +410,12 @@ impl fmt::Display for CtmcError {
 
 impl Error for CtmcError {}
 
+impl From<CtmcError> for sdnav_core::SdnavError {
+    fn from(e: CtmcError) -> Self {
+        sdnav_core::SdnavError::analysis(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,576 @@
+//! `sdnav serve` — the persistent evaluator service.
+//!
+//! A std-only HTTP/1.1 + JSON server over the Result-first core. It loads
+//! one controller spec, holds a [`ModelState`] (spec + HW/SW parameter
+//! sets) behind a mutex, and memoizes sub-model evaluations in a
+//! cross-request [`EvalGraph`], so editing one rate and re-evaluating
+//! recomputes only the dependent sub-models.
+//!
+//! | Method  | Path          | Meaning                                        |
+//! |---------|---------------|------------------------------------------------|
+//! | `POST`  | `/v1/eval`    | Evaluate a grid (body: grid spec JSON, optional)|
+//! | `PATCH` | `/v1/spec`    | Edit one named rate: `{"name", "value"}`        |
+//! | `GET`   | `/v1/plan`    | Static cost prediction for a proposed grid      |
+//! | `GET`   | `/v1/metrics` | Service + cache counters                        |
+//! | `GET`   | `/v1/healthz` | Liveness                                        |
+//!
+//! **Parity guarantee:** a `POST /v1/eval` response body is byte-identical
+//! to `sdnav sweep --format json` for the same grid, at any thread count,
+//! whether the graph is cold or warm — entries are content-addressed over
+//! the domain fingerprint and keyed by f64 bit patterns, so a cache hit
+//! can never change a result byte.
+//!
+//! Errors are structured `sdnav-serve-error/v1` documents; the HTTP status
+//! comes from the same [`ErrorKind`] table the CLI maps onto exit codes.
+//!
+//! The server is deliberately minimal: one request per connection
+//! (`Connection: close`), a thread per connection, and a poll-based accept
+//! loop that watches an externally owned shutdown flag — once the flag is
+//! set it stops accepting, drains in-flight requests to completion, and
+//! returns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use sdnav_core::{ControllerSpec, ErrorKind, ModelState, SdnavError};
+use sdnav_grid::plan::Figure;
+use sdnav_grid::{evaluate_incremental, EvalGraph, GridSpec};
+use sdnav_json::{schema, Envelope, Json};
+
+/// How long the accept loop sleeps between polls of the listener and the
+/// shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Per-connection socket read timeout.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Upper bound on request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// Upper bound on a request body.
+const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// What the service serves: an address and the controller spec it
+/// evaluates. Build one with [`ServeConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    addr: String,
+    spec: ControllerSpec,
+}
+
+impl ServeConfig {
+    /// Starts a builder serving `spec` on `127.0.0.1:0` (an ephemeral
+    /// loopback port; read the bound address from
+    /// [`Server::local_addr`]).
+    pub fn builder(spec: ControllerSpec) -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                spec,
+            },
+        }
+    }
+
+    /// The address the server will bind.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The controller spec under analysis.
+    #[must_use]
+    pub fn spec(&self) -> &ControllerSpec {
+        &self.spec
+    }
+}
+
+/// Step-by-step construction of a validated [`ServeConfig`].
+#[derive(Debug, Clone)]
+#[must_use = "call `.build()` to obtain the validated ServeConfig"]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets the bind address (e.g. `127.0.0.1:8080`; port 0 picks an
+    /// ephemeral one).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.addr = addr.into();
+        self
+    }
+
+    /// Validates the spec and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `Model`-kind [`SdnavError`] when the spec fails
+    /// validation — a server must not boot on a spec it could never
+    /// evaluate.
+    pub fn build(self) -> Result<ServeConfig, SdnavError> {
+        self.config.spec.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// Mutable service state shared by every connection handler.
+#[derive(Debug)]
+struct ServiceState {
+    /// The evaluator state; the mutex also serializes evaluations so the
+    /// per-run metrics deltas on the shared graph stay attributable.
+    model: Mutex<ModelState>,
+    graph: EvalGraph,
+    requests: AtomicU64,
+    evals: AtomicU64,
+    patches: AtomicU64,
+}
+
+/// A bound, not-yet-running evaluator service.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: ServiceState,
+}
+
+impl Server {
+    /// Binds the listener and initializes the evaluator state at the
+    /// paper-default parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an `Io`-kind [`SdnavError`] when the address cannot be
+    /// bound.
+    pub fn bind(config: ServeConfig) -> Result<Server, SdnavError> {
+        let listener = TcpListener::bind(config.addr())
+            .map_err(|e| SdnavError::io(format!("cannot bind {}: {e}", config.addr())))?;
+        Ok(Server {
+            listener,
+            state: ServiceState {
+                model: Mutex::new(ModelState::paper(config.spec)),
+                graph: EvalGraph::new(),
+                requests: AtomicU64::new(0),
+                evals: AtomicU64::new(0),
+                patches: AtomicU64::new(0),
+            },
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns an `Io`-kind [`SdnavError`] when the socket cannot report
+    /// its address.
+    pub fn local_addr(&self) -> Result<SocketAddr, SdnavError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| SdnavError::io(format!("cannot read bound address: {e}")))
+    }
+
+    /// Serves until `shutdown` is set: accepts connections, one handler
+    /// thread each, then drains in-flight requests to completion before
+    /// returning. In-flight responses are always written in full — the
+    /// flag only stops *new* work.
+    ///
+    /// # Errors
+    ///
+    /// Returns an `Io`-kind [`SdnavError`] when the listener cannot be
+    /// polled.
+    pub fn run(&self, shutdown: &AtomicBool) -> Result<(), SdnavError> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| SdnavError::io(format!("cannot poll listener: {e}")))?;
+        std::thread::scope(|scope| {
+            let mut in_flight = Vec::new();
+            while !shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        let state = &self.state;
+                        in_flight.push(scope.spawn(move || handle_connection(stream, state)));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    // Transient accept failure (e.g. aborted handshake):
+                    // keep serving.
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+                in_flight.retain(|handle| !handle.is_finished());
+            }
+            // Drain: the scope joins remaining handlers on exit.
+        });
+        Ok(())
+    }
+}
+
+/// One parsed HTTP/1.1 request.
+struct Request {
+    method: String,
+    path: String,
+    query: String,
+    body: String,
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServiceState) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    let outcome = read_request(&mut stream).and_then(|req| route(state, &req));
+    let (status, body) = match outcome {
+        Ok(ok) => ok,
+        Err(e) => (e.http_status(), error_body(&e)),
+    };
+    let _ = write_response(&mut stream, status, &body);
+}
+
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<Request, SdnavError> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_blank_line(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(SdnavError::usage("request head exceeds 64 KiB"));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| SdnavError::io(format!("cannot read request: {e}")))?;
+        if n == 0 {
+            return Err(SdnavError::usage("connection closed before request head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| SdnavError::usage("request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if parts.next().is_none() => (m, t, v),
+        _ => {
+            return Err(SdnavError::usage(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(SdnavError::usage(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((key, value)) = line.split_once(':') {
+            if key.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    SdnavError::usage(format!("malformed content-length {:?}", value.trim()))
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(SdnavError::usage("request body exceeds 8 MiB"));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| SdnavError::io(format!("cannot read request body: {e}")))?;
+        if n == 0 {
+            return Err(SdnavError::usage("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body =
+        String::from_utf8(body).map_err(|_| SdnavError::usage("request body is not UTF-8"))?;
+
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        query: query.to_owned(),
+        body,
+    })
+}
+
+fn route(state: &ServiceState, req: &Request) -> Result<(u16, String), SdnavError> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/eval") => eval(state, &req.body),
+        ("PATCH", "/v1/spec") => patch(state, &req.body),
+        ("GET", "/v1/plan") => plan(state, &req.query),
+        ("GET", "/v1/metrics") => Ok((200, metrics_body(state))),
+        ("GET", "/v1/healthz") => Ok((
+            200,
+            document(Envelope::wrap(
+                schema::SERVE_HEALTH,
+                vec![("status", Json::str("ok"))],
+            )),
+        )),
+        (_, "/v1/eval" | "/v1/spec" | "/v1/plan" | "/v1/metrics" | "/v1/healthz") => Err(
+            SdnavError::method(format!("{} does not accept {}", req.path, req.method)),
+        ),
+        (_, other) => Err(SdnavError::not_found(format!(
+            "unknown route {other:?}; routes: POST /v1/eval, PATCH /v1/spec, \
+             GET /v1/plan, GET /v1/metrics, GET /v1/healthz"
+        ))),
+    }
+}
+
+/// `POST /v1/eval` — evaluate a grid against the current model state.
+///
+/// The body is a grid spec JSON document (every field optional, same
+/// shape `sdnav sweep` flags map to); an empty body evaluates the default
+/// grid. The response body is exactly what `sdnav sweep --format json`
+/// prints for the same grid.
+fn eval(state: &ServiceState, body: &str) -> Result<(u16, String), SdnavError> {
+    let grid = if body.trim().is_empty() {
+        GridSpec::builder().build()?
+    } else {
+        let grid: GridSpec = sdnav_json::from_str(body)?;
+        grid.validate()?;
+        grid
+    };
+    // Hold the model lock across the evaluation: a concurrent PATCH must
+    // not swap fingerprints mid-run, and serialized runs keep the graph's
+    // hit/miss deltas attributable to one request at a time.
+    let model = state.model.lock().expect("model state");
+    let outcome = evaluate_incremental(&model, &grid, &state.graph)?;
+    state.evals.fetch_add(1, Ordering::Relaxed);
+    Ok((
+        200,
+        format!("{}\n", sdnav_json::to_string_pretty(&outcome.results)),
+    ))
+}
+
+/// `PATCH /v1/spec` — edit one named rate or parameter.
+///
+/// Body: `{"name": "sw.a_h", "value": 0.9998}`. Applies the edit through
+/// [`ModelState::patch`], evicts graph entries whose domain fingerprint
+/// died, and reports which domains changed plus how many sub-model
+/// entries were invalidated.
+fn patch(state: &ServiceState, body: &str) -> Result<(u16, String), SdnavError> {
+    let doc = Json::parse(body)?;
+    let name = doc
+        .field("name")
+        .and_then(Json::as_str)
+        .map_err(|e| e.ctx("name"))?
+        .to_owned();
+    let value = doc
+        .field("value")
+        .and_then(Json::as_f64)
+        .map_err(|e| e.ctx("value"))?;
+
+    let mut model = state.model.lock().expect("model state");
+    let effect = model.patch(&name, value)?;
+    let invalidated = state
+        .graph
+        .retain_domains(&[model.hw_domain(), model.sw_domain()]);
+    state.patches.fetch_add(1, Ordering::Relaxed);
+    Ok((
+        200,
+        document(Envelope::wrap(
+            schema::SERVE_PATCH,
+            vec![
+                ("name", Json::str(name)),
+                ("value", Json::Num(value)),
+                ("hw_changed", Json::Bool(effect.hw)),
+                ("sw_changed", Json::Bool(effect.sw)),
+                ("invalidated", Json::Num(invalidated as f64)),
+            ],
+        )),
+    ))
+}
+
+/// `GET /v1/plan` — the static SA030–SA032 cost prediction for a proposed
+/// grid, without evaluating a cell.
+///
+/// The grid comes from the query string (`?points=41&replications=50&
+/// figures=fig3,fig4`); supported keys mirror the `sdnav sweep` flags:
+/// `figures`, `points`, `replications`, `seed`, `threads`, `horizon`,
+/// `accelerate`, `compute-hosts`. The response is the same
+/// `sdnav-sweep-plan/v1` document `sdnav sweep --dry-run` prints.
+fn plan(state: &ServiceState, query: &str) -> Result<(u16, String), SdnavError> {
+    let grid = grid_from_query(query)?;
+    let model = state.model.lock().expect("model state");
+    let plan = sdnav_audit::SweepPlan::predict(&model.spec, &grid);
+    Ok((200, format!("{}\n", sdnav_json::to_string_pretty(&plan))))
+}
+
+fn grid_from_query(query: &str) -> Result<GridSpec, SdnavError> {
+    let mut builder = GridSpec::builder();
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| SdnavError::usage(format!("query parameter {pair:?} is missing `=`")))?;
+        let as_usize = || {
+            value
+                .parse::<usize>()
+                .map_err(|_| SdnavError::usage(format!("{key} expects an integer, got {value:?}")))
+        };
+        let as_f64 = || {
+            value
+                .parse::<f64>()
+                .map_err(|_| SdnavError::usage(format!("{key} expects a number, got {value:?}")))
+        };
+        builder = match key {
+            "figures" => {
+                let mut figures = Vec::new();
+                for name in value.split(',') {
+                    figures.push(Figure::parse(name).ok_or_else(|| {
+                        SdnavError::usage(format!(
+                            "unknown figure {name:?} (want fig3, fig4, or fig5)"
+                        ))
+                    })?);
+                }
+                builder.figures(&figures)
+            }
+            "points" => builder.points(as_usize()?),
+            "replications" => builder.replications(as_usize()?),
+            "seed" => builder.seed(as_usize()? as u64),
+            "threads" => builder.threads(as_usize()?),
+            "horizon" => builder.sim_horizon_hours(as_f64()?),
+            "accelerate" => builder.sim_accelerate(as_f64()?),
+            "compute-hosts" => builder.sim_compute_hosts(as_usize()?),
+            other => {
+                return Err(SdnavError::usage(format!(
+                    "unknown query parameter {other:?}"
+                )))
+            }
+        };
+    }
+    Ok(builder.build()?)
+}
+
+fn metrics_body(state: &ServiceState) -> String {
+    document(Envelope::wrap(
+        schema::SERVE_METRICS,
+        vec![
+            (
+                "requests",
+                Json::Num(state.requests.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "evals",
+                Json::Num(state.evals.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "patches",
+                Json::Num(state.patches.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("entries", Json::Num(state.graph.len() as f64)),
+                    ("hits", Json::Num(state.graph.hits() as f64)),
+                    ("misses", Json::Num(state.graph.misses() as f64)),
+                    ("invalidated", Json::Num(state.graph.invalidated() as f64)),
+                ]),
+            ),
+        ],
+    ))
+}
+
+fn document(doc: Json) -> String {
+    format!("{}\n", doc.to_pretty())
+}
+
+/// Structured `sdnav-serve-error/v1` body for `e`.
+fn error_body(e: &SdnavError) -> String {
+    document(Envelope::wrap(
+        schema::SERVE_ERROR,
+        vec![
+            ("kind", Json::str(e.kind().name())),
+            ("status", Json::Num(f64::from(e.http_status()))),
+            ("message", Json::str(e.to_string())),
+        ],
+    ))
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\n\
+         content-length: {length}\r\nconnection: close\r\n\r\n",
+        reason = status_reason(status),
+        length = body.len(),
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+// Keep ErrorKind referenced for the doc link above even though handlers
+// only construct errors through SdnavError helpers.
+#[allow(dead_code)]
+fn _kind_assert(k: ErrorKind) -> u16 {
+    k.http_status()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builder_validates_the_spec() {
+        let ok = ServeConfig::builder(ControllerSpec::opencontrail_3x())
+            .addr("127.0.0.1:0")
+            .build();
+        assert!(ok.is_ok());
+
+        let mut broken = ControllerSpec::opencontrail_3x();
+        broken.roles.clear();
+        let err = ServeConfig::builder(broken).build().unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Model);
+    }
+
+    #[test]
+    fn query_grids_mirror_sweep_flags() {
+        let grid = grid_from_query("points=9&figures=fig3,fig5&seed=11").unwrap();
+        assert_eq!(grid.points, 9);
+        assert_eq!(grid.seed, 11);
+        assert_eq!(grid.figures, vec![Figure::Fig3, Figure::Fig5]);
+
+        let err = grid_from_query("points=zero").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Usage);
+        let err = grid_from_query("bogus=1").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Usage);
+        // Validation still applies: a nonsense grid is a usage error too.
+        let err = grid_from_query("points=0").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Model);
+    }
+
+    #[test]
+    fn error_bodies_are_versioned_documents() {
+        let body = error_body(&SdnavError::not_found("no such route"));
+        let doc = Json::parse(&body).unwrap();
+        assert!(Envelope::expect(schema::SERVE_ERROR, &doc).is_ok());
+        assert_eq!(doc.field("kind").unwrap().as_str().unwrap(), "not_found");
+        assert_eq!(doc.field("status").unwrap().as_f64().unwrap(), 404.0);
+    }
+}

@@ -40,6 +40,12 @@ impl fmt::Display for ConfigError {
 
 impl Error for ConfigError {}
 
+impl From<ConfigError> for sdnav_core::SdnavError {
+    fn from(e: ConfigError) -> Self {
+        sdnav_core::SdnavError::model(e.to_string())
+    }
+}
+
 /// MTBF/MTTR pair for a hardware element class, in hours.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ElementRates {

@@ -188,6 +188,12 @@ impl std::fmt::Display for SimBuildError {
 
 impl std::error::Error for SimBuildError {}
 
+impl From<SimBuildError> for sdnav_core::SdnavError {
+    fn from(e: SimBuildError) -> Self {
+        sdnav_core::SdnavError::model(e.to_string())
+    }
+}
+
 impl From<crate::ConfigError> for SimBuildError {
     fn from(e: crate::ConfigError) -> Self {
         SimBuildError::Config(e)
