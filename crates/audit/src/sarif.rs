@@ -90,7 +90,44 @@ pub const RULES: &[(&str, &str)] = &[
         "Dominated chaos crew-count cells measure the same system",
     ),
     ("SA032", "Predicted sweep cost exceeds the event budget"),
+    (
+        "DL000",
+        "detlint suppression hygiene: unused or reason-less allow",
+    ),
+    (
+        "DL001",
+        "HashMap/HashSet iteration order can leak into results",
+    ),
+    (
+        "DL002",
+        "Wall-clock reading (Instant/SystemTime) near result values",
+    ),
+    (
+        "DL003",
+        "Thread-order-sensitive floating-point accumulation",
+    ),
+    ("DL004", "Randomly seeded hashing in keyed state"),
+    ("DL005", "Thread identity leaking into values"),
+    ("DL006", "catch_unwind discarding the panic payload"),
+    ("DL007", "Ambient std::env read outside crates/cli"),
+    (
+        "DL008",
+        "Schema version literal bypassing sdnav_json::schema",
+    ),
+    ("DL009", "Lossy as-cast in fingerprint/WAL framing code"),
+    ("DL010", "Public API returning a hash-ordered container"),
 ];
+
+/// Splits a `path/to/file.rs:42`-style diagnostic path (as the detlint
+/// source scan emits) into its file URI and 1-based line. Model paths
+/// (`spec/roles/...`) don't match and return `None`.
+fn file_line_span(path: &str) -> Option<(&str, u32)> {
+    let (file, line) = path.rsplit_once(':')?;
+    if !file.ends_with(".rs") {
+        return None;
+    }
+    line.parse::<u32>().ok().map(|n| (file, n))
+}
 
 fn level(severity: Severity) -> &'static str {
     match severity {
@@ -137,12 +174,30 @@ pub fn to_sarif(report: &AuditReport, artifact: Option<&str>) -> Json {
                 ])]),
             )];
             if let Some(uri) = artifact {
+                let mut physical =
+                    vec![("artifactLocation", Json::obj(vec![("uri", Json::str(uri))]))];
+                if let Some((_, line)) = file_line_span(&d.path) {
+                    physical.push((
+                        "region",
+                        Json::obj(vec![("startLine", Json::Num(f64::from(line)))]),
+                    ));
+                }
+                location.push(("physicalLocation", Json::obj(physical)));
+            } else if let Some((file, line)) = file_line_span(&d.path) {
+                // Source-scan diagnostics carry their own file:line span;
+                // each finding anchors to its own artifact.
                 location.push((
                     "physicalLocation",
-                    Json::obj(vec![(
-                        "artifactLocation",
-                        Json::obj(vec![("uri", Json::str(uri))]),
-                    )]),
+                    Json::obj(vec![
+                        (
+                            "artifactLocation",
+                            Json::obj(vec![("uri", Json::str(file))]),
+                        ),
+                        (
+                            "region",
+                            Json::obj(vec![("startLine", Json::Num(f64::from(line)))]),
+                        ),
+                    ]),
                 ));
             }
             let text = if d.hint.is_empty() {
@@ -275,6 +330,21 @@ pub fn validate_sarif(doc: &Json) -> Result<(), String> {
                             "uri",
                             &format!("{at}.physicalLocation.artifactLocation"),
                         )?;
+                        if let Some(region) = physical.get("region") {
+                            let start = region.get("startLine").ok_or_else(|| {
+                                format!("{at}.physicalLocation.region: missing `startLine`")
+                            })?;
+                            let n = start.as_f64().map_err(|_| {
+                                format!(
+                                    "{at}.physicalLocation.region: `startLine` must be a number"
+                                )
+                            })?;
+                            if n < 1.0 || n.fract() != 0.0 {
+                                return Err(format!(
+                                    "{at}.physicalLocation.region: `startLine` must be a positive integer"
+                                ));
+                            }
+                        }
                     }
                 }
             }
@@ -333,7 +403,7 @@ mod tests {
             .unwrap()
             .as_arr()
             .unwrap();
-        assert_eq!(rules.len(), 32);
+        assert_eq!(rules.len(), 43);
     }
 
     #[test]
@@ -365,6 +435,29 @@ mod tests {
         assert!(!without.to_pretty().contains("physicalLocation"));
         validate_sarif(&with).unwrap();
         validate_sarif(&without).unwrap();
+    }
+
+    #[test]
+    fn source_scan_paths_become_regions() {
+        let mut r = AuditReport::new();
+        r.push(Diagnostic::error(
+            "DL002",
+            "crates/grid/src/lib.rs:922",
+            "clock",
+            "use metrics",
+        ));
+        let doc = to_sarif(&r, None);
+        validate_sarif(&doc).unwrap();
+        let text = doc.to_pretty();
+        assert!(
+            text.contains("\"uri\": \"crates/grid/src/lib.rs\""),
+            "{text}"
+        );
+        assert!(text.contains("\"startLine\": 922"), "{text}");
+        // Model paths still carry no physical location without an artifact.
+        assert!(!to_sarif(&sample_report(), None)
+            .to_pretty()
+            .contains("physicalLocation"));
     }
 
     #[test]

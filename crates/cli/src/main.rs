@@ -98,6 +98,7 @@ COMMANDS:
   lint [--format json|sarif] [--deny-warnings] [--topology FILE]
        [--block FILE] [--spec-set FILE] [--campaign FILE]
        [--ctmc FILE] [--grid FILE] [--fix] [--dry-run]
+       [--source [PATH]]
                               statically audit the model (SA001..SA032);
                               accepts broken specs via --spec, standalone
                               RBD JSON via --block, sweep-grid spec arrays
@@ -111,7 +112,15 @@ COMMANDS:
                               (SA030..SA032); --fix rewrites auto-fixable
                               findings in place (--dry-run prints the edit
                               plan without writing and exits 1 if any edit
-                              is pending)
+                              is pending); --source runs the detlint
+                              determinism scan (DL001..DL010) over the
+                              workspace source — bare --source walks up to
+                              the workspace root, --source DIR scans that
+                              workspace, --source FILE.rs scans one file;
+                              suppressions come from inline
+                              `detlint::allow(DLxxx): reason` comments and
+                              the detlint.allow baseline, and stale allows
+                              are themselves errors (DL000)
   help                        show this help
 
 COMMON OPTIONS:
@@ -1058,7 +1067,79 @@ fn write_atomic(path: &str, contents: &str) -> Result<(), SdnavError> {
     std::fs::rename(&tmp, path).map_err(|e| failure(format!("cannot replace {path}: {e}")))
 }
 
+/// Walks up from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]` — the root `sdnav lint --source` (bare) scans.
+fn find_workspace_root() -> Result<std::path::PathBuf, SdnavError> {
+    let mut dir = std::env::current_dir()
+        .map_err(|e| failure(format!("cannot resolve current directory: {e}")))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| failure(format!("cannot read {}: {e}", manifest.display())))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(failure(
+                "no workspace Cargo.toml found above the current directory; pass --source DIR",
+            ));
+        }
+    }
+}
+
+/// `lint --source`: the detlint determinism/concurrency scan over Rust
+/// source, sharing the model lint's output formats and exit contract
+/// (0 clean / 1 findings / 2 usage).
+fn lint_source(args: &Args) -> Result<(), SdnavError> {
+    if args.has_flag("fix") || args.get("topology").is_some() {
+        return Err(usage(
+            "--source cannot be combined with --fix or --topology",
+        ));
+    }
+    let (report, scanned) = match args.get("source") {
+        Some(path) if path.ends_with(".rs") => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| failure(format!("cannot read {path}: {e}")))?;
+            (sdnav_detlint::scan_source(path, &text), 1)
+        }
+        Some(path) => {
+            let summary = sdnav_detlint::scan_workspace(std::path::Path::new(path))
+                .map_err(|e| failure(format!("cannot scan workspace {path}: {e}")))?;
+            (summary.report, summary.files_scanned)
+        }
+        None => {
+            let root = find_workspace_root()?;
+            let summary = sdnav_detlint::scan_workspace(&root)
+                .map_err(|e| failure(format!("cannot scan workspace {}: {e}", root.display())))?;
+            (summary.report, summary.files_scanned)
+        }
+    };
+    match args.get("format") {
+        Some("json") => println!("{}", sdnav_json::to_string_pretty(&report)),
+        Some("sarif") => println!("{}", sdnav_audit::to_sarif(&report, None).to_pretty()),
+        Some(other) => {
+            return Err(usage(format!(
+                "--format must be `json` or `sarif`, got {other:?}"
+            )))
+        }
+        None => {
+            print!("{}", report.render());
+            eprintln!("detlint: scanned {scanned} file(s)");
+        }
+    }
+    if report.has_errors() {
+        return Err(failure(format!(
+            "detlint found {} error(s)",
+            report.error_count()
+        )));
+    }
+    Ok(())
+}
+
 fn lint(args: &Args) -> Result<(), SdnavError> {
+    let source = args.has_flag("source") || args.get("source").is_some();
     let selectors = [
         args.get("spec"),
         args.get("block"),
@@ -1067,10 +1148,13 @@ fn lint(args: &Args) -> Result<(), SdnavError> {
         args.get("ctmc"),
         args.get("grid"),
     ];
-    if selectors.iter().flatten().count() > 1 {
+    if selectors.iter().flatten().count() + usize::from(source) > 1 {
         return Err(usage(
-            "--spec, --block, --spec-set, --campaign, --ctmc and --grid are mutually exclusive",
+            "--spec, --block, --spec-set, --campaign, --ctmc, --grid and --source are mutually exclusive",
         ));
+    }
+    if source {
+        return lint_source(args);
     }
     let (target, path) = if let Some(path) = args.get("block") {
         (LintTarget::Block(read_json(path)?), Some(path))

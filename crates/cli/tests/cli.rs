@@ -969,3 +969,91 @@ fn serve_answers_http_and_sigterm_drains() {
     stderr.read_to_string(&mut rest).expect("drain stderr");
     assert!(rest.contains("drained"), "{rest}");
 }
+
+// ---- lint --source (detlint) ----
+
+#[test]
+fn lint_source_seeded_fixture_exits_one_with_span() {
+    let path = fixture("source/dl001_hashmap_iter.rs");
+    let out = sdnav_raw(&["lint", "--source", &path]);
+    assert_eq!(out.status.code(), Some(1), "findings must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("DL001"), "{stdout}");
+    assert!(
+        stdout.contains("dl001_hashmap_iter.rs:8"),
+        "finding must carry its file:line span:\n{stdout}"
+    );
+}
+
+#[test]
+fn lint_source_clean_fixture_exits_zero() {
+    let path = fixture("source/clean_btreemap_emit.rs");
+    let (ok, stdout, stderr) = sdnav(&["lint", "--source", &path]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stdout.contains("clean"), "{stdout}");
+    assert!(stderr.contains("scanned 1 file"), "{stderr}");
+}
+
+#[test]
+fn lint_source_workspace_is_clean() {
+    // The acceptance bar, end to end through the binary: the workspace
+    // itself must scan clean against the committed baseline.
+    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    let (ok, stdout, stderr) = sdnav(&["lint", "--source", &root]);
+    assert!(ok, "workspace must lint clean:\n{stdout}{stderr}");
+}
+
+#[test]
+fn lint_source_emits_json_and_valid_sarif() {
+    let path = fixture("source/dl009_wal_cast.rs");
+    let out = sdnav_raw(&["lint", "--source", &path, "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let doc = sdnav_json::Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    let text = doc.to_pretty();
+    assert!(text.contains("DL009"), "{text}");
+
+    let out = sdnav_raw(&["lint", "--source", &path, "--format", "sarif"]);
+    assert_eq!(out.status.code(), Some(1));
+    let sarif = sdnav_json::Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    sdnav_audit::validate_sarif(&sarif).expect("valid SARIF");
+    let pretty = sarif.to_pretty();
+    assert!(pretty.contains("\"ruleId\": \"DL009\""), "{pretty}");
+    assert!(pretty.contains("startLine"), "{pretty}");
+}
+
+#[test]
+fn lint_source_usage_errors_exit_two() {
+    // --source is mutually exclusive with model selectors...
+    assert_eq!(
+        sdnav_code(&[
+            "lint",
+            "--source",
+            "--spec",
+            &fixture("sa003_quorum_too_large.json")
+        ]),
+        2
+    );
+    // ...and with the autofixer.
+    assert_eq!(sdnav_code(&["lint", "--source", "--fix"]), 2);
+    // Bad formats follow the shared contract.
+    assert_eq!(
+        sdnav_code(&[
+            "lint",
+            "--source",
+            &fixture("source/clean_suppressed.rs"),
+            "--format",
+            "yaml"
+        ]),
+        2
+    );
+}
+
+#[test]
+fn lint_source_stale_allow_is_an_error() {
+    let path = fixture("source/dl000_stale_allow.rs");
+    let out = sdnav_raw(&["lint", "--source", &path]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("DL000"), "{stdout}");
+    assert!(stdout.contains("matches no finding"), "{stdout}");
+}

@@ -1,0 +1,529 @@
+//! # sdnav-detlint
+//!
+//! Token-level determinism and concurrency static analysis over the sdnav
+//! workspace source, producing the `DL001`–`DL010` diagnostic family (plus
+//! `DL000` for suppression hygiene) through the same [`sdnav_audit`]
+//! machinery the SA model audits use.
+//!
+//! The scanner is std-only and parser-free: a hand-rolled lexer
+//! ([`lexer`]) strips comments and makes strings opaque, and the checks
+//! ([`checks`]) are token-sequence patterns with just enough scope context
+//! (brace depth, enclosing `fn`/`impl` names) to stay precise on this
+//! codebase. The workspace is walked via the root `Cargo.toml` member
+//! list — every member's `src/` tree plus the root package's `src/`.
+//!
+//! Two suppression channels exist, both requiring a reason:
+//!
+//! * **Inline** — a comment of the form `detlint::allow(DL002): feeds
+//!   stderr metrics only` (written with `//`) covering its own line, or,
+//!   for a comment on a line of its own, the next line that carries code.
+//! * **Baseline** — the committed `detlint.allow` file at the workspace
+//!   root, one entry per line: `DL002 crates/bench/ reason …` where the
+//!   second field is a path prefix.
+//!
+//! Suppression hygiene is itself linted: an inline allow that matches no
+//! finding, an allow without a reason, or a stale baseline entry each
+//! produce a `DL000` error, so the allowlist can only shrink honestly.
+
+pub mod checks;
+pub mod lexer;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use sdnav_audit::{AuditReport, Diagnostic};
+
+use checks::Finding;
+
+/// The determinism diagnostic family: `(code, title)`. `DL000` is the
+/// meta-code for suppression hygiene.
+pub const DL_RULES: &[(&str, &str)] = &[
+    (
+        "DL000",
+        "suppression hygiene: unused or reason-less detlint allow",
+    ),
+    (
+        "DL001",
+        "HashMap/HashSet iteration order can leak into results",
+    ),
+    (
+        "DL002",
+        "wall-clock reading (Instant/SystemTime) near result values",
+    ),
+    (
+        "DL003",
+        "thread-order-sensitive floating-point accumulation",
+    ),
+    ("DL004", "randomly seeded hashing in keyed state"),
+    ("DL005", "thread identity leaking into values"),
+    ("DL006", "catch_unwind discarding the panic payload"),
+    ("DL007", "ambient std::env read outside crates/cli"),
+    (
+        "DL008",
+        "schema version literal bypassing sdnav_json::schema",
+    ),
+    ("DL009", "lossy as-cast in fingerprint/WAL framing code"),
+    ("DL010", "public API returning a hash-ordered container"),
+];
+
+/// Interns a diagnostic code so it can live in a `Diagnostic` (which holds
+/// `&'static str` codes).
+#[must_use]
+pub fn static_code(code: &str) -> Option<&'static str> {
+    DL_RULES.iter().map(|(c, _)| *c).find(|c| *c == code)
+}
+
+/// One parsed inline allow comment.
+#[derive(Debug, Clone)]
+struct InlineAllow {
+    code: String,
+    /// Line of the comment itself.
+    comment_line: u32,
+    /// Line of code the allow covers.
+    covered_line: u32,
+    has_reason: bool,
+}
+
+const ALLOW_MARKER: &str = "detlint::allow(";
+
+/// Parses an allow comment. The marker must open the comment (doc comments
+/// *describing* the syntax mid-sentence are not suppressions).
+fn parse_allow(text: &str) -> Option<(String, bool)> {
+    let rest = text.trim_start().strip_prefix(ALLOW_MARKER)?;
+    let close = rest.find(')')?;
+    let code = rest[..close].trim().to_owned();
+    let after = rest[close + 1..].trim_start();
+    let has_reason = after
+        .strip_prefix(':')
+        .is_some_and(|r| !r.trim().is_empty());
+    Some((code, has_reason))
+}
+
+/// Scans one file: lexes, runs every DL check, applies inline allows, and
+/// reports `DL000` for allows that are unused or missing a reason.
+/// `rel_path` is the workspace-relative path recorded in diagnostics
+/// (findings get `rel_path:line`).
+#[must_use]
+pub fn scan_source(rel_path: &str, source: &str) -> AuditReport {
+    let lexed = lexer::lex(source);
+    let token_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    let covered = |comment_line: u32| -> u32 {
+        if token_lines.contains(&comment_line) {
+            comment_line
+        } else {
+            token_lines
+                .range(comment_line + 1..)
+                .next()
+                .copied()
+                .unwrap_or(comment_line)
+        }
+    };
+    let mut allows: Vec<InlineAllow> = lexed
+        .comments
+        .iter()
+        .filter_map(|c| {
+            let (code, has_reason) = parse_allow(&c.text)?;
+            Some(InlineAllow {
+                code,
+                comment_line: c.line,
+                covered_line: covered(c.line),
+                has_reason,
+            })
+        })
+        .collect();
+
+    let findings = checks::check_source(rel_path, source);
+    let mut report = AuditReport::new();
+    let mut used = vec![false; allows.len()];
+    for f in findings {
+        let suppressed = allows.iter().enumerate().any(|(i, a)| {
+            let hit = a.has_reason && a.code == f.code && a.covered_line == f.line;
+            if hit {
+                used[i] = true;
+            }
+            hit
+        });
+        if !suppressed {
+            report.push(finding_to_diagnostic(rel_path, &f));
+        }
+    }
+    for (i, a) in allows.drain(..).enumerate() {
+        if !a.has_reason {
+            report.push(Diagnostic::error(
+                "DL000",
+                format!("{rel_path}:{}", a.comment_line),
+                format!("inline allow for {} carries no reason", a.code),
+                "write `detlint::allow(DLxxx): why this site is safe` — reason-less allows do not suppress",
+            ));
+        } else if !used[i] {
+            report.push(Diagnostic::error(
+                "DL000",
+                format!("{rel_path}:{}", a.comment_line),
+                format!("inline allow for {} matches no finding on line {}", a.code, a.covered_line),
+                "delete the stale allow (or fix its placement: it covers its own line or the next code line)",
+            ));
+        }
+    }
+    report
+}
+
+fn finding_to_diagnostic(rel_path: &str, f: &Finding) -> Diagnostic {
+    let code = static_code(f.code).unwrap_or("DL000");
+    Diagnostic::error(
+        code,
+        format!("{rel_path}:{}", f.line),
+        f.message.clone(),
+        f.hint.clone(),
+    )
+}
+
+/// One entry of the committed `detlint.allow` baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Diagnostic code the entry suppresses.
+    pub code: String,
+    /// Workspace-relative path prefix the entry covers.
+    pub path_prefix: String,
+    /// Why the findings under the prefix are acceptable.
+    pub reason: String,
+    /// 1-based line in `detlint.allow`.
+    pub line: u32,
+}
+
+/// The parsed `detlint.allow` baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<BaselineEntry>,
+    /// Lines that did not parse, as `(line, text)`.
+    pub malformed: Vec<(u32, String)>,
+}
+
+impl Baseline {
+    /// Parses the `detlint.allow` format: one entry per line,
+    /// `DLxxx <path-prefix> <reason…>`; `#` comments and blank lines are
+    /// skipped. Lines with fewer than three fields land in `malformed`.
+    #[must_use]
+    pub fn parse(text: &str) -> Baseline {
+        let mut baseline = Baseline::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx as u32 + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut fields = trimmed.splitn(3, char::is_whitespace);
+            let code = fields.next().unwrap_or_default();
+            let path = fields.next().unwrap_or_default();
+            let reason = fields.next().unwrap_or_default().trim();
+            if static_code(code).is_none() || path.is_empty() || reason.is_empty() {
+                baseline.malformed.push((line, trimmed.to_owned()));
+                continue;
+            }
+            baseline.entries.push(BaselineEntry {
+                code: code.to_owned(),
+                path_prefix: path.to_owned(),
+                reason: reason.to_owned(),
+                line,
+            });
+        }
+        baseline
+    }
+}
+
+/// Outcome of a workspace scan.
+#[derive(Debug)]
+pub struct ScanSummary {
+    /// Unsuppressed findings plus suppression-hygiene (`DL000`) errors.
+    pub report: AuditReport,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings removed by the `detlint.allow` baseline.
+    pub suppressed_baseline: usize,
+    /// Number of baseline entries that matched at least one finding.
+    pub baseline_entries_used: usize,
+    /// Total baseline entries parsed.
+    pub baseline_entries: usize,
+}
+
+/// Scans a whole workspace rooted at `root` (the directory holding the
+/// workspace `Cargo.toml` and, optionally, `detlint.allow`).
+///
+/// Walks every member's `src/` tree plus the root package's `src/`,
+/// applies inline allows per file and the baseline across files, and
+/// reports `DL000` for stale or malformed baseline entries.
+pub fn scan_workspace(root: &Path) -> io::Result<ScanSummary> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut src_dirs: Vec<PathBuf> = Vec::new();
+    for member in workspace_members(&manifest) {
+        for dir in expand_member(root, &member)? {
+            let src = dir.join("src");
+            if src.is_dir() {
+                src_dirs.push(src);
+            }
+        }
+    }
+    if manifest.contains("[package]") {
+        let src = root.join("src");
+        if src.is_dir() {
+            src_dirs.push(src);
+        }
+    }
+    src_dirs.sort();
+    src_dirs.dedup();
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for dir in &src_dirs {
+        collect_rs_files(dir, &mut files)?;
+    }
+    files.sort();
+
+    let baseline_path = root.join("detlint.allow");
+    let baseline = if baseline_path.is_file() {
+        Baseline::parse(&fs::read_to_string(&baseline_path)?)
+    } else {
+        Baseline::default()
+    };
+
+    let mut collected: Vec<Diagnostic> = Vec::new();
+    let mut suppressed_baseline = 0usize;
+    let mut entry_used = vec![false; baseline.entries.len()];
+    let files_scanned = files.len();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(file)?;
+        let file_report = scan_source(&rel, &source);
+        for d in file_report.diagnostics().iter().cloned() {
+            let matched = d.code != "DL000"
+                && baseline.entries.iter().enumerate().any(|(i, e)| {
+                    let hit = e.code == d.code && rel.starts_with(&e.path_prefix);
+                    if hit {
+                        entry_used[i] = true;
+                    }
+                    hit
+                });
+            if matched {
+                suppressed_baseline += 1;
+            } else {
+                collected.push(d);
+            }
+        }
+    }
+
+    for (line, text) in &baseline.malformed {
+        collected.push(Diagnostic::error(
+            "DL000",
+            format!("detlint.allow:{line}"),
+            format!("malformed baseline entry {text:?}"),
+            "use `DLxxx <path-prefix> <reason…>` — every entry needs a known code, a path, and a reason",
+        ));
+    }
+    for (i, e) in baseline.entries.iter().enumerate() {
+        if !entry_used[i] {
+            collected.push(Diagnostic::error(
+                "DL000",
+                format!("detlint.allow:{}", e.line),
+                format!("stale baseline entry: {} under {} matches no finding", e.code, e.path_prefix),
+                "delete the entry — the hazard it covered is gone, and the baseline may only shrink honestly",
+            ));
+        }
+    }
+
+    collected.sort_by(|a, b| {
+        path_sort_key(&a.path)
+            .cmp(&path_sort_key(&b.path))
+            .then_with(|| a.code.cmp(b.code))
+    });
+    let mut report = AuditReport::new();
+    for d in collected {
+        report.push(d);
+    }
+
+    Ok(ScanSummary {
+        report,
+        files_scanned,
+        suppressed_baseline,
+        baseline_entries_used: entry_used.iter().filter(|u| **u).count(),
+        baseline_entries: baseline.entries.len(),
+    })
+}
+
+/// Splits `file.rs:42` into a `(path, line)` sort key so findings order by
+/// file then numeric line, not lexicographic `:10 < :9` accidents.
+fn path_sort_key(path: &str) -> (String, u32) {
+    match path.rsplit_once(':') {
+        Some((file, line)) => match line.parse::<u32>() {
+            Ok(n) => (file.to_owned(), n),
+            Err(_) => (path.to_owned(), 0),
+        },
+        None => (path.to_owned(), 0),
+    }
+}
+
+/// Extracts the `members = [ … ]` list from a workspace manifest without a
+/// TOML parser: collects quoted strings between the opening bracket and
+/// the first closing bracket.
+fn workspace_members(manifest: &str) -> Vec<String> {
+    let mut members = Vec::new();
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let trimmed = line.trim();
+        if !in_members {
+            if trimmed.starts_with("members") && trimmed.contains('[') {
+                in_members = true;
+            } else {
+                continue;
+            }
+        }
+        let mut rest = trimmed;
+        while let Some(open) = rest.find('"') {
+            let tail = &rest[open + 1..];
+            let Some(close) = tail.find('"') else { break };
+            members.push(tail[..close].to_owned());
+            rest = &tail[close + 1..];
+        }
+        if trimmed.contains(']') {
+            break;
+        }
+    }
+    members
+}
+
+/// Expands one member path; a trailing `/*` globs immediate
+/// subdirectories (the only glob form Cargo members use here).
+fn expand_member(root: &Path, member: &str) -> io::Result<Vec<PathBuf>> {
+    if let Some(prefix) = member.strip_suffix("/*") {
+        let base = root.join(prefix);
+        if !base.is_dir() {
+            return Ok(Vec::new());
+        }
+        let mut dirs: Vec<PathBuf> = fs::read_dir(&base)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        Ok(dirs)
+    } else {
+        Ok(vec![root.join(member)])
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping anything under a
+/// `target` directory.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_allow_suppresses_same_line() {
+        let src = "fn f() -> f64 {\n\
+                   let t = std::time::Instant::now(); // detlint::allow(DL002): metrics only\n\
+                   t.elapsed().as_secs_f64()\n\
+                   }\n";
+        let report = scan_source("a.rs", src);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn inline_allow_covers_next_code_line() {
+        let src = "fn f() {\n\
+                   // detlint::allow(DL005): log tag, never serialized\n\
+                   let _ = std::thread::current();\n\
+                   }\n";
+        let report = scan_source("a.rs", src);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn allow_without_reason_does_not_suppress_and_is_flagged() {
+        let src = "fn f() {\n\
+                   let _ = std::time::Instant::now(); // detlint::allow(DL002)\n\
+                   }\n";
+        let report = scan_source("a.rs", src);
+        assert!(report.has_code("DL002"), "{}", report.render());
+        assert!(report.has_code("DL000"), "{}", report.render());
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        let src = "// detlint::allow(DL001): nothing here\n\
+                   fn f() {}\n";
+        let report = scan_source("a.rs", src);
+        assert!(report.has_code("DL000"), "{}", report.render());
+        assert_eq!(report.diagnostics().len(), 1);
+    }
+
+    #[test]
+    fn wrong_code_allow_does_not_suppress() {
+        let src = "fn f() {\n\
+                   let _ = std::time::Instant::now(); // detlint::allow(DL001): wrong code\n\
+                   }\n";
+        let report = scan_source("a.rs", src);
+        assert!(report.has_code("DL002"));
+        assert!(
+            report.has_code("DL000"),
+            "wrong-code allow must read as unused"
+        );
+    }
+
+    #[test]
+    fn diagnostics_carry_file_line_spans() {
+        let src = "fn f() {\n\n    let _ = std::time::Instant::now();\n}\n";
+        let report = scan_source("crates/x/src/lib.rs", src);
+        assert_eq!(report.diagnostics().len(), 1);
+        assert_eq!(report.diagnostics()[0].path, "crates/x/src/lib.rs:3");
+    }
+
+    #[test]
+    fn baseline_parse_accepts_entries_and_rejects_junk() {
+        let text = "# comment\n\
+                    \n\
+                    DL002 crates/bench/ timings feed the bench report, not results\n\
+                    DL999 crates/x/ unknown code\n\
+                    DL001 crates/y/\n";
+        let b = Baseline::parse(text);
+        assert_eq!(b.entries.len(), 1);
+        assert_eq!(b.entries[0].code, "DL002");
+        assert_eq!(b.entries[0].path_prefix, "crates/bench/");
+        assert_eq!(b.entries[0].line, 3);
+        assert_eq!(b.malformed.len(), 2, "{:?}", b.malformed);
+    }
+
+    #[test]
+    fn members_parse_handles_multiline_lists() {
+        let manifest = "[workspace]\nmembers = [\n    \"crates/a\",\n    \"crates/b\",\n]\n";
+        assert_eq!(workspace_members(manifest), vec!["crates/a", "crates/b"]);
+    }
+
+    #[test]
+    fn path_sort_key_orders_lines_numerically() {
+        assert!(path_sort_key("a.rs:9") < path_sort_key("a.rs:10"));
+        assert!(path_sort_key("a.rs:10") < path_sort_key("b.rs:1"));
+    }
+}

@@ -22,10 +22,11 @@
 //! dead fingerprints are dropped by [`EvalGraph::retain_domains`], which
 //! is what the service's `invalidated` counter reports.
 
-use std::collections::HashMap;
-use std::hash::{DefaultHasher, Hash, Hasher};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use sdnav_core::state::{fnv1a, FNV_OFFSET};
 
 /// Key of one memoizable sub-model evaluation within a domain.
 ///
@@ -33,7 +34,7 @@ use std::sync::Mutex;
 /// share an entry only when their parameters are bit-identical, which also
 /// guarantees a cached value is exactly what a fresh evaluation would
 /// produce — a cache hit can never change a result byte.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum SubModelKey {
     /// HW-centric availabilities at one role availability `A_C`; the value
     /// triple is `[small, medium, large]`.
@@ -54,7 +55,11 @@ pub enum SubModelKey {
 }
 
 /// One lock-striped slice of the graph: full keys → availability triples.
-type Shard = Mutex<HashMap<(u64, SubModelKey), [f64; 3]>>;
+///
+/// Ordered map on purpose: shard layout and iteration order are functions
+/// of the keys alone, never of a per-process hasher seed (detlint DL001/
+/// DL004 — the service's metrics and eviction paths walk these maps).
+type Shard = Mutex<BTreeMap<(u64, SubModelKey), [f64; 3]>>;
 
 /// A sharded, counting memo table for `(domain, SubModelKey)` →
 /// availability triples (see the module docs).
@@ -82,7 +87,7 @@ impl EvalGraph {
     pub fn new() -> Self {
         EvalGraph {
             shards: (0..Self::SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(BTreeMap::new()))
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -90,10 +95,27 @@ impl EvalGraph {
         }
     }
 
-    fn shard(&self, key: &(u64, SubModelKey)) -> &Mutex<HashMap<(u64, SubModelKey), [f64; 3]>> {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % Self::SHARDS]
+    /// Selects the shard for a key via the workspace's fixed-seed FNV-1a,
+    /// so the shard assignment (and with it lock-contention behavior and
+    /// per-shard layout) is identical in every process.
+    fn shard(&self, key: &(u64, SubModelKey)) -> &Shard {
+        let mut h = fnv1a(FNV_OFFSET, &key.0.to_le_bytes());
+        match key.1 {
+            SubModelKey::Hw { a_c_bits } => {
+                h = fnv1a(h, b"hw");
+                h = fnv1a(h, &a_c_bits.to_le_bytes());
+            }
+            SubModelKey::Sw {
+                topology,
+                supervisor_required,
+                x_bits,
+            } => {
+                h = fnv1a(h, b"sw");
+                h = fnv1a(h, &[topology, u8::from(supervisor_required)]);
+                h = fnv1a(h, &x_bits.to_le_bytes());
+            }
+        }
+        &self.shards[(h as usize) % Self::SHARDS]
     }
 
     /// Returns the cached triple for `key` under `domain`, computing and

@@ -306,7 +306,7 @@ pub fn evaluate_supervised(
 ) -> Result<SupervisedOutcome, GridError> {
     let threads = crate::resolve_threads(grid);
 
-    let plan_start = Instant::now();
+    let plan_start = Instant::now(); // detlint::allow(DL002): stage timing feeds the stderr metrics channel, never results
     let items = crate::build_items(grid);
     let state = ModelState::paper(spec.clone());
     let graph = EvalGraph::new();
@@ -344,7 +344,7 @@ pub fn evaluate_supervised(
                 .is_some_and(|flag| flag.load(Ordering::Relaxed))
     };
 
-    let execute_start = Instant::now();
+    let execute_start = Instant::now(); // detlint::allow(DL002): stage timing feeds the stderr metrics channel, never results
     let run = run_supervised(
         threads,
         &items,
@@ -380,7 +380,7 @@ pub fn evaluate_supervised(
     );
     let execute_ms = execute_start.elapsed().as_secs_f64() * 1e3;
 
-    let aggregate_start = Instant::now();
+    let aggregate_start = Instant::now(); // detlint::allow(DL002): stage timing feeds the stderr metrics channel, never results
     let mut results = GridResults::default();
     let mut sim_events = 0u64;
     let mut quarantine = QuarantineReport::default();

@@ -1,0 +1,34 @@
+//! Clean fixture: ordered emission and the blessed Welford merge — every
+//! pattern here is the prescribed fix for a DL001/DL003/DL010 finding.
+
+use std::collections::BTreeMap;
+
+pub fn emit_sorted(rows: &BTreeMap<String, f64>) -> String {
+    let mut out = String::new();
+    for (name, value) in rows.iter() {
+        out.push_str(&format!("{name},{value}\n"));
+    }
+    out
+}
+
+/// Streaming mean/variance accumulator; merging in any order produces the
+/// same bits because the merge formula is symmetric in its inputs.
+pub struct Welford {
+    pub count: u64,
+    pub mean: f64,
+    pub m2: f64,
+}
+
+impl Welford {
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (other.count as f64) / (total as f64);
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64) * (other.count as f64) / (total as f64);
+        self.count = total;
+    }
+}

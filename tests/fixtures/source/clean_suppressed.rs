@@ -1,0 +1,8 @@
+//! Clean fixture: a real DL002 hazard site carrying a reasoned inline
+//! allow — the suppression machinery must leave zero findings (and zero
+//! DL000 hygiene errors, because the allow is used).
+
+pub fn plan_duration_ms() -> f64 {
+    let start = std::time::Instant::now(); // detlint::allow(DL002): feeds the stderr metrics line only
+    start.elapsed().as_secs_f64() * 1e3
+}

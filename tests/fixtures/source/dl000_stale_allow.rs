@@ -1,0 +1,7 @@
+//! Seeded DL000: an inline allow that matches no finding — stale
+//! suppressions are themselves errors so the allowlist can only shrink.
+
+// detlint::allow(DL001): nothing hash-ordered is iterated here //~ DL000
+pub fn noop() -> u64 {
+    7
+}

@@ -1,0 +1,12 @@
+//! Seeded DL001: iterating a `HashMap` straight into an emitted string —
+//! the row order follows the per-process hasher seed, not the data.
+
+use std::collections::HashMap;
+
+pub fn emit_counts(counts: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, n) in counts.iter() { //~ DL001
+        out.push_str(&format!("{name}={n}\n"));
+    }
+    out
+}

@@ -1,0 +1,7 @@
+//! Seeded DL002: a wall-clock reading flows into a returned value, so two
+//! byte-identical runs produce different results.
+
+pub fn elapsed_field() -> f64 {
+    let started = std::time::Instant::now(); //~ DL002
+    started.elapsed().as_secs_f64()
+}

@@ -1,0 +1,10 @@
+//! Seeded DL003: naive f64 `+=` in a merge function — addition order (and
+//! therefore thread arrival order) changes the low bits of the sum.
+
+pub fn merge_shard_totals(parts: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for part in parts {
+        total += *part; //~ DL003
+    }
+    total
+}

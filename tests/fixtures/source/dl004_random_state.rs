@@ -1,0 +1,11 @@
+//! Seeded DL004: `RandomState` is seeded per process, so the computed
+//! shard assignment differs between runs.
+
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hasher};
+
+pub fn shard_of(key: u64, shards: u64) -> u64 {
+    let mut hasher = RandomState::new().build_hasher(); //~ DL004
+    hasher.write_u64(key);
+    hasher.finish() % shards
+}

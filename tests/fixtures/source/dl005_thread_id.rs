@@ -1,0 +1,6 @@
+//! Seeded DL005: the executing thread's identity reaches a value — it
+//! varies run to run and across `--threads`.
+
+pub fn worker_tag() -> String {
+    format!("{:?}", std::thread::current().id()) //~ DL005
+}

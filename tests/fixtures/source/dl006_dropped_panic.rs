@@ -1,0 +1,9 @@
+//! Seeded DL006: `catch_unwind` collapses the result to an Option — the
+//! panic payload (the failure cause) never reaches a quarantine report.
+
+pub fn eval_cell<F>(cell: F) -> Option<f64>
+where
+    F: FnOnce() -> f64 + std::panic::UnwindSafe,
+{
+    std::panic::catch_unwind(cell).ok() //~ DL006
+}

@@ -1,0 +1,6 @@
+//! Seeded DL007: library code reading ambient process environment —
+//! behavior now depends on state no caller passed in.
+
+pub fn threads_override() -> Option<usize> {
+    std::env::var("SDNAV_THREADS").ok()?.parse().ok() //~ DL007
+}

@@ -1,0 +1,7 @@
+//! Seeded DL008: a versioned schema discriminator spelled as a string
+//! literal instead of the `sdnav_json::schema` constant — producer and
+//! consumer can silently drift apart.
+
+pub fn results_header() -> (&'static str, &'static str) {
+    ("schema", "sdnav-sweep-results/v1") //~ DL008
+}

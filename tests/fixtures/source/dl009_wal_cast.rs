@@ -1,0 +1,6 @@
+//! Seeded DL009: a saturating/rounding `as` cast inside WAL framing code —
+//! replay is no longer bit-exact. Frame f64 payloads via `to_bits`.
+
+pub fn frame_mean(mean: f64) -> u64 {
+    mean as u64 //~ DL009
+}

@@ -1,0 +1,8 @@
+//! Seeded DL010: a public function hands callers a hash-ordered container;
+//! any caller iterating it can leak the order into emitted output.
+
+use std::collections::HashMap;
+
+pub fn availability_histogram() -> HashMap<u64, u64> { //~ DL010
+    HashMap::new()
+}

@@ -116,6 +116,142 @@ fn every_fixture_is_flagged_with_its_expected_code() {
     assert!(clean >= 4, "expected at least 4 clean_ fixtures");
 }
 
+/// Parses the `//~ DLxxx` expectation markers out of a source fixture:
+/// each marker names the diagnostic code that must be raised on its line.
+fn expected_findings(text: &str) -> Vec<(u32, String)> {
+    let mut expected = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if let Some(pos) = line.find("//~ ") {
+            let code = line[pos + 4..].trim();
+            assert!(
+                code.starts_with("DL") && code.len() == 5,
+                "bad expectation marker {code:?}"
+            );
+            expected.push((idx as u32 + 1, code.to_owned()));
+        }
+    }
+    expected.sort();
+    expected
+}
+
+#[test]
+fn source_fixture_corpus_matches_expectation_markers() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/source");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/fixtures/source must exist")
+        .map(|entry| entry.expect("readable fixture entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    paths.sort();
+
+    let mut seeded = 0;
+    let mut clean = 0;
+    for path in paths {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let rel = format!("tests/fixtures/source/{name}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let expected = expected_findings(&text);
+        let report = sdnav_detlint::scan_source(&rel, &text);
+        let mut actual: Vec<(u32, String)> = report
+            .diagnostics()
+            .iter()
+            .map(|d| {
+                let (file, line) = d.path.rsplit_once(':').expect("file:line span");
+                assert_eq!(file, rel, "{name}: diagnostic anchored to the wrong file");
+                (line.parse().expect("numeric line"), d.code.to_owned())
+            })
+            .collect();
+        actual.sort();
+        assert_eq!(
+            actual,
+            expected,
+            "{name}: findings disagree with //~ markers:\n{}",
+            report.render()
+        );
+
+        // Every report must round-trip through SARIF with per-finding
+        // physical regions, and every DL code must be in the rule catalog.
+        let sarif = sdnav_audit::to_sarif(&report, None);
+        sdnav_audit::validate_sarif(&sarif)
+            .unwrap_or_else(|e| panic!("{name}: invalid SARIF: {e}"));
+        let runs = sarif.field("runs").unwrap().as_arr().unwrap();
+        let results = runs[0].field("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), expected.len(), "{name}: SARIF result count");
+        for (result, (line, code)) in results.iter().zip(&expected) {
+            assert_eq!(result.field("ruleId").unwrap().as_str().unwrap(), code);
+            assert!(
+                result.field("ruleIndex").is_ok(),
+                "{name}: {code} missing from the SARIF rule catalog"
+            );
+            let physical = results[0].field("locations").unwrap().as_arr().unwrap()[0]
+                .field("physicalLocation")
+                .unwrap();
+            assert_eq!(
+                physical
+                    .field("artifactLocation")
+                    .unwrap()
+                    .field("uri")
+                    .unwrap()
+                    .as_str()
+                    .unwrap(),
+                rel
+            );
+            let start = result.field("locations").unwrap().as_arr().unwrap()[0]
+                .field("physicalLocation")
+                .unwrap()
+                .field("region")
+                .unwrap()
+                .field("startLine")
+                .unwrap()
+                .as_u32()
+                .unwrap();
+            assert_eq!(start, *line, "{name}: SARIF region line");
+        }
+
+        if name.starts_with("clean_") {
+            assert!(
+                expected.is_empty(),
+                "{name}: clean fixtures carry no markers"
+            );
+            assert!(
+                report.is_clean(),
+                "{name}: clean fixture raised findings:\n{}",
+                report.render()
+            );
+            clean += 1;
+        } else {
+            assert!(
+                name.starts_with("dl") && !expected.is_empty(),
+                "{name}: source fixtures are dlNNN_* (with markers) or clean_*"
+            );
+            seeded += 1;
+        }
+    }
+    assert_eq!(
+        seeded, 11,
+        "expected one seeded source fixture per DL000-DL010 code"
+    );
+    assert!(clean >= 2, "expected at least 2 clean_ source fixtures");
+}
+
+#[test]
+fn workspace_source_scans_clean() {
+    // The acceptance bar for the codebase itself: zero unsuppressed
+    // findings, no stale allows, and the committed baseline fully used.
+    let root = env!("CARGO_MANIFEST_DIR");
+    let summary = sdnav_detlint::scan_workspace(std::path::Path::new(root)).unwrap();
+    assert!(
+        summary.report.is_clean(),
+        "workspace detlint findings:\n{}",
+        summary.report.render()
+    );
+    assert!(summary.files_scanned > 50, "suspiciously few files scanned");
+    assert_eq!(
+        summary.baseline_entries_used, summary.baseline_entries,
+        "stale detlint.allow entries"
+    );
+}
+
 #[test]
 fn bundled_paper_model_lints_clean() {
     let report = audit_model(&ControllerSpec::opencontrail_3x());
