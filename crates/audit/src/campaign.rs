@@ -53,6 +53,11 @@ pub fn audit_campaign(campaign: &ChaosSpec, sim: &Simulation<'_>) -> AuditReport
     for inj in &campaign.injections {
         let path = format!("campaign/injections/{}", inj.label);
         let mut check = |target: &TargetRef| {
+            // `leader` resolves at event time inside a consensus run, not
+            // against the static deployment — never a SA020.
+            if matches!(target, TargetRef::Leader) {
+                return;
+            }
             if resolve_target(target, sim).is_err() {
                 report.push(Diagnostic::error(
                     "SA020",

@@ -1,0 +1,129 @@
+//! Consensus-block checks (SA033–SA035): the protocol-level
+//! misconfigurations that decode fine but doom the cluster's
+//! coordination layer — election timeouts that lose to the heartbeat, a
+//! cluster too small for its declared fault mix, and quorums no honest
+//! majority can ever reach.
+
+use sdnav_core::ConsensusSpec;
+
+use crate::{AuditReport, Diagnostic};
+
+/// Lints a [`ConsensusSpec`] (normally a spec's optional `consensus`
+/// block; `path` is its diagnostic anchor, e.g. `spec/consensus`).
+///
+/// * **SA033** (error): the randomized election-timeout floor does not
+///   clear the heartbeat interval, so healthy heartbeats cannot suppress
+///   elections and the cluster churns leaders indefinitely.
+/// * **SA034** (warn): the cluster is smaller than
+///   `2·F_BFT + 2·F_crash + 1`, so it cannot both form its commit quorum
+///   and survive the fault mix it declares to tolerate.
+/// * **SA035** (error): the commit quorum `2·F_BFT + F_crash + 1` exceeds
+///   the honest membership `n − F_BFT`: even with every correct node up,
+///   the cluster can never commit.
+#[must_use]
+pub fn audit_consensus(consensus: &ConsensusSpec, path: &str) -> AuditReport {
+    let mut report = AuditReport::new();
+    if consensus.election_timeout_min_ms <= consensus.heartbeat_interval_ms {
+        report.push(Diagnostic::error(
+            "SA033",
+            path,
+            format!(
+                "election timeout floor ({} ms) does not exceed the heartbeat interval ({} ms): \
+                 followers time out between healthy heartbeats and the cluster churns leaders",
+                consensus.election_timeout_min_ms, consensus.heartbeat_interval_ms
+            ),
+            "raise the election timeout well above the heartbeat (RAFT practice is at least 3x) \
+             so a live leader always suppresses elections",
+        ));
+    }
+    let mix = consensus.fault_mix;
+    if consensus.cluster_size < mix.min_cluster() {
+        report.push(Diagnostic::warn(
+            "SA034",
+            path,
+            format!(
+                "{}-node cluster is too small for the declared fault mix {} \
+                 (needs 2*byzantine + 2*crash + 1 = {} nodes to form a quorum with the \
+                 tolerated faults down)",
+                consensus.cluster_size,
+                mix.label(),
+                mix.min_cluster()
+            ),
+            "grow the cluster to the minimum size or relax the declared byzantine/crash mix",
+        ));
+    }
+    let honest = consensus.cluster_size.saturating_sub(mix.byzantine);
+    if consensus.quorum() > honest {
+        report.push(Diagnostic::error(
+            "SA035",
+            path,
+            format!(
+                "commit quorum {} is unreachable: only {} honest member(s) exist under the \
+                 declared byzantine count {}",
+                consensus.quorum(),
+                honest,
+                mix.byzantine
+            ),
+            "a quorum must be reachable from honest votes alone; grow the cluster or lower the \
+             declared byzantine count",
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnav_core::FaultMix;
+
+    fn spec() -> ConsensusSpec {
+        ConsensusSpec::raft_defaults()
+    }
+
+    #[test]
+    fn raft_defaults_lint_clean() {
+        assert!(audit_consensus(&spec(), "spec/consensus").is_clean());
+    }
+
+    #[test]
+    fn sa033_timeout_below_heartbeat() {
+        let mut c = spec();
+        c.election_timeout_min_ms = 40.0;
+        c.election_timeout_max_ms = 50.0;
+        let r = audit_consensus(&c, "spec/consensus");
+        assert!(r.has_code("SA033"));
+        assert!(!r.has_code("SA034") && !r.has_code("SA035"));
+    }
+
+    #[test]
+    fn sa034_cluster_too_small_for_mix() {
+        let mut c = spec();
+        c.fault_mix = FaultMix::crash_only(2); // needs 5 nodes, has 3
+        let r = audit_consensus(&c, "spec/consensus");
+        assert!(r.has_code("SA034"));
+        assert!(!r.has_code("SA033") && !r.has_code("SA035"));
+    }
+
+    #[test]
+    fn sa035_quorum_unreachable_under_byzantine_count() {
+        let mut c = spec();
+        c.fault_mix = FaultMix {
+            byzantine: 1,
+            crash: 0,
+        }; // quorum 3, honest 2
+        let r = audit_consensus(&c, "spec/consensus");
+        assert!(r.has_code("SA035"));
+        assert!(!r.has_code("SA033") && !r.has_code("SA034"));
+    }
+
+    #[test]
+    fn well_sized_bft_cluster_is_clean() {
+        let mut c = spec();
+        c.cluster_size = 5;
+        c.fault_mix = FaultMix {
+            byzantine: 1,
+            crash: 1,
+        };
+        assert!(audit_consensus(&c, "spec/consensus").is_clean());
+    }
+}

@@ -25,8 +25,11 @@ use std::collections::BTreeSet;
 use std::collections::HashSet;
 
 use sdnav_chaos::MAX_OCCURRENCES;
+use sdnav_consensus::ConsensusParams;
 use sdnav_core::{ControllerSpec, Scenario, Topology};
-use sdnav_grid::plan::{item_seed, plan_chaos_items, plan_items, SimTopology, WorkItem};
+use sdnav_grid::plan::{
+    item_seed, plan_chaos_items, plan_consensus_items, plan_items, SimTopology, WorkItem,
+};
 use sdnav_grid::GridSpec;
 use sdnav_json::{Json, ToJson};
 use sdnav_sim::SimConfig;
@@ -199,6 +202,15 @@ fn cell_identity(item: &WorkItem) -> String {
             ccf_probability.to_bits(),
             topology.name()
         ),
+        WorkItem::ConsensusPoint {
+            election_timeout_ms,
+            cluster_size,
+            fault_mix,
+        } => format!(
+            "consensus:{:016x}:{cluster_size}:{}",
+            election_timeout_ms.to_bits(),
+            fault_mix.label()
+        ),
     }
 }
 
@@ -210,6 +222,13 @@ fn expand_items(grid: &GridSpec) -> Vec<WorkItem> {
         items.extend(plan_chaos_items(
             &grid.chaos_crew_counts,
             &grid.chaos_ccf_probabilities,
+        ));
+    }
+    if grid.consensus.is_some() {
+        items.extend(plan_consensus_items(
+            &grid.consensus_election_timeouts_ms,
+            &grid.consensus_cluster_sizes,
+            &grid.consensus_fault_mixes,
         ));
     }
     items
@@ -309,6 +328,30 @@ impl SweepPlan {
                             topology.name()
                         ),
                         organic + injected,
+                    )
+                }
+                WorkItem::ConsensusPoint {
+                    election_timeout_ms,
+                    cluster_size,
+                    fault_mix,
+                } => {
+                    // Fail/repair pairs per node dominate the consensus DES
+                    // event stream (elections ride on top of failures).
+                    let replications = grid.replications.max(1) as f64;
+                    let node_rate =
+                        grid.sim_accelerate / ConsensusParams::paper_defaults().node_mtbf_hours;
+                    let events = 2.0
+                        * replications
+                        * grid.sim_horizon_hours
+                        * f64::from(*cluster_size)
+                        * node_rate;
+                    (
+                        "consensus",
+                        format!(
+                            "consensus et={election_timeout_ms}ms n={cluster_size} mix={}",
+                            fault_mix.label()
+                        ),
+                        events,
                     )
                 }
             };

@@ -323,6 +323,7 @@ mod tests {
                 vec![ProcessSpec::new("collector", RestartMode::Auto).cp(1)],
             )],
             rates: None,
+            consensus: None,
         };
         assert!(audit_spec(&spec).has_code("SA005"));
 
@@ -358,6 +359,7 @@ mod tests {
                 ],
             )],
             rates: None,
+            consensus: None,
         };
         let (fixed, plan) = fix_spec(&spec);
         assert_eq!(plan.edits.len(), 1);

@@ -9,7 +9,7 @@
 //! *lint* pass — it walks the whole model, collects **every** finding, and
 //! reports each as a structured [`Diagnostic`]:
 //!
-//! * a stable code (`SA001` … `SA032`) that scripts and CI can match on,
+//! * a stable code (`SA001` … `SA035`) that scripts and CI can match on,
 //! * a [`Severity`] (`Error` = the model is wrong, `Warn` = the model is
 //!   suspicious, `Info` = worth knowing),
 //! * the path of the offending element
@@ -52,6 +52,9 @@
 //! | SA030 | error      | sweep grid contains bit-identical duplicate work cells |
 //! | SA031 | warn       | dominated chaos crew-count cells: values past the hardware element count are pairwise equivalent |
 //! | SA032 | warn       | predicted sweep cost exceeds the event budget — inspect with `sweep --dry-run` |
+//! | SA033 | error      | consensus election-timeout floor does not exceed the heartbeat interval |
+//! | SA034 | warn       | consensus cluster smaller than `2·F_BFT + 2·F_crash + 1` for its declared fault mix |
+//! | SA035 | error      | consensus commit quorum unreachable from honest votes under the declared byzantine count |
 //!
 //! SA013–SA019 come from the unit-inference dataflow pass ([`audit_units`]):
 //! declared units win, bare values are classified by per-field magnitude
@@ -63,7 +66,8 @@
 //! against the deployment it will run on. SA024–SA026 are the whole-graph
 //! CTMC structural checks ([`audit_ctmc_structure`]); SA030–SA032 are the
 //! sweep-grid checks ([`audit_grid`]), backed by the same static cost
-//! model that powers `sdnav sweep --dry-run` ([`SweepPlan`]).
+//! model that powers `sdnav sweep --dry-run` ([`SweepPlan`]);
+//! SA033–SA035 come from the consensus-block pass ([`audit_consensus`]).
 //! [`fix_spec`]/[`fix_block`] rewrite the trivially
 //! auto-fixable findings ([`FIXABLE_CODES`]), and [`to_sarif`] renders any
 //! report as SARIF 2.1.0 for CI annotation.
@@ -95,6 +99,7 @@
 #![warn(missing_debug_implementations)]
 
 mod campaign;
+mod consensus;
 mod cost;
 mod dynamics;
 mod fix;
@@ -112,6 +117,7 @@ use sdnav_core::ControllerSpec;
 use sdnav_json::{Json, ToJson};
 
 pub use campaign::audit_campaign;
+pub use consensus::audit_consensus;
 pub use cost::{audit_grid, CachePrediction, PlanCell, SweepPlan};
 pub use dynamics::{
     audit_config_ctmcs, audit_ctmc, audit_hw_params, audit_sim_config, audit_sw_params,
@@ -165,7 +171,7 @@ impl ToJson for Severity {
 /// One finding of the analysis pass.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnostic {
-    /// Stable code (`SA001` … `SA032`), safe to match on in scripts.
+    /// Stable code (`SA001` … `SA035`), safe to match on in scripts.
     pub code: &'static str,
     /// Severity of the finding.
     pub severity: Severity,
@@ -388,6 +394,9 @@ pub fn audit_ir(ir: &ModelIr<'_>) -> AuditReport {
         report.merge(audit_ctmc_structure(&element.ctmc, &element.origin));
     }
     report.merge(audit_units(ir.spec));
+    if let Some(c) = &ir.spec.consensus {
+        report.merge(audit_consensus(c, "spec/consensus"));
+    }
     report
 }
 

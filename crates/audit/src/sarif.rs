@@ -5,7 +5,7 @@
 //! lint gate's report annotates findings inline on pull requests. The
 //! emitter maps each [`Diagnostic`](crate::Diagnostic) to a SARIF result
 //! (model paths become logical locations; the linted file, when known,
-//! becomes the physical location) and ships the full SA001–SA032 rule
+//! becomes the physical location) and ships the full SA001–SA035 rule
 //! catalog as `tool.driver.rules` metadata.
 //!
 //! [`validate_sarif`] checks a document against the subset of the 2.1.0
@@ -90,6 +90,18 @@ pub const RULES: &[(&str, &str)] = &[
         "Dominated chaos crew-count cells measure the same system",
     ),
     ("SA032", "Predicted sweep cost exceeds the event budget"),
+    (
+        "SA033",
+        "Consensus election-timeout floor does not exceed the heartbeat",
+    ),
+    (
+        "SA034",
+        "Consensus cluster too small for its declared fault mix",
+    ),
+    (
+        "SA035",
+        "Consensus quorum unreachable under the declared byzantine count",
+    ),
     (
         "DL000",
         "detlint suppression hygiene: unused or reason-less allow",
@@ -403,7 +415,7 @@ mod tests {
             .unwrap()
             .as_arr()
             .unwrap();
-        assert_eq!(rules.len(), 43);
+        assert_eq!(rules.len(), 46);
     }
 
     #[test]

@@ -267,6 +267,7 @@ mod tests {
             nodes: 0,
             roles: vec![],
             rates: None,
+            consensus: None,
         };
         let r = audit_spec(&empty);
         assert_eq!(r.error_count(), 2);
@@ -369,6 +370,7 @@ mod tests {
                 vec![ProcessSpec::new("worker", RestartMode::Auto).cp(1)],
             )],
             rates: None,
+            consensus: None,
         };
         let r = audit_spec(&s);
         assert!(r.diagnostics().iter().any(|d| d.code == "SA005"

@@ -80,8 +80,16 @@ pub const MAX_OCCURRENCES: usize = 100_000;
 /// | `vm:IDX` | VM by topology index |
 /// | `proc:ROLE/NODE/PROCESS` | controller process instance |
 /// | `vproc:HOST/PROCESS` | vRouter process on a compute host |
+/// | `leader` | whichever controller holds the consensus lease at fire time |
+///
+/// `leader` is special: it names a *dynamic* element, so it only resolves
+/// inside a consensus run (`sdnav chaos run --consensus-spec`), where the
+/// DES looks up the current leaseholder at the injection's fire time. The
+/// simulation-based [`compile`] path rejects it with a pointed error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TargetRef {
+    /// `leader` — resolved at event time by the consensus DES.
+    Leader,
     /// `rack:IDX`
     Rack(usize),
     /// `host:IDX`
@@ -117,6 +125,9 @@ impl TargetRef {
         let bad = || ChaosError::BadTarget {
             target: text.to_owned(),
         };
+        if text == "leader" {
+            return Ok(TargetRef::Leader);
+        }
         let (kind, rest) = text.split_once(':').ok_or_else(bad)?;
         match kind {
             "rack" => rest.parse().map(TargetRef::Rack).map_err(|_| bad()),
@@ -154,6 +165,7 @@ impl TargetRef {
 impl fmt::Display for TargetRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            TargetRef::Leader => write!(f, "leader"),
             TargetRef::Rack(i) => write!(f, "rack:{i}"),
             TargetRef::Host(i) => write!(f, "host:{i}"),
             TargetRef::Vm(i) => write!(f, "vm:{i}"),
@@ -699,6 +711,12 @@ pub enum CompileError {
         /// Offending injection label.
         label: String,
     },
+    /// A `leader` target in a plain (non-consensus) simulation: the
+    /// deployment has no lease, so there is nothing to resolve against.
+    LeaderTarget {
+        /// Offending injection label.
+        label: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -714,6 +732,11 @@ impl fmt::Display for CompileError {
             CompileError::TooManyOccurrences { label } => write!(
                 f,
                 "injection {label:?} expands to more than {MAX_OCCURRENCES} occurrences"
+            ),
+            CompileError::LeaderTarget { label } => write!(
+                f,
+                "injection {label:?}: the leader target only resolves in a consensus run \
+                 (pass a spec with a consensus block via `chaos run --consensus-spec`)"
             ),
         }
     }
@@ -739,10 +762,12 @@ impl From<ChaosError> for CompileError {
 ///
 /// Returns `Err(())` when the target's index or names do not exist in the
 /// deployment; callers attach their own context (compile errors, SA020
-/// diagnostics).
+/// diagnostics). [`TargetRef::Leader`] always errs here: the lease is a
+/// consensus-run concept with no static counterpart in the deployment.
 #[allow(clippy::result_unit_err)]
 pub fn resolve_target(target: &TargetRef, sim: &Simulation<'_>) -> Result<InjectTarget, ()> {
     match target {
+        TargetRef::Leader => Err(()),
         TargetRef::Rack(i) => (*i < sim.rack_count())
             .then_some(InjectTarget::Rack(*i))
             .ok_or(()),
@@ -818,6 +843,11 @@ pub fn compile(spec: &ChaosSpec, sim: &Simulation<'_>) -> Result<InjectionPlan, 
     spec.try_validate()?;
     let horizon = sim.config().horizon_hours;
     let resolve = |label: &str, t: &TargetRef| -> Result<InjectTarget, CompileError> {
+        if matches!(t, TargetRef::Leader) {
+            return Err(CompileError::LeaderTarget {
+                label: label.to_owned(),
+            });
+        }
         resolve_target(t, sim).map_err(|()| CompileError::UnknownTarget {
             label: label.to_owned(),
             target: t.to_string(),
@@ -1070,6 +1100,7 @@ mod tests {
             "vm:3",
             "proc:Control/2/contrail-control",
             "vproc:1/contrail-vrouter-agent",
+            "leader",
         ] {
             let t = TargetRef::parse(text).expect("parses");
             assert_eq!(t.to_string(), text);
@@ -1082,6 +1113,7 @@ mod tests {
             "disk:0",
             "proc:Control/2",
             "vproc:0/",
+            "leader:0",
         ] {
             assert!(TargetRef::parse(bad).is_err(), "{bad:?} must not parse");
         }
@@ -1199,6 +1231,22 @@ mod tests {
                 Err(CompileError::UnknownTarget { .. }) => {}
                 other => panic!("{target}: expected UnknownTarget, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn compile_rejects_leader_target_with_pointed_error() {
+        let (spec, topo) = sim_small();
+        let sim = small_sim(&spec, &topo, 1_000.0);
+        let c = campaign(
+            r#"{"name": "x", "injections": [
+                {"label": "kill-leader", "kind": "fail", "target": "leader", "at": 1.0}]}"#,
+        );
+        match compile(&c, &sim) {
+            Err(e @ CompileError::LeaderTarget { .. }) => {
+                assert!(e.to_string().contains("--consensus-spec"));
+            }
+            other => panic!("expected LeaderTarget, got {other:?}"),
         }
     }
 

@@ -33,6 +33,7 @@ COMMANDS:
   sweep [--figures F,..] [--points N] [--replications R] [--threads T]
         [--seed S] [--horizon H] [--accelerate F] [--compute-hosts N]
         [--campaign FILE] [--crews N,..] [--ccf P,..]
+        [--election-timeout-ms MS,..] [--cluster-size N,..] [--fault-mix B:C,..]
         [--checkpoint FILE] [--resume] [--retries N] [--backoff-ms MS]
         [--quarantine-out FILE] [--format json] [--out FILE] [--dry-run]
                               batch-evaluate a whole scenario grid (figures
@@ -41,6 +42,12 @@ COMMANDS:
                               campaign over crew-count × common-cause
                               probability axes (default 1,2,3,4 ×
                               0,0.25,0.5,0.75,1); run metrics go to stderr.
+                              A spec `consensus` block — or any of
+                              --election-timeout-ms/--cluster-size/
+                              --fault-mix (defaults 150,300,600 × 3,5,7 ×
+                              0:1) — adds consensus DES cells, each
+                              cross-validated against the CTMC macro-state
+                              model.
                               Cells run supervised: a panicking cell is
                               retried --retries times with exponential
                               backoff then quarantined (report to
@@ -85,6 +92,7 @@ COMMANDS:
   chaos run --campaign FILE [--layout L] [--scenario S] [--seed S]
             [--horizon H] [--accelerate F] [--compute-hosts N]
             [--format json|digest] [--out FILE]
+            [--consensus-spec FILE]
                               run a declarative fault-injection campaign
                               (scheduled faults, common-cause groups,
                               maintenance windows, crew pools, latent
@@ -94,12 +102,15 @@ COMMANDS:
                               and --format digest the compact
                               sdnav-chaos-digest/v1 summary (per-array
                               SHA-256 + first/last rows) used for golden
-                              diffing in CI
+                              diffing in CI; --consensus-spec runs the
+                              campaign's fail injections (incl. the
+                              event-time `leader` target) against the
+                              consensus DES of that spec's consensus block
   lint [--format json|sarif] [--deny-warnings] [--topology FILE]
        [--block FILE] [--spec-set FILE] [--campaign FILE]
        [--ctmc FILE] [--grid FILE] [--fix] [--dry-run]
        [--source [PATH]]
-                              statically audit the model (SA001..SA032);
+                              statically audit the model (SA001..SA035);
                               accepts broken specs via --spec, standalone
                               RBD JSON via --block, sweep-grid spec arrays
                               via --spec-set, user topology JSON via
@@ -483,6 +494,37 @@ fn chaos_table(rows: &[sdnav_grid::ChaosRow]) -> Table {
     table
 }
 
+fn consensus_table(rows: &[sdnav_grid::ConsensusRow]) -> Table {
+    let mut table = Table::new(vec![
+        "timeout ms",
+        "cluster",
+        "mix B:C",
+        "quorum",
+        "DES avail",
+        "CTMC avail",
+        "election frac",
+        "stall frac",
+        "elections",
+    ]);
+    for r in rows {
+        table.row(vec![
+            format!("{:.0}", r.election_timeout_ms),
+            r.cluster_size.to_string(),
+            format!("{}:{}", r.byzantine, r.crash),
+            r.quorum.to_string(),
+            format!(
+                "{:.6} ±{:.6}",
+                r.availability.mean, r.availability.std_error
+            ),
+            format!("{:.6}", r.ctmc_availability),
+            format!("{:.2e}", r.election_fraction_mean),
+            format!("{:.2e}", r.stall_fraction_mean),
+            r.elections.to_string(),
+        ]);
+    }
+    table
+}
+
 fn sw_figure(spec: &ControllerSpec, args: &Args, figure: Figure) -> Result<(), SdnavError> {
     let results = figure_grid(spec, args, figure)?;
     let rows = if figure == Figure::Fig4 {
@@ -580,6 +622,52 @@ fn sweep(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
     } else if args.get("crews").is_some() || args.get("ccf").is_some() {
         return Err(usage("--crews and --ccf require --campaign"));
     }
+    let consensus_flags = args.get("election-timeout-ms").is_some()
+        || args.get("cluster-size").is_some()
+        || args.get("fault-mix").is_some();
+    if spec.consensus.is_some() || consensus_flags {
+        // The spec's consensus block is the base; the flags enable the
+        // axes on a plain spec with RAFT defaults as the base.
+        let base = spec
+            .consensus
+            .clone()
+            .unwrap_or_else(sdnav_core::ConsensusSpec::raft_defaults);
+        builder = builder.consensus(base);
+        if let Some(list) = args.get("election-timeout-ms") {
+            let mut timeouts = Vec::new();
+            for part in list.split(',') {
+                timeouts.push(part.trim().parse::<f64>().map_err(|_| {
+                    usage(format!(
+                        "--election-timeout-ms expects a comma list of milliseconds, got {part:?}"
+                    ))
+                })?);
+            }
+            builder = builder.consensus_election_timeouts_ms(&timeouts);
+        }
+        if let Some(list) = args.get("cluster-size") {
+            let mut sizes = Vec::new();
+            for part in list.split(',') {
+                sizes.push(part.trim().parse::<u32>().map_err(|_| {
+                    usage(format!(
+                        "--cluster-size expects a comma list of node counts, got {part:?}"
+                    ))
+                })?);
+            }
+            builder = builder.consensus_cluster_sizes(&sizes);
+        }
+        if let Some(list) = args.get("fault-mix") {
+            let mut mixes = Vec::new();
+            for part in list.split(',') {
+                mixes.push(sdnav_core::FaultMix::parse(part.trim()).ok_or_else(|| {
+                    usage(format!(
+                        "--fault-mix expects a comma list of BYZANTINE:CRASH counts \
+                         (e.g. 0:1,1:1), got {part:?}"
+                    ))
+                })?);
+            }
+            builder = builder.consensus_fault_mixes(&mixes);
+        }
+    }
     let grid = builder.build().map_err(|e| failure(e.to_string()))?;
 
     if args.has_flag("dry-run") {
@@ -672,6 +760,10 @@ fn sweep(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
             if !r.chaos.is_empty() {
                 println!("\nChaos campaign cells (crew count × CCF probability):\n");
                 print!("{}", chaos_table(&r.chaos));
+            }
+            if !r.consensus.is_empty() {
+                println!("\nConsensus cells (election timeout × cluster size × fault mix):\n");
+                print!("{}", consensus_table(&r.consensus));
             }
             eprint!("{}", outcome.metrics.render());
         }
@@ -961,6 +1053,9 @@ fn chaos(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
     campaign
         .try_validate()
         .map_err(|e| failure(format!("{path}: {e}")))?;
+    if let Some(consensus_path) = args.get("consensus-spec") {
+        return chaos_consensus(&campaign, consensus_path, args);
+    }
     let topo = layout(spec, args)?;
     let config = chaos_config(args)?;
     let sim =
@@ -1040,6 +1135,108 @@ fn chaos(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
             print!("{table}");
         }
     }
+    Ok(())
+}
+
+/// Runs a campaign's fail injections against the consensus DES instead of
+/// the deployment simulator: `leader` resolves at event time to the
+/// current leaseholder, `host:IDX` maps onto controller node `IDX`.
+fn chaos_consensus(
+    campaign: &sdnav_chaos::ChaosSpec,
+    consensus_path: &str,
+    args: &Args,
+) -> Result<(), SdnavError> {
+    let cspec: ControllerSpec = read_json(consensus_path)?;
+    let consensus = cspec.consensus.clone().ok_or_else(|| {
+        failure(format!(
+            "{consensus_path}: spec has no consensus block — a consensus run needs one"
+        ))
+    })?;
+    let horizon = args.get_f64("horizon", 100_000.0).map_err(usage)?;
+    let accelerate = args.get_f64("accelerate", 100.0).map_err(usage)?;
+    let defaults = sdnav_consensus::ConsensusParams::paper_defaults();
+    let params = sdnav_consensus::ConsensusParams {
+        node_mtbf_hours: defaults.node_mtbf_hours / accelerate,
+        node_mttr_hours: defaults.node_mttr_hours,
+        horizon_hours: horizon,
+    };
+
+    // Map the campaign's fail injections onto consensus kill hooks,
+    // expanding `at`/`every` occurrences exactly as the simulator compiler
+    // does.
+    let mut injections = Vec::new();
+    for inj in &campaign.injections {
+        let target = match &inj.kind {
+            sdnav_chaos::InjectionKind::Fail { target, .. } => match target {
+                sdnav_chaos::TargetRef::Leader => sdnav_consensus::InjectTarget::Leader,
+                sdnav_chaos::TargetRef::Host(i) => sdnav_consensus::InjectTarget::Node(*i),
+                other => {
+                    return Err(failure(format!(
+                        "injection {:?}: target {other} is not representable in a consensus \
+                         run (use `leader` or `host:IDX` for controller node IDX)",
+                        inj.label
+                    )))
+                }
+            },
+            _ => {
+                return Err(failure(format!(
+                    "injection {:?}: only `fail` injections apply to a consensus run",
+                    inj.label
+                )))
+            }
+        };
+        let mut occurrence = 0usize;
+        loop {
+            let at_hours = inj.at + occurrence as f64 * inj.every.unwrap_or(0.0);
+            if at_hours >= horizon {
+                break;
+            }
+            if occurrence >= sdnav_chaos::MAX_OCCURRENCES {
+                return Err(failure(format!(
+                    "injection {:?} expands to more than {} occurrences",
+                    inj.label,
+                    sdnav_chaos::MAX_OCCURRENCES
+                )));
+            }
+            injections.push(sdnav_consensus::Injection { at_hours, target });
+            if inj.every.is_none() {
+                break;
+            }
+            occurrence += 1;
+        }
+    }
+
+    let sim = sdnav_consensus::ConsensusSim::try_new(consensus, params)
+        .map_err(|e| failure(format!("{consensus_path}: {e}")))?;
+    let seed = args.get_usize("seed", 1).map_err(usage)? as u64;
+    let outcome = sim
+        .run_injected(seed, &injections)
+        .map_err(|e| failure(e.to_string()))?;
+
+    let spec = sim.spec();
+    println!(
+        "campaign {:?} on a {}-node consensus cluster (quorum {}, mix {}): \
+         {} planned kill(s), {} fired, {} skipped",
+        campaign.name,
+        spec.cluster_size,
+        spec.quorum(),
+        spec.fault_mix.label(),
+        injections.len(),
+        outcome.injected_kills,
+        outcome.skipped_injections,
+    );
+    println!(
+        "  CP availability   : {:.9} (leader up, election-latency aware)",
+        outcome.availability
+    );
+    println!(
+        "  election fraction : {:.3e} ({} election(s))",
+        outcome.election_fraction, outcome.elections
+    );
+    println!(
+        "  stall fraction    : {:.3e} ({} quorum-loss stall(s))",
+        outcome.stall_fraction, outcome.stalls
+    );
     Ok(())
 }
 

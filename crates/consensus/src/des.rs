@@ -1,0 +1,806 @@
+//! The discrete-event consensus layer: an event-heap engine in the mold
+//! of `sdnav-sim`'s injection-hook core, specialized to the controller
+//! cluster's coordination dynamics.
+//!
+//! # Event types
+//!
+//! * `NodeFail` / `NodeRepair` / `CatchUp` — the per-controller life
+//!   cycle: exponential failure and repair, then a fixed log-replay
+//!   window before the node counts toward the commit quorum again.
+//! * `ElectionDone` — completion of a leader election, scheduled one
+//!   randomized timeout draw plus one heartbeat round after the seat
+//!   opened.
+//! * `RackFail` / `RackRepair` — optional rack-level common-cause
+//!   outages: every co-located controller drops together and returns
+//!   (catching up) when the rack does.
+//! * `Injected` — externally scheduled kills, the hook `sdnav chaos`
+//!   leader-targeted campaigns compile to; [`InjectTarget::Leader`]
+//!   resolves at fire time.
+//!
+//! Stale events are cancelled by generation counters (per node, and one
+//! for the election seat), exactly as the main simulator's epoch scheme
+//! works. All randomness flows from identity-seeded SplitMix64 streams:
+//! node `i` owns stream `seed ⊕ mix(i+1)`, racks and the election seat
+//! own tagged streams of their own, so no draw ever depends on event
+//! arrival order or thread scheduling.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+
+use sdnav_core::{ConsensusError, ConsensusSpec};
+
+use crate::ConsensusParams;
+
+/// Milliseconds per hour.
+const MS_PER_HOUR: f64 = 3_600_000.0;
+
+/// SplitMix64 increment (the "golden gamma").
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Stream tag for the election seat.
+const ELECTION_TAG: u64 = 0xE1EC_7100_0000_0001;
+
+/// Stream tag base for racks.
+const RACK_TAG: u64 = 0x0AC0_0000_0000_0001;
+
+/// SplitMix64 finalizer.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An identity-seeded SplitMix64 draw stream.
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    state: u64,
+}
+
+impl Stream {
+    fn new(seed: u64, tag: u64) -> Self {
+        Stream {
+            state: mix(seed ^ mix(tag)),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GAMMA);
+        mix(self.state)
+    }
+
+    /// Uniform draw in `[0, 1)` from the top 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Exponential draw with the given per-hour rate.
+    fn exp(&mut self, rate: f64) -> f64 {
+        -(1.0 - self.next_f64()).ln() / rate
+    }
+
+    /// Uniform draw in `[a, b)`.
+    fn uniform(&mut self, a: f64, b: f64) -> f64 {
+        a + (b - a) * self.next_f64()
+    }
+}
+
+/// What an [`Injection`] kills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectTarget {
+    /// Whichever controller holds the lease when the injection fires; a
+    /// no-op (counted as skipped) if the seat is empty at that instant.
+    Leader,
+    /// A specific controller by cluster index.
+    Node(usize),
+}
+
+/// One externally scheduled kill — the consensus layer's injection hook.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Injection {
+    /// Simulation time of the kill, hours.
+    pub at_hours: f64,
+    /// Who dies.
+    pub target: InjectTarget,
+}
+
+/// Optional rack-level common-cause configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RackConfig {
+    /// Rack index of each controller, `placement.len() == cluster_size`.
+    pub placement: Vec<usize>,
+    /// Mean time between failures of one rack, hours.
+    pub rack_mtbf_hours: f64,
+    /// Mean time to repair one rack, hours.
+    pub rack_mttr_hours: f64,
+}
+
+/// Aggregate measurements of one consensus replication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConsensusOutcome {
+    /// Fraction of the horizon in the leader-up macro-state (the
+    /// election-latency-aware control-plane availability).
+    pub availability: f64,
+    /// Fraction of the horizon spent electing.
+    pub election_fraction: f64,
+    /// Fraction of the horizon with log replication stalled (quorum
+    /// lost).
+    pub stall_fraction: f64,
+    /// Completed leader elections.
+    pub elections: u64,
+    /// Entries into the quorum-lost stall state.
+    pub stalls: u64,
+    /// Injected kills that found a live target.
+    pub injected_kills: u64,
+    /// Injected kills that fired on an empty seat or dead node.
+    pub skipped_injections: u64,
+    /// The measured horizon, hours.
+    pub horizon_hours: f64,
+}
+
+/// Failure modes of building or running a [`ConsensusSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConsensusSimError {
+    /// The consensus spec failed structural validation.
+    BadSpec(ConsensusError),
+    /// Non-finite or non-positive environment parameters.
+    BadParams,
+    /// The commit quorum exceeds the honest (non-Byzantine) membership:
+    /// the cluster can never commit (the SA035 lint condition).
+    QuorumUnreachable,
+    /// An injection targets a node outside the cluster or a non-finite
+    /// time.
+    BadInjection,
+    /// The rack placement does not cover the cluster or has degenerate
+    /// rates.
+    BadRacks,
+    /// The CTMC counterpart could not solve its steady state.
+    Degenerate,
+}
+
+impl fmt::Display for ConsensusSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsensusSimError::BadSpec(e) => write!(f, "consensus spec: {e}"),
+            ConsensusSimError::BadParams => {
+                write!(f, "consensus parameters must be finite and positive")
+            }
+            ConsensusSimError::QuorumUnreachable => write!(
+                f,
+                "commit quorum exceeds the honest membership: the cluster can never commit"
+            ),
+            ConsensusSimError::BadInjection => {
+                write!(
+                    f,
+                    "injection targets a node outside the cluster or a non-finite time"
+                )
+            }
+            ConsensusSimError::BadRacks => {
+                write!(
+                    f,
+                    "rack placement must cover the cluster with positive rates"
+                )
+            }
+            ConsensusSimError::Degenerate => write!(f, "consensus CTMC steady state is degenerate"),
+        }
+    }
+}
+
+impl Error for ConsensusSimError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    NodeFail(usize),
+    NodeRepair(usize),
+    CatchUp(usize),
+    ElectionDone,
+    RackFail(usize),
+    RackRepair(usize),
+    Injected(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    gen: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time.total_cmp(&other.time) == Ordering::Equal && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    // Reversed: BinaryHeap pops its maximum, we want the earliest time
+    // (ties broken by insertion order for full determinism).
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    Active,
+    CatchingUp,
+    Down,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Led { leader: usize },
+    Electing,
+    Stall,
+}
+
+/// The consensus discrete-event simulator. Construction validates; each
+/// [`ConsensusSim::run`] is an independent, deterministic replication.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsensusSim {
+    spec: ConsensusSpec,
+    params: ConsensusParams,
+    racks: Option<RackConfig>,
+}
+
+struct RunState {
+    heap: BinaryHeap<Event>,
+    seq: u64,
+    node_state: Vec<NodeState>,
+    node_gen: Vec<u64>,
+    held_by_rack: Vec<bool>,
+    node_streams: Vec<Stream>,
+    election_stream: Stream,
+    rack_streams: Vec<Stream>,
+    phase: Phase,
+    election_gen: u64,
+}
+
+impl RunState {
+    fn push(&mut self, time: f64, gen: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event {
+            time,
+            seq,
+            gen,
+            kind,
+        });
+    }
+}
+
+impl ConsensusSim {
+    /// Builds a simulator for `spec` under `params`, no rack coupling.
+    ///
+    /// # Errors
+    ///
+    /// [`ConsensusSimError::BadSpec`]/[`ConsensusSimError::BadParams`] for
+    /// structural problems, [`ConsensusSimError::QuorumUnreachable`] when
+    /// the declared Byzantine count leaves fewer honest members than the
+    /// commit quorum needs.
+    pub fn try_new(
+        spec: ConsensusSpec,
+        params: ConsensusParams,
+    ) -> Result<Self, ConsensusSimError> {
+        Self::with_racks(spec, params, None)
+    }
+
+    /// Builds a simulator with optional rack-level common-cause outages.
+    ///
+    /// # Errors
+    ///
+    /// As [`ConsensusSim::try_new`], plus [`ConsensusSimError::BadRacks`]
+    /// when the placement does not assign every controller a rack or the
+    /// rack rates are degenerate.
+    pub fn with_racks(
+        spec: ConsensusSpec,
+        params: ConsensusParams,
+        racks: Option<RackConfig>,
+    ) -> Result<Self, ConsensusSimError> {
+        spec.validate().map_err(ConsensusSimError::BadSpec)?;
+        params.validate()?;
+        let honest = spec.cluster_size.saturating_sub(spec.fault_mix.byzantine);
+        if spec.quorum() > honest {
+            return Err(ConsensusSimError::QuorumUnreachable);
+        }
+        if let Some(r) = &racks {
+            let ok = |v: f64| v.is_finite() && v > 0.0;
+            if r.placement.len() != spec.cluster_size as usize
+                || !ok(r.rack_mtbf_hours)
+                || !ok(r.rack_mttr_hours)
+            {
+                return Err(ConsensusSimError::BadRacks);
+            }
+        }
+        Ok(ConsensusSim {
+            spec,
+            params,
+            racks,
+        })
+    }
+
+    /// The spec this simulator runs.
+    #[must_use]
+    pub fn spec(&self) -> &ConsensusSpec {
+        &self.spec
+    }
+
+    /// One fault-free-schedule replication (failures still occur — only
+    /// injections are absent).
+    #[must_use]
+    pub fn run(&self, seed: u64) -> ConsensusOutcome {
+        self.run_injected(seed, &[])
+            .expect("empty injection plan is always valid")
+    }
+
+    /// One replication with externally scheduled kills.
+    ///
+    /// # Errors
+    ///
+    /// [`ConsensusSimError::BadInjection`] when a kill targets a node
+    /// outside the cluster or carries a non-finite/negative time.
+    pub fn run_injected(
+        &self,
+        seed: u64,
+        injections: &[Injection],
+    ) -> Result<ConsensusOutcome, ConsensusSimError> {
+        let n = self.spec.cluster_size as usize;
+        for inj in injections {
+            let time_ok = inj.at_hours.is_finite() && inj.at_hours >= 0.0;
+            let target_ok = match inj.target {
+                InjectTarget::Leader => true,
+                InjectTarget::Node(i) => i < n,
+            };
+            if !time_ok || !target_ok {
+                return Err(ConsensusSimError::BadInjection);
+            }
+        }
+
+        let byz = self.spec.fault_mix.byzantine as usize;
+        let quorum = self.spec.quorum() as usize;
+        let horizon = self.params.horizon_hours;
+        let lam = self.params.failure_rate();
+        let mu = self.params.repair_rate();
+        let catch_up_h = self.spec.catch_up_ms / MS_PER_HOUR;
+
+        let rack_count = self
+            .racks
+            .as_ref()
+            .map_or(0, |r| r.placement.iter().max().map_or(0, |m| m + 1));
+        let mut st = RunState {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            node_state: vec![NodeState::Active; n],
+            node_gen: vec![0; n],
+            held_by_rack: vec![false; n],
+            node_streams: (0..n).map(|i| Stream::new(seed, (i as u64) + 1)).collect(),
+            election_stream: Stream::new(seed, ELECTION_TAG),
+            rack_streams: (0..rack_count)
+                .map(|r| Stream::new(seed, RACK_TAG ^ ((r as u64) << 8)))
+                .collect(),
+            phase: Phase::Stall,
+            election_gen: 0,
+        };
+
+        // Seed the initial schedules: node failures, rack failures, and
+        // the injection plan (which fires regardless of generations).
+        for i in 0..n {
+            let t = st.node_streams[i].exp(lam);
+            st.push(t, st.node_gen[i], EventKind::NodeFail(i));
+        }
+        if let Some(racks) = &self.racks {
+            for r in 0..rack_count {
+                let t = st.rack_streams[r].exp(1.0 / racks.rack_mtbf_hours);
+                st.push(t, 0, EventKind::RackFail(r));
+            }
+        }
+        for (idx, inj) in injections.iter().enumerate() {
+            st.push(inj.at_hours, 0, EventKind::Injected(idx));
+        }
+
+        // The run opens with an already-settled leader: the measurement
+        // is of steady-state behavior, not cluster bootstrap.
+        st.phase = Phase::Led {
+            leader: (st.election_stream.next_u64() as usize) % (n - byz).max(1),
+        };
+
+        let mut leader_time = 0.0;
+        let mut election_time = 0.0;
+        let mut stall_time = 0.0;
+        let mut last_t = 0.0;
+        let mut elections = 0u64;
+        let mut stalls = 0u64;
+        let mut injected_kills = 0u64;
+        let mut skipped_injections = 0u64;
+
+        // The honest membership is the low `n - byz` indices: declared
+        // Byzantine seats are pinned to the high indices, hold cluster
+        // membership, but never vote usefully and are never electable.
+        let honest_active = |st: &RunState| {
+            st.node_state[..n - byz]
+                .iter()
+                .filter(|&&s| s == NodeState::Active)
+                .count()
+        };
+
+        macro_rules! account {
+            ($t:expr) => {
+                let dt = $t - last_t;
+                match st.phase {
+                    Phase::Led { .. } => leader_time += dt,
+                    Phase::Electing => election_time += dt,
+                    Phase::Stall => stall_time += dt,
+                }
+                last_t = $t;
+            };
+        }
+        macro_rules! start_election {
+            ($t:expr) => {
+                st.election_gen += 1;
+                let duration_ms = st.election_stream.uniform(
+                    self.spec.election_timeout_min_ms,
+                    self.spec.election_timeout_max_ms,
+                ) + self.spec.heartbeat_interval_ms;
+                let gen = st.election_gen;
+                st.push($t + duration_ms / MS_PER_HOUR, gen, EventKind::ElectionDone);
+                st.phase = Phase::Electing;
+            };
+        }
+        // Re-derives the cluster phase after any membership change.
+        macro_rules! recheck {
+            ($t:expr) => {
+                let quorum_ok = honest_active(&st) >= quorum;
+                match st.phase {
+                    Phase::Led { leader } => {
+                        let leader_ok = st.node_state[leader] == NodeState::Active;
+                        if !quorum_ok {
+                            // CheckQuorum: the leader steps down the moment
+                            // it cannot reach a commit quorum.
+                            account!($t);
+                            st.election_gen += 1;
+                            st.phase = Phase::Stall;
+                            stalls += 1;
+                        } else if !leader_ok {
+                            account!($t);
+                            start_election!($t);
+                        }
+                    }
+                    Phase::Electing => {
+                        if !quorum_ok {
+                            account!($t);
+                            st.election_gen += 1;
+                            st.phase = Phase::Stall;
+                            stalls += 1;
+                        }
+                    }
+                    Phase::Stall => {
+                        if quorum_ok {
+                            account!($t);
+                            start_election!($t);
+                        }
+                    }
+                }
+            };
+        }
+        // Node death from any cause: own failure, injected kill, or rack
+        // outage (`schedule_repair = false` for the latter — the rack
+        // brings the node back itself).
+        macro_rules! kill_node {
+            ($t:expr, $i:expr, $schedule_repair:expr) => {
+                st.node_gen[$i] += 1;
+                st.node_state[$i] = NodeState::Down;
+                if $schedule_repair {
+                    let dt = st.node_streams[$i].exp(mu);
+                    st.push($t + dt, st.node_gen[$i], EventKind::NodeRepair($i));
+                }
+            };
+        }
+        // Node returning to service (repair or rack restoration): a
+        // catch-up window, then the next failure draw.
+        macro_rules! revive_node {
+            ($t:expr, $i:expr) => {
+                st.node_state[$i] = NodeState::CatchingUp;
+                st.held_by_rack[$i] = false;
+                let gen = st.node_gen[$i];
+                st.push($t + catch_up_h, gen, EventKind::CatchUp($i));
+                let ttf = st.node_streams[$i].exp(lam);
+                st.push($t + ttf, gen, EventKind::NodeFail($i));
+            };
+        }
+
+        while let Some(ev) = st.heap.pop() {
+            if ev.time >= horizon {
+                break;
+            }
+            let t = ev.time;
+            match ev.kind {
+                EventKind::NodeFail(i) => {
+                    if ev.gen != st.node_gen[i] || st.node_state[i] == NodeState::Down {
+                        continue;
+                    }
+                    kill_node!(t, i, true);
+                    recheck!(t);
+                }
+                EventKind::NodeRepair(i) => {
+                    if ev.gen != st.node_gen[i] {
+                        continue;
+                    }
+                    revive_node!(t, i);
+                }
+                EventKind::CatchUp(i) => {
+                    if ev.gen != st.node_gen[i] || st.node_state[i] != NodeState::CatchingUp {
+                        continue;
+                    }
+                    st.node_state[i] = NodeState::Active;
+                    recheck!(t);
+                }
+                EventKind::ElectionDone => {
+                    if ev.gen != st.election_gen || st.phase != Phase::Electing {
+                        continue;
+                    }
+                    let candidates: Vec<usize> = (0..n - byz)
+                        .filter(|&i| st.node_state[i] == NodeState::Active)
+                        .collect();
+                    // Electing implies the quorum is intact, so the
+                    // candidate list is never empty.
+                    let pick = (st.election_stream.next_u64() as usize) % candidates.len();
+                    account!(t);
+                    st.phase = Phase::Led {
+                        leader: candidates[pick],
+                    };
+                    elections += 1;
+                }
+                EventKind::RackFail(r) => {
+                    let racks = self.racks.as_ref().expect("rack event implies rack config");
+                    let repair = st.rack_streams[r].exp(1.0 / racks.rack_mttr_hours);
+                    st.push(t + repair, 0, EventKind::RackRepair(r));
+                    for i in 0..n {
+                        if racks.placement[i] == r && st.node_state[i] != NodeState::Down {
+                            kill_node!(t, i, false);
+                            st.held_by_rack[i] = true;
+                        } else if racks.placement[i] == r && st.node_state[i] == NodeState::Down {
+                            // Already down for its own reasons: the rack
+                            // outage supersedes the pending repair.
+                            st.node_gen[i] += 1;
+                            st.held_by_rack[i] = true;
+                        }
+                    }
+                    recheck!(t);
+                }
+                EventKind::RackRepair(r) => {
+                    let racks = self.racks.as_ref().expect("rack event implies rack config");
+                    let next = st.rack_streams[r].exp(1.0 / racks.rack_mtbf_hours);
+                    st.push(t + next, 0, EventKind::RackFail(r));
+                    for i in 0..n {
+                        if racks.placement[i] == r && st.held_by_rack[i] {
+                            revive_node!(t, i);
+                        }
+                    }
+                }
+                EventKind::Injected(idx) => {
+                    let victim = match injections[idx].target {
+                        InjectTarget::Leader => match st.phase {
+                            Phase::Led { leader } => Some(leader),
+                            _ => None,
+                        },
+                        InjectTarget::Node(i) => Some(i),
+                    };
+                    match victim {
+                        Some(i) if st.node_state[i] != NodeState::Down => {
+                            kill_node!(t, i, true);
+                            injected_kills += 1;
+                            recheck!(t);
+                        }
+                        _ => skipped_injections += 1,
+                    }
+                }
+            }
+        }
+        match st.phase {
+            Phase::Led { .. } => leader_time += horizon - last_t,
+            Phase::Electing => election_time += horizon - last_t,
+            Phase::Stall => stall_time += horizon - last_t,
+        }
+
+        Ok(ConsensusOutcome {
+            availability: leader_time / horizon,
+            election_fraction: election_time / horizon,
+            stall_fraction: stall_time / horizon,
+            elections,
+            stalls,
+            injected_kills,
+            skipped_injections,
+            horizon_hours: horizon,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc_availability;
+
+    fn sim() -> ConsensusSim {
+        ConsensusSim::try_new(
+            ConsensusSpec::raft_defaults(),
+            ConsensusParams::paper_defaults(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let s = sim();
+        let a = s.run(7);
+        assert_eq!(a, s.run(7));
+        assert_ne!(a, s.run(8));
+    }
+
+    #[test]
+    fn fractions_partition_the_horizon() {
+        let o = sim().run(11);
+        let total = o.availability + o.election_fraction + o.stall_fraction;
+        assert!((total - 1.0).abs() < 1e-12, "fractions sum to {total}");
+        assert!(o.availability > 0.99);
+        assert!(o.elections > 0);
+    }
+
+    #[test]
+    fn des_tracks_the_ctmc_counterpart() {
+        // Crash-only cross-validation at an accelerated working point:
+        // the DES mean over a few seeds must sit near the CTMC value.
+        let spec = ConsensusSpec::raft_defaults();
+        let params = ConsensusParams {
+            node_mtbf_hours: 500.0,
+            node_mttr_hours: 8.0,
+            horizon_hours: 100_000.0,
+        };
+        let sim = ConsensusSim::try_new(spec.clone(), params).unwrap();
+        let mean = (0..8).map(|s| sim.run(s).availability).sum::<f64>() / 8.0;
+        let ctmc = ctmc_availability(&spec, &params).unwrap();
+        assert!((mean - ctmc).abs() < 5e-4, "DES {mean} vs CTMC {ctmc}");
+    }
+
+    #[test]
+    fn leader_kills_cost_more_than_follower_kills() {
+        // 200 scheduled kills: leader-targeted ones force an election
+        // each time; fixed-node kills only do when they happen to hit
+        // the leader.
+        let spec = ConsensusSpec::raft_defaults();
+        let params = ConsensusParams {
+            node_mtbf_hours: 1.0e9, // isolate the injected faults
+            node_mttr_hours: 0.05,
+            horizon_hours: 10_000.0,
+        };
+        let sim = ConsensusSim::try_new(spec, params).unwrap();
+        let plan = |target| -> Vec<Injection> {
+            (0..200)
+                .map(|k| Injection {
+                    at_hours: 25.0 + 40.0 * f64::from(k),
+                    target,
+                })
+                .collect()
+        };
+        let leader = sim.run_injected(99, &plan(InjectTarget::Leader)).unwrap();
+        let node = sim.run_injected(99, &plan(InjectTarget::Node(2))).unwrap();
+        assert_eq!(leader.injected_kills, 200);
+        assert!(leader.elections >= 200);
+        assert!(leader.availability < node.availability);
+    }
+
+    #[test]
+    fn byzantine_mix_needs_more_cluster() {
+        let mut spec = ConsensusSpec::raft_defaults();
+        spec.fault_mix = sdnav_core::FaultMix {
+            byzantine: 1,
+            crash: 0,
+        };
+        // Quorum 3, honest = 3 - 1 = 2: unreachable.
+        assert_eq!(
+            ConsensusSim::try_new(spec.clone(), ConsensusParams::paper_defaults()).unwrap_err(),
+            ConsensusSimError::QuorumUnreachable
+        );
+        // Five nodes make it work, at lower availability than crash-only.
+        spec.cluster_size = 5;
+        let bft = ConsensusSim::try_new(spec, ConsensusParams::paper_defaults()).unwrap();
+        let crash = sim();
+        assert!(bft.run(3).availability < crash.run(3).availability + 1e-3);
+    }
+
+    #[test]
+    fn rack_placement_two_is_the_worst_of_three() {
+        // The paper's placement claim, election-latency-aware: identical
+        // node/rack randomness (paired seeds), only the placement moves.
+        let spec = ConsensusSpec::raft_defaults();
+        let params = ConsensusParams {
+            node_mtbf_hours: 2_000.0,
+            node_mttr_hours: 1.0,
+            horizon_hours: 200_000.0,
+        };
+        let run = |placement: Vec<usize>, seed| {
+            ConsensusSim::with_racks(
+                spec.clone(),
+                params,
+                Some(RackConfig {
+                    placement,
+                    rack_mtbf_hours: 4_000.0,
+                    rack_mttr_hours: 2.0,
+                }),
+            )
+            .unwrap()
+            .run(seed)
+            .availability
+        };
+        let mut one_vs_two = 0.0;
+        let mut three_vs_two = 0.0;
+        for seed in 0..6 {
+            one_vs_two += run(vec![0, 0, 0], seed) - run(vec![0, 0, 1], seed);
+            three_vs_two += run(vec![0, 1, 2], seed) - run(vec![0, 0, 1], seed);
+        }
+        assert!(one_vs_two > 0.0, "two racks beat one: {one_vs_two}");
+        assert!(three_vs_two > 0.0, "two racks beat three: {three_vs_two}");
+    }
+
+    #[test]
+    fn injection_validation() {
+        let s = sim();
+        assert_eq!(
+            s.run_injected(
+                1,
+                &[Injection {
+                    at_hours: 1.0,
+                    target: InjectTarget::Node(3),
+                }]
+            )
+            .unwrap_err(),
+            ConsensusSimError::BadInjection
+        );
+        assert_eq!(
+            s.run_injected(
+                1,
+                &[Injection {
+                    at_hours: f64::NAN,
+                    target: InjectTarget::Leader,
+                }]
+            )
+            .unwrap_err(),
+            ConsensusSimError::BadInjection
+        );
+    }
+
+    #[test]
+    fn rack_validation() {
+        let bad = ConsensusSim::with_racks(
+            ConsensusSpec::raft_defaults(),
+            ConsensusParams::paper_defaults(),
+            Some(RackConfig {
+                placement: vec![0, 1], // 2 entries for 3 nodes
+                rack_mtbf_hours: 1000.0,
+                rack_mttr_hours: 1.0,
+            }),
+        );
+        assert_eq!(bad.unwrap_err(), ConsensusSimError::BadRacks);
+    }
+
+    #[test]
+    fn errors_display_meaningfully() {
+        assert!(ConsensusSimError::QuorumUnreachable
+            .to_string()
+            .contains("quorum"));
+        assert!(ConsensusSimError::BadRacks.to_string().contains("rack"));
+    }
+}

@@ -1,0 +1,365 @@
+//! Consensus-protocol configuration: the control-plane coordination layer
+//! the paper abstracts away as a static k-of-n quorum count.
+//!
+//! Sakic & Kellerer ("Response Time and Availability Study of RAFT
+//! Consensus in Distributed SDN Control Plane") show that leader election
+//! and log-replication dynamics materially change control-plane
+//! availability, and MORPH shows the crash-vs-Byzantine fault mix changes
+//! the required cluster size itself. [`ConsensusSpec`] captures exactly the
+//! parameters those dynamics need — election timeout distribution,
+//! heartbeat interval, cluster size, and declared fault mix — as *data*,
+//! attachable to a [`crate::ControllerSpec`] via its optional `consensus`
+//! block. The dynamics themselves live in the `sdnav-consensus` crate (a
+//! discrete-event layer) and in `sdnav-markov` (the macro-state CTMC
+//! counterpart).
+
+use std::error::Error;
+use std::fmt;
+
+use sdnav_json::{FromJson, Json, JsonError, ToJson};
+
+/// Declared fault-tolerance mix, following MORPH's adaptive quorum model:
+/// the cluster promises to mask `byzantine` arbitrary-behavior controllers
+/// and `crash` fail-stop controllers simultaneously, and sizes its quorum
+/// threshold as `2·byzantine + crash + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultMix {
+    /// Number of Byzantine (arbitrary-behavior) faults to mask (`F_BFT`).
+    pub byzantine: u32,
+    /// Number of crash (fail-stop) faults to mask (`F_crash`).
+    pub crash: u32,
+}
+
+impl FaultMix {
+    /// Crash-only mix tolerating `crash` fail-stop faults (plain RAFT).
+    #[must_use]
+    pub fn crash_only(crash: u32) -> Self {
+        FaultMix {
+            byzantine: 0,
+            crash,
+        }
+    }
+
+    /// MORPH's adaptive quorum threshold: `2·F_BFT + F_crash + 1` votes
+    /// are needed to commit under this declared mix.
+    #[must_use]
+    pub fn quorum(&self) -> u32 {
+        2 * self.byzantine + self.crash + 1
+    }
+
+    /// Minimum cluster size that can both form the quorum and survive the
+    /// declared crash count: `2·F_BFT + 2·F_crash + 1` (the quorum plus one
+    /// spare per tolerated crash).
+    #[must_use]
+    pub fn min_cluster(&self) -> u32 {
+        2 * self.byzantine + 2 * self.crash + 1
+    }
+
+    /// The CLI/JSON spelling `B:C` (e.g. `0:1` for crash-only RAFT,
+    /// `1:1` for one Byzantine plus one crash fault).
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}:{}", self.byzantine, self.crash)
+    }
+
+    /// Parses the `B:C` spelling.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<FaultMix> {
+        let (b, c) = text.split_once(':')?;
+        Some(FaultMix {
+            byzantine: b.trim().parse().ok()?,
+            crash: c.trim().parse().ok()?,
+        })
+    }
+}
+
+impl ToJson for FaultMix {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("byzantine", self.byzantine.to_json()),
+            ("crash", self.crash.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FaultMix {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(FaultMix {
+            byzantine: value
+                .field("byzantine")?
+                .as_u32()
+                .map_err(|e| e.ctx("byzantine"))?,
+            crash: value.field("crash")?.as_u32().map_err(|e| e.ctx("crash"))?,
+        })
+    }
+}
+
+/// Consensus-protocol parameters for the controller cluster's control
+/// plane (RAFT-style, with MORPH's adaptive-BFT quorum when the declared
+/// fault mix includes Byzantine faults).
+///
+/// All durations are in milliseconds; the availability models convert to
+/// hours internally. Election timeouts are *randomized* per follower,
+/// uniform over `[election_timeout_min_ms, election_timeout_max_ms]`,
+/// exactly as RAFT prescribes to break split votes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsensusSpec {
+    /// Lower bound of the randomized follower election timeout.
+    pub election_timeout_min_ms: f64,
+    /// Upper bound of the randomized follower election timeout.
+    pub election_timeout_max_ms: f64,
+    /// Leader heartbeat (AppendEntries keep-alive) interval.
+    pub heartbeat_interval_ms: f64,
+    /// Number of consensus participants (overrides nothing: the paper's
+    /// controller cluster is `2N+1` nodes and this is that `n`).
+    pub cluster_size: u32,
+    /// Declared byzantine/crash fault-tolerance mix.
+    pub fault_mix: FaultMix,
+    /// Time a repaired follower spends replaying the log before it counts
+    /// toward the commit quorum again (JSON default: `4×` heartbeat).
+    pub catch_up_ms: f64,
+}
+
+impl ConsensusSpec {
+    /// RAFT-flavored defaults matching Sakic & Kellerer's measured etcd
+    /// ranges: 150–300 ms randomized election timeout, 50 ms heartbeat,
+    /// 3-node crash-only cluster.
+    #[must_use]
+    pub fn raft_defaults() -> Self {
+        ConsensusSpec {
+            election_timeout_min_ms: 150.0,
+            election_timeout_max_ms: 300.0,
+            heartbeat_interval_ms: 50.0,
+            cluster_size: 3,
+            fault_mix: FaultMix::crash_only(1),
+            catch_up_ms: 200.0,
+        }
+    }
+
+    /// The effective commit quorum under the declared fault mix
+    /// (`2·F_BFT + F_crash + 1`), never below a simple majority of the
+    /// cluster — a RAFT cluster cannot commit on a minority whatever the
+    /// declared mix.
+    #[must_use]
+    pub fn quorum(&self) -> u32 {
+        self.fault_mix.quorum().max(self.cluster_size / 2 + 1)
+    }
+
+    /// Mean of the randomized election timeout distribution.
+    #[must_use]
+    pub fn mean_election_timeout_ms(&self) -> f64 {
+        0.5 * (self.election_timeout_min_ms + self.election_timeout_max_ms)
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConsensusError`] for non-finite or non-positive
+    /// durations, an inverted timeout range, or an empty cluster. Semantic
+    /// misconfigurations (timeout ≤ heartbeat, cluster too small for the
+    /// mix, quorum unreachable) are deliberately *not* rejected here — they
+    /// decode fine and are surfaced as SA033–SA035 lint findings instead.
+    pub fn validate(&self) -> Result<(), ConsensusError> {
+        let finite_positive = |v: f64| v.is_finite() && v > 0.0;
+        let durations_ok = finite_positive(self.election_timeout_min_ms)
+            && finite_positive(self.election_timeout_max_ms)
+            && finite_positive(self.heartbeat_interval_ms)
+            && self.catch_up_ms.is_finite()
+            && self.catch_up_ms >= 0.0;
+        if !durations_ok {
+            return Err(ConsensusError::BadDuration);
+        }
+        if self.election_timeout_max_ms < self.election_timeout_min_ms {
+            return Err(ConsensusError::InvertedTimeoutRange);
+        }
+        if self.cluster_size == 0 {
+            return Err(ConsensusError::EmptyCluster);
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for ConsensusSpec {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "election_timeout_min_ms",
+                Json::Num(self.election_timeout_min_ms),
+            ),
+            (
+                "election_timeout_max_ms",
+                Json::Num(self.election_timeout_max_ms),
+            ),
+            (
+                "heartbeat_interval_ms",
+                Json::Num(self.heartbeat_interval_ms),
+            ),
+            ("cluster_size", self.cluster_size.to_json()),
+            ("fault_mix", self.fault_mix.to_json()),
+            ("catch_up_ms", Json::Num(self.catch_up_ms)),
+        ])
+    }
+}
+
+impl FromJson for ConsensusSpec {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let heartbeat = value
+            .field("heartbeat_interval_ms")?
+            .as_f64()
+            .map_err(|e| e.ctx("heartbeat_interval_ms"))?;
+        Ok(ConsensusSpec {
+            election_timeout_min_ms: value
+                .field("election_timeout_min_ms")?
+                .as_f64()
+                .map_err(|e| e.ctx("election_timeout_min_ms"))?,
+            election_timeout_max_ms: value
+                .field("election_timeout_max_ms")?
+                .as_f64()
+                .map_err(|e| e.ctx("election_timeout_max_ms"))?,
+            heartbeat_interval_ms: heartbeat,
+            cluster_size: value
+                .field("cluster_size")?
+                .as_u32()
+                .map_err(|e| e.ctx("cluster_size"))?,
+            fault_mix: FaultMix::from_json(value.field("fault_mix")?)
+                .map_err(|e| e.ctx("fault_mix"))?,
+            catch_up_ms: match value.get("catch_up_ms") {
+                None | Some(Json::Null) => 4.0 * heartbeat,
+                Some(v) => v.as_f64().map_err(|e| e.ctx("catch_up_ms"))?,
+            },
+        })
+    }
+}
+
+/// Validation errors for a [`ConsensusSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConsensusError {
+    /// A duration was non-finite, negative, or (for the mandatory ones)
+    /// zero.
+    BadDuration,
+    /// `election_timeout_max_ms < election_timeout_min_ms`.
+    InvertedTimeoutRange,
+    /// `cluster_size` was zero.
+    EmptyCluster,
+}
+
+impl fmt::Display for ConsensusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsensusError::BadDuration => {
+                write!(f, "consensus durations must be finite and positive")
+            }
+            ConsensusError::InvertedTimeoutRange => {
+                write!(f, "election timeout range is inverted (max < min)")
+            }
+            ConsensusError::EmptyCluster => {
+                write!(f, "consensus cluster must have at least one node")
+            }
+        }
+    }
+}
+
+impl Error for ConsensusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raft_defaults_validate() {
+        let spec = ConsensusSpec::raft_defaults();
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.quorum(), 2);
+        assert_eq!(spec.mean_election_timeout_ms(), 225.0);
+    }
+
+    #[test]
+    fn morph_quorum_formula() {
+        // MORPH: 2·F_BFT + F_crash + 1.
+        assert_eq!(
+            FaultMix {
+                byzantine: 1,
+                crash: 1
+            }
+            .quorum(),
+            4
+        );
+        assert_eq!(FaultMix::crash_only(2).quorum(), 3);
+        assert_eq!(
+            FaultMix {
+                byzantine: 1,
+                crash: 1
+            }
+            .min_cluster(),
+            5
+        );
+    }
+
+    #[test]
+    fn quorum_never_below_majority() {
+        // A degenerate declared mix (tolerate nothing) still needs a
+        // majority of the cluster to commit.
+        let mut spec = ConsensusSpec::raft_defaults();
+        spec.fault_mix = FaultMix::crash_only(0);
+        spec.cluster_size = 5;
+        assert_eq!(spec.quorum(), 3);
+    }
+
+    #[test]
+    fn fault_mix_label_round_trips() {
+        for mix in [
+            FaultMix::crash_only(1),
+            FaultMix {
+                byzantine: 2,
+                crash: 1,
+            },
+        ] {
+            assert_eq!(FaultMix::parse(&mix.label()), Some(mix));
+        }
+        assert_eq!(FaultMix::parse("nonsense"), None);
+        assert_eq!(FaultMix::parse("1"), None);
+    }
+
+    #[test]
+    fn json_round_trip_and_catch_up_default() {
+        let spec = ConsensusSpec::raft_defaults();
+        let json = sdnav_json::to_string_pretty(&spec);
+        let back: ConsensusSpec = sdnav_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        // Old JSON without catch_up_ms defaults to 4× heartbeat.
+        let minimal = r#"{
+            "election_timeout_min_ms": 150, "election_timeout_max_ms": 300,
+            "heartbeat_interval_ms": 50, "cluster_size": 3,
+            "fault_mix": {"byzantine": 0, "crash": 1}
+        }"#;
+        let p: ConsensusSpec = sdnav_json::from_str(minimal).unwrap();
+        assert_eq!(p.catch_up_ms, 200.0);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut spec = ConsensusSpec::raft_defaults();
+        spec.election_timeout_max_ms = 100.0;
+        assert_eq!(spec.validate(), Err(ConsensusError::InvertedTimeoutRange));
+        spec = ConsensusSpec::raft_defaults();
+        spec.heartbeat_interval_ms = f64::NAN;
+        assert_eq!(spec.validate(), Err(ConsensusError::BadDuration));
+        spec = ConsensusSpec::raft_defaults();
+        spec.cluster_size = 0;
+        assert_eq!(spec.validate(), Err(ConsensusError::EmptyCluster));
+        // Semantically suspect but *valid* (lint territory, SA033).
+        spec = ConsensusSpec::raft_defaults();
+        spec.election_timeout_min_ms = 10.0;
+        spec.election_timeout_max_ms = 20.0;
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn errors_display_meaningfully() {
+        assert!(ConsensusError::InvertedTimeoutRange
+            .to_string()
+            .contains("inverted"));
+    }
+}

@@ -57,6 +57,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod approx;
+pub mod consensus;
 pub mod error;
 mod eval;
 mod hw;
@@ -71,6 +72,7 @@ pub mod sweep;
 mod topology;
 mod units;
 
+pub use consensus::{ConsensusError, ConsensusSpec, FaultMix};
 pub use error::{ErrorKind, SdnavError};
 pub use hw::HwModel;
 pub use params::{HwParams, ParamError, ProcessParams, SwParams};

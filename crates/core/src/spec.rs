@@ -371,6 +371,10 @@ pub struct ControllerSpec {
     /// `None` means "paper defaults everywhere"; omitted from JSON when
     /// absent.
     pub rates: Option<crate::SpecRates>,
+    /// Optional consensus-protocol block (see [`crate::ConsensusSpec`]).
+    /// `None` means "static k-of-n quorum counting, exactly as the paper
+    /// models the control plane"; omitted from JSON when absent.
+    pub consensus: Option<crate::ConsensusSpec>,
 }
 
 impl ToJson for RoleSpec {
@@ -403,6 +407,9 @@ impl ToJson for ControllerSpec {
         if let Some(r) = &self.rates {
             fields.push(("rates", r.to_json()));
         }
+        if let Some(c) = &self.consensus {
+            fields.push(("consensus", c.to_json()));
+        }
         Json::obj(fields)
     }
 }
@@ -416,6 +423,12 @@ impl FromJson for ControllerSpec {
             rates: match value.get("rates") {
                 None | Some(Json::Null) => None,
                 Some(v) => Some(crate::SpecRates::from_json(v).map_err(|e| e.ctx("rates"))?),
+            },
+            consensus: match value.get("consensus") {
+                None | Some(Json::Null) => None,
+                Some(v) => {
+                    Some(crate::ConsensusSpec::from_json(v).map_err(|e| e.ctx("consensus"))?)
+                }
             },
         })
     }
@@ -500,6 +513,7 @@ impl ControllerSpec {
                 RoleSpec::new("vRouter", RoleScope::PerHost, vrouter),
             ],
             rates: None,
+            consensus: None,
         };
         spec.validate().expect("reference spec is valid");
         spec
@@ -609,6 +623,9 @@ impl ControllerSpec {
         }
         if self.roles.is_empty() {
             return Err(SpecError::NoRoles);
+        }
+        if let Some(c) = &self.consensus {
+            c.validate().map_err(SpecError::BadConsensus)?;
         }
         let mut role_names = BTreeMap::new();
         for role in &self.roles {
@@ -859,6 +876,8 @@ pub enum SpecError {
         /// The offending process.
         process: String,
     },
+    /// The optional consensus block is structurally invalid.
+    BadConsensus(crate::ConsensusError),
 }
 
 impl fmt::Display for SpecError {
@@ -889,6 +908,7 @@ impl fmt::Display for SpecError {
                 f,
                 "process {process:?} in role {role:?} has an invalid downtime factor"
             ),
+            SpecError::BadConsensus(e) => write!(f, "consensus block: {e}"),
         }
     }
 }

@@ -34,7 +34,7 @@ use sdnav_json::Json;
 use sdnav_sim::Estimate;
 
 use crate::plan::{Figure, SimTopology};
-use crate::{ChaosRow, GridError, GridSpec, ItemOutput, SimRow};
+use crate::{ChaosRow, ConsensusRow, GridError, GridSpec, ItemOutput, SimRow};
 
 /// Schema tag carried by the WAL header record.
 pub const CHECKPOINT_SCHEMA: &str = sdnav_json::schema::CHECKPOINT;
@@ -84,6 +84,18 @@ pub fn fingerprint(spec: &ControllerSpec, grid: &GridSpec) -> u64 {
         }
         for p in &grid.chaos_ccf_probabilities {
             ident.push_str(&format!("|ccf={:016x}", p.to_bits()));
+        }
+    }
+    if let Some(consensus) = &grid.consensus {
+        ident.push_str(&sdnav_json::to_string(consensus));
+        for t in &grid.consensus_election_timeouts_ms {
+            ident.push_str(&format!("|et={:016x}", t.to_bits()));
+        }
+        for size in &grid.consensus_cluster_sizes {
+            ident.push_str(&format!("|cluster={size}"));
+        }
+        for mix in &grid.consensus_fault_mixes {
+            ident.push_str(&format!("|mix={}:{}", mix.byzantine, mix.crash));
         }
     }
     fnv1a(0xCBF2_9CE4_8422_2325, ident.as_bytes())
@@ -142,6 +154,10 @@ fn dec_u64(obj: &Json, field: &str) -> Result<u64, String> {
 
 fn dec_usize(obj: &Json, field: &str) -> Result<usize, String> {
     usize::try_from(dec_u64(obj, field)?).map_err(|_| format!("{field:?} overflows usize"))
+}
+
+fn dec_u32(obj: &Json, field: &str) -> Result<u32, String> {
+    u32::try_from(dec_u64(obj, field)?).map_err(|_| format!("{field:?} overflows u32"))
 }
 
 fn dec_bool(obj: &Json, field: &str) -> Result<bool, String> {
@@ -231,6 +247,23 @@ fn encode_output(output: &ItemOutput) -> Json {
             ("revealed_latents", enc_u64(row.revealed_latents)),
             ("events", enc_u64(row.events)),
         ]),
+        ItemOutput::Consensus(row) => Json::obj(vec![
+            ("kind", Json::str("consensus")),
+            ("election_timeout_ms", enc_f64(row.election_timeout_ms)),
+            ("cluster_size", enc_u64(u64::from(row.cluster_size))),
+            ("byzantine", enc_u64(u64::from(row.byzantine))),
+            ("crash", enc_u64(u64::from(row.crash))),
+            ("quorum", enc_u64(u64::from(row.quorum))),
+            ("replications", enc_u64(row.replications as u64)),
+            ("availability", enc_estimate(&row.availability)),
+            (
+                "election_fraction_mean",
+                enc_f64(row.election_fraction_mean),
+            ),
+            ("stall_fraction_mean", enc_f64(row.stall_fraction_mean)),
+            ("elections", enc_u64(row.elections)),
+            ("ctmc_availability", enc_f64(row.ctmc_availability)),
+        ]),
     }
 }
 
@@ -280,6 +313,19 @@ fn decode_output(obj: &Json) -> Result<ItemOutput, String> {
             injected_events: dec_u64(obj, "injected_events")?,
             revealed_latents: dec_u64(obj, "revealed_latents")?,
             events: dec_u64(obj, "events")?,
+        })),
+        "consensus" => Ok(ItemOutput::Consensus(ConsensusRow {
+            election_timeout_ms: dec_f64(obj, "election_timeout_ms")?,
+            cluster_size: dec_u32(obj, "cluster_size")?,
+            byzantine: dec_u32(obj, "byzantine")?,
+            crash: dec_u32(obj, "crash")?,
+            quorum: dec_u32(obj, "quorum")?,
+            replications: dec_usize(obj, "replications")?,
+            availability: dec_estimate(obj, "availability")?,
+            election_fraction_mean: dec_f64(obj, "election_fraction_mean")?,
+            stall_fraction_mean: dec_f64(obj, "stall_fraction_mean")?,
+            elections: dec_u64(obj, "elections")?,
+            ctmc_availability: dec_f64(obj, "ctmc_availability")?,
         })),
         other => Err(format!("unknown output kind {other:?}")),
     }

@@ -42,10 +42,11 @@ use std::error::Error;
 use std::fmt;
 use std::time::Instant;
 
+use sdnav_consensus::{ConsensusParams, ConsensusSim};
 use sdnav_core::sweep::{Fig3Row, SwSweepRow};
 use sdnav_core::{
-    ControllerSpec, HwModel, HwParams, ModelState, ParamError, Scenario, SdnavError, SwModel,
-    SwParams, Topology,
+    ConsensusSpec, ControllerSpec, FaultMix, HwModel, HwParams, ModelState, ParamError, Scenario,
+    SdnavError, SwModel, SwParams, Topology,
 };
 use sdnav_json::{schema, FromJson, Json, JsonError, ToJson};
 use sdnav_sim::{ConfigError, Estimate, SimBuildError, SimConfig, Simulation, Welford};
@@ -60,7 +61,9 @@ pub mod supervise;
 
 use cache::SubModelKey;
 use metrics::{RunMetrics, StageTimings};
-use plan::{item_seed, plan_chaos_items, plan_items, Figure, SimTopology, WorkItem};
+use plan::{
+    item_seed, plan_chaos_items, plan_consensus_items, plan_items, Figure, SimTopology, WorkItem,
+};
 use sdnav_chaos::{ChaosSpec, CrewDiscipline, CrewSpec, InjectionKind};
 
 pub use cache::EvalGraph;
@@ -99,6 +102,18 @@ pub struct GridSpec {
     pub chaos_crew_counts: Vec<usize>,
     /// Common-cause probability axis for chaos cells.
     pub chaos_ccf_probabilities: Vec<f64>,
+    /// Base consensus spec for the consensus axes (`None` disables them).
+    /// Each consensus cell clones it, overrides the election-timeout floor
+    /// (keeping the randomized window width), cluster size, and fault mix
+    /// with the cell's coordinates, and runs `replications.max(1)` DES
+    /// replications next to the macro-state CTMC counterpart.
+    pub consensus: Option<ConsensusSpec>,
+    /// Election-timeout-floor axis (ms) for consensus cells.
+    pub consensus_election_timeouts_ms: Vec<f64>,
+    /// Cluster-size axis for consensus cells.
+    pub consensus_cluster_sizes: Vec<u32>,
+    /// Byzantine/crash fault-mix axis for consensus cells.
+    pub consensus_fault_mixes: Vec<FaultMix>,
 }
 
 impl GridSpec {
@@ -146,6 +161,30 @@ impl GridSpec {
                 ));
             }
         }
+        if let Some(consensus) = &self.consensus {
+            if consensus.validate().is_err() {
+                return Err(GridError::Spec("consensus base spec fails validation"));
+            }
+            if self.consensus_election_timeouts_ms.is_empty()
+                || self
+                    .consensus_election_timeouts_ms
+                    .iter()
+                    .any(|t| !(t.is_finite() && *t > 0.0))
+            {
+                return Err(GridError::Spec(
+                    "consensus election timeouts must be non-empty, finite, and positive",
+                ));
+            }
+            if self.consensus_cluster_sizes.is_empty() || self.consensus_cluster_sizes.contains(&0)
+            {
+                return Err(GridError::Spec(
+                    "consensus cluster sizes must be non-empty and positive",
+                ));
+            }
+            if self.consensus_fault_mixes.is_empty() {
+                return Err(GridError::Spec("consensus fault mixes must be non-empty"));
+            }
+        }
         Ok(())
     }
 
@@ -167,6 +206,10 @@ impl GridSpec {
                 chaos_campaign: None,
                 chaos_crew_counts: vec![1, 2, 3, 4],
                 chaos_ccf_probabilities: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+                consensus: None,
+                consensus_election_timeouts_ms: vec![150.0, 300.0, 600.0],
+                consensus_cluster_sizes: vec![3, 5, 7],
+                consensus_fault_mixes: vec![FaultMix::crash_only(1)],
             },
         }
     }
@@ -236,6 +279,36 @@ impl FromJson for GridSpec {
                 .map(Json::as_f64)
                 .collect::<Result<_, _>>()
                 .map_err(|e| e.ctx("chaos_ccf_probabilities"))?;
+        }
+        if let Some(v) = value.get("consensus") {
+            spec.consensus = Some(ConsensusSpec::from_json(v).map_err(|e| e.ctx("consensus"))?);
+        }
+        if let Some(v) = value.get("consensus_election_timeouts_ms") {
+            spec.consensus_election_timeouts_ms = v
+                .as_arr()
+                .map_err(|e| e.ctx("consensus_election_timeouts_ms"))?
+                .iter()
+                .map(Json::as_f64)
+                .collect::<Result<_, _>>()
+                .map_err(|e| e.ctx("consensus_election_timeouts_ms"))?;
+        }
+        if let Some(v) = value.get("consensus_cluster_sizes") {
+            spec.consensus_cluster_sizes = v
+                .as_arr()
+                .map_err(|e| e.ctx("consensus_cluster_sizes"))?
+                .iter()
+                .map(Json::as_u32)
+                .collect::<Result<_, _>>()
+                .map_err(|e| e.ctx("consensus_cluster_sizes"))?;
+        }
+        if let Some(v) = value.get("consensus_fault_mixes") {
+            spec.consensus_fault_mixes = v
+                .as_arr()
+                .map_err(|e| e.ctx("consensus_fault_mixes"))?
+                .iter()
+                .map(FaultMix::from_json)
+                .collect::<Result<_, _>>()
+                .map_err(|e| e.ctx("consensus_fault_mixes"))?;
         }
         Ok(spec)
     }
@@ -321,6 +394,30 @@ impl GridSpecBuilder {
         self
     }
 
+    /// Enables the consensus axes with this base spec.
+    pub fn consensus(mut self, consensus: ConsensusSpec) -> Self {
+        self.spec.consensus = Some(consensus);
+        self
+    }
+
+    /// Sets the election-timeout-floor axis (ms) for consensus cells.
+    pub fn consensus_election_timeouts_ms(mut self, timeouts: &[f64]) -> Self {
+        self.spec.consensus_election_timeouts_ms = timeouts.to_vec();
+        self
+    }
+
+    /// Sets the cluster-size axis for consensus cells.
+    pub fn consensus_cluster_sizes(mut self, sizes: &[u32]) -> Self {
+        self.spec.consensus_cluster_sizes = sizes.to_vec();
+        self
+    }
+
+    /// Sets the fault-mix axis for consensus cells.
+    pub fn consensus_fault_mixes(mut self, mixes: &[FaultMix]) -> Self {
+        self.spec.consensus_fault_mixes = mixes.to_vec();
+        self
+    }
+
     /// Validates and returns the grid spec.
     ///
     /// # Errors
@@ -347,6 +444,9 @@ pub enum GridError {
     /// The chaos campaign failed to compile against a grid cell's
     /// simulation (message from [`sdnav_chaos::CompileError`]).
     Campaign(String),
+    /// A consensus cell could not be built or cross-validated (message
+    /// from [`sdnav_consensus::ConsensusSimError`]).
+    Consensus(String),
     /// The checkpoint WAL could not be written, replayed, or matched
     /// against this run's identity (see [`checkpoint`]).
     Checkpoint(String),
@@ -360,6 +460,7 @@ impl fmt::Display for GridError {
             GridError::Config(e) => write!(f, "invalid simulation config: {e}"),
             GridError::Sim(e) => write!(f, "cannot build simulation: {e}"),
             GridError::Campaign(e) => write!(f, "cannot compile chaos campaign: {e}"),
+            GridError::Consensus(e) => write!(f, "cannot evaluate consensus cell: {e}"),
             GridError::Checkpoint(e) => write!(f, "{e}"),
         }
     }
@@ -493,6 +594,62 @@ impl ToJson for ChaosRow {
     }
 }
 
+/// One consensus-dynamics grid cell: the base [`ConsensusSpec`]
+/// re-parameterized to one `(election timeout, cluster size, fault mix)`
+/// coordinate, with replication-aggregated DES availability next to the
+/// macro-state CTMC counterpart evaluated at the same parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsensusRow {
+    /// Election-timeout floor applied in this cell (ms).
+    pub election_timeout_ms: f64,
+    /// Consensus participants in this cell.
+    pub cluster_size: u32,
+    /// Declared Byzantine fault count (`F_BFT`).
+    pub byzantine: u32,
+    /// Declared crash fault count (`F_crash`).
+    pub crash: u32,
+    /// Effective commit quorum (`2·F_BFT + F_crash + 1`, floored at a
+    /// simple majority).
+    pub quorum: u32,
+    /// DES replications aggregated into the estimate.
+    pub replications: usize,
+    /// Across-replication control-plane (leader-up) availability estimate.
+    pub availability: Estimate,
+    /// Mean fraction of the horizon spent in leader elections.
+    pub election_fraction_mean: f64,
+    /// Mean fraction of the horizon spent with the quorum lost.
+    pub stall_fraction_mean: f64,
+    /// Leader elections observed, summed across the replications.
+    pub elections: u64,
+    /// Steady-state availability of the macro-state CTMC counterpart.
+    pub ctmc_availability: f64,
+}
+
+impl ToJson for ConsensusRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("election_timeout_ms", Json::Num(self.election_timeout_ms)),
+            ("cluster_size", self.cluster_size.to_json()),
+            ("byzantine", self.byzantine.to_json()),
+            ("crash", self.crash.to_json()),
+            ("quorum", self.quorum.to_json()),
+            ("replications", Json::Num(self.replications as f64)),
+            ("availability_mean", Json::Num(self.availability.mean)),
+            (
+                "availability_std_error",
+                Json::Num(self.availability.std_error),
+            ),
+            (
+                "election_fraction_mean",
+                Json::Num(self.election_fraction_mean),
+            ),
+            ("stall_fraction_mean", Json::Num(self.stall_fraction_mean)),
+            ("elections", Json::Num(self.elections as f64)),
+            ("ctmc_availability", Json::Num(self.ctmc_availability)),
+        ])
+    }
+}
+
 /// The reproducible payload of a grid run.
 ///
 /// Serialized as `sdnav-sweep-results/v1`. For a fixed spec and grid this
@@ -510,6 +667,11 @@ pub struct GridResults {
     /// Chaos-campaign cells (empty when no campaign was set). Additive to
     /// the `sdnav-sweep-results/v1` schema.
     pub chaos: Vec<ChaosRow>,
+    /// Consensus-dynamics cells (empty when no base consensus spec was
+    /// set). Additive to the `sdnav-sweep-results/v1` schema; the key is
+    /// omitted entirely when empty so pre-consensus output stays
+    /// byte-identical.
+    pub consensus: Vec<ConsensusRow>,
     /// Whether the run stopped short (graceful shutdown) or quarantined
     /// cells, leaving rows missing. Complete runs leave this `false` and
     /// omit the marker from the JSON, so complete output is byte-identical
@@ -540,6 +702,14 @@ impl ToJson for GridResults {
                 Json::Arr(self.chaos.iter().map(ToJson::to_json).collect()),
             ),
         ]);
+        if !self.consensus.is_empty() {
+            // Additive key: only runs with consensus axes carry it, so
+            // pre-consensus result files keep their exact bytes.
+            fields.push((
+                "consensus",
+                Json::Arr(self.consensus.iter().map(ToJson::to_json).collect()),
+            ));
+        }
         Json::obj(fields)
     }
 }
@@ -561,6 +731,7 @@ enum ItemOutput {
     Sw(Figure, SwSweepRow),
     Sim(SimRow),
     Chaos(ChaosRow),
+    Consensus(ConsensusRow),
 }
 
 /// Shared read-only context for item evaluation.
@@ -659,7 +830,80 @@ impl EvalCtx<'_> {
                 ccf_probability,
                 topology,
             } => self.eval_chaos(item, *crew_count, *ccf_probability, *topology),
+            WorkItem::ConsensusPoint {
+                election_timeout_ms,
+                cluster_size,
+                fault_mix,
+            } => self.eval_consensus(item, *election_timeout_ms, *cluster_size, *fault_mix),
         }
+    }
+
+    fn eval_consensus(
+        &self,
+        item: &WorkItem,
+        election_timeout_ms: f64,
+        cluster_size: u32,
+        fault_mix: FaultMix,
+    ) -> Result<ItemOutput, GridError> {
+        let base = self
+            .grid
+            .consensus
+            .as_ref()
+            .expect("consensus items are only planned when a base spec is set");
+        // Re-parameterize the base spec to this cell's coordinates: the
+        // timeout axis shifts the randomized window to the cell's floor
+        // (keeping the base width), the other axes replace their fields.
+        let mut consensus = base.clone();
+        let width = base.election_timeout_max_ms - base.election_timeout_min_ms;
+        consensus.election_timeout_min_ms = election_timeout_ms;
+        consensus.election_timeout_max_ms = election_timeout_ms + width;
+        consensus.cluster_size = cluster_size;
+        consensus.fault_mix = fault_mix;
+        let quorum = consensus.quorum();
+
+        // Node failure rates accelerate exactly like the simulation cells',
+        // so short smoke horizons still see failovers.
+        let defaults = ConsensusParams::paper_defaults();
+        let params = ConsensusParams {
+            node_mtbf_hours: defaults.node_mtbf_hours / self.grid.sim_accelerate,
+            node_mttr_hours: defaults.node_mttr_hours,
+            horizon_hours: self.grid.sim_horizon_hours,
+        };
+        let sim = ConsensusSim::try_new(consensus.clone(), params)
+            .map_err(|e| GridError::Consensus(e.to_string()))?;
+        let ctmc_availability = sdnav_consensus::ctmc_availability(&consensus, &params)
+            .map_err(|e| GridError::Consensus(e.to_string()))?;
+
+        // Like chaos cells, a replications=0 grid still runs one DES
+        // replication per cell: the consensus axes are the point.
+        let replications = self.grid.replications.max(1);
+        let base_seed = item_seed(self.grid.seed, item);
+        let mut availability = Welford::new();
+        let mut election_fraction = 0.0;
+        let mut stall_fraction = 0.0;
+        let mut elections = 0u64;
+        for r in 0..replications {
+            let outcome = sim.run(base_seed.wrapping_add(r as u64));
+            availability.push(outcome.availability);
+            election_fraction += outcome.election_fraction;
+            stall_fraction += outcome.stall_fraction;
+            elections += outcome.elections;
+        }
+
+        let n = replications as f64;
+        Ok(ItemOutput::Consensus(ConsensusRow {
+            election_timeout_ms,
+            cluster_size,
+            byzantine: fault_mix.byzantine,
+            crash: fault_mix.crash,
+            quorum,
+            replications,
+            availability: availability.estimate(),
+            election_fraction_mean: election_fraction / n,
+            stall_fraction_mean: stall_fraction / n,
+            elections,
+            ctmc_availability,
+        }))
     }
 
     fn eval_chaos(
@@ -828,6 +1072,13 @@ fn build_items(grid: &GridSpec) -> Vec<WorkItem> {
             &grid.chaos_ccf_probabilities,
         ));
     }
+    if grid.consensus.is_some() {
+        items.extend(plan_consensus_items(
+            &grid.consensus_election_timeouts_ms,
+            &grid.consensus_cluster_sizes,
+            &grid.consensus_fault_mixes,
+        ));
+    }
     items
 }
 
@@ -870,6 +1121,7 @@ fn fold_output(results: &mut GridResults, sim_events: &mut u64, output: ItemOutp
             *sim_events += row.events;
             results.chaos.push(row);
         }
+        ItemOutput::Consensus(row) => results.consensus.push(row),
     }
 }
 
@@ -955,6 +1207,11 @@ pub fn evaluate_incremental(
         sim_replications: (results.sim.len() * grid.replications) as u64
             + results
                 .chaos
+                .iter()
+                .map(|row| row.replications as u64)
+                .sum::<u64>()
+            + results
+                .consensus
                 .iter()
                 .map(|row| row.replications as u64)
                 .sum::<u64>(),
@@ -1279,6 +1536,122 @@ mod tests {
         );
         // Bad axes are fine while no campaign is set.
         assert!(GridSpec::builder().chaos_crew_counts(&[]).build().is_ok());
+    }
+
+    fn consensus_grid(threads: usize) -> GridSpec {
+        GridSpec::builder()
+            .figures(&[Figure::Fig3])
+            .points(2)
+            .replications(2)
+            .threads(threads)
+            .sim_horizon_hours(5_000.0)
+            .sim_accelerate(500.0)
+            .consensus(sdnav_core::ConsensusSpec::raft_defaults())
+            .consensus_election_timeouts_ms(&[150.0, 600.0])
+            .consensus_cluster_sizes(&[3, 5])
+            .consensus_fault_mixes(&[FaultMix::crash_only(1)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn consensus_axes_produce_cross_validated_rows() {
+        let s = spec();
+        let outcome = evaluate(&s, &consensus_grid(2)).unwrap();
+        // 2 timeouts × 2 cluster sizes × 1 mix.
+        assert_eq!(outcome.results.consensus.len(), 4);
+        for row in &outcome.results.consensus {
+            assert_eq!(row.replications, 2);
+            assert!(row.elections > 0, "no failovers in {row:?}");
+            // 500× acceleration drops node availability to 0.8, so the
+            // cluster lives near 0.9 — loose regime bound only.
+            assert!(row.availability.mean > 0.5 && row.availability.mean <= 1.0);
+            // DES and CTMC live in the same availability regime.
+            assert!(
+                (row.availability.mean - row.ctmc_availability).abs() < 0.05,
+                "DES {} vs CTMC {} diverged",
+                row.availability.mean,
+                row.ctmc_availability
+            );
+        }
+        // Larger clusters with the same mix ride out more failures.
+        let mean_at = |size: u32| {
+            let rows: Vec<_> = outcome
+                .results
+                .consensus
+                .iter()
+                .filter(|r| r.cluster_size == size)
+                .collect();
+            rows.iter().map(|r| r.availability.mean).sum::<f64>() / rows.len() as f64
+        };
+        assert!(mean_at(5) > mean_at(3));
+        let json = sdnav_json::to_string(&outcome.results);
+        assert!(json.contains("\"consensus\""));
+        assert!(json.contains("\"ctmc_availability\""));
+    }
+
+    #[test]
+    fn consensus_rows_are_byte_identical_across_thread_counts() {
+        let s = spec();
+        let reference = sdnav_json::to_string(&evaluate(&s, &consensus_grid(1)).unwrap().results);
+        for threads in [2, 8] {
+            let json =
+                sdnav_json::to_string(&evaluate(&s, &consensus_grid(threads)).unwrap().results);
+            assert_eq!(json, reference, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn no_consensus_base_means_no_consensus_key_in_json() {
+        let s = spec();
+        let grid = GridSpec::builder().points(2).threads(1).build().unwrap();
+        let outcome = evaluate(&s, &grid).unwrap();
+        assert!(outcome.results.consensus.is_empty());
+        let json = sdnav_json::to_string(&outcome.results);
+        assert!(
+            !json.contains("\"consensus\""),
+            "empty consensus axes must not add a key: {json}"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_consensus_axes() {
+        let base = sdnav_core::ConsensusSpec::raft_defaults();
+        assert_eq!(
+            GridSpec::builder()
+                .consensus(base.clone())
+                .consensus_election_timeouts_ms(&[])
+                .build()
+                .unwrap_err(),
+            GridError::Spec("consensus election timeouts must be non-empty, finite, and positive")
+        );
+        assert_eq!(
+            GridSpec::builder()
+                .consensus(base.clone())
+                .consensus_cluster_sizes(&[3, 0])
+                .build()
+                .unwrap_err(),
+            GridError::Spec("consensus cluster sizes must be non-empty and positive")
+        );
+        assert_eq!(
+            GridSpec::builder()
+                .consensus(base.clone())
+                .consensus_fault_mixes(&[])
+                .build()
+                .unwrap_err(),
+            GridError::Spec("consensus fault mixes must be non-empty")
+        );
+        let mut broken = base;
+        broken.cluster_size = 0;
+        assert_eq!(
+            GridSpec::builder().consensus(broken).build().unwrap_err(),
+            GridError::Spec("consensus base spec fails validation")
+        );
+        // Bad axes are fine while no base spec is set.
+        assert!(GridSpec::builder()
+            .consensus_fault_mixes(&[])
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! items with deterministic, identity-derived seeds.
 
 use sdnav_core::sweep::linspace;
-use sdnav_core::Scenario;
+use sdnav_core::{FaultMix, Scenario};
 
 /// One of the paper's swept figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -96,6 +96,18 @@ pub enum WorkItem {
         /// Deployment to simulate.
         topology: SimTopology,
     },
+    /// One consensus-dynamics cell: the base [`sdnav_core::ConsensusSpec`]
+    /// re-parameterized to this election-timeout floor, cluster size, and
+    /// fault mix, all DES replications run sequentially inside the item.
+    ConsensusPoint {
+        /// Election-timeout floor (ms); the randomized window keeps the
+        /// base spec's width above it.
+        election_timeout_ms: f64,
+        /// Consensus participants in this cell.
+        cluster_size: u32,
+        /// Declared byzantine/crash fault mix.
+        fault_mix: FaultMix,
+    },
 }
 
 /// Expands the chaos campaign axes (crew count × common-cause probability ×
@@ -110,6 +122,29 @@ pub fn plan_chaos_items(crew_counts: &[usize], ccf_probabilities: &[f64]) -> Vec
                     crew_count,
                     ccf_probability,
                     topology,
+                });
+            }
+        }
+    }
+    items
+}
+
+/// Expands the consensus axes (election timeout × cluster size × fault
+/// mix, in that nesting order), appended after the chaos cells.
+#[must_use]
+pub fn plan_consensus_items(
+    election_timeouts_ms: &[f64],
+    cluster_sizes: &[u32],
+    fault_mixes: &[FaultMix],
+) -> Vec<WorkItem> {
+    let mut items = Vec::new();
+    for &election_timeout_ms in election_timeouts_ms {
+        for &cluster_size in cluster_sizes {
+            for &fault_mix in fault_mixes {
+                items.push(WorkItem::ConsensusPoint {
+                    election_timeout_ms,
+                    cluster_size,
+                    fault_mix,
                 });
             }
         }
@@ -211,6 +246,17 @@ pub fn item_seed(base: u64, item: &WorkItem) -> u64 {
                     ^ (1 << 41),
             )
         }
+        WorkItem::ConsensusPoint {
+            election_timeout_ms,
+            cluster_size,
+            fault_mix,
+        } => splitmix64(
+            election_timeout_ms.to_bits()
+                ^ (u64::from(*cluster_size) << 1)
+                ^ (u64::from(fault_mix.byzantine) << 14)
+                ^ (u64::from(fault_mix.crash) << 27)
+                ^ (1 << 42),
+        ),
     };
     splitmix64(base ^ tag)
 }

@@ -37,10 +37,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod consensus;
 mod ctmc;
 pub(crate) mod linalg;
 pub mod quorum_coupling;
 pub mod repairable;
 pub mod supervisor;
 
+pub use consensus::{ConsensusCtmc, ConsensusModelError, MacroStateProbabilities};
 pub use ctmc::{Ctmc, CtmcError};

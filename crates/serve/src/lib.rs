@@ -566,6 +566,43 @@ mod tests {
     }
 
     #[test]
+    fn eval_accepts_consensus_axes() {
+        let state = ServiceState {
+            model: Mutex::new(ModelState::paper(ControllerSpec::opencontrail_3x())),
+            graph: EvalGraph::new(),
+            requests: AtomicU64::new(0),
+            evals: AtomicU64::new(0),
+            patches: AtomicU64::new(0),
+        };
+        let body = r#"{
+            "figures": ["fig3"], "points": 2, "replications": 1,
+            "sim_horizon_hours": 2000.0, "sim_accelerate": 500.0,
+            "consensus": {
+                "election_timeout_min_ms": 150.0,
+                "election_timeout_max_ms": 300.0,
+                "heartbeat_interval_ms": 50.0,
+                "cluster_size": 3,
+                "fault_mix": {"byzantine": 0, "crash": 1}
+            },
+            "consensus_election_timeouts_ms": [150.0],
+            "consensus_cluster_sizes": [3],
+            "consensus_fault_mixes": [{"byzantine": 0, "crash": 1}]
+        }"#;
+        let (status, text) = eval(&state, body).unwrap();
+        assert_eq!(status, 200);
+        let doc = Json::parse(&text).unwrap();
+        let rows = doc.field("consensus").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0].field("cluster_size").unwrap().as_usize().unwrap(),
+            3
+        );
+        // And a body without consensus axes must not even carry the key.
+        let (_, plain) = eval(&state, r#"{"figures": ["fig3"], "points": 2}"#).unwrap();
+        assert!(Json::parse(&plain).unwrap().field("consensus").is_err());
+    }
+
+    #[test]
     fn error_bodies_are_versioned_documents() {
         let body = error_body(&SdnavError::not_found("no such route"));
         let doc = Json::parse(&body).unwrap();

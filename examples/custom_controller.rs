@@ -46,6 +46,7 @@ fn onos_like() -> ControllerSpec {
         nodes: 3,
         roles: vec![controller, forwarder],
         rates: None,
+        consensus: None,
     };
     spec.validate().expect("spec is consistent");
     spec
