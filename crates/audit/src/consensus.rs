@@ -23,14 +23,15 @@ use crate::{AuditReport, Diagnostic};
 #[must_use]
 pub fn audit_consensus(consensus: &ConsensusSpec, path: &str) -> AuditReport {
     let mut report = AuditReport::new();
-    if consensus.election_timeout_min_ms <= consensus.heartbeat_interval_ms {
+    let floor_ms = consensus.election_latency.floor_ms();
+    if floor_ms <= consensus.heartbeat_interval_ms {
         report.push(Diagnostic::error(
             "SA033",
             path,
             format!(
-                "election timeout floor ({} ms) does not exceed the heartbeat interval ({} ms): \
+                "election latency floor ({} ms) does not exceed the heartbeat interval ({} ms): \
                  followers time out between healthy heartbeats and the cluster churns leaders",
-                consensus.election_timeout_min_ms, consensus.heartbeat_interval_ms
+                floor_ms, consensus.heartbeat_interval_ms
             ),
             "raise the election timeout well above the heartbeat (RAFT practice is at least 3x) \
              so a live leader always suppresses elections",
@@ -88,11 +89,27 @@ mod tests {
     #[test]
     fn sa033_timeout_below_heartbeat() {
         let mut c = spec();
-        c.election_timeout_min_ms = 40.0;
-        c.election_timeout_max_ms = 50.0;
+        c.election_latency = sdnav_core::ElectionLatency::Uniform {
+            min_ms: 40.0,
+            max_ms: 50.0,
+        };
         let r = audit_consensus(&c, "spec/consensus");
         assert!(r.has_code("SA033"));
         assert!(!r.has_code("SA034") && !r.has_code("SA035"));
+    }
+
+    #[test]
+    fn sa033_fires_on_empirical_floor_too() {
+        let mut c = spec();
+        c.election_latency = sdnav_core::ElectionLatency::Empirical {
+            quantiles: vec![(0.0, 30.0), (1.0, 400.0)],
+        };
+        assert!(audit_consensus(&c, "spec/consensus").has_code("SA033"));
+        // A table whose floor clears the heartbeat is clean.
+        c.election_latency = sdnav_core::ElectionLatency::Empirical {
+            quantiles: vec![(0.0, 150.0), (1.0, 400.0)],
+        };
+        assert!(audit_consensus(&c, "spec/consensus").is_clean());
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Property: every FMEA-generated chaos campaign is lint-clean by
+//! construction. Whatever the topology, scenario, and generator knobs,
+//! the compiled campaign must raise none of the campaign diagnostics the
+//! generator designs against — every target resolves (SA020), every
+//! injection fires inside the horizon (SA021), maintenance never breaks a
+//! quorum (SA022), declared crews are nonzero (SA023), and the staggered
+//! windows never schedule conflicting injections on one target (SA027) —
+//! and the campaign must compile against the simulation it lints against.
+
+use proptest::prelude::*;
+
+use sdnav_audit::audit_campaign;
+use sdnav_chaos::{generate, GenerateConfig};
+use sdnav_core::{ControllerSpec, Scenario, SwParams, Topology};
+use sdnav_fmea::Deployment;
+use sdnav_sim::{SimConfig, Simulation};
+
+fn topology(spec: &ControllerSpec, pick: usize) -> Topology {
+    match pick % 4 {
+        0 => Topology::small(spec),
+        1 => Topology::small_three_racks(spec),
+        2 => Topology::medium(spec),
+        _ => Topology::large(spec),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_campaigns_lint_clean_and_resolve(
+        pick in 0usize..4,
+        supervisor_required in 0usize..2,
+        top_k in 1usize..=8,
+        stress in 0usize..2,
+    ) {
+        let spec = ControllerSpec::opencontrail_3x();
+        let topo = topology(&spec, pick);
+        let scenario = if supervisor_required == 1 {
+            Scenario::SupervisorRequired
+        } else {
+            Scenario::SupervisorNotRequired
+        };
+        let deployment = Deployment::new(&spec, &topo, SwParams::paper_defaults(), scenario);
+        let config = GenerateConfig {
+            top_k,
+            stress: stress == 1,
+            ..GenerateConfig::default()
+        };
+        let generated = generate(&deployment, &config).expect("paper deployments have modes");
+
+        // The lint pass runs against the same deployment the campaign was
+        // generated for, with the CLI's default chaos horizon.
+        let sim_config = SimConfig::builder(scenario)
+            .horizon_hours(100_000.0)
+            .accelerate(100.0)
+            .compute_hosts(3)
+            .build()
+            .expect("valid reference config");
+        let sim = Simulation::try_new(&spec, &topo, sim_config).expect("valid reference sim");
+
+        // Every target resolves: the campaign compiles into a plan.
+        prop_assert!(sdnav_chaos::compile(&generated.campaign, &sim).is_ok());
+
+        let report = audit_campaign(&generated.campaign, &sim);
+        for code in ["SA020", "SA021", "SA022", "SA023", "SA027"] {
+            prop_assert!(
+                !report.has_code(code),
+                "{} ({:?}, top_k={top_k}, stress={stress}) raised {code}:\n{}",
+                topo.name(),
+                scenario,
+                report.render()
+            );
+        }
+    }
+}

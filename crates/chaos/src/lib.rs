@@ -50,8 +50,12 @@
 #![warn(missing_debug_implementations)]
 
 mod digest;
+mod generate;
+mod verdict;
 
 pub use digest::{digest_report, sha256_hex, DIGEST_ARRAY_KEEP, DIGEST_SCHEMA};
+pub use generate::{generate, GenerateConfig, GenerateError, GeneratedCampaign, ModeExpectation};
+pub use verdict::{verdict, ModeOutcome, ModeVerdict, VerdictConfig, VerdictReport};
 
 use std::error::Error;
 use std::fmt;

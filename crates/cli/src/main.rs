@@ -89,10 +89,25 @@ COMMANDS:
            [--accelerate F] [--seed S]
                               Monte-Carlo validation run
   spec [--out FILE]           dump the OpenContrail 3.x spec as JSON
+  chaos generate [--layout L] [--scenario S] [--top-k K] [--max-order N]
+                 [--start H] [--spacing H] [--repair H] [--stress]
+                 [--format json] [--out FILE]
+                              compile the deployment's top-K CP/DP
+                              dominant FMEA failure modes into an
+                              injection campaign: one staggered window
+                              per mode, simultaneous fails for
+                              multi-element modes, rack common-cause
+                              groups for rack-rooted modes; --stress
+                              starves the crew pool and arms latent
+                              faults; --format json emits the
+                              sdnav-chaos-genspec/v1 document (campaign
+                              + per-mode expectation records) consumed
+                              by `chaos run --verdict`
   chaos run --campaign FILE [--layout L] [--scenario S] [--seed S]
             [--horizon H] [--accelerate F] [--compute-hosts N]
             [--format json|digest] [--out FILE]
             [--consensus-spec FILE]
+            [--verdict GENSPEC [--replications R]]
                               run a declarative fault-injection campaign
                               (scheduled faults, common-cause groups,
                               maintenance windows, crew pools, latent
@@ -105,7 +120,14 @@ COMMANDS:
                               diffing in CI; --consensus-spec runs the
                               campaign's fail injections (incl. the
                               event-time `leader` target) against the
-                              consensus DES of that spec's consensus block
+                              consensus DES of that spec's consensus
+                              block; --verdict replays a generated
+                              genspec and gates it on the
+                              survive-or-attribute check — CP
+                              availability inside the uninjected
+                              baseline's 95% CI, or every excess outage
+                              100% attributed to the injected mode in
+                              its window (exit 1 otherwise)
   lint [--format json|sarif] [--deny-warnings] [--topology FILE]
        [--block FILE] [--spec-set FILE] [--campaign FILE]
        [--ctmc FILE] [--grid FILE] [--fix] [--dry-run]
@@ -1043,8 +1065,16 @@ fn chaos_config(args: &Args) -> Result<SimConfig, SdnavError> {
 fn chaos(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
     match args.action() {
         Some("run") => {}
+        Some("generate") => return chaos_generate(spec, args),
         Some(other) => return Err(usage(format!("unknown chaos action {other:?}"))),
-        None => return Err(usage("chaos requires an action: `sdnav chaos run ...`")),
+        None => {
+            return Err(usage(
+                "chaos requires an action: `sdnav chaos run ...` or `sdnav chaos generate ...`",
+            ))
+        }
+    }
+    if let Some(genspec_path) = args.get("verdict") {
+        return chaos_verdict(spec, genspec_path, args);
     }
     let path = args
         .get("campaign")
@@ -1134,6 +1164,168 @@ fn chaos(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
             }
             print!("{table}");
         }
+    }
+    Ok(())
+}
+
+/// Shared flag parsing for campaign generation (`chaos generate` and the
+/// serve endpoint take the same knobs).
+fn generate_config(args: &Args) -> Result<sdnav_chaos::GenerateConfig, SdnavError> {
+    let defaults = sdnav_chaos::GenerateConfig::default();
+    Ok(sdnav_chaos::GenerateConfig {
+        top_k: args.get_usize("top-k", defaults.top_k).map_err(usage)?,
+        max_order: args
+            .get_usize("max-order", defaults.max_order)
+            .map_err(usage)?,
+        start_hours: args
+            .get_f64("start", defaults.start_hours)
+            .map_err(usage)?,
+        spacing_hours: args
+            .get_f64("spacing", defaults.spacing_hours)
+            .map_err(usage)?,
+        repair_hours: args
+            .get_f64("repair", defaults.repair_hours)
+            .map_err(usage)?,
+        stress: args.has_flag("stress"),
+    })
+}
+
+/// `sdnav chaos generate`: compile the deployment's FMEA dominant modes
+/// into an injection campaign with per-mode expectation records.
+fn chaos_generate(spec: &ControllerSpec, args: &Args) -> Result<(), SdnavError> {
+    let topo = layout(spec, args)?;
+    let deployment = Deployment::new(spec, &topo, SwParams::paper_defaults(), scenario(args)?);
+    let config = generate_config(args)?;
+    let generated =
+        sdnav_chaos::generate(&deployment, &config).map_err(|e| failure(e.to_string()))?;
+
+    match args.get("format") {
+        Some("json") => {
+            let json = sdnav_json::ToJson::to_json(&generated).to_pretty();
+            match args.get("out") {
+                Some(out) => {
+                    std::fs::write(out, format!("{json}\n"))
+                        .map_err(|e| failure(format!("cannot write {out}: {e}")))?;
+                    eprintln!("wrote {out}");
+                }
+                None => println!("{json}"),
+            }
+        }
+        Some(other) => return Err(usage(format!("--format must be `json`, got {other:?}"))),
+        None => {
+            println!(
+                "campaign {:?}: {} mode(s), {} injection(s), seed {}",
+                generated.campaign.name,
+                generated.expectations.len(),
+                generated.campaign.injections.len(),
+                generated.campaign.seed,
+            );
+            let mut table = Table::new(vec!["mode", "impact", "p", "window (h)", "targets"]);
+            for exp in &generated.expectations {
+                table.row(vec![
+                    exp.label.clone(),
+                    match exp.impact {
+                        sdnav_fmea::PlaneImpact::ControlPlaneOnly => "CP".to_owned(),
+                        sdnav_fmea::PlaneImpact::DataPlaneOnly => "DP".to_owned(),
+                        sdnav_fmea::PlaneImpact::Both => "CP+DP".to_owned(),
+                    },
+                    format!("{:.3e}", exp.probability),
+                    format!(
+                        "[{:.0}, {:.0})",
+                        exp.window_start_hours, exp.window_end_hours
+                    ),
+                    exp.targets.join(" + "),
+                ]);
+            }
+            print!("{table}");
+            eprintln!("hint: --format json emits the sdnav-chaos-genspec/v1 document");
+        }
+    }
+    Ok(())
+}
+
+/// `sdnav chaos run --verdict GENSPEC`: replay a generated campaign and
+/// gate it on the survive-or-attribute check against its expectations.
+fn chaos_verdict(
+    spec: &ControllerSpec,
+    genspec_path: &str,
+    args: &Args,
+) -> Result<(), SdnavError> {
+    let generated: sdnav_chaos::GeneratedCampaign = read_json(genspec_path)?;
+    let topo = layout(spec, args)?;
+    if !topo.name().eq_ignore_ascii_case(&generated.topology) {
+        return Err(failure(format!(
+            "{genspec_path}: genspec was generated on the {} topology, but --layout selects {} \
+             (pass --layout {})",
+            generated.topology,
+            topo.name(),
+            generated.topology.to_lowercase()
+        )));
+    }
+    let config = chaos_config(args)?;
+    let sim =
+        sdnav_sim::Simulation::try_new(spec, &topo, config).map_err(|e| failure(e.to_string()))?;
+    let seed = args.get_usize("seed", 1).map_err(usage)? as u64;
+    let verdict_config = sdnav_chaos::VerdictConfig {
+        replications: args.get_usize("replications", 5).map_err(usage)?,
+        ..sdnav_chaos::VerdictConfig::default()
+    };
+    let report = sdnav_chaos::verdict(&sim, &generated, seed, &verdict_config)
+        .map_err(|e| failure(format!("{genspec_path}: {e}")))?;
+
+    match args.get("format") {
+        Some("json") => {
+            let json = report.to_doc().to_pretty();
+            match args.get("out") {
+                Some(out) => {
+                    std::fs::write(out, format!("{json}\n"))
+                        .map_err(|e| failure(format!("cannot write {out}: {e}")))?;
+                    eprintln!("wrote {out}");
+                }
+                None => println!("{json}"),
+            }
+        }
+        Some(other) => return Err(usage(format!("--format must be `json`, got {other:?}"))),
+        None => {
+            println!(
+                "verdict for {:?} on {} (seed {seed}): baseline CP {:.9} ± {:.2e}, \
+                 injected {:.9} (attribution-adjusted {:.9})",
+                report.campaign,
+                topo.name(),
+                report.baseline_mean,
+                report.baseline_half_width,
+                report.cp_availability,
+                report.adjusted_cp_availability,
+            );
+            let mut table = Table::new(vec![
+                "mode",
+                "verdict",
+                "CP outages",
+                "CP hours",
+                "DP host-hours",
+                "FMEA confirmed",
+            ]);
+            for mode in &report.modes {
+                table.row(vec![
+                    mode.label.clone(),
+                    mode.verdict.name().to_owned(),
+                    mode.attributed_cp_outages.to_string(),
+                    format!("{:.4}", mode.attributed_cp_hours),
+                    format!("{:.4}", mode.attributed_dp_hours),
+                    if mode.impact_confirmed { "yes" } else { "no" }.to_owned(),
+                ]);
+            }
+            print!("{table}");
+            for violation in &report.violations {
+                eprintln!("violation: {violation}");
+            }
+        }
+    }
+    if !report.pass() {
+        return Err(failure(format!(
+            "survive-or-attribute verdict failed with {} violation(s)",
+            report.violations.len()
+        )));
     }
     Ok(())
 }

@@ -79,11 +79,6 @@ impl Stream {
     fn exp(&mut self, rate: f64) -> f64 {
         -(1.0 - self.next_f64()).ln() / rate
     }
-
-    /// Uniform draw in `[a, b)`.
-    fn uniform(&mut self, a: f64, b: f64) -> f64 {
-        a + (b - a) * self.next_f64()
-    }
 }
 
 /// What an [`Injection`] kills.
@@ -451,10 +446,11 @@ impl ConsensusSim {
         macro_rules! start_election {
             ($t:expr) => {
                 st.election_gen += 1;
-                let duration_ms = st.election_stream.uniform(
-                    self.spec.election_timeout_min_ms,
-                    self.spec.election_timeout_max_ms,
-                ) + self.spec.heartbeat_interval_ms;
+                let duration_ms = self
+                    .spec
+                    .election_latency
+                    .sample_ms(st.election_stream.next_f64())
+                    + self.spec.heartbeat_interval_ms;
                 let gen = st.election_gen;
                 st.push($t + duration_ms / MS_PER_HOUR, gen, EventKind::ElectionDone);
                 st.phase = Phase::Electing;

@@ -72,7 +72,7 @@ pub mod sweep;
 mod topology;
 mod units;
 
-pub use consensus::{ConsensusError, ConsensusSpec, FaultMix};
+pub use consensus::{ConsensusError, ConsensusSpec, ElectionLatency, FaultMix};
 pub use error::{ErrorKind, SdnavError};
 pub use hw::HwModel;
 pub use params::{HwParams, ParamError, ProcessParams, SwParams};

@@ -156,10 +156,14 @@ pub fn enumerate_filtered(
             }
         }
     }
+    // Equal-probability modes must not depend on enumeration order:
+    // generated chaos campaigns key off this ranking, so ties break by
+    // order (fewer elements first), then lexicographic element identity.
     out.sort_by(|a, b| {
         b.probability
-            .partial_cmp(&a.probability)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.probability)
+            .then_with(|| a.elements.len().cmp(&b.elements.len()))
+            .then_with(|| a.elements.cmp(&b.elements))
     });
     out
 }
@@ -433,6 +437,49 @@ mod tests {
                     scenario
                 );
             }
+        }
+    }
+
+    #[test]
+    fn equal_probability_modes_rank_deterministically() {
+        // Regression: `dominant_modes` used to cut the top-K at whatever
+        // enumeration order produced for equal-probability modes, so the
+        // K-th slot of a generated chaos campaign could silently swap
+        // contents. Ties must break by order, then element identity.
+        let (spec, params) = fixtures();
+        let topo = Topology::large(&spec);
+        let d = Deployment::new(&spec, &topo, params, Scenario::SupervisorNotRequired);
+        let modes = enumerate(&d, 2);
+
+        let mut ties = 0;
+        for pair in modes.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            if a.probability == b.probability {
+                ties += 1;
+                assert!(
+                    (a.order(), &a.elements) < (b.order(), &b.elements),
+                    "tied modes out of order: {a} before {b}"
+                );
+            }
+        }
+        // The paper deployment has whole families of identically-rated
+        // pairs (e.g. Database replicas): the tie-break must actually be
+        // exercised, not vacuously pass.
+        assert!(ties >= 3, "expected tied probabilities, found {ties}");
+
+        // The top-K cut is therefore reproducible: ranking twice (fresh
+        // enumeration) yields element-identical dominant modes.
+        let again = enumerate(&d, 2);
+        for cp in [true, false] {
+            let first: Vec<Vec<Element>> = dominant_modes(&modes, cp, 5)
+                .into_iter()
+                .map(|m| m.elements)
+                .collect();
+            let second: Vec<Vec<Element>> = dominant_modes(&again, cp, 5)
+                .into_iter()
+                .map(|m| m.elements)
+                .collect();
+            assert_eq!(first, second);
         }
     }
 

@@ -59,6 +59,26 @@ impl Element {
         }
     }
 
+    /// The `sdnav-chaos` target-grammar spelling of this element
+    /// (`rack:IDX`, `host:IDX`, `vm:IDX`, `proc:ROLE/NODE/PROCESS`,
+    /// `vproc:HOST/PROCESS`) — how generated campaigns name their
+    /// injection targets. The FMEA's reference compute host maps to
+    /// vRouter-process host 0.
+    #[must_use]
+    pub fn target_str(&self) -> String {
+        match self {
+            Element::Rack { index } => format!("rack:{index}"),
+            Element::Host { index } => format!("host:{index}"),
+            Element::Vm { index } => format!("vm:{index}"),
+            Element::Process {
+                role,
+                node,
+                process,
+            } => format!("proc:{role}/{node}/{process}"),
+            Element::HostProcess { process } => format!("vproc:0/{process}"),
+        }
+    }
+
     /// The element's coarse kind, for filtering.
     #[must_use]
     pub fn kind(&self) -> ElementKind {
@@ -219,6 +239,12 @@ impl<'a> Deployment<'a> {
     #[must_use]
     pub fn scenario(&self) -> Scenario {
         self.scenario
+    }
+
+    /// The topology the spec is laid out on.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        self.topology
     }
 
     /// Every failable element of this deployment: racks, hosts, VMs, all

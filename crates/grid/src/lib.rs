@@ -851,12 +851,11 @@ impl EvalCtx<'_> {
             .as_ref()
             .expect("consensus items are only planned when a base spec is set");
         // Re-parameterize the base spec to this cell's coordinates: the
-        // timeout axis shifts the randomized window to the cell's floor
-        // (keeping the base width), the other axes replace their fields.
+        // timeout axis re-anchors the latency distribution's floor at the
+        // cell's value (preserving its shape — width for uniform, offsets
+        // for empirical tables), the other axes replace their fields.
         let mut consensus = base.clone();
-        let width = base.election_timeout_max_ms - base.election_timeout_min_ms;
-        consensus.election_timeout_min_ms = election_timeout_ms;
-        consensus.election_timeout_max_ms = election_timeout_ms + width;
+        consensus.election_latency = base.election_latency.with_floor_ms(election_timeout_ms);
         consensus.cluster_size = cluster_size;
         consensus.fault_mix = fault_mix;
         let quorum = consensus.quorum();

@@ -29,6 +29,14 @@ pub const CHAOS_REPORT: &str = "sdnav-chaos-report/v1";
 /// Compact digest of a chaos report (array hashes + first/last rows).
 pub const CHAOS_DIGEST: &str = "sdnav-chaos-digest/v1";
 
+/// FMEA-generated chaos campaign plus per-mode expectation records
+/// (`sdnav chaos generate`, `POST /v1/chaos/generate`).
+pub const CHAOS_GENSPEC: &str = "sdnav-chaos-genspec/v1";
+
+/// Survive-or-attribute verdict over a generated campaign run
+/// (`sdnav chaos run --verdict`).
+pub const CHAOS_VERDICT: &str = "sdnav-chaos-verdict/v1";
+
 /// Checkpoint WAL header/cell/seal frames.
 pub const CHECKPOINT: &str = "sdnav-checkpoint/v1";
 
@@ -137,6 +145,8 @@ mod tests {
             SWEEP_PLAN,
             CHAOS_REPORT,
             CHAOS_DIGEST,
+            CHAOS_GENSPEC,
+            CHAOS_VERDICT,
             CHECKPOINT,
             QUARANTINE,
             BENCH_SWEEP,

@@ -236,8 +236,10 @@ mod tests {
         // With a vanishingly short election, availability approaches the
         // plain k-of-n birth–death result.
         let mut s = spec();
-        s.election_timeout_min_ms = 1e-6;
-        s.election_timeout_max_ms = 1e-6;
+        s.election_latency = sdnav_core::ElectionLatency::Uniform {
+            min_ms: 1e-6,
+            max_ms: 1e-6,
+        };
         s.heartbeat_interval_ms = 1e-6;
         let lam = 1.0 / 2000.0;
         let mu = 1.0 / 4.0;
@@ -255,8 +257,10 @@ mod tests {
         let mu = 1.0 / 10.0;
         let fast = ConsensusCtmc::new(&spec(), lam, mu).unwrap();
         let mut slow_spec = spec();
-        slow_spec.election_timeout_min_ms = 15_000.0;
-        slow_spec.election_timeout_max_ms = 30_000.0;
+        slow_spec.election_latency = sdnav_core::ElectionLatency::Uniform {
+            min_ms: 15_000.0,
+            max_ms: 30_000.0,
+        };
         let slow = ConsensusCtmc::new(&slow_spec, lam, mu).unwrap();
         assert!(slow.availability().unwrap() < fast.availability().unwrap());
     }

@@ -9,6 +9,7 @@
 //! | Method  | Path          | Meaning                                        |
 //! |---------|---------------|------------------------------------------------|
 //! | `POST`  | `/v1/eval`    | Evaluate a grid (body: grid spec JSON, optional)|
+//! | `POST`  | `/v1/chaos/generate` | FMEA-derived chaos campaign (genspec)    |
 //! | `PATCH` | `/v1/spec`    | Edit one named rate: `{"name", "value"}`        |
 //! | `GET`   | `/v1/plan`    | Static cost prediction for a proposed grid      |
 //! | `GET`   | `/v1/metrics` | Service + cache counters                        |
@@ -39,10 +40,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-use sdnav_core::{ControllerSpec, ErrorKind, ModelState, SdnavError};
+use sdnav_chaos::GenerateConfig;
+use sdnav_core::{ControllerSpec, ErrorKind, ModelState, Scenario, SdnavError, Topology};
+use sdnav_fmea::Deployment;
 use sdnav_grid::plan::Figure;
 use sdnav_grid::{evaluate_incremental, EvalGraph, GridSpec};
-use sdnav_json::{schema, Envelope, Json};
+use sdnav_json::{schema, Envelope, Json, ToJson};
 
 /// How long the accept loop sleeps between polls of the listener and the
 /// shutdown flag.
@@ -310,6 +313,7 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, SdnavError> {
 fn route(state: &ServiceState, req: &Request) -> Result<(u16, String), SdnavError> {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/eval") => eval(state, &req.body),
+        ("POST", "/v1/chaos/generate") => chaos_generate(state, &req.body),
         ("PATCH", "/v1/spec") => patch(state, &req.body),
         ("GET", "/v1/plan") => plan(state, &req.query),
         ("GET", "/v1/metrics") => Ok((200, metrics_body(state))),
@@ -320,12 +324,17 @@ fn route(state: &ServiceState, req: &Request) -> Result<(u16, String), SdnavErro
                 vec![("status", Json::str("ok"))],
             )),
         )),
-        (_, "/v1/eval" | "/v1/spec" | "/v1/plan" | "/v1/metrics" | "/v1/healthz") => Err(
-            SdnavError::method(format!("{} does not accept {}", req.path, req.method)),
-        ),
+        (
+            _,
+            "/v1/eval" | "/v1/chaos/generate" | "/v1/spec" | "/v1/plan" | "/v1/metrics"
+            | "/v1/healthz",
+        ) => Err(SdnavError::method(format!(
+            "{} does not accept {}",
+            req.path, req.method
+        ))),
         (_, other) => Err(SdnavError::not_found(format!(
-            "unknown route {other:?}; routes: POST /v1/eval, PATCH /v1/spec, \
-             GET /v1/plan, GET /v1/metrics, GET /v1/healthz"
+            "unknown route {other:?}; routes: POST /v1/eval, POST /v1/chaos/generate, \
+             PATCH /v1/spec, GET /v1/plan, GET /v1/metrics, GET /v1/healthz"
         ))),
     }
 }
@@ -354,6 +363,93 @@ fn eval(state: &ServiceState, body: &str) -> Result<(u16, String), SdnavError> {
         200,
         format!("{}\n", sdnav_json::to_string_pretty(&outcome.results)),
     ))
+}
+
+/// `POST /v1/chaos/generate` — compile the current model's FMEA dominant
+/// failure modes into an injection campaign with per-mode expectation
+/// records (an `sdnav-chaos-genspec/v1` document).
+///
+/// Body (every field optional; an empty body generates the default
+/// small-topology campaign):
+///
+/// ```json
+/// {"topology": "large", "scenario": "not-required",
+///  "top_k": 5, "max_order": 2, "start_hours": 1000.0,
+///  "spacing_hours": 2000.0, "repair_hours": 48.0, "stress": false}
+/// ```
+///
+/// The response is exactly what `sdnav chaos generate --format json`
+/// prints for the same knobs, except it reflects the service's live SW
+/// parameters — a `PATCH /v1/spec` that moves a process rate can reorder
+/// the dominant modes and therefore the generated campaign. Unknown
+/// topology or scenario names are model errors (HTTP 422); malformed
+/// JSON is a parse error (HTTP 400).
+fn chaos_generate(state: &ServiceState, body: &str) -> Result<(u16, String), SdnavError> {
+    let doc = if body.trim().is_empty() {
+        Json::obj(vec![])
+    } else {
+        Json::parse(body)?
+    };
+    let field_str = |key: &str, default: &str| -> Result<String, SdnavError> {
+        match doc.get(key) {
+            Some(v) => Ok(v.as_str().map_err(|e| e.ctx(key))?.to_owned()),
+            None => Ok(default.to_owned()),
+        }
+    };
+    let field_usize = |key: &str, default: usize| -> Result<usize, SdnavError> {
+        match doc.get(key) {
+            Some(v) => Ok(v.as_usize().map_err(|e| e.ctx(key))?),
+            None => Ok(default),
+        }
+    };
+    let field_f64 = |key: &str, default: f64| -> Result<f64, SdnavError> {
+        match doc.get(key) {
+            Some(v) => Ok(v.as_f64().map_err(|e| e.ctx(key))?),
+            None => Ok(default),
+        }
+    };
+    let field_bool = |key: &str, default: bool| -> Result<bool, SdnavError> {
+        match doc.get(key) {
+            Some(v) => Ok(v.as_bool().map_err(|e| e.ctx(key))?),
+            None => Ok(default),
+        }
+    };
+
+    let defaults = GenerateConfig::default();
+    let config = GenerateConfig {
+        top_k: field_usize("top_k", defaults.top_k)?,
+        max_order: field_usize("max_order", defaults.max_order)?,
+        start_hours: field_f64("start_hours", defaults.start_hours)?,
+        spacing_hours: field_f64("spacing_hours", defaults.spacing_hours)?,
+        repair_hours: field_f64("repair_hours", defaults.repair_hours)?,
+        stress: field_bool("stress", defaults.stress)?,
+    };
+    let scenario = match field_str("scenario", "not-required")?.as_str() {
+        "required" => Scenario::SupervisorRequired,
+        "not-required" => Scenario::SupervisorNotRequired,
+        other => {
+            return Err(SdnavError::model(format!(
+                "scenario must be \"required\" or \"not-required\", got {other:?}"
+            )))
+        }
+    };
+    let topology_name = field_str("topology", "small")?;
+
+    let model = state.model.lock().expect("model state");
+    let topo = match topology_name.as_str() {
+        "small" => Topology::small(&model.spec),
+        "medium" => Topology::medium(&model.spec),
+        "large" => Topology::large(&model.spec),
+        other => {
+            return Err(SdnavError::model(format!(
+                "topology must be \"small\", \"medium\" or \"large\", got {other:?}"
+            )))
+        }
+    };
+    let deployment = Deployment::new(&model.spec, &topo, model.sw, scenario);
+    let generated =
+        sdnav_chaos::generate(&deployment, &config).map_err(|e| SdnavError::model(e.to_string()))?;
+    Ok((200, document(generated.to_json())))
 }
 
 /// `PATCH /v1/spec` — edit one named rate or parameter.
@@ -600,6 +696,75 @@ mod tests {
         // And a body without consensus axes must not even carry the key.
         let (_, plain) = eval(&state, r#"{"figures": ["fig3"], "points": 2}"#).unwrap();
         assert!(Json::parse(&plain).unwrap().field("consensus").is_err());
+    }
+
+    fn test_state() -> ServiceState {
+        ServiceState {
+            model: Mutex::new(ModelState::paper(ControllerSpec::opencontrail_3x())),
+            graph: EvalGraph::new(),
+            requests: AtomicU64::new(0),
+            evals: AtomicU64::new(0),
+            patches: AtomicU64::new(0),
+        }
+    }
+
+    #[test]
+    fn chaos_generate_returns_a_genspec_document() {
+        let state = test_state();
+        let (status, text) =
+            chaos_generate(&state, r#"{"topology": "medium", "top_k": 3}"#).unwrap();
+        assert_eq!(status, 200);
+        let doc = Json::parse(&text).unwrap();
+        assert!(Envelope::expect(schema::CHAOS_GENSPEC, &doc).is_ok());
+        assert!(doc
+            .field("topology")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .eq_ignore_ascii_case("medium"));
+        let expectations = doc.field("expectations").unwrap().as_arr().unwrap();
+        assert!(!expectations.is_empty());
+        // Every expectation's injections exist in the campaign by label.
+        let campaign = doc.field("campaign").unwrap();
+        let injections = campaign.field("injections").unwrap().as_arr().unwrap();
+        let labels: Vec<&str> = injections
+            .iter()
+            .map(|i| i.field("label").unwrap().as_str().unwrap())
+            .collect();
+        for exp in expectations {
+            for label in exp.field("injection_labels").unwrap().as_arr().unwrap() {
+                assert!(labels.contains(&label.as_str().unwrap()), "{label:?}");
+            }
+        }
+        // An empty body generates the default small-topology campaign.
+        let (status, text) = chaos_generate(&state, "").unwrap();
+        assert_eq!(status, 200);
+        let doc = Json::parse(&text).unwrap();
+        assert!(doc
+            .field("topology")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .eq_ignore_ascii_case("small"));
+    }
+
+    #[test]
+    fn chaos_generate_rejects_bad_bodies() {
+        let state = test_state();
+        // Unknown topology / scenario names are model errors: HTTP 422.
+        let err = chaos_generate(&state, r#"{"topology": "warehouse"}"#).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Model);
+        assert_eq!(err.http_status(), 422);
+        let err = chaos_generate(&state, r#"{"scenario": "sometimes"}"#).unwrap_err();
+        assert_eq!(err.http_status(), 422);
+        // A config the generator itself refuses is a 422 too.
+        let err = chaos_generate(&state, r#"{"top_k": 0}"#).unwrap_err();
+        assert_eq!(err.http_status(), 422);
+        // Malformed JSON and wrong field types are parse errors: HTTP 400.
+        let err = chaos_generate(&state, r#"{"topology":"#).unwrap_err();
+        assert_eq!(err.http_status(), 400);
+        let err = chaos_generate(&state, r#"{"top_k": "five"}"#).unwrap_err();
+        assert_eq!(err.http_status(), 400);
     }
 
     #[test]
